@@ -1,0 +1,71 @@
+//! Criterion microbenchmarks for the BLAS-substitute kernels: the
+//! blocking ablation for `gemm_tn` (blocked vs unblocked vs textbook
+//! oracle) and the `syrk` triangle savings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use ata_kernels::gemm::{gemm_tn_blocked, gemm_tn_unblocked, BlockSizes};
+use ata_kernels::syrk_ln;
+use ata_mat::{gen, reference, Matrix};
+
+fn bench_gemm_blocking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_tn blocking ablation");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for &n in &[128usize, 256] {
+        let a = gen::standard::<f64>(1, n, n);
+        let b = gen::standard::<f64>(2, n, n);
+        let mut out = Matrix::<f64>::zeros(n, n);
+        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |bch, _| {
+            bch.iter(|| {
+                out.as_mut().fill_zero();
+                gemm_tn_blocked(1.0, a.as_ref(), b.as_ref(), &mut out.as_mut(), BlockSizes::default());
+                black_box(out.as_slice()[0]);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("unblocked", n), &n, |bch, _| {
+            bch.iter(|| {
+                out.as_mut().fill_zero();
+                gemm_tn_unblocked(1.0, a.as_ref(), b.as_ref(), &mut out.as_mut());
+                black_box(out.as_slice()[0]);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("textbook", n), &n, |bch, _| {
+            bch.iter(|| {
+                out.as_mut().fill_zero();
+                reference::gemm_tn(1.0, a.as_ref(), b.as_ref(), &mut out.as_mut());
+                black_box(out.as_slice()[0]);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_syrk_vs_gemm(c: &mut Criterion) {
+    // syrk computes half the entries: ~2x over gemm with B = A.
+    let mut group = c.benchmark_group("syrk triangle savings");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for &n in &[128usize, 256] {
+        let a = gen::standard::<f64>(3, n, n);
+        let mut out = Matrix::<f64>::zeros(n, n);
+        group.bench_with_input(BenchmarkId::new("syrk_ln", n), &n, |bch, _| {
+            bch.iter(|| {
+                out.as_mut().fill_zero();
+                syrk_ln(1.0, a.as_ref(), &mut out.as_mut());
+                black_box(out.as_slice()[0]);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("gemm_self", n), &n, |bch, _| {
+            bch.iter(|| {
+                out.as_mut().fill_zero();
+                gemm_tn_blocked(1.0, a.as_ref(), a.as_ref(), &mut out.as_mut(), BlockSizes::default());
+                black_box(out.as_slice()[0]);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm_blocking, bench_syrk_vs_gemm);
+criterion_main!(benches);

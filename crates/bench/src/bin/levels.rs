@@ -1,0 +1,43 @@
+//! Eq. 5 / Eq. 6 — the parallel-level step functions `l(P)`, printed
+//! next to the depths of the actually-constructed task trees.
+//!
+//! The step pattern of these functions is what makes both parallel
+//! algorithms' speedups non-linear in P (§4.2.2, §5.5): complete levels
+//! give the 4x (shared) / 8x-ish (distributed) drops, and P values that
+//! do not complete a level buy nothing.
+//!
+//! ```text
+//! cargo run --release -p ata-bench --bin levels [-- --max-p 64]
+//! ```
+
+use ata_bench::{Cli, Table};
+use ata_core::tasktree::{dist_levels, shared_levels, DistTree, SharedPlan};
+
+fn main() {
+    let cli = Cli::from_env();
+    let max_p = cli.usize("max-p", 64);
+    let n = cli.usize("n", 1 << 12); // large enough that size never caps a split
+
+    let mut table = Table::new(
+        "Eq. 5 / Eq. 6 — parallel levels vs constructed tree depth",
+        &["P", "Eq.5 l(P) dist", "DistTree depth", "Eq.6 l(P) shared", "SharedPlan depth", "tasks"],
+    );
+    for p in 1..=max_p {
+        let dist = DistTree::build(n, n, p);
+        let shared = SharedPlan::build(n, p);
+        table.row(vec![
+            p.to_string(),
+            dist_levels(p).to_string(),
+            dist.depth.to_string(),
+            shared_levels(p).to_string(),
+            shared.depth.to_string(),
+            shared.tasks.len().to_string(),
+        ]);
+        // The construction is never shallower than the formula and at
+        // most one level deeper (remainder handling, see tasktree docs).
+        assert!(dist.depth >= dist_levels(p) && dist.depth <= dist_levels(p) + 1);
+        assert!(shared.depth >= shared_levels(p) && shared.depth <= shared_levels(p) + 1);
+    }
+    table.emit(&cli);
+    println!("\n(step increases at P = 2, 7, ... for Eq. 5 and P = 2, 4, 8, 32 for Eq. 6 — the paper's step-function speedups)");
+}

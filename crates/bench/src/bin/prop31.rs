@@ -1,0 +1,108 @@
+//! Proposition 3.1 — measured cache complexity of AtA on the ideal
+//! cache model.
+//!
+//! The paper proves `C_AtA(n; M, b) = C_S(n; M, b) =
+//! Θ(1 + n²/b + n^(log₂7)/(b√M))` by induction. This harness *measures*
+//! it on the `ata-cachesim` substrate:
+//!
+//! 1. an `n`-sweep at fixed `(M, b)`: misses of naive syrk,
+//!    RecursiveGEMM (Algorithm 2), Strassen and AtA, each normalized by
+//!    the Θ-expression — the AtA and Strassen columns should flatten to
+//!    a constant while naive grows;
+//! 2. the proof's sandwich `C_S(n/2) ≤ C_AtA(n) ≤ C_S(n)` printed as
+//!    ratios (both must stay ≤ 1);
+//! 3. an `M`-sweep at fixed `n`: in the `n^(log₂7)/(b√M)` regime,
+//!    quadrupling `M` should halve the fast methods' misses.
+//!
+//! ```text
+//! cargo run --release -p ata-bench --bin prop31 [-- --sizes 32,64,128 --cache-words 64 --line-words 8]
+//! ```
+
+use ata_bench::{Cli, Table};
+use ata_cachesim::{prop31_expression, run_ata, run_naive_syrk, run_recursive_gemm, run_strassen};
+use ata_mat::gen;
+
+fn main() {
+    let cli = Cli::from_env();
+    let sizes = cli.usize_list("sizes", &[16, 32, 64, 128]);
+    let m_words = cli.usize("cache-words", 64);
+    let b_words = cli.usize("line-words", 8);
+    let base = cli.usize("base-words", 8);
+
+    println!("Proposition 3.1: ideal-cache miss counts (M = {m_words} words, b = {b_words} words/line)");
+    println!("sizes = {sizes:?}, recursion base = {base} words");
+
+    // ---- 1. n-sweep, normalized by the Θ-expression ----
+    let mut t1 = Table::new(
+        "Prop 3.1 — misses / Θ(1 + n²/b + n^lg7/(b√M))",
+        &["n", "Q_naive", "Q_recgemm", "Q_strassen", "Q_AtA", "AtA/Θ", "Strassen/Θ", "naive/Θ"],
+    );
+    for &n in &sizes {
+        let a = gen::standard::<f64>(n as u64, n, n);
+        let (_, naive) = run_naive_syrk(&a, m_words, b_words);
+        let (_, recg) = run_recursive_gemm(&a, &a.clone(), base, m_words, b_words);
+        let (_, strassen) = run_strassen(&a, &a.clone(), base, m_words, b_words);
+        let (_, ata) = run_ata(&a, base, m_words, b_words);
+        let theta = prop31_expression(n, m_words, b_words);
+        t1.row(vec![
+            n.to_string(),
+            naive.misses.to_string(),
+            recg.misses.to_string(),
+            strassen.misses.to_string(),
+            ata.misses.to_string(),
+            format!("{:.3}", ata.misses as f64 / theta),
+            format!("{:.3}", strassen.misses as f64 / theta),
+            format!("{:.3}", naive.misses as f64 / theta),
+        ]);
+    }
+    t1.emit(&cli);
+
+    // ---- 2. the proof's sandwich ----
+    let mut t2 = Table::new(
+        "Prop 3.1 — proof sandwich C_S(n/2) <= C_AtA(n) <= C_S(n)",
+        &["n", "C_S(n/2)", "C_AtA(n)", "C_S(n)", "S(n/2)/AtA", "AtA/S(n)"],
+    );
+    for &n in sizes.iter().filter(|&&n| n >= 8) {
+        let a = gen::standard::<f64>(n as u64 + 1, n, n);
+        let h = gen::standard::<f64>(n as u64 + 2, n / 2, n / 2);
+        let (_, ata) = run_ata(&a, base, m_words, b_words);
+        let (_, s_full) = run_strassen(&a, &a.clone(), base, m_words, b_words);
+        let (_, s_half) = run_strassen(&h, &h.clone(), base, m_words, b_words);
+        t2.row(vec![
+            n.to_string(),
+            s_half.misses.to_string(),
+            ata.misses.to_string(),
+            s_full.misses.to_string(),
+            format!("{:.3}", s_half.misses as f64 / ata.misses as f64),
+            format!("{:.3}", ata.misses as f64 / s_full.misses as f64),
+        ]);
+    }
+    t2.emit(&cli);
+
+    // ---- 3. M-sweep at the largest n ----
+    let n = *sizes.last().expect("nonempty sizes");
+    let a = gen::standard::<f64>(99, n, n);
+    let m_sweep = cli.usize_list("m-sweep", &[64, 256, 1024, 4096]);
+    let mut t3 = Table::new(
+        "Prop 3.1 — sqrt(M) scaling at fixed n",
+        &["M", "Q_AtA", "Q_strassen", "Q_AtA * sqrt(M)"],
+    );
+    for &m in &m_sweep {
+        let (_, ata) = run_ata(&a, base, m, b_words);
+        let (_, s) = run_strassen(&a, &a.clone(), base, m, b_words);
+        t3.row(vec![
+            m.to_string(),
+            ata.misses.to_string(),
+            s.misses.to_string(),
+            format!("{:.0}", ata.misses as f64 * (m as f64).sqrt()),
+        ]);
+    }
+    t3.emit(&cli);
+
+    println!("\nExpected shape: both sandwich ratios stay <= 1 at every n — that is");
+    println!("Proposition 3.1's induction, measured. Naive misses scale by 8x per");
+    println!("doubling (n³/b) while AtA's doubling ratio falls toward 7 (n^lg7); the");
+    println!("normalized columns converge slowly because Θ hides transition-regime");
+    println!("constants at these laptop sizes. In the M-sweep, growing the cache cuts");
+    println!("fast-method misses until the working set fits (the 1/sqrt(M) term).");
+}

@@ -1,0 +1,46 @@
+//! Visualize the §4.1 task trees (Figure 1 regenerated as text/DOT).
+//!
+//! ```text
+//! cargo run --release -p ata-bench --bin treeviz [-- --procs 16 --n 1024 --dot out.dot --shared]
+//! ```
+//!
+//! Default output is the ASCII distributed tree for P = 16 — the
+//! configuration the paper draws in Figure 1. `--dot FILE` additionally
+//! writes a Graphviz digraph; `--shared` prints the AtA-S per-thread
+//! task listing instead.
+
+use ata_bench::Cli;
+use ata_core::render::{dist_tree_ascii, dist_tree_dot, shared_plan_ascii};
+use ata_core::tasktree::{dist_levels, shared_levels, DistTree, SharedPlan};
+
+fn main() {
+    let cli = Cli::from_env();
+    let p = cli.usize("procs", 16);
+    let n = cli.usize("n", 1024);
+
+    if cli.has("shared") {
+        let plan = SharedPlan::build(n, p);
+        println!(
+            "AtA-S task tree, P = {p}, n = {n} (Eq. 6 levels: {}, built depth: {})\n",
+            shared_levels(p),
+            plan.depth
+        );
+        print!("{}", shared_plan_ascii(&plan));
+        return;
+    }
+
+    let tree = DistTree::build(n, n, p);
+    println!(
+        "AtA-D task tree, P = {p}, A = {n}x{n} (Eq. 5 levels: {}, built depth: {}, {} nodes, {} leaves)\n",
+        dist_levels(p),
+        tree.depth,
+        tree.nodes.len(),
+        tree.leaves().count()
+    );
+    print!("{}", dist_tree_ascii(&tree));
+
+    if let Some(path) = cli.string("dot") {
+        std::fs::write(path, dist_tree_dot(&tree)).expect("write DOT file");
+        println!("\n[DOT graph written to {path}]");
+    }
+}

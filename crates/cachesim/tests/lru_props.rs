@@ -1,0 +1,112 @@
+//! Property tests for the ideal cache: the O(1) intrusive-list LRU must
+//! behave identically to an obviously-correct reference model (a plain
+//! `Vec` kept in recency order), and must satisfy the classic paging
+//! laws (inclusion property, miss-count monotonicity in capacity).
+
+use ata_cachesim::IdealCache;
+use proptest::prelude::*;
+
+/// Reference LRU: vector of resident lines, most recent first.
+struct RefLru {
+    lines: Vec<u64>,
+    cap: usize,
+    b: u64,
+    misses: u64,
+}
+
+impl RefLru {
+    fn new(capacity_words: usize, line_words: usize) -> Self {
+        Self {
+            lines: Vec::new(),
+            cap: capacity_words / line_words,
+            b: line_words as u64,
+            misses: 0,
+        }
+    }
+
+    fn access(&mut self, addr: u64) -> bool {
+        let line = addr / self.b;
+        if let Some(pos) = self.lines.iter().position(|&l| l == line) {
+            self.lines.remove(pos);
+            self.lines.insert(0, line);
+            true
+        } else {
+            self.misses += 1;
+            if self.lines.len() == self.cap {
+                self.lines.pop();
+            }
+            self.lines.insert(0, line);
+            false
+        }
+    }
+}
+
+fn trace_strategy() -> impl Strategy<Value = Vec<u64>> {
+    // Mix of local and scattered addresses, 1..400 accesses.
+    prop::collection::vec(0u64..512, 1..400)
+}
+
+proptest! {
+    #[test]
+    fn intrusive_lru_matches_reference_model(
+        trace in trace_strategy(),
+        cap_lines in 1usize..24,
+        line_words in prop::sample::select(vec![1usize, 2, 4, 8]),
+    ) {
+        let mut fast = IdealCache::new(cap_lines * line_words, line_words);
+        let mut slow = RefLru::new(cap_lines * line_words, line_words);
+        for &addr in &trace {
+            let h_fast = fast.access(addr);
+            let h_slow = slow.access(addr);
+            prop_assert_eq!(h_fast, h_slow, "hit/miss diverged at addr {}", addr);
+        }
+        prop_assert_eq!(fast.misses(), slow.misses);
+        prop_assert_eq!(fast.resident(), slow.lines.len());
+    }
+
+    #[test]
+    fn lru_inclusion_property(trace in trace_strategy()) {
+        // A larger LRU cache's resident set contains the smaller one's —
+        // therefore every hit in the small cache is a hit in the big one
+        // (Mattson et al. stack property). Checked via miss counts.
+        let mut small = IdealCache::new(4 * 4, 4);
+        let mut big = IdealCache::new(16 * 4, 4);
+        for &addr in &trace {
+            let hit_small = small.access(addr);
+            let hit_big = big.access(addr);
+            prop_assert!(!hit_small || hit_big, "small hit but big missed at {}", addr);
+        }
+        prop_assert!(big.misses() <= small.misses());
+    }
+
+    #[test]
+    fn miss_count_monotone_in_capacity(trace in trace_strategy()) {
+        let mut prev = u64::MAX;
+        for cap_lines in [2usize, 4, 8, 16, 32] {
+            let mut c = IdealCache::new(cap_lines * 8, 8);
+            for &addr in &trace {
+                c.access(addr);
+            }
+            prop_assert!(c.misses() <= prev, "misses grew with capacity");
+            prev = c.misses();
+        }
+    }
+
+    #[test]
+    fn compulsory_lower_bound_and_access_upper_bound(trace in trace_strategy()) {
+        // Misses are at least the number of distinct lines touched and
+        // at most the access count.
+        let mut c = IdealCache::new(8 * 8, 8);
+        let mut distinct: Vec<u64> = Vec::new();
+        for &addr in &trace {
+            c.access(addr);
+            let line = addr / 8;
+            if !distinct.contains(&line) {
+                distinct.push(line);
+            }
+        }
+        prop_assert!(c.misses() >= distinct.len() as u64);
+        prop_assert!(c.misses() <= trace.len() as u64);
+        prop_assert_eq!(c.accesses(), trace.len() as u64);
+    }
+}

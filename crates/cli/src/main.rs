@@ -1,0 +1,269 @@
+//! `ata` — command-line front end for the AtA library.
+//!
+//! ```text
+//! ata gen    --rows M --cols N [--seed S] --out FILE        generate a random matrix
+//! ata gram   --input FILE --out FILE [--threads T]          C = A^T A (full symmetric)
+//!            [--algo ata|ata-s|syrk|naive] [--cache-words W]
+//!            [--strassen classic|winograd]
+//! ata verify --input FILE [--threads T]                     AtA vs naive oracle
+//! ata info   --input FILE                                   shape and norms
+//! ```
+//!
+//! Files are CSV (`.csv`) or the compact binary `.atm` format, chosen by
+//! extension. All computation is `f64`.
+
+use ata_core::{gram_with, AtaOptions};
+use ata_kernels::syrk_ln;
+use ata_mat::{gen, io, reference, Matrix};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+struct Args {
+    kv: HashMap<String, String>,
+}
+
+impl Args {
+    fn parse(rest: &[String]) -> Result<Self, String> {
+        let mut kv = HashMap::new();
+        let mut it = rest.iter();
+        while let Some(k) = it.next() {
+            let key = k
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --key, got '{k}'"))?;
+            let v = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+            kv.insert(key.to_string(), v.clone());
+        }
+        Ok(Self { kv })
+    }
+
+    fn required(&self, key: &str) -> Result<&str, String> {
+        self.kv
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required --{key}"))
+    }
+
+    fn usize(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.kv.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key} expects an integer, got '{v}'")),
+        }
+    }
+
+    fn required_usize(&self, key: &str) -> Result<usize, String> {
+        self.required(key)?
+            .parse()
+            .map_err(|_| format!("--{key} expects an integer"))
+    }
+
+    fn str_or(&self, key: &str, default: &'static str) -> String {
+        self.kv.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+}
+
+fn options(args: &Args) -> Result<AtaOptions, String> {
+    let threads = args.usize("threads", 1)?;
+    let mut opts = if threads > 1 {
+        AtaOptions::with_threads(threads)
+    } else {
+        AtaOptions::serial()
+    };
+    if let Some(w) = args.kv.get("cache-words") {
+        let w: usize = w.parse().map_err(|_| "--cache-words expects an integer".to_string())?;
+        opts = opts.cache_words(w);
+    }
+    match args.str_or("strassen", "classic").as_str() {
+        "classic" => {}
+        "winograd" => opts = opts.winograd(),
+        other => return Err(format!("unknown --strassen '{other}' (classic | winograd)")),
+    }
+    Ok(opts)
+}
+
+fn cmd_gen(args: &Args) -> Result<(), String> {
+    let rows = args.required_usize("rows")?;
+    let cols = args.required_usize("cols")?;
+    let seed = args.usize("seed", 42)? as u64;
+    let out = args.required("out")?;
+    let m = gen::standard::<f64>(seed, rows, cols);
+    io::save(&m, out).map_err(|e| e.to_string())?;
+    println!("wrote {rows}x{cols} matrix (seed {seed}) to {out}");
+    Ok(())
+}
+
+fn cmd_gram(args: &Args) -> Result<(), String> {
+    let input = args.required("input")?;
+    let out = args.required("out")?;
+    let algo = args.str_or("algo", "ata");
+    let opts = options(args)?;
+    let a: Matrix<f64> = io::load(input).map_err(|e| e.to_string())?;
+    let (m, n) = a.shape();
+
+    let t0 = std::time::Instant::now();
+    let g = match algo.as_str() {
+        "ata" | "ata-s" => gram_with(a.as_ref(), &opts),
+        "syrk" => {
+            let mut c = Matrix::<f64>::zeros(n, n);
+            syrk_ln(1.0, a.as_ref(), &mut c.as_mut());
+            c.mirror_lower_to_upper();
+            c
+        }
+        "naive" => reference::gram(a.as_ref()),
+        other => return Err(format!("unknown --algo '{other}' (ata | ata-s | syrk | naive)")),
+    };
+    let dt = t0.elapsed().as_secs_f64();
+    io::save(&g, out).map_err(|e| e.to_string())?;
+    println!("A: {m}x{n}; C = A^T A ({n}x{n}) via {algo} in {dt:.3}s -> {out}");
+    Ok(())
+}
+
+fn cmd_verify(args: &Args) -> Result<(), String> {
+    let input = args.required("input")?;
+    let opts = options(args)?;
+    let a: Matrix<f64> = io::load(input).map_err(|e| e.to_string())?;
+    let (m, n) = a.shape();
+    let fast = gram_with(a.as_ref(), &opts);
+    let slow = reference::gram(a.as_ref());
+    let diff = fast.max_abs_diff(&slow);
+    let tol = ata_mat::ops::product_tol::<f64>(m.max(n), n, m as f64);
+    println!("max |AtA - naive| = {diff:.3e} (tolerance {tol:.3e})");
+    if diff <= tol {
+        println!("VERIFIED");
+        Ok(())
+    } else {
+        Err("verification FAILED".to_string())
+    }
+}
+
+fn cmd_info(args: &Args) -> Result<(), String> {
+    let input = args.required("input")?;
+    let a: Matrix<f64> = io::load(input).map_err(|e| e.to_string())?;
+    let (m, n) = a.shape();
+    println!("{input}: {m} x {n} (f64)");
+    println!("  frobenius norm: {:.6e}", a.as_ref().frobenius());
+    println!("  max |entry|:    {:.6e}", a.as_ref().max_abs());
+    Ok(())
+}
+
+fn usage() -> String {
+    "usage: ata <gen|gram|verify|info> [--key value ...]\n\
+     \n  ata gen    --rows M --cols N [--seed S] --out FILE\
+     \n  ata gram   --input FILE --out FILE [--threads T] [--algo ata|syrk|naive]\
+     \n             [--cache-words W] [--strassen classic|winograd]\
+     \n  ata verify --input FILE [--threads T]\
+     \n  ata info   --input FILE"
+        .to_string()
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let result = match argv.first().map(String::as_str) {
+        Some(cmd @ ("gen" | "gram" | "verify" | "info")) => {
+            Args::parse(&argv[1..]).and_then(|args| match cmd {
+                "gen" => cmd_gen(&args),
+                "gram" => cmd_gram(&args),
+                "verify" => cmd_verify(&args),
+                _ => cmd_info(&args),
+            })
+        }
+        _ => Err(usage()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Args {
+        Args::parse(&list.iter().map(|s| s.to_string()).collect::<Vec<_>>()).expect("parse")
+    }
+
+    #[test]
+    fn arg_parsing() {
+        let a = args(&["--rows", "8", "--out", "x.csv"]);
+        assert_eq!(a.required_usize("rows").expect("rows"), 8);
+        assert_eq!(a.required("out").expect("out"), "x.csv");
+        assert!(a.required("cols").is_err());
+        assert_eq!(a.usize("seed", 42).expect("default"), 42);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let r = Args::parse(&["--rows".to_string()]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn end_to_end_gen_gram_verify() {
+        let dir = std::env::temp_dir().join("ata_cli_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let a_path = dir.join("a.atm").to_string_lossy().to_string();
+        let g_path = dir.join("g.csv").to_string_lossy().to_string();
+
+        cmd_gen(&args(&["--rows", "20", "--cols", "10", "--out", &a_path])).expect("gen");
+        cmd_gram(&args(&["--input", &a_path, "--out", &g_path, "--threads", "2"])).expect("gram");
+        cmd_verify(&args(&["--input", &a_path])).expect("verify");
+        cmd_info(&args(&["--input", &a_path])).expect("info");
+
+        let g: Matrix<f64> = io::load(&g_path).expect("load gram");
+        assert_eq!(g.shape(), (10, 10));
+        assert!(g.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn gram_algo_variants_agree() {
+        let dir = std::env::temp_dir().join("ata_cli_test2");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let a_path = dir.join("a.csv").to_string_lossy().to_string();
+        cmd_gen(&args(&["--rows", "16", "--cols", "8", "--out", &a_path, "--seed", "7"])).expect("gen");
+
+        let mut results = Vec::new();
+        for algo in ["ata", "syrk", "naive"] {
+            let out = dir.join(format!("g_{algo}.csv")).to_string_lossy().to_string();
+            cmd_gram(&args(&["--input", &a_path, "--out", &out, "--algo", algo])).expect("gram");
+            results.push(io::load::<f64>(&out).expect("load"));
+        }
+        assert!(results[0].max_abs_diff(&results[1]) < 1e-10);
+        assert!(results[0].max_abs_diff(&results[2]) < 1e-10);
+    }
+
+    #[test]
+    fn winograd_strassen_flag_agrees_with_classic() {
+        let dir = std::env::temp_dir().join("ata_cli_test4");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let a_path = dir.join("a.csv").to_string_lossy().to_string();
+        cmd_gen(&args(&["--rows", "40", "--cols", "24", "--out", &a_path, "--seed", "3"])).expect("gen");
+        let g1 = dir.join("g1.csv").to_string_lossy().to_string();
+        let g2 = dir.join("g2.csv").to_string_lossy().to_string();
+        cmd_gram(&args(&[
+            "--input", &a_path, "--out", &g1, "--cache-words", "64",
+        ]))
+        .expect("classic");
+        cmd_gram(&args(&[
+            "--input", &a_path, "--out", &g2, "--cache-words", "64", "--strassen", "winograd",
+        ]))
+        .expect("winograd");
+        let ga: Matrix<f64> = io::load(&g1).expect("g1");
+        let gb: Matrix<f64> = io::load(&g2).expect("g2");
+        assert!(ga.max_abs_diff(&gb) < 1e-10);
+        let bad = cmd_gram(&args(&["--input", &a_path, "--out", &g2, "--strassen", "x"]));
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn unknown_algo_rejected() {
+        let dir = std::env::temp_dir().join("ata_cli_test3");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let a_path = dir.join("a.csv").to_string_lossy().to_string();
+        cmd_gen(&args(&["--rows", "4", "--cols", "4", "--out", &a_path])).expect("gen");
+        let r = cmd_gram(&args(&["--input", &a_path, "--out", &a_path, "--algo", "magic"]));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,196 @@
+//! BLAS-parity wrappers: `beta` scaling and the `A A^T` variant.
+//!
+//! §3.1 of the paper: "AtA and FastStrassen are designed to be efficient
+//! alternatives to the BLAS routines `?gemm` and `?syrk`. Thus, they
+//! perform the same operations, respectively `C = alpha A^T B + beta C`
+//! and `C = alpha A^T A + beta C`. However, we avoid introducing the
+//! scaling factor `beta` [...] since `C` can be simply scaled before
+//! applying the algorithms." These wrappers do exactly that pre-scale,
+//! giving the full BLAS contracts.
+//!
+//! The paper also remarks that "our solution also works for the product
+//! `A A^T`" — provided here by running AtA on an explicitly materialized
+//! `A^T` ([`aat_lower`]), since with row-major storage `A^T A` is the
+//! cache-hostile case the algorithms are built around and `A A^T`
+//! reduces to it by transposition.
+
+use crate::serial::ata_into_with;
+use ata_kernels::level1::scal;
+use ata_kernels::CacheConfig;
+use ata_mat::{MatMut, MatRef, Matrix, Scalar};
+use ata_strassen::{fast_strassen_with, StrassenWorkspace};
+
+/// Scale the lower triangle (incl. diagonal) of a square view by `beta`.
+/// `beta == 1` is free; `beta == 0` zero-fills (exactly like BLAS, so
+/// `NaN`s in uninitialized `C` are squashed rather than propagated).
+pub fn scale_lower<T: Scalar>(c: &mut MatMut<'_, T>, beta: T) {
+    assert_eq!(c.rows(), c.cols(), "scale_lower needs a square view");
+    if beta == T::ONE {
+        return;
+    }
+    for i in 0..c.rows() {
+        let row = &mut c.row_mut(i)[..=i];
+        if beta == T::ZERO {
+            row.fill(T::ZERO);
+        } else {
+            scal(beta, row);
+        }
+    }
+}
+
+/// Full BLAS `?syrk('L','T')` contract via AtA:
+/// `C_low = alpha * A^T A + beta * C_low`.
+///
+/// # Panics
+/// On inconsistent shapes.
+pub fn ata_syrk<T: Scalar>(
+    alpha: T,
+    a: MatRef<'_, T>,
+    beta: T,
+    c: &mut MatMut<'_, T>,
+    cfg: &CacheConfig,
+) {
+    let n = a.cols();
+    assert_eq!(c.shape(), (n, n), "ata_syrk: C must be {n}x{n}, got {:?}", c.shape());
+    scale_lower(c, beta);
+    let mut ws = StrassenWorkspace::empty();
+    ata_into_with(alpha, a, c, cfg, &mut ws);
+}
+
+/// Full BLAS `?gemm('T','N')` contract via FastStrassen:
+/// `C = alpha * A^T B + beta * C`.
+///
+/// # Panics
+/// On inconsistent shapes.
+pub fn strassen_gemm<T: Scalar>(
+    alpha: T,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    beta: T,
+    c: &mut MatMut<'_, T>,
+    cfg: &CacheConfig,
+) {
+    if beta != T::ONE {
+        for i in 0..c.rows() {
+            let row = c.row_mut(i);
+            if beta == T::ZERO {
+                row.fill(T::ZERO);
+            } else {
+                scal(beta, row);
+            }
+        }
+    }
+    let mut ws = StrassenWorkspace::empty();
+    fast_strassen_with(alpha, a, b, c, cfg, &mut ws);
+}
+
+/// Lower triangle of the *other* symmetric product, `A A^T` (`m x m`):
+/// materializes `A^T` once and runs AtA on it.
+pub fn aat_lower<T: Scalar>(a: MatRef<'_, T>, cfg: &CacheConfig) -> Matrix<T> {
+    let at = a.to_matrix().transposed();
+    let m = a.rows();
+    let mut c = Matrix::zeros(m, m);
+    let mut ws = StrassenWorkspace::empty();
+    ata_into_with(T::ONE, at.as_ref(), &mut c.as_mut(), cfg, &mut ws);
+    c
+}
+
+/// Full symmetric `A A^T` (`m x m`, both triangles).
+pub fn aat<T: Scalar>(a: MatRef<'_, T>, cfg: &CacheConfig) -> Matrix<T> {
+    let mut c = aat_lower(a, cfg);
+    c.mirror_lower_to_upper();
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ata_mat::{gen, reference};
+
+    #[test]
+    fn syrk_contract_with_beta() {
+        let (m, n) = (20usize, 16usize);
+        let a = gen::standard::<f64>(1, m, n);
+        let c0 = gen::standard::<f64>(2, n, n);
+        let cfg = CacheConfig::with_words(32);
+
+        for &(alpha, beta) in &[(1.0, 0.0), (2.0, 1.0), (-1.0, 0.5), (0.5, -2.0)] {
+            let mut c_fast = c0.clone();
+            ata_syrk(alpha, a.as_ref(), beta, &mut c_fast.as_mut(), &cfg);
+            // Oracle: scale then accumulate.
+            let mut c_ref = c0.clone();
+            for i in 0..n {
+                for j in 0..=i {
+                    c_ref[(i, j)] *= beta;
+                }
+            }
+            reference::syrk_ln(alpha, a.as_ref(), &mut c_ref.as_mut());
+            assert!(
+                c_fast.max_abs_diff_lower(&c_ref) < 1e-10,
+                "alpha={alpha}, beta={beta}"
+            );
+            // Strict upper untouched by both.
+            assert_eq!(c_fast.max_abs_diff(&c_ref), c_fast.max_abs_diff_lower(&c_ref));
+        }
+    }
+
+    #[test]
+    fn beta_zero_overwrites_garbage() {
+        let a = gen::standard::<f64>(3, 8, 6);
+        let mut c = Matrix::from_fn(6, 6, |_, _| f64::NAN);
+        c.zero_strict_upper(); // NaN lower, zero upper
+        ata_syrk(1.0, a.as_ref(), 0.0, &mut c.as_mut(), &CacheConfig::default());
+        let mut c_ref = Matrix::zeros(6, 6);
+        reference::syrk_ln(1.0, a.as_ref(), &mut c_ref.as_mut());
+        assert!(c.max_abs_diff_lower(&c_ref) < 1e-12, "beta=0 must squash NaNs");
+    }
+
+    #[test]
+    fn gemm_contract_with_beta() {
+        let (m, n, k) = (14usize, 10usize, 12usize);
+        let a = gen::standard::<f64>(4, m, n);
+        let b = gen::standard::<f64>(5, m, k);
+        let c0 = gen::standard::<f64>(6, n, k);
+        let cfg = CacheConfig::with_words(16);
+
+        let mut c_fast = c0.clone();
+        strassen_gemm(1.5, a.as_ref(), b.as_ref(), 0.25, &mut c_fast.as_mut(), &cfg);
+        let mut c_ref = c0.clone();
+        c_ref.scale(0.25);
+        reference::gemm_tn(1.5, a.as_ref(), b.as_ref(), &mut c_ref.as_mut());
+        assert!(c_fast.max_abs_diff(&c_ref) < 1e-10);
+    }
+
+    #[test]
+    fn aat_matches_gram_of_transpose() {
+        let a = gen::standard::<f64>(7, 18, 30);
+        let got = aat(a.as_ref(), &CacheConfig::with_words(32));
+        let expect = reference::gram(a.as_ref().to_matrix().transposed().as_ref());
+        assert_eq!(got.shape(), (18, 18));
+        assert!(got.max_abs_diff(&expect) < 1e-10);
+        assert!(got.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn aat_and_ata_agree_on_symmetric_input() {
+        // For symmetric S, S^T S == S S^T.
+        let mut s = gen::standard::<f64>(8, 12, 12);
+        s.mirror_lower_to_upper();
+        let cfg = CacheConfig::with_words(16);
+        let left = crate::gram_with(s.as_ref(), &crate::AtaOptions::serial().cache_words(16));
+        let right = aat(s.as_ref(), &cfg);
+        assert!(left.max_abs_diff(&right) < 1e-10);
+    }
+
+    #[test]
+    fn scale_lower_leaves_upper_alone() {
+        let mut c = Matrix::from_fn(4, 4, |_, _| 2.0);
+        scale_lower(&mut c.as_mut(), 0.5);
+        for i in 0..4 {
+            for j in 0..4 {
+                let expect = if i >= j { 1.0 } else { 2.0 };
+                assert_eq!(c[(i, j)], expect);
+            }
+        }
+    }
+}

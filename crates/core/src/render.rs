@@ -1,0 +1,142 @@
+//! Task-tree rendering: ASCII trees for terminals and DOT graphs for
+//! Graphviz — the tooling counterpart of the paper's Figure 1.
+
+use crate::tasktree::{ComputeKind, DistTree, SharedPlan};
+use std::fmt::Write;
+
+fn kind_label(kind: ComputeKind) -> &'static str {
+    match kind {
+        ComputeKind::AtA => "AtA",
+        ComputeKind::AtB => "AtB",
+    }
+}
+
+/// Render a [`DistTree`] as an indented ASCII tree (one line per node:
+/// kind, owner, process range, operand and destination regions).
+pub fn dist_tree_ascii(tree: &DistTree) -> String {
+    let mut out = String::new();
+    fn visit(tree: &DistTree, id: usize, depth: usize, out: &mut String) {
+        let n = &tree.nodes[id];
+        let pad = "  ".repeat(depth);
+        let leaf = if n.is_leaf() { " [leaf]" } else { "" };
+        writeln!(
+            out,
+            "{pad}{} p{} procs[{},{}) A({}..{},{}..{}) -> C({}..{},{}..{}){leaf}",
+            kind_label(n.kind),
+            n.owner,
+            n.procs.0,
+            n.procs.1,
+            n.a.r0,
+            n.a.r1,
+            n.a.c0,
+            n.a.c1,
+            n.c.r0,
+            n.c.r1,
+            n.c.c0,
+            n.c.c1,
+        )
+        .expect("write to string");
+        for &c in &n.children {
+            visit(tree, c, depth + 1, out);
+        }
+    }
+    visit(tree, 0, 0, &mut out);
+    out
+}
+
+/// Render a [`DistTree`] as a Graphviz DOT digraph. Leaf nodes are
+/// boxes (computations); inner nodes are ellipses (gather/sum duties),
+/// mirroring Figure 1's drawing.
+pub fn dist_tree_dot(tree: &DistTree) -> String {
+    let mut out = String::from("digraph ata_d {\n  rankdir=TB;\n");
+    for n in &tree.nodes {
+        let shape = if n.is_leaf() { "box" } else { "ellipse" };
+        writeln!(
+            out,
+            "  n{} [shape={shape}, label=\"{} p{}\\nprocs [{}, {})\"];",
+            n.id,
+            kind_label(n.kind),
+            n.owner,
+            n.procs.0,
+            n.procs.1
+        )
+        .expect("write to string");
+        if let Some(p) = n.parent {
+            writeln!(out, "  n{} -> n{};", p, n.id).expect("write to string");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render a [`SharedPlan`] as a per-thread task listing.
+pub fn shared_plan_ascii(plan: &SharedPlan) -> String {
+    let mut out = String::new();
+    writeln!(out, "shared plan: {} threads, {} tasks, depth {}", plan.procs, plan.tasks.len(), plan.depth)
+        .expect("write to string");
+    for proc_id in 0..plan.procs {
+        let tasks: Vec<String> = plan
+            .tasks_for(proc_id)
+            .map(|t| {
+                format!(
+                    "{}(cols {}..{} x {}..{})",
+                    kind_label(t.kind),
+                    t.a_cols.0,
+                    t.a_cols.1,
+                    t.b_cols.0,
+                    t.b_cols.1
+                )
+            })
+            .collect();
+        writeln!(out, "  t{proc_id}: {}", if tasks.is_empty() { "(idle)".into() } else { tasks.join(", ") })
+            .expect("write to string");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_tree_mentions_every_leaf() {
+        let tree = DistTree::build(64, 64, 16);
+        let text = dist_tree_ascii(&tree);
+        let leaf_count = tree.leaves().count();
+        assert_eq!(text.matches("[leaf]").count(), leaf_count);
+        // Root line is unindented and first.
+        assert!(text.starts_with("AtA p0"));
+    }
+
+    #[test]
+    fn dot_output_is_wellformed() {
+        let tree = DistTree::build(32, 32, 8);
+        let dot = dist_tree_dot(&tree);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.ends_with("}\n"));
+        // One node statement per tree node, one edge per non-root.
+        assert_eq!(dot.matches("shape=").count(), tree.nodes.len());
+        assert_eq!(dot.matches(" -> ").count(), tree.nodes.len() - 1);
+    }
+
+    #[test]
+    fn shared_listing_covers_all_threads() {
+        let plan = SharedPlan::build(256, 8);
+        let text = shared_plan_ascii(&plan);
+        for t in 0..8 {
+            assert!(text.contains(&format!("t{t}:")), "thread {t} missing");
+        }
+        assert!(text.contains("8 threads"));
+    }
+
+    #[test]
+    fn figure1_shape_visible_in_ascii() {
+        // P = 16 on a square matrix: the Figure 1 structure — 2 gemm
+        // children with 4 procs, 4 AtA children with 2 procs.
+        let tree = DistTree::build(1 << 8, 1 << 8, 16);
+        let text = dist_tree_ascii(&tree);
+        assert_eq!(text.matches("procs[0,4)").count(), 1, "first gemm child");
+        assert!(text.contains("AtB p0 procs[0,4)"));
+        assert!(text.contains("AtB p4 procs[4,8)"));
+    }
+}

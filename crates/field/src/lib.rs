@@ -1,0 +1,67 @@
+//! Exact-arithmetic scalar types for the `ata` workspace.
+//!
+//! Section 1 of Arrigoni et al. (ICPP 2021) claims that, in contrast to
+//! the skew-orthogonal construction of Dumas, Pernet and Sedoglavic
+//! (ISSAC 2020) — which requires fields where `i^2 = -1` exists, ruling
+//! out `R` and `Q` — **AtA works on any algebraic field**, because it
+//! only uses ring operations (`+`, `-`, `*`) and the symmetry
+//! `C12 = C21^T`.
+//!
+//! Floating-point tests can only check this claim up to rounding error.
+//! This crate makes the claim *decidable*: it provides two exact field
+//! implementations of [`ata_mat::Scalar`],
+//!
+//! * [`Q64`] — reduced rationals over `i64` with overflow-checked
+//!   arithmetic (a faithful model of `Q` for bounded workloads), and
+//! * [`Gf31`] — the prime field `GF(2^31 - 1)` (a Mersenne prime, so
+//!   reduction is two shifts and an add),
+//!
+//! so that the whole algorithm stack — `syrk`/`gemm` kernels, the
+//! Strassen recursion with its virtual padding, AtA itself, the task
+//! trees and the distributed gather sums — can be run over `Q` and
+//! `GF(p)` and compared against the naive `O(n^3)` oracle with **exact
+//! equality**, not tolerances. Any sign error, lost term or misplaced
+//! block in the Strassen recombination shows up as a hard mismatch.
+//!
+//! Both types are ordinary `Copy` scalars; no allocation happens during
+//! arithmetic. `Q64` panics on overflow rather than silently wrapping:
+//! exactness is the whole point, so saturation would be a bug factory.
+//!
+//! # Example
+//!
+//! ```
+//! use ata_field::Q64;
+//! use ata_mat::{Matrix, Scalar, reference};
+//!
+//! // An exact Gram matrix of a 3x2 rational matrix.
+//! let a = Matrix::from_fn(3, 2, |i, j| Q64::new((i + j) as i64, 2));
+//! let mut c = Matrix::zeros(2, 2);
+//! reference::syrk_ln(Q64::ONE, a.as_ref(), &mut c.as_mut());
+//! assert_eq!(c[(0, 0)], Q64::new(5, 4)); // 0 + 1/4 + 1
+//! ```
+
+pub mod gf;
+pub mod rational;
+
+pub use gf::Gf31;
+pub use rational::Q64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ata_mat::Scalar;
+
+    #[test]
+    fn names_are_distinct_from_float_scalars() {
+        assert_eq!(<Q64 as Scalar>::NAME, "q64");
+        assert_eq!(<Gf31 as Scalar>::NAME, "gf31");
+    }
+
+    #[test]
+    fn identities_behave() {
+        assert_eq!(Q64::ZERO + Q64::ONE, Q64::ONE);
+        assert_eq!(Gf31::ZERO + Gf31::ONE, Gf31::ONE);
+        assert_eq!(Q64::ONE + Q64::NEG_ONE, Q64::ZERO);
+        assert_eq!(Gf31::ONE + Gf31::NEG_ONE, Gf31::ZERO);
+    }
+}

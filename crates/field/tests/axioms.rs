@@ -1,0 +1,155 @@
+//! Property-based field-axiom suites for [`Q64`] and [`Gf31`].
+//!
+//! The AtA/Strassen correctness argument needs exactly the commutative
+//! ring axioms (Strassen never divides); we check the full field axioms
+//! anyway since both types expose inverses. Each law is tested on
+//! proptest-generated elements, so the suites double as fuzzers for the
+//! reduction/overflow logic.
+
+use ata_field::{Gf31, Q64};
+use ata_mat::Scalar;
+use proptest::prelude::*;
+
+/// Small rationals: numerators/denominators bounded so that any
+/// three-term law evaluates without overflow.
+fn small_q() -> impl Strategy<Value = Q64> {
+    (-1000i64..=1000, 1i64..=1000).prop_map(|(n, d)| Q64::new(n, d))
+}
+
+fn any_gf() -> impl Strategy<Value = Gf31> {
+    (0i64..(1i64 << 31)).prop_map(Gf31::new)
+}
+
+macro_rules! field_axioms {
+    ($modname:ident, $strategy:expr, $ty:ty) => {
+        mod $modname {
+            use super::*;
+
+            proptest! {
+                #[test]
+                fn add_commutative(a in $strategy, b in $strategy) {
+                    prop_assert_eq!(a + b, b + a);
+                }
+
+                #[test]
+                fn add_associative(a in $strategy, b in $strategy, c in $strategy) {
+                    prop_assert_eq!((a + b) + c, a + (b + c));
+                }
+
+                #[test]
+                fn add_identity_and_inverse(a in $strategy) {
+                    prop_assert_eq!(a + <$ty>::ZERO, a);
+                    prop_assert_eq!(a + (-a), <$ty>::ZERO);
+                    prop_assert_eq!(a - a, <$ty>::ZERO);
+                }
+
+                #[test]
+                fn mul_commutative(a in $strategy, b in $strategy) {
+                    prop_assert_eq!(a * b, b * a);
+                }
+
+                #[test]
+                fn mul_associative(a in $strategy, b in $strategy, c in $strategy) {
+                    prop_assert_eq!((a * b) * c, a * (b * c));
+                }
+
+                #[test]
+                fn mul_identity(a in $strategy) {
+                    prop_assert_eq!(a * <$ty>::ONE, a);
+                    prop_assert_eq!(a * <$ty>::NEG_ONE, -a);
+                }
+
+                #[test]
+                fn distributive(a in $strategy, b in $strategy, c in $strategy) {
+                    prop_assert_eq!(a * (b + c), a * b + a * c);
+                    prop_assert_eq!((a + b) * c, a * c + b * c);
+                }
+
+                #[test]
+                fn subtraction_is_add_of_negation(a in $strategy, b in $strategy) {
+                    prop_assert_eq!(a - b, a + (-b));
+                }
+
+                #[test]
+                fn strassen_m1_identity(
+                    a11 in $strategy, a22 in $strategy,
+                    b11 in $strategy, b22 in $strategy,
+                ) {
+                    // The scalar shadow of Strassen's M1 recombination:
+                    // (a11 + a22)(b11 + b22) expands correctly.
+                    let lhs = (a11 + a22) * (b11 + b22);
+                    let rhs = a11 * b11 + a11 * b22 + a22 * b11 + a22 * b22;
+                    prop_assert_eq!(lhs, rhs);
+                }
+            }
+        }
+    };
+}
+
+field_axioms!(q64_axioms, small_q(), Q64);
+field_axioms!(gf31_axioms, any_gf(), Gf31);
+
+mod q64_only {
+    use super::*;
+
+    proptest! {
+        #[test]
+        fn mul_inverse(a in small_q()) {
+            prop_assume!(a != Q64::ZERO);
+            prop_assert_eq!(a * a.recip(), Q64::ONE);
+        }
+
+        #[test]
+        fn reduction_canonical(n in -1000i64..=1000, d in 1i64..=1000) {
+            let q = Q64::new(n, d);
+            // gcd(num, den) == 1 and den > 0.
+            let g = {
+                let (mut a, mut b) = (q.numer().unsigned_abs(), q.denom().unsigned_abs());
+                while b != 0 { let t = a % b; a = b; b = t; }
+                a
+            };
+            prop_assert!(q.denom() > 0);
+            prop_assert!(q.numer() == 0 || g == 1, "not reduced: {}", q);
+        }
+
+        #[test]
+        fn order_agrees_with_f64(a in small_q(), b in small_q()) {
+            // At these magnitudes f64 comparison is exact enough to agree
+            // with the exact cross-multiplied order unless values are equal.
+            if a != b {
+                prop_assert_eq!(a < b, a.to_f64() < b.to_f64());
+            }
+        }
+
+        #[test]
+        fn to_f64_from_f64_roundtrip_on_dyadics(n in -4096i64..=4096, k in 0u32..=8) {
+            let x = n as f64 / (1i64 << k) as f64;
+            prop_assert_eq!(Q64::from_f64(x).to_f64(), x);
+        }
+    }
+}
+
+mod gf31_only {
+    use super::*;
+
+    proptest! {
+        #[test]
+        fn mul_inverse(a in any_gf()) {
+            prop_assume!(a != Gf31::ZERO);
+            prop_assert_eq!(a * a.inv(), Gf31::ONE);
+        }
+
+        #[test]
+        fn embedding_is_a_ring_hom(x in -100_000i64..=100_000, y in -100_000i64..=100_000) {
+            prop_assert_eq!(Gf31::new(x) + Gf31::new(y), Gf31::new(x + y));
+            prop_assert_eq!(Gf31::new(x) * Gf31::new(y), Gf31::new(x * y));
+            prop_assert_eq!(-Gf31::new(x), Gf31::new(-x));
+        }
+
+        #[test]
+        fn frobenius_fixed_points(a in any_gf()) {
+            // x^p = x for all x in GF(p).
+            prop_assert_eq!(a.pow(ata_field::gf::P as u64), a);
+        }
+    }
+}

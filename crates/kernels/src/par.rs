@@ -1,0 +1,187 @@
+//! Rayon-parallel kernel variants — the stand-ins for multi-threaded MKL
+//! (`ssyrk`/`dgemm` with `MKL_NUM_THREADS > 1`) in the Figure 5 and 6
+//! comparisons.
+//!
+//! Both routines split the *output* into disjoint `MatMut` regions and
+//! hand one region per task to rayon: no locks, no atomics, no overlap —
+//! the same "embarrassingly parallel" discipline the paper engineers for
+//! AtA-S (§4.2.1). Run them inside a custom `rayon::ThreadPool` via
+//! `pool.install(..)` to model a fixed core count `P`.
+
+use crate::gemm::gemm_tn;
+use crate::syrk::{syrk_ln, triangle_row_partition};
+use ata_mat::{MatMut, MatRef, Scalar};
+use rayon::prelude::*;
+
+/// Split a view into `parts` balanced column strips (some may be empty).
+fn split_cols_mut<'a, T>(mut c: MatMut<'a, T>, parts: usize) -> Vec<MatMut<'a, T>> {
+    let k = c.cols();
+    let base = k / parts;
+    let extra = k % parts;
+    let mut out = Vec::with_capacity(parts);
+    for t in 0..parts {
+        let w = base + usize::from(t < extra);
+        let (left, rest) = c.split_at_col_mut(w);
+        out.push(left);
+        c = rest;
+    }
+    out
+}
+
+/// Parallel `C += alpha * A^T B`: column strips of `C` (and `B`) are
+/// computed independently, one task per strip.
+///
+/// `tasks` controls the decomposition; pass the pool's thread count.
+///
+/// # Panics
+/// On inconsistent shapes or `tasks == 0`.
+pub fn par_gemm_tn<T: Scalar>(
+    alpha: T,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    c: &mut MatMut<'_, T>,
+    tasks: usize,
+) {
+    let (m, n) = a.shape();
+    let (mb, k) = b.shape();
+    assert_eq!(m, mb, "par_gemm_tn: A is {m}x{n} but B has {mb} rows");
+    assert_eq!(c.shape(), (n, k), "par_gemm_tn: C must be {n}x{k}");
+    assert!(tasks > 0, "par_gemm_tn: tasks must be positive");
+
+    let tasks = tasks.min(k.max(1));
+    let strips = split_cols_mut(c.rb_mut(), tasks);
+    // Column offsets of each strip for slicing B identically.
+    let mut offsets = Vec::with_capacity(tasks + 1);
+    offsets.push(0usize);
+    for s in &strips {
+        offsets.push(offsets.last().unwrap() + s.cols());
+    }
+
+    strips
+        .into_par_iter()
+        .enumerate()
+        .for_each(|(t, mut c_strip)| {
+            let b_strip = b.block(0, m, offsets[t], offsets[t + 1]);
+            gemm_tn(alpha, a, b_strip, &mut c_strip);
+        });
+}
+
+/// Parallel lower-triangular `C += alpha * A^T A`: the triangle is cut
+/// into `tasks` row bands of equal *area* (see
+/// [`triangle_row_partition`]); band `r0..r1` computes its rectangular
+/// part with `gemm_tn` and its diagonal tile with `syrk_ln`.
+///
+/// # Panics
+/// On inconsistent shapes or `tasks == 0`.
+pub fn par_syrk_ln<T: Scalar>(alpha: T, a: MatRef<'_, T>, c: &mut MatMut<'_, T>, tasks: usize) {
+    let (m, n) = a.shape();
+    assert_eq!(c.shape(), (n, n), "par_syrk_ln: C must be {n}x{n}");
+    assert!(tasks > 0, "par_syrk_ln: tasks must be positive");
+
+    let tasks = tasks.min(n.max(1));
+    let bounds = triangle_row_partition(n, tasks);
+
+    // Carve C into disjoint row bands.
+    let mut bands: Vec<(usize, usize, MatMut<'_, T>)> = Vec::with_capacity(tasks);
+    let mut rest = c.rb_mut();
+    for t in 0..tasks {
+        let (r0, r1) = (bounds[t], bounds[t + 1]);
+        let (band, below) = rest.split_at_row_mut(r1 - r0);
+        bands.push((r0, r1, band));
+        rest = below;
+    }
+
+    bands.into_par_iter().for_each(|(r0, r1, mut band)| {
+        if r0 > 0 {
+            let a_i = a.block(0, m, r0, r1);
+            let a_j = a.block(0, m, 0, r0);
+            let mut rect = band.block_mut(0, r1 - r0, 0, r0);
+            gemm_tn(alpha, a_i, a_j, &mut rect);
+        }
+        let a_d = a.block(0, m, r0, r1);
+        let mut diag = band.block_mut(0, r1 - r0, r0, r1);
+        syrk_ln(alpha, a_d, &mut diag);
+    });
+}
+
+/// Build a rayon pool with exactly `threads` workers (the paper's fixed
+/// 16-thread setup for Figure 5).
+///
+/// # Panics
+/// If the pool cannot be built.
+pub fn pool_with_threads(threads: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads.max(1))
+        .build()
+        .expect("failed to build rayon pool")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ata_mat::{gen, reference, Matrix};
+
+    #[test]
+    fn par_gemm_matches_oracle() {
+        let (m, n, k) = (37, 29, 53);
+        let a = gen::standard::<f64>(1, m, n);
+        let b = gen::standard::<f64>(2, m, k);
+        for tasks in [1, 2, 3, 8, 64] {
+            let mut c = Matrix::zeros(n, k);
+            par_gemm_tn(1.5, a.as_ref(), b.as_ref(), &mut c.as_mut(), tasks);
+            let mut c_ref = Matrix::zeros(n, k);
+            reference::gemm_tn(1.5, a.as_ref(), b.as_ref(), &mut c_ref.as_mut());
+            assert!(c.max_abs_diff(&c_ref) < 1e-10, "tasks={tasks}");
+        }
+    }
+
+    #[test]
+    fn par_syrk_matches_oracle() {
+        let (m, n) = (41, 33);
+        let a = gen::standard::<f64>(3, m, n);
+        for tasks in [1, 2, 5, 16] {
+            let mut c = Matrix::zeros(n, n);
+            par_syrk_ln(2.0, a.as_ref(), &mut c.as_mut(), tasks);
+            let mut c_ref = Matrix::zeros(n, n);
+            reference::syrk_ln(2.0, a.as_ref(), &mut c_ref.as_mut());
+            assert!(c.max_abs_diff_lower(&c_ref) < 1e-10, "tasks={tasks}");
+            // Upper triangle strictly zero (untouched from zeros()).
+            let mut upper_ok = true;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    upper_ok &= c[(i, j)] == 0.0;
+                }
+            }
+            assert!(upper_ok, "tasks={tasks}: strict upper must stay zero");
+        }
+    }
+
+    #[test]
+    fn runs_inside_fixed_pool() {
+        let pool = pool_with_threads(4);
+        let a = gen::standard::<f64>(7, 24, 16);
+        let mut c = Matrix::zeros(16, 16);
+        pool.install(|| par_syrk_ln(1.0, a.as_ref(), &mut c.as_mut(), 4));
+        let g = reference::gram(a.as_ref());
+        assert!(c.max_abs_diff_lower(&g) < 1e-10);
+    }
+
+    #[test]
+    fn more_tasks_than_columns_is_fine() {
+        let a = gen::standard::<f64>(5, 10, 3);
+        let b = gen::standard::<f64>(6, 10, 2);
+        let mut c = Matrix::zeros(3, 2);
+        par_gemm_tn(1.0, a.as_ref(), b.as_ref(), &mut c.as_mut(), 99);
+        let mut c_ref = Matrix::zeros(3, 2);
+        reference::gemm_tn(1.0, a.as_ref(), b.as_ref(), &mut c_ref.as_mut());
+        assert!(c.max_abs_diff(&c_ref) < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "tasks must be positive")]
+    fn zero_tasks_rejected() {
+        let a = Matrix::<f64>::zeros(2, 2);
+        let mut c = Matrix::<f64>::zeros(2, 2);
+        par_syrk_ln(1.0, a.as_ref(), &mut c.as_mut(), 0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Cyclic Jacobi eigensolver for symmetric matrices.
+//!
+//! Small, robust, and quadratically convergent — exactly what is needed
+//! to diagonalize the Gram matrices produced by AtA (`svd` builds on
+//! it, following the paper's §1 remark that "the SVD of a matrix A can
+//! be computed by studying the eigenproblem for A^T A").
+
+use ata_mat::{Matrix, Scalar};
+
+/// Eigen decomposition of a symmetric matrix by the cyclic Jacobi
+/// method: returns `(eigenvalues, eigenvectors)` with eigenvalues in
+/// **descending** order and eigenvectors as the *columns* of the
+/// returned matrix (so `S = V diag(w) V^T`).
+///
+/// Only the lower triangle of `s` is read (AtA-output friendly).
+///
+/// # Panics
+/// If `s` is not square or the sweep limit is exhausted before the
+/// off-diagonal norm reaches `tol * frobenius(s)` (ill behaviour on
+/// non-symmetric input).
+pub fn jacobi_eigen<T: Scalar>(s: &Matrix<T>, tol: f64) -> (Vec<f64>, Matrix<f64>) {
+    let n = s.rows();
+    assert_eq!(s.cols(), n, "jacobi_eigen needs a square matrix");
+
+    // Work in f64, reading the lower triangle symmetrically.
+    let mut a = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let v = if i >= j { s[(i, j)].to_f64() } else { s[(j, i)].to_f64() };
+            a[i * n + j] = v;
+        }
+    }
+    let mut v = vec![0.0f64; n * n];
+    for i in 0..n {
+        v[i * n + i] = 1.0;
+    }
+
+    let frob: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let target = (tol * frob).max(f64::MIN_POSITIVE);
+
+    let off = |a: &[f64]| -> f64 {
+        let mut s = 0.0;
+        for i in 0..n {
+            for j in 0..i {
+                s += 2.0 * a[i * n + j] * a[i * n + j];
+            }
+        }
+        s.sqrt()
+    };
+
+    let max_sweeps = 30 + 2 * n;
+    let mut sweeps = 0;
+    while off(&a) > target {
+        assert!(
+            sweeps < max_sweeps,
+            "jacobi_eigen did not converge in {max_sweeps} sweeps (non-symmetric input?)"
+        );
+        sweeps += 1;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = a[p * n + q];
+                if apq.abs() <= target / (n as f64) {
+                    continue;
+                }
+                let app = a[p * n + p];
+                let aqq = a[q * n + q];
+                // Rotation angle (Golub & Van Loan 8.4).
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s_ = t * c;
+                // A <- J^T A J on rows/cols p, q.
+                for k in 0..n {
+                    let akp = a[k * n + p];
+                    let akq = a[k * n + q];
+                    a[k * n + p] = c * akp - s_ * akq;
+                    a[k * n + q] = s_ * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[p * n + k];
+                    let aqk = a[q * n + k];
+                    a[p * n + k] = c * apk - s_ * aqk;
+                    a[q * n + k] = s_ * apk + c * aqk;
+                }
+                // Accumulate V <- V J.
+                for k in 0..n {
+                    let vkp = v[k * n + p];
+                    let vkq = v[k * n + q];
+                    v[k * n + p] = c * vkp - s_ * vkq;
+                    v[k * n + q] = s_ * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Extract and sort descending.
+    let mut order: Vec<usize> = (0..n).collect();
+    let w: Vec<f64> = (0..n).map(|i| a[i * n + i]).collect();
+    order.sort_by(|&i, &j| w[j].partial_cmp(&w[i]).expect("finite eigenvalues"));
+    let eigenvalues: Vec<f64> = order.iter().map(|&i| w[i]).collect();
+    let eigenvectors = Matrix::from_fn(n, n, |r, c| v[r * n + order[c]]);
+    (eigenvalues, eigenvectors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ata_mat::{gen, reference};
+
+    #[test]
+    fn diagonal_matrix_is_its_own_decomposition() {
+        let mut d = Matrix::<f64>::zeros(3, 3);
+        d[(0, 0)] = 3.0;
+        d[(1, 1)] = 1.0;
+        d[(2, 2)] = 2.0;
+        let (w, v) = jacobi_eigen(&d, 1e-14);
+        assert!((w[0] - 3.0).abs() < 1e-12);
+        assert!((w[1] - 2.0).abs() < 1e-12);
+        assert!((w[2] - 1.0).abs() < 1e-12);
+        // Eigenvectors are signed unit vectors.
+        for c in 0..3 {
+            let norm: f64 = (0..3).map(|r| v[(r, c)] * v[(r, c)]).sum();
+            assert!((norm - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let mut s = Matrix::<f64>::zeros(2, 2);
+        s[(0, 0)] = 2.0;
+        s[(1, 0)] = 1.0;
+        s[(1, 1)] = 2.0;
+        let (w, _) = jacobi_eigen(&s, 1e-14);
+        assert!((w[0] - 3.0).abs() < 1e-12);
+        assert!((w[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstructs_gram_matrix() {
+        let a = gen::standard::<f64>(5, 12, 8);
+        let g = reference::gram(a.as_ref());
+        let (w, v) = jacobi_eigen(&g, 1e-13);
+        // V diag(w) V^T == G.
+        let n = 8;
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += v[(i, k)] * w[k] * v[(j, k)];
+                }
+                assert!((s - g[(i, j)]).abs() < 1e-9, "({i},{j})");
+            }
+        }
+        // Gram eigenvalues are nonnegative.
+        for &x in &w {
+            assert!(x > -1e-9);
+        }
+        // Sorted descending.
+        assert!(w.windows(2).all(|p| p[0] >= p[1] - 1e-12));
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = gen::standard::<f64>(6, 10, 6);
+        let g = reference::gram(a.as_ref());
+        let (_, v) = jacobi_eigen(&g, 1e-13);
+        for c1 in 0..6 {
+            for c2 in 0..6 {
+                let dot: f64 = (0..6).map(|r| v[(r, c1)] * v[(r, c2)]).sum();
+                let expect = if c1 == c2 { 1.0 } else { 0.0 };
+                assert!((dot - expect).abs() < 1e-10, "({c1},{c2})");
+            }
+        }
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        let a = gen::standard::<f64>(7, 9, 5);
+        let g = reference::gram(a.as_ref());
+        let trace: f64 = (0..5).map(|i| g[(i, i)]).sum();
+        let (w, _) = jacobi_eigen(&g, 1e-13);
+        let sum: f64 = w.iter().sum();
+        assert!((trace - sum).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,36 @@
+//! Downstream applications of the `A^T A` product.
+//!
+//! The paper's introduction motivates AtA with a list of problems in
+//! which the Gram matrix is the expensive intermediate step: checking
+//! orthogonality, Gram–Schmidt, least squares via the normal equations,
+//! and the SVD through the eigenproblem of `A^T A` (§1). This crate
+//! turns those motivations into library code built on `ata-core`:
+//!
+//! * [`cholesky`] — `G = L L^T` factorization and SPD solves;
+//! * [`triangular`] — forward/backward substitution;
+//! * [`lstsq`] — normal-equations least squares (`A^T A x = A^T b`);
+//! * [`eigen`] — cyclic Jacobi eigensolver for symmetric matrices;
+//! * [`svd`] — singular values/vectors of `A` from the eigen
+//!   decomposition of its Gram matrix;
+//! * [`ortho`] — modified Gram–Schmidt and the one-product
+//!   orthogonality check.
+//!
+//! Numerical scope: these are robust textbook implementations meant for
+//! the well-conditioned regimes where the normal-equations approach is
+//! appropriate (forming `A^T A` squares the condition number — the
+//! classical caveat, documented per function).
+
+pub mod cholesky;
+pub mod eigen;
+pub mod lstsq;
+pub mod ortho;
+pub mod ridge;
+pub mod svd;
+pub mod triangular;
+
+pub use cholesky::{cholesky_factor, cholesky_solve, CholeskyError};
+pub use eigen::jacobi_eigen;
+pub use lstsq::solve_normal_equations;
+pub use ortho::{mgs_orthonormalize, orthogonality_defect};
+pub use ridge::RidgeSolver;
+pub use svd::singular_values;

@@ -1,0 +1,206 @@
+//! Ridge (Tikhonov-regularized) regression on top of AtA.
+//!
+//! `min_x ||A x - b||² + lambda ||x||²` solves
+//! `(A^T A + lambda I) x = A^T b`. The expensive part — the Gram matrix
+//! — is *independent of `lambda`*, so the idiomatic workflow computes it
+//! once with AtA and then factors `G + lambda I` per regularization
+//! value; that is exactly what [`RidgeSolver`] packages. This is the
+//! workload where the paper's `A^T A` speedup multiplies: a lambda
+//! sweep (cross-validation) reuses one AtA call across dozens of
+//! factorizations.
+
+use crate::cholesky::{cholesky_factor, cholesky_solve, CholeskyError};
+use ata_core::{lower_with, AtaOptions};
+use ata_kernels::gemm_tn;
+use ata_mat::{MatRef, Matrix, Scalar};
+
+/// Precomputed normal-equation data for a fixed design matrix `A`:
+/// the Gram matrix `G = A^T A` (lower triangle) and `A^T b`.
+#[derive(Debug, Clone)]
+pub struct RidgeSolver<T: Scalar> {
+    gram_lower: Matrix<T>,
+    atb: Vec<T>,
+    m: usize,
+}
+
+impl<T: Scalar> RidgeSolver<T> {
+    /// Precompute `A^T A` (via AtA, honoring `opts`) and `A^T b`.
+    ///
+    /// # Panics
+    /// If `b.len() != m` or `m < n`.
+    pub fn new(a: MatRef<'_, T>, b: &[T], opts: &AtaOptions) -> Self {
+        let (m, n) = a.shape();
+        assert!(m >= n, "ridge regression needs a tall (overdetermined) system");
+        assert_eq!(b.len(), m, "rhs length must equal A's row count");
+        let gram_lower = lower_with(a, opts);
+        let b_mat = Matrix::from_vec(b.to_vec(), m, 1);
+        let mut rhs = Matrix::<T>::zeros(n, 1);
+        gemm_tn(T::ONE, a, b_mat.as_ref(), &mut rhs.as_mut());
+        let atb = (0..n).map(|i| rhs[(i, 0)]).collect();
+        Self { gram_lower, atb, m }
+    }
+
+    /// Number of features (columns of `A`).
+    pub fn features(&self) -> usize {
+        self.gram_lower.rows()
+    }
+
+    /// Number of observations (rows of `A`).
+    pub fn observations(&self) -> usize {
+        self.m
+    }
+
+    /// Solve for one regularization strength `lambda >= 0`.
+    ///
+    /// # Errors
+    /// [`CholeskyError::NotPositiveDefinite`] if `G + lambda I` is not
+    /// positive definite (only possible at `lambda = 0` with a
+    /// rank-deficient `A`).
+    ///
+    /// # Panics
+    /// If `lambda < 0`.
+    pub fn solve(&self, lambda: T) -> Result<Vec<T>, CholeskyError> {
+        assert!(lambda >= T::ZERO, "lambda must be non-negative");
+        let n = self.features();
+        let mut g = self.gram_lower.clone();
+        for i in 0..n {
+            g[(i, i)] += lambda;
+        }
+        cholesky_factor(&mut g)?;
+        Ok(cholesky_solve(&g, &self.atb))
+    }
+
+    /// Solve for a whole lambda sweep (ascending or not); one Gram
+    /// matrix, `lambdas.len()` factorizations.
+    ///
+    /// # Errors
+    /// First factorization error, if any.
+    pub fn solve_path(&self, lambdas: &[T]) -> Result<Vec<Vec<T>>, CholeskyError> {
+        lambdas.iter().map(|&l| self.solve(l)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lstsq::{residual_norm, solve_normal_equations};
+    use ata_mat::gen;
+
+    fn setup(m: usize, n: usize, seed: u64) -> (Matrix<f64>, Vec<f64>) {
+        let a = gen::tall_well_conditioned::<f64>(seed, m, n);
+        let b: Vec<f64> = (0..m).map(|i| ((i as f64) * 0.3).sin() * 2.0).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn lambda_zero_equals_ordinary_least_squares() {
+        let (a, b) = setup(50, 10, 1);
+        let solver = RidgeSolver::new(a.as_ref(), &b, &AtaOptions::serial());
+        let ridge = solver.solve(0.0).expect("full rank");
+        let ols = solve_normal_equations(a.as_ref(), &b, &AtaOptions::serial()).expect("rank");
+        for (r, o) in ridge.iter().zip(&ols) {
+            assert!((r - o).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn shrinkage_is_monotone_in_lambda() {
+        // ||x(lambda)||_2 decreases as lambda grows — the defining
+        // behaviour of ridge.
+        let (a, b) = setup(60, 12, 2);
+        let solver = RidgeSolver::new(a.as_ref(), &b, &AtaOptions::serial());
+        let lambdas = [0.0, 0.1, 1.0, 10.0, 100.0];
+        let path = solver.solve_path(&lambdas).expect("spd");
+        let norms: Vec<f64> = path
+            .iter()
+            .map(|x| x.iter().map(|v| v * v).sum::<f64>().sqrt())
+            .collect();
+        for w in norms.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12, "norm grew along the path: {norms:?}");
+        }
+        // And residuals increase (bias/variance trade).
+        let res: Vec<f64> = path.iter().map(|x| residual_norm(a.as_ref(), x, &b)).collect();
+        for w in res.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12, "residual shrank along the path: {res:?}");
+        }
+    }
+
+    #[test]
+    fn normal_equation_identity_holds() {
+        // (A^T A + lambda I) x == A^T b at the returned solution.
+        let (a, b) = setup(40, 8, 3);
+        let lambda = 0.75;
+        let solver = RidgeSolver::new(a.as_ref(), &b, &AtaOptions::serial());
+        let x = solver.solve(lambda).expect("spd");
+        let n = 8;
+        // Build full G and A^T b naively.
+        let mut g = vec![vec![0.0f64; n]; n];
+        let mut atb = vec![0.0f64; n];
+        for i in 0..40 {
+            for j in 0..n {
+                atb[j] += a[(i, j)] * b[i];
+                for k in 0..n {
+                    g[j][k] += a[(i, j)] * a[(i, k)];
+                }
+            }
+        }
+        for j in 0..n {
+            let mut lhs = lambda * x[j];
+            for k in 0..n {
+                lhs += g[j][k] * x[k];
+            }
+            assert!((lhs - atb[j]).abs() < 1e-9, "row {j}: {lhs} != {}", atb[j]);
+        }
+    }
+
+    #[test]
+    fn regularization_rescues_rank_deficiency() {
+        // Duplicate a column: the Gram matrix is exactly singular. In
+        // floating point the unregularized factorization either errors
+        // or returns a wildly unstable solution; with lambda > 0 the
+        // system is SPD and the two tied columns must receive identical
+        // coefficients (symmetry of the regularized minimum).
+        let (mut a, b) = setup(30, 6, 4);
+        for i in 0..30 {
+            a[(i, 5)] = a[(i, 4)];
+        }
+        let solver = RidgeSolver::new(a.as_ref(), &b, &AtaOptions::serial());
+        let x = solver.solve(1e-6).expect("regularized solve must succeed");
+        assert!((x[4] - x[5]).abs() < 1e-6, "tied columns split: {x:?}");
+        // The regularized solution still fits well.
+        assert!(residual_norm(a.as_ref(), &x, &b) < residual_norm(a.as_ref(), &vec![0.0; 6], &b));
+        // Stronger lambda shrinks the tied pair together, staying tied.
+        let x2 = solver.solve(10.0).expect("spd");
+        assert!((x2[4] - x2[5]).abs() < 1e-9);
+        assert!(x2[4].abs() < x[4].abs() + 1e-12);
+    }
+
+    #[test]
+    fn parallel_and_winograd_options_agree() {
+        let (a, b) = setup(64, 16, 5);
+        let base = RidgeSolver::new(a.as_ref(), &b, &AtaOptions::serial());
+        let par = RidgeSolver::new(
+            a.as_ref(),
+            &b,
+            &AtaOptions::with_threads(4).cache_words(64),
+        );
+        let win = RidgeSolver::new(a.as_ref(), &b, &AtaOptions::serial().cache_words(64).winograd());
+        let xb = base.solve(0.5).expect("spd");
+        let xp = par.solve(0.5).expect("spd");
+        let xw = win.solve(0.5).expect("spd");
+        for ((u, v), w) in xb.iter().zip(&xp).zip(&xw) {
+            assert!((u - v).abs() < 1e-9);
+            assert!((u - w).abs() < 1e-9);
+        }
+        assert_eq!(base.features(), 16);
+        assert_eq!(base.observations(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_lambda_rejected() {
+        let (a, b) = setup(20, 4, 6);
+        let solver = RidgeSolver::new(a.as_ref(), &b, &AtaOptions::serial());
+        let _ = solver.solve(-1.0);
+    }
+}

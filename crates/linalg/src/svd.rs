@@ -1,0 +1,110 @@
+//! Singular values and right singular vectors via the Gram matrix —
+//! §1: "the Singular Value Decomposition (SVD) of a matrix A can be
+//! computed by studying the eigenproblem for A^T A and A A^T".
+//!
+//! `A^T A = V diag(sigma^2) V^T`, so the singular values are the square
+//! roots of the Gram eigenvalues and `V` holds the right singular
+//! vectors. The Gram matrix is computed with AtA; the eigenproblem with
+//! [`crate::eigen::jacobi_eigen`]. (Squaring the spectrum halves the
+//! attainable relative accuracy of the *small* singular values — the
+//! standard trade of the Gram route, acceptable where the paper's
+//! applications use it.)
+
+use crate::eigen::jacobi_eigen;
+use ata_core::{lower_with, AtaOptions};
+use ata_mat::{MatRef, Matrix, Scalar};
+
+/// Singular values of `A` (descending). Negative Gram eigenvalues
+/// produced by roundoff are clamped to zero.
+pub fn singular_values<T: Scalar>(a: MatRef<'_, T>, opts: &AtaOptions) -> Vec<f64> {
+    let g = lower_with(a, opts);
+    let (w, _) = jacobi_eigen(&g, 1e-12);
+    w.into_iter().map(|x| x.max(0.0).sqrt()).collect()
+}
+
+/// Full thin SVD data from the Gram route: `(sigma, V)` with `sigma`
+/// descending and the right singular vectors as columns of `V`
+/// (`A = U diag(sigma) V^T`; `U`'s columns are `A v_i / sigma_i` for
+/// nonzero `sigma_i`).
+pub fn gram_svd<T: Scalar>(a: MatRef<'_, T>, opts: &AtaOptions) -> (Vec<f64>, Matrix<f64>) {
+    let g = lower_with(a, opts);
+    let (w, v) = jacobi_eigen(&g, 1e-12);
+    (w.into_iter().map(|x| x.max(0.0).sqrt()).collect(), v)
+}
+
+/// Spectral condition number `sigma_max / sigma_min` (infinite for
+/// rank-deficient input).
+pub fn condition_number<T: Scalar>(a: MatRef<'_, T>, opts: &AtaOptions) -> f64 {
+    let s = singular_values(a, opts);
+    let (max, min) = (s.first().copied().unwrap_or(0.0), s.last().copied().unwrap_or(0.0));
+    if min == 0.0 {
+        f64::INFINITY
+    } else {
+        max / min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ata_mat::gen;
+
+    #[test]
+    fn identity_has_unit_singular_values() {
+        let a = Matrix::<f64>::identity(5);
+        let s = singular_values(a.as_ref(), &AtaOptions::serial());
+        for v in s {
+            assert!((v - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn known_diagonal_rectangular() {
+        // A = diag(3, 2) padded to 4x2: singular values 3, 2.
+        let mut a = Matrix::<f64>::zeros(4, 2);
+        a[(0, 0)] = 3.0;
+        a[(1, 1)] = 2.0;
+        let s = singular_values(a.as_ref(), &AtaOptions::serial());
+        assert!((s[0] - 3.0).abs() < 1e-10);
+        assert!((s[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn frobenius_identity() {
+        // sum sigma_i^2 == ||A||_F^2.
+        let a = gen::standard::<f64>(8, 20, 10);
+        let s = singular_values(a.as_ref(), &AtaOptions::serial());
+        let sum_sq: f64 = s.iter().map(|x| x * x).sum();
+        let frob_sq = a.as_ref().frobenius().powi(2);
+        assert!((sum_sq - frob_sq).abs() < 1e-8 * frob_sq.max(1.0));
+    }
+
+    #[test]
+    fn right_singular_vectors_diagonalize_gram() {
+        let a = gen::standard::<f64>(9, 16, 6);
+        let (s, v) = gram_svd(a.as_ref(), &AtaOptions::serial());
+        // ||A v_i||_2 == sigma_i.
+        for c in 0..6 {
+            let mut norm_sq = 0.0;
+            for i in 0..16 {
+                let mut av = 0.0;
+                for j in 0..6 {
+                    av += a[(i, j)] * v[(j, c)];
+                }
+                norm_sq += av * av;
+            }
+            assert!((norm_sq.sqrt() - s[c]).abs() < 1e-8, "column {c}");
+        }
+    }
+
+    #[test]
+    fn condition_number_detects_rank_deficiency() {
+        let mut a = gen::standard::<f64>(10, 12, 4);
+        for i in 0..12 {
+            a[(i, 3)] = a[(i, 0)]; // duplicate column
+        }
+        assert!(condition_number(a.as_ref(), &AtaOptions::serial()) > 1e6);
+        let good = gen::tall_well_conditioned::<f64>(11, 30, 6);
+        assert!(condition_number(good.as_ref(), &AtaOptions::serial()) < 10.0);
+    }
+}

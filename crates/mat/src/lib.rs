@@ -1,0 +1,76 @@
+//! Dense-matrix substrate for the `ata` workspace.
+//!
+//! This crate provides the storage and view types every other crate builds
+//! on:
+//!
+//! * [`Scalar`] — the element abstraction (implemented by `f32`, `f64` and
+//!   the op-counting [`tracked::Tracked`] type used to *measure* flop
+//!   counts of the algorithms rather than trusting closed-form recurrences);
+//! * [`Matrix`] — an owned, row-major dense matrix;
+//! * [`MatRef`] / [`MatMut`] — borrowed, possibly strided views supporting
+//!   the quadrant / strip splits that the recursive algorithms of the paper
+//!   are built from (§3.1 of Arrigoni et al., ICPP 2021);
+//! * [`SymPacked`] — packed lower-triangular storage for symmetric
+//!   matrices, used both to halve memory for `A^T A` results and as the
+//!   wire format of the distributed algorithm (§4.3.1);
+//! * [`mod@reference`] — textbook `O(n^3)` implementations used as correctness
+//!   oracles throughout the workspace;
+//! * [`gen`] — seeded random workload generation;
+//! * [`io`] — CSV and binary matrix files.
+//!
+//! Everything is row-major. Views carry an explicit row stride so that a
+//! sub-block of a matrix is itself a view without copying — the property
+//! that makes the recursion of AtA allocation-free outside the Strassen
+//! arena.
+
+pub mod dense;
+pub mod gen;
+pub mod io;
+pub mod ops;
+pub mod packed;
+pub mod reference;
+pub mod scalar;
+pub mod tracked;
+pub mod view;
+
+pub use dense::Matrix;
+pub use packed::SymPacked;
+pub use scalar::Scalar;
+pub use view::{MatMut, MatRef};
+
+/// Ceiling of `x / 2`; the paper's `m1 = ⌈m/2⌉` block split (§3.3 rounds
+/// *up* when halving odd dimensions).
+#[inline]
+pub const fn half_up(x: usize) -> usize {
+    x.div_ceil(2)
+}
+
+/// Floor of `x / 2`; the paper's `m2 = ⌊m/2⌋`.
+#[inline]
+pub const fn half_down(x: usize) -> usize {
+    x / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halves_split_evenly() {
+        for x in 0..100 {
+            assert_eq!(half_up(x) + half_down(x), x);
+            assert!(half_up(x) >= half_down(x));
+            assert!(half_up(x) - half_down(x) <= 1);
+        }
+    }
+
+    #[test]
+    fn halves_match_paper_examples() {
+        assert_eq!(half_up(5), 3);
+        assert_eq!(half_down(5), 2);
+        assert_eq!(half_up(4), 2);
+        assert_eq!(half_down(4), 2);
+        assert_eq!(half_up(1), 1);
+        assert_eq!(half_down(1), 0);
+    }
+}

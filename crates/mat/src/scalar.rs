@@ -1,0 +1,175 @@
+//! The [`Scalar`] element abstraction.
+//!
+//! The paper's algorithms work "on any algebraic field" (§1); our kernels
+//! are generic over this trait so that a single implementation serves
+//! `f32`, `f64` and the instrumented [`crate::tracked::Tracked`] scalar
+//! that counts floating-point operations at run time.
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Element type of all matrices in the workspace.
+///
+/// The arithmetic super-traits let generic kernels use ordinary operators;
+/// the associated constants and conversions support workload generation and
+/// tolerance-based comparisons. Implementations must behave like a subfield
+/// of the reals (the paper's algorithms assume commutativity only for the
+/// symmetry argument `C12 = C21^T`).
+pub trait Scalar:
+    Copy
+    + Send
+    + Sync
+    + PartialEq
+    + PartialOrd
+    + Debug
+    + Display
+    + Default
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + Sum
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Additive inverse of [`Self::ONE`]; lets kernels turn `±1` scalings
+    /// into pure adds/subtracts (both a real micro-optimization and the
+    /// reason measured flop counts match the paper's formulas exactly).
+    const NEG_ONE: Self;
+
+    /// Short type tag used in benchmark output (`"f32"`, `"f64"`, ...).
+    const NAME: &'static str;
+
+    /// Fused (or at least contracted) multiply-add `self * a + b`.
+    #[inline]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        self * a + b
+    }
+
+    /// Conversion from `f64`, used by generators and scaling factors.
+    fn from_f64(x: f64) -> Self;
+
+    /// Lossy conversion to `f64`, used by norms and comparisons.
+    fn to_f64(self) -> f64;
+
+    /// Unit roundoff of the underlying format (used to derive test
+    /// tolerances that scale with problem size).
+    fn epsilon() -> f64;
+
+    /// Absolute value.
+    fn abs(self) -> Self;
+}
+
+impl Scalar for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const NEG_ONE: Self = -1.0;
+    const NAME: &'static str = "f32";
+
+    #[inline]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        // Plain expression: lets LLVM vectorize; `f32::mul_add` would force
+        // an FMA instruction per element and often defeats SIMD on targets
+        // without vector FMA.
+        self * a + b
+    }
+
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        x as f32
+    }
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+
+    #[inline]
+    fn epsilon() -> f64 {
+        f32::EPSILON as f64
+    }
+
+    #[inline]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+}
+
+impl Scalar for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const NEG_ONE: Self = -1.0;
+    const NAME: &'static str = "f64";
+
+    #[inline]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        self * a + b
+    }
+
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+
+    #[inline]
+    fn epsilon() -> f64 {
+        f64::EPSILON
+    }
+
+    #[inline]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn axpy_generic<T: Scalar>(alpha: T, x: &[T], y: &mut [T]) {
+        for (yi, &xi) in y.iter_mut().zip(x) {
+            *yi += alpha * xi;
+        }
+    }
+
+    #[test]
+    fn generic_kernels_work_for_both_precisions() {
+        let x32 = [1.0f32, 2.0, 3.0];
+        let mut y32 = [1.0f32; 3];
+        axpy_generic(2.0f32, &x32, &mut y32);
+        assert_eq!(y32, [3.0, 5.0, 7.0]);
+
+        let x64 = [1.0f64, 2.0, 3.0];
+        let mut y64 = [1.0f64; 3];
+        axpy_generic(0.5f64, &x64, &mut y64);
+        assert_eq!(y64, [1.5, 2.0, 2.5]);
+    }
+
+    #[test]
+    fn constants_and_conversions() {
+        assert_eq!(f64::from_f64(1.25), 1.25);
+        assert_eq!(f32::from_f64(1.25), 1.25f32);
+        assert_eq!(<f64 as Scalar>::ZERO + <f64 as Scalar>::ONE, 1.0);
+        assert!(f32::epsilon() > f64::epsilon());
+        assert_eq!((-2.0f64).abs(), 2.0);
+        assert_eq!(Scalar::mul_add(2.0f64, 3.0, 4.0), 10.0);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        assert_eq!(<f32 as Scalar>::NAME, "f32");
+        assert_eq!(<f64 as Scalar>::NAME, "f64");
+    }
+}

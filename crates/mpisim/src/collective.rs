@@ -1,0 +1,376 @@
+//! SPMD collectives built on the point-to-point layer.
+//!
+//! Every rank must call the same collective in the same order (the usual
+//! MPI contract). Rooted operations use rank 0 as the root, matching the
+//! paper's distribute-compute-retrieve structure where `p0` owns the
+//! input and the result (§4.3).
+//!
+//! Broadcast and reduction use binomial trees (`ceil(log2 P)` rounds);
+//! gather is linear at the root, like the result-retrieval phase of
+//! AtA-D where the root ultimately stores the whole matrix.
+
+use crate::comm::{Comm, COLLECTIVE_TAG_BASE};
+
+fn ceil_log2(x: usize) -> u32 {
+    (usize::BITS - x.saturating_sub(1).leading_zeros()).min(usize::BITS - 1)
+}
+
+impl<T: Send + 'static> Comm<T> {
+    fn coll_tag(&mut self, round: u32) -> u64 {
+        // Collectives are globally ordered per the SPMD contract, so a
+        // per-round offset inside the reserved space cannot collide with
+        // user tags. Distinct collectives are separated because each
+        // round's matching is by (src, tag) and sources differ.
+        COLLECTIVE_TAG_BASE + round as u64
+    }
+
+    /// Block until all ranks reach the barrier.
+    pub fn barrier(&mut self) {
+        // Reduce an empty payload to root, then broadcast the release
+        // down the same binomial tree (mirrored manually because the
+        // payload type need not be `Clone` — payloads here are empty).
+        let _ = self.reduce_to_root(Vec::new(), |_, _| {});
+        let rank = self.rank();
+        let size = self.size();
+        let levels = ceil_log2(size);
+        for t in 0..levels {
+            let stride = 1usize << t;
+            let tag = self.coll_tag(u32::MAX - 40 - t);
+            if rank < stride {
+                if rank + stride < size {
+                    self.send_impl(rank + stride, tag, Vec::new());
+                }
+            } else if rank < stride * 2 {
+                let _ = self.recv_impl(rank - stride, tag);
+            }
+        }
+    }
+
+    /// Broadcast from rank 0: the root passes `Some(data)`, everyone
+    /// else `None`; all ranks return the data.
+    ///
+    /// # Panics
+    /// If the root passes `None` or a non-root passes `Some`.
+    pub fn bcast_from_root(&mut self, data: Option<Vec<T>>) -> Vec<T>
+    where
+        T: Clone,
+    {
+        let rank = self.rank();
+        let size = self.size();
+        if rank == 0 {
+            assert!(data.is_some(), "root must provide broadcast data");
+        } else {
+            assert!(data.is_none(), "non-root rank {rank} must pass None");
+        }
+        let mut held = data;
+        let levels = ceil_log2(size);
+        for t in 0..levels {
+            let stride = 1usize << t;
+            let tag = self.coll_tag(t);
+            if rank < stride {
+                if rank + stride < size {
+                    let payload = held.as_ref().expect("sender must hold data").clone();
+                    self.send_impl(rank + stride, tag, payload);
+                }
+            } else if rank < stride * 2 {
+                held = Some(self.recv_impl(rank - stride, tag));
+            }
+        }
+        held.expect("every rank holds the data after the last round")
+    }
+
+    /// Gather every rank's payload at rank 0; returns `Some(vec indexed
+    /// by rank)` at the root, `None` elsewhere.
+    pub fn gather_to_root(&mut self, data: Vec<T>) -> Option<Vec<Vec<T>>> {
+        let rank = self.rank();
+        let size = self.size();
+        let tag = self.coll_tag(u32::MAX - 1);
+        if rank == 0 {
+            let mut all = Vec::with_capacity(size);
+            all.push(data);
+            for src in 1..size {
+                all.push(self.recv_impl(src, tag));
+            }
+            Some(all)
+        } else {
+            self.send_impl(0, tag, data);
+            None
+        }
+    }
+
+    /// Binomial-tree reduction to rank 0. `combine(acc, other)` merges a
+    /// child's contribution into the local accumulator; returns
+    /// `Some(result)` at the root, `None` elsewhere.
+    ///
+    /// All ranks must contribute equal-length payloads.
+    pub fn reduce_to_root(
+        &mut self,
+        data: Vec<T>,
+        combine: impl Fn(&mut Vec<T>, Vec<T>),
+    ) -> Option<Vec<T>> {
+        let rank = self.rank();
+        let size = self.size();
+        let mut acc = data;
+        let levels = ceil_log2(size);
+        for t in 0..levels {
+            let mask = 1usize << t;
+            let tag = self.coll_tag(u32::MAX - 2 - t);
+            if rank & mask != 0 {
+                self.send_impl(rank - mask, tag, acc);
+                return None;
+            }
+            let peer = rank | mask;
+            if peer < size && peer != rank {
+                let other = self.recv_impl(peer, tag);
+                combine(&mut acc, other);
+            }
+        }
+        Some(acc)
+    }
+
+    /// Reduction delivered to *every* rank (`MPI_Allreduce`): a binomial
+    /// reduce to the root followed by a binomial broadcast — `2 log P`
+    /// rounds.
+    pub fn allreduce(&mut self, data: Vec<T>, combine: impl Fn(&mut Vec<T>, Vec<T>)) -> Vec<T>
+    where
+        T: Clone,
+    {
+        let reduced = self.reduce_to_root(data, combine);
+        // Only rank 0 holds Some; bcast's contract is exactly that.
+        self.bcast_from_root(reduced)
+    }
+
+    /// Rooted scatter (`MPI_Scatterv`): rank 0 passes one chunk per rank
+    /// (`chunks[r]` goes to rank `r`, chunks may differ in length);
+    /// everyone returns their chunk. Linear at the root, mirroring the
+    /// distribution phase of AtA-D where `p0` owns all of `A`.
+    ///
+    /// # Panics
+    /// If the root passes `None` / a wrong-length list, or a non-root
+    /// passes `Some`.
+    pub fn scatter_from_root(&mut self, chunks: Option<Vec<Vec<T>>>) -> Vec<T> {
+        let rank = self.rank();
+        let size = self.size();
+        let tag = self.coll_tag(u32::MAX - 80);
+        if rank == 0 {
+            let mut chunks = chunks.expect("root must provide scatter chunks");
+            assert_eq!(chunks.len(), size, "need exactly one chunk per rank");
+            // Send in reverse so we can pop without shifting; delivery
+            // order per peer is irrelevant (distinct destinations).
+            for r in (1..size).rev() {
+                let chunk = chunks.pop().expect("length checked");
+                self.send_impl(r, tag, chunk);
+            }
+            chunks.pop().expect("rank 0's own chunk")
+        } else {
+            assert!(chunks.is_none(), "non-root rank {rank} must pass None");
+            self.recv_impl(0, tag)
+        }
+    }
+
+    /// All-gather (`MPI_Allgatherv`): every rank contributes a payload
+    /// and every rank returns the list indexed by rank. Payload lengths
+    /// may differ per rank — receivers learn them from the messages
+    /// themselves.
+    ///
+    /// Implemented as a direct exchange (`P(P-1)` messages); the
+    /// workspace only uses it at coarse granularity, where the paper's
+    /// `O(log P)` latency terms are dominated by bandwidth anyway.
+    pub fn allgather(&mut self, data: Vec<T>) -> Vec<Vec<T>>
+    where
+        T: Clone,
+    {
+        let rank = self.rank();
+        let size = self.size();
+        let tag = self.coll_tag(u32::MAX - 90);
+        for r in 0..size {
+            if r != rank {
+                self.send_impl(r, tag, data.clone());
+            }
+        }
+        (0..size)
+            .map(|src| {
+                if src == rank {
+                    data.clone()
+                } else {
+                    self.recv_impl(src, tag)
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{run, CostModel};
+
+    #[test]
+    fn bcast_delivers_to_all() {
+        for size in [1usize, 2, 3, 5, 8, 13] {
+            let report = run(size, CostModel::zero(), |comm| {
+                let data = if comm.rank() == 0 {
+                    Some(vec![3.5f64, 4.5])
+                } else {
+                    None
+                };
+                comm.bcast_from_root(data)
+            });
+            for r in &report.results {
+                assert_eq!(r, &vec![3.5, 4.5], "size={size}");
+            }
+        }
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let report = run(5, CostModel::zero(), |comm| {
+            comm.gather_to_root(vec![comm.rank() as f64])
+        });
+        let gathered = report.results[0].as_ref().expect("root gathers");
+        assert_eq!(gathered.len(), 5);
+        for (i, v) in gathered.iter().enumerate() {
+            assert_eq!(v, &vec![i as f64]);
+        }
+        assert!(report.results[1].is_none());
+    }
+
+    #[test]
+    fn reduce_sums_across_ranks() {
+        for size in [1usize, 2, 4, 7, 16] {
+            let report = run(size, CostModel::zero(), |comm| {
+                let local = vec![comm.rank() as f64, 1.0];
+                comm.reduce_to_root(local, |acc, other| {
+                    for (a, b) in acc.iter_mut().zip(other) {
+                        *a += b;
+                    }
+                })
+            });
+            let total = report.results[0].as_ref().expect("root reduces");
+            let expect0 = (0..size).sum::<usize>() as f64;
+            assert_eq!(total[0], expect0, "size={size}");
+            assert_eq!(total[1], size as f64, "size={size}");
+        }
+    }
+
+    #[test]
+    fn barrier_synchronizes_clocks_loosely() {
+        // After a barrier, every rank's clock is at least the slowest
+        // rank's pre-barrier clock.
+        let model = CostModel::new(0.0, 0.0, 1.0);
+        let report = run::<f64, _, _>(4, model, |comm| {
+            comm.add_compute_flops(comm.rank() as f64); // rank r: r seconds
+            comm.barrier();
+            comm.clock()
+        });
+        for (i, c) in report.results.iter().enumerate() {
+            assert!(*c >= 3.0 - 1e-12, "rank {i} clock {c} below slowest");
+        }
+    }
+
+    #[test]
+    fn reduce_tree_is_logarithmic_in_messages() {
+        let report = run(16, CostModel::zero(), |comm| {
+            let _ = comm.reduce_to_root(vec![1.0f64], |acc, o| acc[0] += o[0]);
+        });
+        // Binomial tree: exactly size - 1 messages in total.
+        assert_eq!(report.total_msgs(), 15);
+        // And the root receives only log2(16) = 4 of them directly.
+        let root_recv = report
+            .metrics
+            .iter()
+            .filter(|m| m.rank != 0)
+            .filter(|m| m.msgs_sent > 0)
+            .count();
+        assert_eq!(root_recv, 15, "every non-root sends exactly once");
+    }
+
+    #[test]
+    fn mixed_collectives_in_sequence() {
+        let report = run(6, CostModel::zero(), |comm| {
+            let b = comm.bcast_from_root(if comm.rank() == 0 { Some(vec![2.0f64]) } else { None });
+            comm.barrier();
+            let r = comm.reduce_to_root(vec![b[0] * comm.rank() as f64], |acc, o| acc[0] += o[0]);
+            comm.barrier();
+            r
+        });
+        let sum = report.results[0].as_ref().expect("root");
+        assert_eq!(sum[0], 2.0 * (0 + 1 + 2 + 3 + 4 + 5) as f64);
+    }
+
+    #[test]
+    fn allreduce_delivers_the_sum_everywhere() {
+        for size in [1usize, 2, 5, 8] {
+            let report = run(size, CostModel::zero(), |comm| {
+                comm.allreduce(vec![comm.rank() as f64 + 1.0], |acc, o| acc[0] += o[0])
+            });
+            let want = (1..=size).sum::<usize>() as f64;
+            for (r, v) in report.results.iter().enumerate() {
+                assert_eq!(v[0], want, "size={size}, rank={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_delivers_per_rank_chunks() {
+        let report = run(4, CostModel::zero(), |comm| {
+            let chunks = (comm.rank() == 0).then(|| {
+                (0..4)
+                    .map(|r| vec![r as f64; r + 1]) // ragged on purpose
+                    .collect::<Vec<_>>()
+            });
+            comm.scatter_from_root(chunks)
+        });
+        for (r, chunk) in report.results.iter().enumerate() {
+            assert_eq!(chunk, &vec![r as f64; r + 1], "rank {r}");
+        }
+    }
+
+    #[test]
+    fn allgather_everyone_sees_everyone_in_rank_order() {
+        let report = run(5, CostModel::zero(), |comm| {
+            comm.allgather(vec![comm.rank() as f64; comm.rank() + 1])
+        });
+        for (r, all) in report.results.iter().enumerate() {
+            assert_eq!(all.len(), 5, "rank {r}");
+            for (src, part) in all.iter().enumerate() {
+                assert_eq!(part, &vec![src as f64; src + 1], "rank {r} view of {src}");
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_single_rank_is_identity() {
+        let report = run(1, CostModel::zero(), |comm| comm.allgather(vec![9.0f64]));
+        assert_eq!(report.results[0], vec![vec![9.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one chunk per rank")]
+    fn scatter_wrong_chunk_count_panics() {
+        let _ = run(3, CostModel::zero(), |comm| {
+            let chunks = (comm.rank() == 0).then(|| vec![vec![0.0f64]; 2]);
+            if comm.rank() == 0 {
+                comm.scatter_from_root(chunks);
+            }
+        });
+    }
+
+    #[test]
+    fn collectives_compose_with_point_to_point() {
+        // allreduce, then a p2p exchange that depends on its value.
+        let report = run(4, CostModel::zero(), |comm| {
+            let total = comm.allreduce(vec![1.0f64], |a, o| a[0] += o[0])[0];
+            if comm.rank() == 0 {
+                comm.send(1, 3, vec![total * 10.0]);
+                total
+            } else if comm.rank() == 1 {
+                comm.recv(0, 3)[0]
+            } else {
+                total
+            }
+        });
+        assert_eq!(report.results[0], 4.0);
+        assert_eq!(report.results[1], 40.0);
+        assert_eq!(report.results[3], 4.0);
+    }
+}

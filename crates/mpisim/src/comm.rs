@@ -1,0 +1,515 @@
+//! The per-rank communicator: point-to-point messaging with selective
+//! receive, plus the simulated clock.
+
+use crate::cost::CostModel;
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Reserved tag bit for collectives; user tags must stay below this.
+pub(crate) const COLLECTIVE_TAG_BASE: u64 = 1 << 62;
+
+/// A typed message between ranks.
+#[derive(Debug, Clone)]
+pub struct Message<T> {
+    /// Sending rank.
+    pub src: usize,
+    /// User (or collective) tag.
+    pub tag: u64,
+    /// Payload elements.
+    pub payload: Vec<T>,
+    /// Simulated arrival time at the receiver.
+    pub arrival: f64,
+}
+
+/// Per-rank communicator handle (the `MPI_Comm` + rank state analogue).
+///
+/// Owned exclusively by the rank's thread; all methods take `&mut self`.
+pub struct Comm<T> {
+    rank: usize,
+    size: usize,
+    model: CostModel,
+    senders: Vec<Sender<Message<T>>>,
+    receiver: Receiver<Message<T>>,
+    /// Out-of-order buffer for selective receive.
+    mailbox: VecDeque<Message<T>>,
+    /// Simulated local time (seconds).
+    clock: f64,
+    /// Simulated seconds spent in compute (subset of `clock`).
+    compute: f64,
+    msgs_sent: u64,
+    words_sent: u64,
+    /// Receive timeout guarding against deadlocks in tests.
+    timeout: Duration,
+    /// Set by the universe when any rank panics: blocked receivers bail
+    /// out promptly instead of waiting for the deadlock guard.
+    abort: Arc<AtomicBool>,
+}
+
+impl<T: Send + 'static> Comm<T> {
+    pub(crate) fn new(
+        rank: usize,
+        size: usize,
+        model: CostModel,
+        senders: Vec<Sender<Message<T>>>,
+        receiver: Receiver<Message<T>>,
+        abort: Arc<AtomicBool>,
+    ) -> Self {
+        Self {
+            rank,
+            size,
+            model,
+            senders,
+            receiver,
+            mailbox: VecDeque::new(),
+            clock: 0.0,
+            compute: 0.0,
+            msgs_sent: 0,
+            words_sent: 0,
+            timeout: Duration::from_secs(120),
+            abort,
+        }
+    }
+
+    /// Blocking channel read with abort/deadlock guards. Polls in short
+    /// slices so a peer's failure surfaces in milliseconds, not at the
+    /// deadlock-guard horizon.
+    fn blocking_next(&mut self, what: &dyn Fn() -> String) -> Message<T> {
+        let deadline = Instant::now() + self.timeout;
+        loop {
+            match self.receiver.recv_timeout(Duration::from_millis(20)) {
+                Ok(msg) => return msg,
+                Err(RecvTimeoutError::Timeout) => {
+                    assert!(
+                        !self.abort.load(Ordering::Relaxed),
+                        "rank {} aborting {}: another rank panicked",
+                        self.rank,
+                        what()
+                    );
+                    assert!(
+                        Instant::now() < deadline,
+                        "rank {} deadlocked {}",
+                        self.rank,
+                        what()
+                    );
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    // Unreachable while this Comm is alive (it holds a
+                    // sender to itself), but bail out defensively.
+                    panic!("rank {}: transport disconnected {}", self.rank, what());
+                }
+            }
+        }
+    }
+
+    /// This rank's id, `0 .. size`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the universe.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Current simulated time (seconds).
+    #[inline]
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// Simulated compute seconds so far.
+    #[inline]
+    pub fn compute_time(&self) -> f64 {
+        self.compute
+    }
+
+    /// Messages sent so far.
+    #[inline]
+    pub fn msgs_sent(&self) -> u64 {
+        self.msgs_sent
+    }
+
+    /// Payload words sent so far.
+    #[inline]
+    pub fn words_sent(&self) -> u64 {
+        self.words_sent
+    }
+
+    /// Cost model in force.
+    #[inline]
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Advance the simulated clock by `flops` of local computation.
+    ///
+    /// The caller still performs the computation for real; this only
+    /// accounts for its *modeled* duration.
+    pub fn add_compute_flops(&mut self, flops: f64) {
+        let t = self.model.compute_time(flops);
+        self.clock += t;
+        self.compute += t;
+    }
+
+    /// Advance the simulated clock by an explicit duration (e.g. a
+    /// measured kernel time instead of a modeled one).
+    pub fn add_compute_seconds(&mut self, secs: f64) {
+        assert!(secs >= 0.0, "negative compute time");
+        self.clock += secs;
+        self.compute += secs;
+    }
+
+    /// Send `payload` to rank `to` with `tag` (asynchronous, like
+    /// `MPI_Isend` + eager buffering).
+    ///
+    /// # Panics
+    /// If `to` is out of range or the tag collides with the reserved
+    /// collective space.
+    pub fn send(&mut self, to: usize, tag: u64, payload: Vec<T>) {
+        assert!(tag < COLLECTIVE_TAG_BASE, "tag {tag} collides with reserved collective tags");
+        self.send_impl(to, tag, payload);
+    }
+
+    pub(crate) fn send_impl(&mut self, to: usize, tag: u64, payload: Vec<T>) {
+        assert!(to < self.size, "send to rank {to} out of range (size {})", self.size);
+        let words = payload.len();
+        // Sender occupied for the latency; payload lands after transfer.
+        let arrival = self.clock + self.model.transfer_time(words);
+        self.clock += self.model.alpha;
+        self.msgs_sent += 1;
+        self.words_sent += words as u64;
+        let msg = Message {
+            src: self.rank,
+            tag,
+            payload,
+            arrival,
+        };
+        self.senders[to]
+            .send(msg)
+            .unwrap_or_else(|_| panic!("rank {to} hung up (send from {})", self.rank));
+    }
+
+    /// Blocking selective receive matching `(from, tag)`.
+    ///
+    /// Advances the simulated clock to the message's arrival time if the
+    /// receiver got there early.
+    ///
+    /// # Panics
+    /// If no matching message arrives within the deadlock-guard timeout.
+    pub fn recv(&mut self, from: usize, tag: u64) -> Vec<T> {
+        assert!(tag < COLLECTIVE_TAG_BASE, "tag {tag} collides with reserved collective tags");
+        self.recv_impl(from, tag)
+    }
+
+    pub(crate) fn recv_impl(&mut self, from: usize, tag: u64) -> Vec<T> {
+        // Check the out-of-order buffer first.
+        if let Some(pos) = self.mailbox.iter().position(|m| m.src == from && m.tag == tag) {
+            let msg = self.mailbox.remove(pos).expect("position valid");
+            self.clock = self.clock.max(msg.arrival);
+            return msg.payload;
+        }
+        loop {
+            let msg = self.blocking_next(&|| format!("waiting for (src={from}, tag={tag})"));
+            if msg.src == from && msg.tag == tag {
+                self.clock = self.clock.max(msg.arrival);
+                return msg.payload;
+            }
+            self.mailbox.push_back(msg);
+        }
+    }
+
+    /// Drain the channel into the mailbox without blocking.
+    fn drain_channel(&mut self) {
+        while let Ok(msg) = self.receiver.try_recv() {
+            self.mailbox.push_back(msg);
+        }
+    }
+
+    /// Non-blocking selective receive (`MPI_Iprobe` + matched receive):
+    /// returns the payload if a matching message has *already* been
+    /// delivered, `None` otherwise. Never advances past messages that do
+    /// not match — they stay buffered for later `recv`s.
+    ///
+    /// Note the simulated-clock semantics: a message can be present in
+    /// the transport (and thus returned here) while its modeled
+    /// `arrival` time is in the future; like `recv`, the receiver's
+    /// clock is advanced to the arrival time. This mirrors MPI progress
+    /// semantics, where probing cannot observe a message earlier than
+    /// the network could deliver it.
+    ///
+    /// # Panics
+    /// If the tag collides with the reserved collective space.
+    pub fn try_recv(&mut self, from: usize, tag: u64) -> Option<Vec<T>> {
+        assert!(tag < COLLECTIVE_TAG_BASE, "tag {tag} collides with reserved collective tags");
+        self.drain_channel();
+        let pos = self
+            .mailbox
+            .iter()
+            .position(|m| m.src == from && m.tag == tag)?;
+        let msg = self.mailbox.remove(pos).expect("position valid");
+        self.clock = self.clock.max(msg.arrival);
+        Some(msg.payload)
+    }
+
+    /// True if a matching message is already deliverable (`MPI_Iprobe`).
+    /// Does not consume the message or advance the clock.
+    pub fn probe(&mut self, from: usize, tag: u64) -> bool {
+        self.drain_channel();
+        self.mailbox.iter().any(|m| m.src == from && m.tag == tag)
+    }
+
+    /// Blocking receive from *any* source with the given tag
+    /// (`MPI_ANY_SOURCE`); returns `(source, payload)`. Among buffered
+    /// candidates the earliest-buffered wins (FIFO fairness).
+    ///
+    /// # Panics
+    /// If no matching message arrives within the deadlock-guard timeout,
+    /// or on a reserved tag.
+    pub fn recv_any(&mut self, tag: u64) -> (usize, Vec<T>) {
+        assert!(tag < COLLECTIVE_TAG_BASE, "tag {tag} collides with reserved collective tags");
+        if let Some(pos) = self.mailbox.iter().position(|m| m.tag == tag) {
+            let msg = self.mailbox.remove(pos).expect("position valid");
+            self.clock = self.clock.max(msg.arrival);
+            return (msg.src, msg.payload);
+        }
+        loop {
+            let msg = self.blocking_next(&|| format!("waiting for (any src, tag={tag})"));
+            if msg.tag == tag {
+                self.clock = self.clock.max(msg.arrival);
+                return (msg.src, msg.payload);
+            }
+            self.mailbox.push_back(msg);
+        }
+    }
+
+    pub(crate) fn metrics(&self) -> crate::universe::RankMetrics {
+        crate::universe::RankMetrics {
+            rank: self.rank,
+            sim_time: self.clock,
+            compute_time: self.compute,
+            msgs_sent: self.msgs_sent,
+            words_sent: self.words_sent,
+            wall_time: 0.0, // filled by the universe
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{run, CostModel};
+
+    #[test]
+    fn ping_pong_transfers_payload() {
+        let report = run(2, CostModel::zero(), |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, vec![1.0f64, 2.0, 3.0]);
+                comm.recv(1, 8)
+            } else {
+                let v = comm.recv(0, 7);
+                let doubled: Vec<f64> = v.iter().map(|x| x * 2.0).collect();
+                comm.send(0, 8, doubled.clone());
+                doubled
+            }
+        });
+        assert_eq!(report.results[0], vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn selective_receive_reorders() {
+        // Rank 0 sends tag 2 then tag 1; rank 1 receives tag 1 first.
+        let report = run(2, CostModel::zero(), |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 2, vec![20.0f64]);
+                comm.send(1, 1, vec![10.0f64]);
+                vec![]
+            } else {
+                let first = comm.recv(0, 1);
+                let second = comm.recv(0, 2);
+                vec![first[0], second[0]]
+            }
+        });
+        assert_eq!(report.results[1], vec![10.0, 20.0]);
+    }
+
+    #[test]
+    fn clock_advances_with_messages_and_compute() {
+        let model = CostModel::new(1.0, 0.5, 0.0); // alpha=1s, beta=0.5s/word
+        let report = run::<f64, _, _>(2, model, |comm| {
+            if comm.rank() == 0 {
+                comm.add_compute_seconds(3.0);
+                comm.send(1, 1, vec![0.0; 4]); // arrival = 3 + 1 + 2 = 6
+                comm.clock()
+            } else {
+                let _ = comm.recv(0, 1);
+                comm.clock()
+            }
+        });
+        // Sender: 3 (compute) + 1 (latency) = 4.
+        assert!((report.results[0] - 4.0).abs() < 1e-12);
+        // Receiver jumped to the arrival time 6.
+        assert!((report.results[1] - 6.0).abs() < 1e-12);
+        assert!((report.critical_path() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traffic_counters_are_exact() {
+        let report = run(3, CostModel::zero(), |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, vec![0.0f64; 10]);
+                comm.send(2, 1, vec![0.0f64; 20]);
+            } else {
+                let _ = comm.recv(0, 1);
+            }
+        });
+        assert_eq!(report.metrics[0].msgs_sent, 2);
+        assert_eq!(report.metrics[0].words_sent, 30);
+        assert_eq!(report.metrics[1].msgs_sent, 0);
+    }
+
+    #[test]
+    fn compute_flops_uses_model() {
+        let model = CostModel::new(0.0, 0.0, 1e-9);
+        let report = run::<f64, _, _>(1, model, |comm| {
+            comm.add_compute_flops(2e9);
+            comm.clock()
+        });
+        assert!((report.results[0] - 2.0).abs() < 1e-9);
+        assert!((report.metrics[0].compute_time - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn send_to_self_works() {
+        let report = run(1, CostModel::zero(), |comm| {
+            comm.send(0, 5, vec![42.0f64]);
+            comm.recv(0, 5)
+        });
+        assert_eq!(report.results[0], vec![42.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn send_out_of_range_panics() {
+        let _ = run(1, CostModel::zero(), |comm| {
+            comm.send(3, 1, vec![0.0f64]);
+        });
+    }
+
+    #[test]
+    fn try_recv_returns_none_until_delivery() {
+        let report = run(2, CostModel::zero(), |comm| {
+            if comm.rank() == 0 {
+                // Nothing sent yet: must be None immediately.
+                let early = comm.try_recv(1, 5).is_none();
+                // Handshake so rank 1's message is definitely in flight.
+                let _ = comm.recv(1, 6);
+                // Poll until the payload lands (it was sent before tag 6).
+                let mut got = None;
+                for _ in 0..1000 {
+                    got = comm.try_recv(1, 5);
+                    if got.is_some() {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+                vec![f64::from(early), got.expect("payload delivered")[0]]
+            } else {
+                comm.send(0, 5, vec![77.0f64]);
+                comm.send(0, 6, vec![]);
+                vec![]
+            }
+        });
+        assert_eq!(report.results[0], vec![1.0, 77.0]);
+    }
+
+    #[test]
+    fn probe_sees_without_consuming() {
+        let report = run(2, CostModel::zero(), |comm| {
+            if comm.rank() == 0 {
+                let _ = comm.recv(1, 2); // ensure tag-1 msg already queued
+                let mut seen = false;
+                for _ in 0..1000 {
+                    if comm.probe(1, 1) {
+                        seen = true;
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+                assert!(seen, "probe never saw the message");
+                assert!(comm.probe(1, 1), "probe must not consume");
+                comm.recv(1, 1)
+            } else {
+                comm.send(0, 1, vec![5.0f64]);
+                comm.send(0, 2, vec![]);
+                vec![]
+            }
+        });
+        assert_eq!(report.results[0], vec![5.0]);
+    }
+
+    #[test]
+    fn recv_any_matches_any_source() {
+        let report = run(4, CostModel::zero(), |comm| {
+            if comm.rank() == 0 {
+                let mut from = Vec::new();
+                for _ in 0..3 {
+                    let (src, payload) = comm.recv_any(9);
+                    assert_eq!(payload, vec![src as f64]);
+                    from.push(src);
+                }
+                from.sort_unstable();
+                from
+            } else {
+                comm.send(0, 9, vec![comm.rank() as f64]);
+                vec![]
+            }
+        });
+        assert_eq!(report.results[0], vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn recv_any_leaves_other_tags_buffered() {
+        let report = run(2, CostModel::zero(), |comm| {
+            if comm.rank() == 0 {
+                let (src, v) = comm.recv_any(11);
+                assert_eq!(src, 1);
+                // The tag-10 message must still be receivable.
+                let w = comm.recv(1, 10);
+                vec![v[0], w[0]]
+            } else {
+                comm.send(0, 10, vec![1.0f64]);
+                comm.send(0, 11, vec![2.0f64]);
+                vec![]
+            }
+        });
+        assert_eq!(report.results[0], vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn try_recv_advances_clock_to_arrival() {
+        let model = CostModel::new(0.0, 1.0, 0.0); // 1 s per word
+        let report = run::<f64, _, _>(2, model, |comm| {
+            if comm.rank() == 0 {
+                let _ = comm.recv(1, 2); // sync: payload already sent
+                let mut clock_after = 0.0;
+                for _ in 0..1000 {
+                    if let Some(_v) = comm.try_recv(1, 1) {
+                        clock_after = comm.clock();
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+                clock_after
+            } else {
+                comm.send(0, 1, vec![0.0; 5]); // arrival at t = 5
+                comm.send(0, 2, vec![]);
+                0.0
+            }
+        });
+        assert!(report.results[0] >= 5.0, "clock {} < arrival", report.results[0]);
+    }
+}

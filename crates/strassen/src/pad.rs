@@ -1,0 +1,168 @@
+//! Virtual-padding helpers shared by the Strassen and Strassen–Winograd
+//! recursions.
+//!
+//! The paper avoids the peeling/padding of Huss-Lederman et al. by
+//! "conveniently applying the BLAS routine `?axpy` ... so that it
+//! simulates padding of an extra 0 column or row" (§3.1). These helpers
+//! are that idea as code: sums of discordantly-sized quadrants are
+//! written into ceil-sized workspace slots whose missing last row/column
+//! is zero, and accumulations back into smaller `C` quadrants truncate
+//! the virtual row/column again.
+
+use ata_kernels::level1::{axpy, copy_padded};
+use ata_mat::{MatMut, MatRef, Scalar};
+
+/// `dst = pad(src)`: copy `src` into the top-left corner, zero the rest.
+pub(crate) fn pad_into<T: Scalar>(dst: &mut MatMut<'_, T>, src: MatRef<'_, T>) {
+    for i in 0..dst.rows() {
+        let drow = dst.row_mut(i);
+        if i < src.rows() {
+            copy_padded(src.row(i), drow);
+        } else {
+            drow.fill(T::ZERO);
+        }
+    }
+}
+
+/// Build the `rows x cols` operand `pad(a) + sign * pad(b)` in `buf` and
+/// return it as a view.
+pub(crate) fn pad_sum<'s, T: Scalar>(
+    buf: &'s mut [T],
+    a: MatRef<'_, T>,
+    sign: T,
+    b: MatRef<'_, T>,
+    rows: usize,
+    cols: usize,
+) -> MatRef<'s, T> {
+    let mut dst = MatMut::from_slice(&mut buf[..rows * cols], rows, cols);
+    pad_into(&mut dst, a);
+    for i in 0..b.rows().min(rows) {
+        axpy(sign, b.row(i), dst.row_mut(i));
+    }
+    dst.into_ref()
+}
+
+/// In-place chain update `dst -= pad(src)` on an operand slot that
+/// already holds a previous chain value (Winograd's `T4 = T2 - B21`).
+pub(crate) fn sub_padded<T: Scalar>(dst: &mut MatMut<'_, T>, src: MatRef<'_, T>) {
+    for i in 0..src.rows().min(dst.rows()) {
+        axpy(T::NEG_ONE, src.row(i), dst.row_mut(i));
+    }
+}
+
+/// In-place chain update `dst = pad(src) - dst` (Winograd's
+/// `T2 = B22 - T1` with `T1` already in the slot). Rows of `dst` beyond
+/// `src` are negated (they subtract from virtual zeros).
+pub(crate) fn rsub_padded<T: Scalar>(dst: &mut MatMut<'_, T>, src: MatRef<'_, T>) {
+    for i in 0..dst.rows() {
+        let drow = dst.row_mut(i);
+        if i < src.rows() {
+            let srow = src.row(i);
+            let len = srow.len().min(drow.len());
+            for (d, s) in drow[..len].iter_mut().zip(&srow[..len]) {
+                *d = *s - *d;
+            }
+            for d in &mut drow[len..] {
+                *d = -*d;
+            }
+        } else {
+            for d in drow {
+                *d = -*d;
+            }
+        }
+    }
+}
+
+/// Return `src` directly if it already has the target shape, otherwise
+/// pad-copy it into `buf` (the odd-dimension case).
+pub(crate) fn direct_or_pad<'s, T: Scalar>(
+    buf: &'s mut [T],
+    src: MatRef<'s, T>,
+    rows: usize,
+    cols: usize,
+) -> MatRef<'s, T> {
+    if src.shape() == (rows, cols) {
+        src
+    } else {
+        let mut dst = MatMut::from_slice(&mut buf[..rows * cols], rows, cols);
+        pad_into(&mut dst, src);
+        dst.into_ref()
+    }
+}
+
+/// `c += coeff * mm`, truncating `mm` to `c`'s shape (the virtual-padding
+/// inverse: rows/cols beyond `c` belong to the zero padding).
+pub(crate) fn accumulate<T: Scalar>(c: &mut MatMut<'_, T>, mm: MatRef<'_, T>, coeff: T) {
+    debug_assert!(c.rows() <= mm.rows() && c.cols() <= mm.cols());
+    for i in 0..c.rows() {
+        axpy(coeff, mm.row(i), c.row_mut(i));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ata_mat::Matrix;
+
+    #[test]
+    fn pad_into_zero_extends() {
+        let src = Matrix::from_fn(2, 2, |i, j| (i * 2 + j) as f64 + 1.0);
+        let mut buf = vec![9.0f64; 9];
+        let mut dst = MatMut::from_slice(&mut buf, 3, 3);
+        pad_into(&mut dst, src.as_ref());
+        assert_eq!(buf, [1.0, 2.0, 0.0, 3.0, 4.0, 0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn pad_sum_discordant_sizes() {
+        // a: 2x2, b: 1x2 -> pad(a) - pad(b) at 2x2.
+        let a = Matrix::from_fn(2, 2, |_, _| 5.0f64);
+        let b = Matrix::from_fn(1, 2, |_, _| 2.0f64);
+        let mut buf = vec![0.0f64; 4];
+        let s = pad_sum(&mut buf, a.as_ref(), -1.0, b.as_ref(), 2, 2);
+        assert_eq!(s[(0, 0)], 3.0);
+        assert_eq!(s[(1, 1)], 5.0, "row beyond b gets pad(a) only");
+    }
+
+    #[test]
+    fn sub_padded_leaves_virtual_rows() {
+        let src = Matrix::from_fn(1, 2, |_, j| (j + 1) as f64);
+        let mut buf = vec![10.0f64; 4];
+        let mut dst = MatMut::from_slice(&mut buf, 2, 2);
+        sub_padded(&mut dst, src.as_ref());
+        assert_eq!(buf, [9.0, 8.0, 10.0, 10.0]);
+    }
+
+    #[test]
+    fn rsub_padded_negates_virtual_region() {
+        let src = Matrix::from_fn(1, 1, |_, _| 7.0f64);
+        let mut buf = vec![1.0f64, 2.0, 3.0, 4.0];
+        let mut dst = MatMut::from_slice(&mut buf, 2, 2);
+        rsub_padded(&mut dst, src.as_ref());
+        // (0,0): 7 - 1; (0,1): 0 - 2; row 1 entirely negated.
+        assert_eq!(buf, [6.0, -2.0, -3.0, -4.0]);
+    }
+
+    #[test]
+    fn direct_or_pad_passthrough_and_copy() {
+        let m = Matrix::from_fn(2, 2, |i, j| (i + j) as f64);
+        let mut buf = vec![0.0f64; 4];
+        let v = direct_or_pad(&mut buf, m.as_ref(), 2, 2);
+        assert_eq!(v[(1, 1)], 2.0);
+        // Odd source gets padded.
+        let s = Matrix::from_fn(1, 2, |_, j| j as f64 + 1.0);
+        let mut buf2 = vec![9.0f64; 4];
+        let v2 = direct_or_pad(&mut buf2, s.as_ref(), 2, 2);
+        assert_eq!(v2[(0, 1)], 2.0);
+        assert_eq!(v2[(1, 0)], 0.0);
+    }
+
+    #[test]
+    fn accumulate_truncates() {
+        let mm = Matrix::from_fn(3, 3, |_, _| 1.0f64);
+        let mut c = Matrix::zeros(2, 2);
+        accumulate(&mut c.as_mut(), mm.as_ref(), 2.0);
+        assert_eq!(c[(0, 0)], 2.0);
+        assert_eq!(c[(1, 1)], 2.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! AtA over exact fields — the "works on any algebraic field" claim, live.
+//!
+//! ```text
+//! cargo run --release --example exact_field
+//! ```
+//!
+//! §1 of the paper contrasts AtA with Dumas et al. (ISSAC 2020), whose
+//! faster `A A^T` needs skew-orthogonal matrices and therefore excludes
+//! `R` and `Q`. AtA only needs ring operations, so it runs over *exact*
+//! scalars unchanged. This example demonstrates both directions:
+//!
+//! 1. **Rationals** (`Q64`): the Gram matrix of a Hilbert-like design
+//!    matrix — catastrophically ill-conditioned in floating point — is
+//!    computed exactly by the full Strassen-based recursion, with a
+//!    measured f64 error for contrast.
+//! 2. **Prime field** (`Gf31 = GF(2^31 - 1)`): a random matrix's Gram
+//!    product agrees bit-for-bit with the naive oracle — the setting of
+//!    Dumas et al., met on their ground.
+
+use ata::field::{Gf31, Q64};
+use ata::kernels::CacheConfig;
+use ata::mat::{reference, Matrix, Scalar};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn rational_demo() {
+    // Hilbert-like tall matrix: A[i][j] = 1 / (i + j + 1).
+    let (m, n) = (12usize, 9usize);
+    let a_q = Matrix::from_fn(m, n, |i, j| Q64::new(1, (i + j + 1) as i64));
+
+    // Exact Gram via the full recursion (tiny base so Strassen recurses).
+    let cfg = CacheConfig::with_words(8);
+    let mut g_q = Matrix::<Q64>::zeros(n, n);
+    ata::core::ata_into(Q64::ONE, a_q.as_ref(), &mut g_q.as_mut(), &cfg);
+
+    // Exact naive oracle.
+    let mut g_oracle = Matrix::<Q64>::zeros(n, n);
+    reference::syrk_ln(Q64::ONE, a_q.as_ref(), &mut g_oracle.as_mut());
+
+    let mut exact = true;
+    for i in 0..n {
+        for j in 0..=i {
+            exact &= g_q[(i, j)] == g_oracle[(i, j)];
+        }
+    }
+    println!("== Q (exact rationals) ==");
+    println!("A: {m}x{n} Hilbert-like, A[i][j] = 1/(i+j+1)");
+    println!("Strassen-based AtA == naive oracle, entrywise: {exact}");
+    assert!(exact, "rational AtA must be exact");
+
+    // The same computation in f32 for contrast: Hilbert entries are not
+    // representable, so every step rounds.
+    let a_32 = Matrix::from_fn(m, n, |i, j| 1.0f32 / (i + j + 1) as f32);
+    let mut g_32 = Matrix::<f32>::zeros(n, n);
+    ata::core::ata_into(1.0f32, a_32.as_ref(), &mut g_32.as_mut(), &cfg);
+    let mut max_err = 0.0f64;
+    for i in 0..n {
+        for j in 0..=i {
+            max_err = max_err.max((g_32[(i, j)] as f64 - g_q[(i, j)].to_f64()).abs());
+        }
+    }
+    let (i, j) = (n - 1, n - 2);
+    println!("G[{i}][{j}] exactly = {} = {:.12}...", g_q[(i, j)], g_q[(i, j)].to_f64());
+    println!("f32 max entrywise error = {max_err:.2e}; rational error = 0 by construction\n");
+}
+
+fn prime_field_demo() {
+    let (m, n) = (24usize, 20usize);
+    let mut rng = StdRng::seed_from_u64(7);
+    let a = Matrix::from_fn(m, n, |_, _| Gf31::new(rng.random_range(0i64..1 << 31)));
+
+    let cfg = CacheConfig::with_words(8);
+    let mut g = Matrix::<Gf31>::zeros(n, n);
+    ata::core::ata_into(Gf31::ONE, a.as_ref(), &mut g.as_mut(), &cfg);
+
+    let mut oracle = Matrix::<Gf31>::zeros(n, n);
+    reference::syrk_ln(Gf31::ONE, a.as_ref(), &mut oracle.as_mut());
+
+    let mut equal = true;
+    for i in 0..n {
+        for j in 0..=i {
+            equal &= g[(i, j)] == oracle[(i, j)];
+        }
+    }
+    println!("== GF(2^31 - 1) (prime field) ==");
+    println!("A: {m}x{n} uniform over the field");
+    println!("Strassen-based AtA == naive oracle, entrywise: {equal}");
+    assert!(equal, "prime-field AtA must be exact");
+    println!("sample entries: G[0][0] = {}, G[{}][{}] = {}", g[(0, 0)], n - 1, 0, g[(n - 1, 0)]);
+    println!("(finite fields have no rounding: Strassen's subtractions are harmless)");
+}
+
+fn main() {
+    println!("AtA on exact algebraic fields (paper §1: 'works on any algebraic field')\n");
+    rational_demo();
+    prime_field_demo();
+    println!("\nBoth fields verified — every +, -, x of the recursion happened exactly.");
+}

@@ -1,0 +1,48 @@
+//! Quickstart: compute `A^T A` three ways and compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart [-- <m> <n> <threads>]
+//! ```
+//!
+//! Builds a random `m x n` matrix, computes its Gram matrix with
+//! (1) the naive textbook oracle, (2) the serial AtA recursion and
+//! (3) the shared-memory AtA-S, then reports agreement and timings.
+
+use ata::mat::{gen, reference};
+use ata::{gram_with, AtaOptions};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let m: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(1024);
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(512);
+    let threads: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+
+    println!("A: {m} x {n} (f64, uniform in [-1, 1)), threads = {threads}");
+    let a = gen::standard::<f64>(2021, m, n);
+
+    let t0 = Instant::now();
+    let g_naive = reference::gram(a.as_ref());
+    let t_naive = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let g_serial = gram_with(a.as_ref(), &AtaOptions::serial());
+    let t_serial = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let g_par = gram_with(a.as_ref(), &AtaOptions::with_threads(threads));
+    let t_par = t0.elapsed().as_secs_f64();
+
+    println!("naive oracle : {t_naive:8.3} s");
+    println!("AtA (serial) : {t_serial:8.3} s   speedup vs naive: {:.2}x", t_naive / t_serial);
+    println!("AtA-S ({threads} thr.): {t_par:8.3} s   speedup vs naive: {:.2}x", t_naive / t_par);
+
+    let d1 = g_serial.max_abs_diff(&g_naive);
+    let d2 = g_par.max_abs_diff(&g_naive);
+    println!("max |AtA - naive|   = {d1:.3e}");
+    println!("max |AtA-S - naive| = {d2:.3e}");
+    assert!(g_serial.is_symmetric(0.0) && g_par.is_symmetric(0.0));
+    let tol = ata::mat::ops::product_tol::<f64>(m.max(n), n, m as f64);
+    assert!(d1 <= tol && d2 <= tol, "results disagree beyond tolerance {tol:.3e}");
+    println!("all three agree within {tol:.3e} — OK");
+}

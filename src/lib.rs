@@ -1,0 +1,61 @@
+//! # ata — Strassen-based multiplication of a matrix by its transpose
+//!
+//! A Rust reproduction of Arrigoni, Maggioli, Massini, Rodolà,
+//! *“Efficiently Parallelizable Strassen-Based Multiplication of a
+//! Matrix by its Transpose”* (ICPP 2021, arXiv:2110.13042), complete
+//! with the substrates the paper builds on: BLAS-style kernels, a
+//! workspace-arena Strassen, a task-tree scheduler, a shared-memory
+//! parallel runtime and a message-passing simulator with a LogGP cost
+//! model for the distributed experiments.
+//!
+//! This facade crate re-exports the public API of the workspace:
+//!
+//! * [`gram`], [`lower`], [`packed`] / [`AtaOptions`] — the high-level
+//!   `A^T A` entry points (serial or multi-threaded);
+//! * [`core`] (`ata-core`) — Algorithm 1, AtA-S, the task trees and the
+//!   flop-count analysis;
+//! * [`mat`] (`ata-mat`) — matrices, views, packed symmetric storage,
+//!   workload generators, op-counting scalars;
+//! * [`kernels`] (`ata-kernels`) — the BLAS substitute;
+//! * [`strassen`] (`ata-strassen`) — `C += alpha * A^T B` with a
+//!   pre-allocated arena;
+//! * [`mpisim`] (`ata-mpisim`) and [`dist`] (`ata-dist`) — the simulated
+//!   cluster, AtA-D and the distributed baselines;
+//! * [`linalg`] (`ata-linalg`) — the paper's §1 applications as library
+//!   code: normal-equations least squares, SVD via the Gram matrix,
+//!   Gram–Schmidt orthogonalization.
+//!
+//! ## Example
+//!
+//! ```
+//! use ata::{gram_with, AtaOptions};
+//! use ata::mat::gen;
+//!
+//! // 256 x 96, entries uniform in [-1, 1), seeded.
+//! let a = gen::standard::<f64>(42, 256, 96);
+//! // Multi-threaded AtA-S with 4 workers.
+//! let g = gram_with(a.as_ref(), &AtaOptions::with_threads(4));
+//! assert_eq!(g.shape(), (96, 96));
+//! assert!(g.is_symmetric(1e-12));
+//! ```
+
+pub use ata_core::{gram, gram_with, lower, lower_with, packed, packed_with, AtaOptions};
+
+/// The paper's core algorithms (`ata-core`).
+pub use ata_core as core;
+/// Distributed AtA-D and baselines (`ata-dist`).
+pub use ata_dist as dist;
+/// Exact-arithmetic scalars: rationals and GF(2^31-1) (`ata-field`).
+pub use ata_field as field;
+/// BLAS-substitute kernels (`ata-kernels`).
+pub use ata_kernels as kernels;
+/// Downstream applications: least squares, SVD, orthogonalization (`ata-linalg`).
+pub use ata_linalg as linalg;
+/// Matrix substrate (`ata-mat`).
+pub use ata_mat as mat;
+/// Message-passing simulator (`ata-mpisim`).
+pub use ata_mpisim as mpisim;
+/// Arena-based Strassen (`ata-strassen`).
+pub use ata_strassen as strassen;
+
+pub use ata_mat::{MatMut, MatRef, Matrix, Scalar, SymPacked};

@@ -1,0 +1,128 @@
+//! Cross-validation of the accuracy substrate against exact rationals.
+//!
+//! `ata-core::accuracy` measures forward errors against a double-double
+//! reference. That reference is itself floating point — so here the
+//! reference is validated against ground truth that cannot be wrong:
+//! the same Gram matrix computed over `Q64` exact rationals. Inputs are
+//! dyadic (exactly representable in both `f64` and `Q64`), so the two
+//! paths compute the *same* mathematical object.
+
+use ata::core::accuracy::{
+    abs_gram, compensated_gram, componentwise_factor, dd_dot, gram_forward_error, two_prod,
+    two_sum,
+};
+use ata::field::Q64;
+use ata::mat::{reference, Matrix, Scalar};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Paired dyadic matrices: identical values as `f64` and as `Q64`.
+fn dyadic_pair(seed: u64, m: usize, n: usize) -> (Matrix<f64>, Matrix<Q64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut a64 = Matrix::<f64>::zeros(m, n);
+    let mut aq = Matrix::<Q64>::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            // Numerator in [-255, 255], denominator 2^8: exact in both.
+            let num = rng.random_range(-255i64..=255);
+            a64[(i, j)] = num as f64 / 256.0;
+            aq[(i, j)] = Q64::new(num, 256);
+        }
+    }
+    (a64, aq)
+}
+
+#[test]
+fn compensated_gram_matches_exact_rationals_to_the_last_bit() {
+    // Gram entries are sums of m products of 16-bit dyadics: they fit
+    // f64 exactly (needs ~26 bits), so a correct double-double reference
+    // must equal the rational ground truth *exactly*, not approximately.
+    let (m, n) = (64usize, 24);
+    let (a64, aq) = dyadic_pair(42, m, n);
+    let dd = compensated_gram(a64.as_ref());
+    let mut exact = Matrix::<Q64>::zeros(n, n);
+    reference::syrk_ln(Q64::ONE, aq.as_ref(), &mut exact.as_mut());
+    for i in 0..n {
+        for j in 0..=i {
+            assert_eq!(
+                dd[(i, j)],
+                exact[(i, j)].to_f64(),
+                "dd reference differs from exact rationals at ({i},{j})"
+            );
+        }
+    }
+}
+
+#[test]
+fn dd_dot_matches_exact_rationals_on_cancellation_heavy_input() {
+    // Alternating huge/tiny dyadics: plain f64 summation loses the tail,
+    // double-double must not (the result still fits one f64 exactly).
+    let x64: Vec<f64> = (0..40).map(|k| if k % 2 == 0 { 1024.0 } else { 1.0 / 1024.0 }).collect();
+    let y64: Vec<f64> = (0..40).map(|k| if k % 2 == 0 { 1.0 } else { -1.0 }).collect();
+    let xq: Vec<Q64> = (0..40)
+        .map(|k| if k % 2 == 0 { Q64::new(1024, 1) } else { Q64::new(1, 1024) })
+        .collect();
+    let yq: Vec<Q64> = (0..40)
+        .map(|k| if k % 2 == 0 { Q64::new(1, 1) } else { Q64::new(-1, 1) })
+        .collect();
+    let exact: Q64 = xq.iter().zip(&yq).map(|(a, b)| *a * *b).sum();
+    assert_eq!(dd_dot(&x64, &y64), exact.to_f64());
+}
+
+#[test]
+fn eft_identities_hold_on_random_dyadics() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..200 {
+        let a = rng.random_range(-1.0e6..1.0e6f64);
+        let b = rng.random_range(-1.0e6..1.0e6f64);
+        // two_sum: a + b == s + e exactly — verify in Q64 (both f64s are
+        // dyadic rationals, so the identity is decidable).
+        let (s, e) = two_sum(a, b);
+        let lhs = Q64::from_f64(a) + Q64::from_f64(b);
+        let rhs = Q64::from_f64(s) + Q64::from_f64(e);
+        assert_eq!(lhs, rhs, "two_sum({a}, {b})");
+        // two_prod on ~27-bit mantissas: products need ~54 bits, so f64
+        // genuinely rounds (e != 0 for most draws) while the exact
+        // rationals stay far inside Q64's range.
+        let a = (a * 128.0).round() / 128.0;
+        let b = (b * 128.0).round() / 128.0;
+        let (p, e) = two_prod(a, b);
+        let lhs = Q64::from_f64(a) * Q64::from_f64(b);
+        let rhs = Q64::from_f64(p) + Q64::from_f64(e);
+        assert_eq!(lhs, rhs, "two_prod({a}, {b})");
+    }
+}
+
+#[test]
+fn error_measurement_agrees_with_exact_error() {
+    // Measure syrk's f32 error twice: once against the dd reference,
+    // once against exact rationals converted to f64. The two error
+    // statistics must agree to double precision.
+    let (m, n) = (48usize, 20);
+    let (a64, aq) = dyadic_pair(9, m, n);
+    let a32 = Matrix::<f32>::from_fn(m, n, |i, j| a64[(i, j)] as f32);
+
+    let mut c32 = Matrix::<f32>::zeros(n, n);
+    ata::kernels::syrk_ln(1.0f32, a32.as_ref(), &mut c32.as_mut());
+
+    let dd_ref = compensated_gram(a64.as_ref());
+    let mut exact_q = Matrix::<Q64>::zeros(n, n);
+    reference::syrk_ln(Q64::ONE, aq.as_ref(), &mut exact_q.as_mut());
+    let exact_ref = Matrix::<f64>::from_fn(n, n, |i, j| {
+        if j <= i {
+            exact_q[(i, j)].to_f64()
+        } else {
+            0.0
+        }
+    });
+
+    let st_dd = gram_forward_error(&c32, &dd_ref);
+    let st_exact = gram_forward_error(&c32, &exact_ref);
+    assert!((st_dd.max_abs - st_exact.max_abs).abs() < 1e-14);
+    assert!((st_dd.fro_rel - st_exact.fro_rel).abs() < 1e-12);
+
+    let scale = abs_gram(a64.as_ref());
+    let f_dd = componentwise_factor(&c32, &dd_ref, &scale, f32::EPSILON as f64);
+    let f_exact = componentwise_factor(&c32, &exact_ref, &scale, f32::EPSILON as f64);
+    assert!((f_dd - f_exact).abs() < 1e-9, "{f_dd} vs {f_exact}");
+}

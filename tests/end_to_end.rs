@@ -1,0 +1,164 @@
+//! Cross-crate integration tests: the same input must yield the same
+//! `A^T A` through every path the workspace offers — naive oracle,
+//! serial AtA, shared-memory AtA-S, distributed AtA-D on the simulator,
+//! and all three distributed baselines where applicable.
+
+use ata::dist::baselines::{caps_like, cosma_like, pdsyrk_like};
+use ata::dist::{ata_d, AtaDConfig};
+use ata::kernels::CacheConfig;
+use ata::mat::{gen, reference, Matrix};
+use ata::mpisim::{run, CostModel};
+use ata::{gram_with, lower_with, packed_with, AtaOptions};
+
+fn oracle_lower(a: &Matrix<f64>) -> Matrix<f64> {
+    let n = a.cols();
+    let mut c = Matrix::zeros(n, n);
+    reference::syrk_ln(1.0, a.as_ref(), &mut c.as_mut());
+    c
+}
+
+#[test]
+fn every_algorithm_agrees_on_one_input() {
+    let (m, n) = (96usize, 80usize);
+    let a = gen::standard::<f64>(123, m, n);
+    let reference_c = oracle_lower(&a);
+    let tol = ata::mat::ops::product_tol::<f64>(m, n, m as f64);
+
+    // Serial, small base case to force deep recursion.
+    let serial = lower_with(a.as_ref(), &AtaOptions::serial().cache_words(32));
+    assert!(serial.max_abs_diff_lower(&reference_c) <= tol, "serial");
+
+    // Shared-memory, several thread counts.
+    for threads in [2usize, 5, 16] {
+        let par = lower_with(a.as_ref(), &AtaOptions::with_threads(threads).cache_words(32));
+        assert!(par.max_abs_diff_lower(&reference_c) <= tol, "AtA-S P={threads}");
+    }
+
+    // Distributed on the simulator.
+    for ranks in [3usize, 8, 16] {
+        let cfg = AtaDConfig {
+            alpha: 0.5,
+            cache: CacheConfig::with_words(64),
+            strassen_leaves: true,
+            threads_per_rank: 1,
+        };
+        let a_ref = &a;
+        let report = run(ranks, CostModel::zero(), move |comm| {
+            let input = if comm.rank() == 0 { Some(a_ref) } else { None };
+            ata_d(input, m, n, comm, &cfg)
+        });
+        let c = report.results[0].as_ref().expect("root");
+        assert!(c.max_abs_diff_lower(&reference_c) <= tol, "AtA-D P={ranks}");
+    }
+}
+
+#[test]
+fn baselines_agree_with_oracle_end_to_end() {
+    let (m, n) = (64usize, 64usize);
+    let a = gen::standard::<f64>(321, m, n);
+    let reference_c = oracle_lower(&a);
+
+    // pdsyrk-like.
+    let a_ref = &a;
+    let report = run(8, CostModel::zero(), move |comm| {
+        let input = if comm.rank() == 0 { Some(a_ref) } else { None };
+        pdsyrk_like(input, m, n, comm)
+    });
+    let c = report.results[0].as_ref().expect("root");
+    assert!(c.max_abs_diff_lower(&reference_c) < 1e-9, "pdsyrk-like");
+
+    // cosma-like computes the full A^T A (as A^T B with B = A).
+    let a_ref = &a;
+    let report = run(8, CostModel::zero(), move |comm| {
+        let (ia, ib) = if comm.rank() == 0 { (Some(a_ref), Some(a_ref)) } else { (None, None) };
+        cosma_like(ia, ib, m, n, n, comm)
+    });
+    let c = report.results[0].as_ref().expect("root");
+    let mut full_ref = reference_c.clone();
+    full_ref.mirror_lower_to_upper();
+    assert!(c.max_abs_diff(&full_ref) < 1e-9, "cosma-like");
+
+    // caps-like (square only).
+    let cache = CacheConfig::with_words(64);
+    let a_ref = &a;
+    let report = run(7, CostModel::zero(), move |comm| {
+        let (ia, ib) = if comm.rank() == 0 { (Some(a_ref), Some(a_ref)) } else { (None, None) };
+        caps_like(ia, ib, n, comm, &cache)
+    });
+    let c = report.results[0].as_ref().expect("root");
+    assert!(c.max_abs_diff(&full_ref) < 1e-8, "caps-like");
+}
+
+#[test]
+fn f32_pipeline_works_end_to_end() {
+    let (m, n) = (128usize, 48usize);
+    let a = gen::standard::<f32>(55, m, n);
+    let g = gram_with(a.as_ref(), &AtaOptions::with_threads(4).cache_words(64));
+    let g_ref = reference::gram(a.as_ref());
+    let tol = ata::mat::ops::product_tol::<f32>(m, n, m as f64);
+    assert!(g.max_abs_diff(&g_ref) <= tol);
+}
+
+#[test]
+fn packed_and_full_apis_are_consistent() {
+    let a = gen::standard::<f64>(77, 60, 36);
+    let opts = AtaOptions::serial().cache_words(64);
+    let full = gram_with(a.as_ref(), &opts);
+    let packed = packed_with(a.as_ref(), &opts);
+    assert_eq!(packed.order(), 36);
+    assert!(packed.to_full().max_abs_diff(&full) < 1e-14);
+    // Symmetric accessors agree with the full matrix in both orders.
+    for (i, j) in [(0usize, 5usize), (20, 3), (35, 35), (7, 30)] {
+        assert_eq!(packed.get(i, j), full[(i, j)]);
+        assert_eq!(packed.get(j, i), full[(i, j)]);
+    }
+}
+
+#[test]
+fn exactness_on_integer_inputs_across_algorithms() {
+    // {-1, 0, 1} inputs: everything is exactly representable, so all
+    // algorithms must agree bit-for-bit despite different bracketings.
+    let (m, n) = (48usize, 40usize);
+    let a = gen::ternary::<f64>(9, m, n);
+    let reference_c = oracle_lower(&a);
+
+    let serial = lower_with(a.as_ref(), &AtaOptions::serial().cache_words(16));
+    assert_eq!(serial.max_abs_diff_lower(&reference_c), 0.0, "serial exact");
+
+    let par = lower_with(a.as_ref(), &AtaOptions::with_threads(8).cache_words(16));
+    assert_eq!(par.max_abs_diff_lower(&reference_c), 0.0, "AtA-S exact");
+
+    let cfg = AtaDConfig {
+        alpha: 0.5,
+        cache: CacheConfig::with_words(16),
+        strassen_leaves: true,
+        threads_per_rank: 1,
+    };
+    let a_ref = &a;
+    let report = run(12, CostModel::zero(), move |comm| {
+        let input = if comm.rank() == 0 { Some(a_ref) } else { None };
+        ata_d(input, m, n, comm, &cfg)
+    });
+    let c = report.results[0].as_ref().expect("root");
+    assert_eq!(c.max_abs_diff_lower(&reference_c), 0.0, "AtA-D exact");
+}
+
+#[test]
+fn simulated_cluster_reports_consistent_metrics() {
+    let (m, n, p) = (64usize, 64usize, 8usize);
+    let a = gen::standard::<f64>(31, m, n);
+    let a_ref = &a;
+    let report = run(p, CostModel::terastat(), move |comm| {
+        let input = if comm.rank() == 0 { Some(a_ref) } else { None };
+        ata_d(input, m, n, comm, &AtaDConfig::default());
+    });
+    assert_eq!(report.metrics.len(), p);
+    // Critical path bounds every rank's simulated time.
+    let cp = report.critical_path();
+    for m in &report.metrics {
+        assert!(m.sim_time <= cp + 1e-15);
+        assert!(m.compute_time <= m.sim_time + 1e-15);
+    }
+    // The root must have sent A's blocks: nonzero traffic.
+    assert!(report.metrics[0].words_sent > 0);
+}
