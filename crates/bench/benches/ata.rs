@@ -14,7 +14,9 @@ use ata_strassen::StrassenWorkspace;
 
 fn bench_serial_vs_syrk(c: &mut Criterion) {
     let mut group = c.benchmark_group("AtA vs syrk (serial)");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     let cache = CacheConfig::with_words(4096);
     for &n in &[192usize, 384] {
         let a = gen::standard::<f64>(1, n, n);
@@ -42,7 +44,9 @@ fn bench_ata_s_decomposition(c: &mut Criterion) {
     // Task-tree construction + disjoint carving overhead across thread
     // counts (compute dominated by the same total work on one core).
     let mut group = c.benchmark_group("AtA-S task count");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     let cache = CacheConfig::with_words(4096);
     let n = 256usize;
     let a = gen::standard::<f64>(2, n, n);
@@ -61,7 +65,9 @@ fn bench_ata_s_decomposition(c: &mut Criterion) {
 
 fn bench_packed_conversion(c: &mut Criterion) {
     let mut group = c.benchmark_group("packed conversion");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     let n = 512usize;
     let a = gen::standard::<f64>(3, n + 7, n);
     let g = ata_core::gram(a.as_ref());

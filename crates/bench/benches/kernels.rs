@@ -12,7 +12,9 @@ use ata_mat::{gen, reference, Matrix};
 
 fn bench_gemm_blocking(c: &mut Criterion) {
     let mut group = c.benchmark_group("gemm_tn blocking ablation");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for &n in &[128usize, 256] {
         let a = gen::standard::<f64>(1, n, n);
         let b = gen::standard::<f64>(2, n, n);
@@ -20,7 +22,13 @@ fn bench_gemm_blocking(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("blocked", n), &n, |bch, _| {
             bch.iter(|| {
                 out.as_mut().fill_zero();
-                gemm_tn_blocked(1.0, a.as_ref(), b.as_ref(), &mut out.as_mut(), BlockSizes::default());
+                gemm_tn_blocked(
+                    1.0,
+                    a.as_ref(),
+                    b.as_ref(),
+                    &mut out.as_mut(),
+                    BlockSizes::default(),
+                );
                 black_box(out.as_slice()[0]);
             })
         });
@@ -45,7 +53,9 @@ fn bench_gemm_blocking(c: &mut Criterion) {
 fn bench_syrk_vs_gemm(c: &mut Criterion) {
     // syrk computes half the entries: ~2x over gemm with B = A.
     let mut group = c.benchmark_group("syrk triangle savings");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for &n in &[128usize, 256] {
         let a = gen::standard::<f64>(3, n, n);
         let mut out = Matrix::<f64>::zeros(n, n);
@@ -59,7 +69,13 @@ fn bench_syrk_vs_gemm(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("gemm_self", n), &n, |bch, _| {
             bch.iter(|| {
                 out.as_mut().fill_zero();
-                gemm_tn_blocked(1.0, a.as_ref(), a.as_ref(), &mut out.as_mut(), BlockSizes::default());
+                gemm_tn_blocked(
+                    1.0,
+                    a.as_ref(),
+                    a.as_ref(),
+                    &mut out.as_mut(),
+                    BlockSizes::default(),
+                );
                 black_box(out.as_slice()[0]);
             })
         });

@@ -14,7 +14,9 @@ use ata_strassen::{fast_strassen_with, winograd_strassen_with, StrassenWorkspace
 
 fn bench_prealloc_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("strassen prealloc ablation");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     let cache = CacheConfig::with_words(1024); // force a few levels
     for &n in &[192usize, 384] {
         let a = gen::standard::<f64>(1, n, n);
@@ -24,7 +26,14 @@ fn bench_prealloc_ablation(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("fast (arena)", n), &n, |bch, _| {
             bch.iter(|| {
                 out.as_mut().fill_zero();
-                fast_strassen_with(1.0, a.as_ref(), b.as_ref(), &mut out.as_mut(), &cache, &mut ws);
+                fast_strassen_with(
+                    1.0,
+                    a.as_ref(),
+                    b.as_ref(),
+                    &mut out.as_mut(),
+                    &cache,
+                    &mut ws,
+                );
                 black_box(out.as_slice()[0]);
             })
         });
@@ -51,7 +60,9 @@ fn bench_winograd_vs_classic(c: &mut Criterion) {
     // accumulate form) at ~2x workspace — ablation 5 of `bin/ablation`
     // as a tracked criterion series.
     let mut group = c.benchmark_group("strassen winograd vs classic");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     let cache = CacheConfig::with_words(1024);
     for &n in &[192usize, 384] {
         let a = gen::standard::<f64>(3, n, n);
@@ -61,14 +72,28 @@ fn bench_winograd_vs_classic(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("classic (18 adds)", n), &n, |bch, _| {
             bch.iter(|| {
                 out.as_mut().fill_zero();
-                fast_strassen_with(1.0, a.as_ref(), b.as_ref(), &mut out.as_mut(), &cache, &mut ws);
+                fast_strassen_with(
+                    1.0,
+                    a.as_ref(),
+                    b.as_ref(),
+                    &mut out.as_mut(),
+                    &cache,
+                    &mut ws,
+                );
                 black_box(out.as_slice()[0]);
             })
         });
         group.bench_with_input(BenchmarkId::new("winograd (15 adds)", n), &n, |bch, _| {
             bch.iter(|| {
                 out.as_mut().fill_zero();
-                winograd_strassen_with(1.0, a.as_ref(), b.as_ref(), &mut out.as_mut(), &cache, &mut ws);
+                winograd_strassen_with(
+                    1.0,
+                    a.as_ref(),
+                    b.as_ref(),
+                    &mut out.as_mut(),
+                    &cache,
+                    &mut ws,
+                );
                 black_box(out.as_slice()[0]);
             })
         });
@@ -80,7 +105,9 @@ fn bench_cutoff_sweep(c: &mut Criterion) {
     // The cache-oblivious claim: performance should be flat across a
     // broad range of base-case sizes (no fragile tuning knee).
     let mut group = c.benchmark_group("strassen base-case cutoff");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     let n = 384usize;
     let a = gen::standard::<f64>(5, n, n);
     let b = gen::standard::<f64>(6, n, n);
@@ -91,7 +118,14 @@ fn bench_cutoff_sweep(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(words), &words, |bch, _| {
             bch.iter(|| {
                 out.as_mut().fill_zero();
-                fast_strassen_with(1.0, a.as_ref(), b.as_ref(), &mut out.as_mut(), &cache, &mut ws);
+                fast_strassen_with(
+                    1.0,
+                    a.as_ref(),
+                    b.as_ref(),
+                    &mut out.as_mut(),
+                    &cache,
+                    &mut ws,
+                );
                 black_box(out.as_slice()[0]);
             })
         });

@@ -37,7 +37,12 @@ fn leaf_kernel_ablation(cli: &Cli, n: usize) {
     let a = gen::standard::<f64>(1, n, n);
     let mut table = Table::new(
         &format!("Ablation 1 — AtA-D leaf kernels, A = {n}x{n}"),
-        &["P", "strassen leaves (s)", "blas leaves (s)", "strassen/blas"],
+        &[
+            "P",
+            "strassen leaves (s)",
+            "blas leaves (s)",
+            "strassen/blas",
+        ],
     );
     for &p in &cli.usize_list("procs", &[8, 16, 32]) {
         let mut times = Vec::new();
@@ -72,7 +77,13 @@ fn pdsyrk_1d_vs_2d(cli: &Cli, n: usize) {
     let a = gen::standard::<f64>(2, n, n);
     let mut table = Table::new(
         &format!("Ablation 2 — pdsyrk 1D vs 2D grid, A = {n}x{n}"),
-        &["P", "1D time (s)", "2D time (s)", "1D max rank words", "2D max rank words"],
+        &[
+            "P",
+            "1D time (s)",
+            "2D time (s)",
+            "1D max rank words",
+            "2D max rank words",
+        ],
     );
     for &p in &cli.usize_list("procs", &[8, 16, 32]) {
         let a_ref = &a;
@@ -86,7 +97,11 @@ fn pdsyrk_1d_vs_2d(cli: &Cli, n: usize) {
             pdsyrk_2d(input, n, n, comm);
         });
         let maxw = |rep: &ata_mpisim::RunReport<()>| {
-            rep.metrics[1..].iter().map(|m| m.words_sent).max().unwrap_or(0)
+            rep.metrics[1..]
+                .iter()
+                .map(|m| m.words_sent)
+                .max()
+                .unwrap_or(0)
         };
         table.row(vec![
             p.to_string(),
@@ -165,7 +180,14 @@ fn strassen_variant_ablation(cli: &Cli, n: usize) {
     let reps = cli.usize("reps", 3);
     let mut table = Table::new(
         "Ablation 5 — Strassen variants (C += A^T B, square f64)",
-        &["n", "t_classic", "t_winograd", "t_allocating", "adds_classic", "adds_winograd"],
+        &[
+            "n",
+            "t_classic",
+            "t_winograd",
+            "t_allocating",
+            "adds_classic",
+            "adds_winograd",
+        ],
     );
     for &sz in &cli.usize_list("sizes", &[n / 2, n]) {
         let a = gen::standard::<f64>(1, sz, sz);
@@ -175,11 +197,25 @@ fn strassen_variant_ablation(cli: &Cli, n: usize) {
 
         let t_classic = time_median(reps, || {
             c.as_mut().fill_zero();
-            fast_strassen_with(1.0, a.as_ref(), b.as_ref(), &mut c.as_mut(), &cache, &mut ws);
+            fast_strassen_with(
+                1.0,
+                a.as_ref(),
+                b.as_ref(),
+                &mut c.as_mut(),
+                &cache,
+                &mut ws,
+            );
         });
         let t_wino = time_median(reps, || {
             c.as_mut().fill_zero();
-            winograd_strassen_with(1.0, a.as_ref(), b.as_ref(), &mut c.as_mut(), &cache, &mut ws);
+            winograd_strassen_with(
+                1.0,
+                a.as_ref(),
+                b.as_ref(),
+                &mut c.as_mut(),
+                &cache,
+                &mut ws,
+            );
         });
         let t_alloc = time_median(reps, || {
             c.as_mut().fill_zero();

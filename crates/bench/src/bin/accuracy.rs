@@ -21,8 +21,7 @@
 
 use ata_bench::{Cli, Table};
 use ata_core::accuracy::{
-    abs_gram, classical_bound_factor, compensated_gram, componentwise_factor,
-    strassen_bound_factor,
+    abs_gram, classical_bound_factor, compensated_gram, componentwise_factor, strassen_bound_factor,
 };
 use ata_core::serial::{ata_into, ata_into_with_kind, StrassenKind};
 use ata_kernels::{syrk_ln, CacheConfig};
@@ -102,8 +101,15 @@ fn main() {
     let mut table = Table::new(
         "Accuracy — componentwise error factors (units of u * |A|^T|A|)",
         &[
-            "type", "n", "m", "f_syrk", "f_AtA", "f_AtA-W", "bound_classic",
-            "bound_strassen", "AtA/syrk",
+            "type",
+            "n",
+            "m",
+            "f_syrk",
+            "f_AtA",
+            "f_AtA-W",
+            "bound_classic",
+            "bound_strassen",
+            "AtA/syrk",
         ],
     );
     run_precision::<f32>(&mut table, &sizes, m_factor, &cfg, base_n);

@@ -50,13 +50,22 @@ fn main() {
     });
     let axpy_rate = 2.0 * (n as f64) * (n as f64) / t_axpy;
 
-    let mut table = Table::new(
-        "Measured kernel rates",
-        &["kernel", "time", "GFLOP/s"],
-    );
-    table.row(vec!["gemm_tn".into(), format!("{t_gemm:.4}s"), format!("{:.2}", gemm_rate / 1e9)]);
-    table.row(vec!["syrk_ln".into(), format!("{t_syrk:.4}s"), format!("{:.2}", syrk_rate / 1e9)]);
-    table.row(vec!["axpy".into(), format!("{t_axpy:.4}s"), format!("{:.2}", axpy_rate / 1e9)]);
+    let mut table = Table::new("Measured kernel rates", &["kernel", "time", "GFLOP/s"]);
+    table.row(vec![
+        "gemm_tn".into(),
+        format!("{t_gemm:.4}s"),
+        format!("{:.2}", gemm_rate / 1e9),
+    ]);
+    table.row(vec![
+        "syrk_ln".into(),
+        format!("{t_syrk:.4}s"),
+        format!("{:.2}", syrk_rate / 1e9),
+    ]);
+    table.row(vec![
+        "axpy".into(),
+        format!("{t_axpy:.4}s"),
+        format!("{:.2}", axpy_rate / 1e9),
+    ]);
     table.emit(&cli);
 
     // Use the level-3 average as the effective rate (the simulator
@@ -64,7 +73,10 @@ fn main() {
     let rate = (gemm_rate + syrk_rate) / 2.0;
     let model = CostModel::new(25e-6, 6.4e-9, 1.0 / rate);
     println!("\nSuggested local cost model:");
-    println!("  CostModel::new(25e-6 /* alpha */, 6.4e-9 /* beta */, {:.3e} /* flop_time */)", model.flop_time);
+    println!(
+        "  CostModel::new(25e-6 /* alpha */, 6.4e-9 /* beta */, {:.3e} /* flop_time */)",
+        model.flop_time
+    );
     println!("  (network alpha/beta kept at the TeraStat defaults — measure separately on a real cluster)");
 
     let default = CostModel::terastat();

@@ -27,11 +27,21 @@ fn main() {
     let cache = CacheConfig::with_words(cli.usize("cache-words", CacheConfig::default().words));
 
     println!("Figure 3: sequential AtA vs dsyrk-substitute (f64, square)");
-    println!("sizes = {sizes:?}, reps = {reps}, cache words = {}", cache.words);
+    println!(
+        "sizes = {sizes:?}, reps = {reps}, cache words = {}",
+        cache.words
+    );
 
     let mut table = Table::new(
         "Fig 3 — AtA vs dsyrk (sequential, f64)",
-        &["n", "t_AtA", "t_dsyrk", "EG_AtA", "EG_dsyrk", "AtA/dsyrk time"],
+        &[
+            "n",
+            "t_AtA",
+            "t_dsyrk",
+            "EG_AtA",
+            "EG_dsyrk",
+            "AtA/dsyrk time",
+        ],
     );
 
     for &n in &sizes {

@@ -28,11 +28,22 @@ fn main() {
     let cache = CacheConfig::with_words(cli.usize("cache-words", CacheConfig::default().words));
 
     println!("Figure 4: FastStrassen vs dgemm-substitute (f64, square A^T B)");
-    println!("sizes = {sizes:?}, reps = {reps}, cache words = {}", cache.words);
+    println!(
+        "sizes = {sizes:?}, reps = {reps}, cache words = {}",
+        cache.words
+    );
 
     let mut table = Table::new(
         "Fig 4 — FastStrassen vs dgemm (sequential, f64)",
-        &["n", "t_Strassen", "t_dgemm", "t_alloc", "EG_Strassen", "EG_dgemm", "prealloc gain"],
+        &[
+            "n",
+            "t_Strassen",
+            "t_dgemm",
+            "t_alloc",
+            "EG_Strassen",
+            "EG_dgemm",
+            "prealloc gain",
+        ],
     );
 
     for &n in &sizes {
@@ -43,7 +54,14 @@ fn main() {
 
         let t_fast = time_median(reps, || {
             c.as_mut().fill_zero();
-            fast_strassen_with(1.0, a.as_ref(), b.as_ref(), &mut c.as_mut(), &cache, &mut ws);
+            fast_strassen_with(
+                1.0,
+                a.as_ref(),
+                b.as_ref(),
+                &mut c.as_mut(),
+                &cache,
+                &mut ws,
+            );
         });
         let t_gemm = time_median(reps, || {
             c.as_mut().fill_zero();

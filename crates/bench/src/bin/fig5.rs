@@ -46,7 +46,14 @@ fn run_shape(cli: &Cli, label: &str, m: usize, n: usize) {
 
     let mut table = Table::new(
         &format!("Fig 5 — AtA-S vs ssyrk, A = {label}"),
-        &["P", "wall_AtA-S", "wall_ssyrk", "model_AtA-S", "EG_model", "EG_ssyrk_wall"],
+        &[
+            "P",
+            "wall_AtA-S",
+            "wall_ssyrk",
+            "model_AtA-S",
+            "EG_model",
+            "EG_ssyrk_wall",
+        ],
     );
 
     for &p in &procs {

@@ -63,7 +63,11 @@ fn run_shape(cli: &Cli, label: &str, m: usize, n: usize, model: CostModel) {
             let a_ref = &a;
             Some(
                 run(p, model, move |comm| {
-                    let (ia, ib) = if comm.rank() == 0 { (Some(a_ref), Some(a_ref)) } else { (None, None) };
+                    let (ia, ib) = if comm.rank() == 0 {
+                        (Some(a_ref), Some(a_ref))
+                    } else {
+                        (None, None)
+                    };
                     caps_like(ia, ib, n, comm, &cache);
                 })
                 .critical_path(),
@@ -74,7 +78,11 @@ fn run_shape(cli: &Cli, label: &str, m: usize, n: usize, model: CostModel) {
 
         let a_ref = &a;
         let t_cosma = run(p, model, move |comm| {
-            let (ia, ib) = if comm.rank() == 0 { (Some(a_ref), Some(a_ref)) } else { (None, None) };
+            let (ia, ib) = if comm.rank() == 0 {
+                (Some(a_ref), Some(a_ref))
+            } else {
+                (None, None)
+            };
             cosma_like(ia, ib, m, n, n, comm);
         })
         .critical_path();
@@ -89,14 +97,24 @@ fn run_shape(cli: &Cli, label: &str, m: usize, n: usize, model: CostModel) {
             ..CarmaConfig::default()
         };
         let t_carma = run(p, model, move |comm| {
-            let (ia, ib) = if comm.rank() == 0 { (Some(a_ref), Some(a_ref)) } else { (None, None) };
+            let (ia, ib) = if comm.rank() == 0 {
+                (Some(a_ref), Some(a_ref))
+            } else {
+                (None, None)
+            };
             carma_like(ia, ib, m, n, n, comm, &carma_cfg);
         })
         .critical_path();
 
         rows.push(ShapeResult {
             p,
-            times: [Some(t_ata), Some(t_pdsyrk), t_caps, Some(t_cosma), Some(t_carma)],
+            times: [
+                Some(t_ata),
+                Some(t_pdsyrk),
+                t_caps,
+                Some(t_cosma),
+                Some(t_carma),
+            ],
         });
     }
 
@@ -108,7 +126,14 @@ fn run_shape(cli: &Cli, label: &str, m: usize, n: usize, model: CostModel) {
     // Panel (b/e/h): effective GFLOPs.
     let mut t_eg = Table::new(
         &format!("Fig 6 — effective GFLOPs, A = {label}"),
-        &["P", "AtA-D(r=1)", "pdsyrk(r=1)", "CAPS(r=2)", "COSMA(r=2)", "CARMA(r=2)"],
+        &[
+            "P",
+            "AtA-D(r=1)",
+            "pdsyrk(r=1)",
+            "CAPS(r=2)",
+            "COSMA(r=2)",
+            "CARMA(r=2)",
+        ],
     );
     // Panel (c/f/i): % of theoretical peak.
     let peak_per_core = 1.0 / model.flop_time / 1e9; // GFLOPs
@@ -118,7 +143,8 @@ fn run_shape(cli: &Cli, label: &str, m: usize, n: usize, model: CostModel) {
         &["P", "AtA-D", "pdsyrk", "CAPS", "COSMA", "CARMA"],
     );
 
-    let fmt_opt = |x: Option<f64>, f: &dyn Fn(f64) -> String| x.map(&f).unwrap_or_else(|| "-".into());
+    let fmt_opt =
+        |x: Option<f64>, f: &dyn Fn(f64) -> String| x.map(&f).unwrap_or_else(|| "-".into());
     for r in &rows {
         let [ta, tp, tc, tm, tr] = r.times;
         t_time.row(vec![
@@ -140,11 +166,21 @@ fn run_shape(cli: &Cli, label: &str, m: usize, n: usize, model: CostModel) {
         let peak = peak_per_core * r.p as f64;
         t_tpp.row(vec![
             r.p.to_string(),
-            fmt_opt(ta, &|t| format!("{:.1}%", 100.0 * (ata_flops / t / 1e9) / peak)),
-            fmt_opt(tp, &|t| format!("{:.1}%", 100.0 * effective_gflops(1.0, m, n, t) / peak)),
-            fmt_opt(tc, &|t| format!("{:.1}%", 100.0 * effective_gflops(2.0, m, n, t) / peak)),
-            fmt_opt(tm, &|t| format!("{:.1}%", 100.0 * effective_gflops(2.0, m, n, t) / peak)),
-            fmt_opt(tr, &|t| format!("{:.1}%", 100.0 * effective_gflops(2.0, m, n, t) / peak)),
+            fmt_opt(ta, &|t| {
+                format!("{:.1}%", 100.0 * (ata_flops / t / 1e9) / peak)
+            }),
+            fmt_opt(tp, &|t| {
+                format!("{:.1}%", 100.0 * effective_gflops(1.0, m, n, t) / peak)
+            }),
+            fmt_opt(tc, &|t| {
+                format!("{:.1}%", 100.0 * effective_gflops(2.0, m, n, t) / peak)
+            }),
+            fmt_opt(tm, &|t| {
+                format!("{:.1}%", 100.0 * effective_gflops(2.0, m, n, t) / peak)
+            }),
+            fmt_opt(tr, &|t| {
+                format!("{:.1}%", 100.0 * effective_gflops(2.0, m, n, t) / peak)
+            }),
         ]);
     }
     t_time.emit(cli);
@@ -168,7 +204,9 @@ fn main() {
         run_shape(&cli, &format!("{m}x{n}"), m, n, model);
     }
     println!("\nExpected shapes (paper Fig. 6): AtA-D steps down with P per Eq. 5 and wins on large/square inputs;");
-    println!("CAPS only on square shapes; AtA-D's %TPP dips on the tall shape (short-row axpy effect).");
+    println!(
+        "CAPS only on square shapes; AtA-D's %TPP dips on the tall shape (short-row axpy effect)."
+    );
     println!("CARMA (the baseline the paper could not run) behaves like COSMA's recursion with");
     println!("binary-halving groups: competitive on rectangles, no Strassen flop advantage.");
 }

@@ -26,14 +26,25 @@ fn main() {
 
     let mut t1 = Table::new(
         "Eq. 3 — multiplication counts (full recursion)",
-        &["n", "Strassen (7^q)", "AtA", "closed form", "AtA/Strassen", "naive syrk"],
+        &[
+            "n",
+            "Strassen (7^q)",
+            "AtA",
+            "closed form",
+            "AtA/Strassen",
+            "naive syrk",
+        ],
     );
     for q in 0..cli.usize("max-q", 10) as u32 {
         let n = 1usize << q;
         let s = strassen_mults(n, n, n, &deep);
         let a = ata_mults(n, n, &deep);
         let naive = (n as u64) * (n as u64) * (n as u64 + 1) / 2;
-        assert_eq!(a, ata_mults_closed_form(q), "closed form must match recurrence");
+        assert_eq!(
+            a,
+            ata_mults_closed_form(q),
+            "closed form must match recurrence"
+        );
         t1.row(vec![
             n.to_string(),
             s.to_string(),
@@ -48,7 +59,14 @@ fn main() {
 
     let mut t2 = Table::new(
         "Eq. 3 — MEASURED multiplications (op-counting scalar)",
-        &["n", "measured AtA", "formula", "exact?", "measured Strassen", "7^q"],
+        &[
+            "n",
+            "measured AtA",
+            "formula",
+            "exact?",
+            "measured Strassen",
+            "7^q",
+        ],
     );
     for q in 1..=cli.usize("measured-max-q", 6) as u32 {
         let n = 1usize << q;
@@ -59,8 +77,15 @@ fn main() {
 
         let b = gen::standard::<Tracked>(q as u64 + 50, n, n);
         let mut cs = Matrix::<Tracked>::zeros(n, n);
-        let (_, ops_s) =
-            measure(|| fast_strassen(Tracked(1.0), a.as_ref(), b.as_ref(), &mut cs.as_mut(), &deep));
+        let (_, ops_s) = measure(|| {
+            fast_strassen(
+                Tracked(1.0),
+                a.as_ref(),
+                b.as_ref(),
+                &mut cs.as_mut(),
+                &deep,
+            )
+        });
 
         let formula = ata_mults_closed_form(q);
         t2.row(vec![
@@ -71,9 +96,18 @@ fn main() {
             ops_s.muls.to_string(),
             7u64.pow(q).to_string(),
         ]);
-        assert_eq!(ops_ata.muls, formula, "measured count must equal (2*7^q + 4^q)/3");
-        assert_eq!(ops_s.muls, 7u64.pow(q), "measured Strassen count must equal 7^q");
+        assert_eq!(
+            ops_ata.muls, formula,
+            "measured count must equal (2*7^q + 4^q)/3"
+        );
+        assert_eq!(
+            ops_s.muls,
+            7u64.pow(q),
+            "measured Strassen count must equal 7^q"
+        );
     }
     t2.emit(&cli);
-    println!("  (every row exact — the implementation performs precisely the paper's operation counts)");
+    println!(
+        "  (every row exact — the implementation performs precisely the paper's operation counts)"
+    );
 }

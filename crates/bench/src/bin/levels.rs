@@ -20,7 +20,14 @@ fn main() {
 
     let mut table = Table::new(
         "Eq. 5 / Eq. 6 — parallel levels vs constructed tree depth",
-        &["P", "Eq.5 l(P) dist", "DistTree depth", "Eq.6 l(P) shared", "SharedPlan depth", "tasks"],
+        &[
+            "P",
+            "Eq.5 l(P) dist",
+            "DistTree depth",
+            "Eq.6 l(P) shared",
+            "SharedPlan depth",
+            "tasks",
+        ],
     );
     for p in 1..=max_p {
         let dist = DistTree::build(n, n, p);

@@ -29,13 +29,24 @@ fn main() {
     let b_words = cli.usize("line-words", 8);
     let base = cli.usize("base-words", 8);
 
-    println!("Proposition 3.1: ideal-cache miss counts (M = {m_words} words, b = {b_words} words/line)");
+    println!(
+        "Proposition 3.1: ideal-cache miss counts (M = {m_words} words, b = {b_words} words/line)"
+    );
     println!("sizes = {sizes:?}, recursion base = {base} words");
 
     // ---- 1. n-sweep, normalized by the Θ-expression ----
     let mut t1 = Table::new(
         "Prop 3.1 — misses / Θ(1 + n²/b + n^lg7/(b√M))",
-        &["n", "Q_naive", "Q_recgemm", "Q_strassen", "Q_AtA", "AtA/Θ", "Strassen/Θ", "naive/Θ"],
+        &[
+            "n",
+            "Q_naive",
+            "Q_recgemm",
+            "Q_strassen",
+            "Q_AtA",
+            "AtA/Θ",
+            "Strassen/Θ",
+            "naive/Θ",
+        ],
     );
     for &n in &sizes {
         let a = gen::standard::<f64>(n as u64, n, n);
@@ -60,7 +71,14 @@ fn main() {
     // ---- 2. the proof's sandwich ----
     let mut t2 = Table::new(
         "Prop 3.1 — proof sandwich C_S(n/2) <= C_AtA(n) <= C_S(n)",
-        &["n", "C_S(n/2)", "C_AtA(n)", "C_S(n)", "S(n/2)/AtA", "AtA/S(n)"],
+        &[
+            "n",
+            "C_S(n/2)",
+            "C_AtA(n)",
+            "C_S(n)",
+            "S(n/2)/AtA",
+            "AtA/S(n)",
+        ],
     );
     for &n in sizes.iter().filter(|&&n| n >= 8) {
         let a = gen::standard::<f64>(n as u64 + 1, n, n);

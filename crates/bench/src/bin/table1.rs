@@ -83,6 +83,10 @@ fn main() {
     let increasing = speedups.windows(2).all(|w| w[1] >= w[0] * 0.95);
     println!(
         "\nExpected shape (paper Table 1): speed-up grows with n — {}",
-        if increasing { "reproduced" } else { "NOT reproduced at these sizes (communication-bound; increase --sizes)" }
+        if increasing {
+            "reproduced"
+        } else {
+            "NOT reproduced at these sizes (communication-bound; increase --sizes)"
+        }
     );
 }

@@ -67,7 +67,10 @@ impl Cli {
     pub fn usize(&self, key: &str, default: usize) -> usize {
         self.kv
             .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer, got '{v}'")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} expects an integer, got '{v}'"))
+            })
             .unwrap_or(default)
     }
 
@@ -75,7 +78,10 @@ impl Cli {
     pub fn f64(&self, key: &str, default: f64) -> f64 {
         self.kv
             .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects a number, got '{v}'")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} expects a number, got '{v}'"))
+            })
             .unwrap_or(default)
     }
 
@@ -85,7 +91,11 @@ impl Cli {
             None => default.to_vec(),
             Some(v) => v
                 .split(',')
-                .map(|t| t.trim().parse().unwrap_or_else(|_| panic!("--{key} expects integers, got '{t}'")))
+                .map(|t| {
+                    t.trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("--{key} expects integers, got '{t}'"))
+                })
                 .collect(),
         }
     }
@@ -153,12 +163,7 @@ impl Table {
             println!("  {}", joined.join("  "));
         };
         line(&self.headers);
-        line(
-            &widths
-                .iter()
-                .map(|w| "-".repeat(*w))
-                .collect::<Vec<_>>(),
-        );
+        line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
         for row in &self.rows {
             line(row);
         }

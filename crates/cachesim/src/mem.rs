@@ -118,7 +118,12 @@ impl Region {
     /// Address of element `(i, j)`.
     #[inline]
     pub fn at(&self, i: usize, j: usize) -> usize {
-        debug_assert!(i < self.rows && j < self.cols, "({i},{j}) out of {}x{}", self.rows, self.cols);
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "({i},{j}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
         self.base + i * self.stride + j
     }
 

@@ -46,7 +46,9 @@ impl Args {
     fn usize(&self, key: &str, default: usize) -> Result<usize, String> {
         match self.kv.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{key} expects an integer, got '{v}'")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects an integer, got '{v}'")),
         }
     }
 
@@ -57,7 +59,10 @@ impl Args {
     }
 
     fn str_or(&self, key: &str, default: &'static str) -> String {
-        self.kv.get(key).cloned().unwrap_or_else(|| default.to_string())
+        self.kv
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 }
 
@@ -69,7 +74,9 @@ fn options(args: &Args) -> Result<AtaOptions, String> {
         AtaOptions::serial()
     };
     if let Some(w) = args.kv.get("cache-words") {
-        let w: usize = w.parse().map_err(|_| "--cache-words expects an integer".to_string())?;
+        let w: usize = w
+            .parse()
+            .map_err(|_| "--cache-words expects an integer".to_string())?;
         opts = opts.cache_words(w);
     }
     match args.str_or("strassen", "classic").as_str() {
@@ -109,7 +116,11 @@ fn cmd_gram(args: &Args) -> Result<(), String> {
             c
         }
         "naive" => reference::gram(a.as_ref()),
-        other => return Err(format!("unknown --algo '{other}' (ata | ata-s | syrk | naive)")),
+        other => {
+            return Err(format!(
+                "unknown --algo '{other}' (ata | ata-s | syrk | naive)"
+            ))
+        }
     };
     let dt = t0.elapsed().as_secs_f64();
     io::save(&g, out).map_err(|e| e.to_string())?;
@@ -208,7 +219,15 @@ mod tests {
         let g_path = dir.join("g.csv").to_string_lossy().to_string();
 
         cmd_gen(&args(&["--rows", "20", "--cols", "10", "--out", &a_path])).expect("gen");
-        cmd_gram(&args(&["--input", &a_path, "--out", &g_path, "--threads", "2"])).expect("gram");
+        cmd_gram(&args(&[
+            "--input",
+            &a_path,
+            "--out",
+            &g_path,
+            "--threads",
+            "2",
+        ]))
+        .expect("gram");
         cmd_verify(&args(&["--input", &a_path])).expect("verify");
         cmd_info(&args(&["--input", &a_path])).expect("info");
 
@@ -222,11 +241,17 @@ mod tests {
         let dir = std::env::temp_dir().join("ata_cli_test2");
         std::fs::create_dir_all(&dir).expect("mkdir");
         let a_path = dir.join("a.csv").to_string_lossy().to_string();
-        cmd_gen(&args(&["--rows", "16", "--cols", "8", "--out", &a_path, "--seed", "7"])).expect("gen");
+        cmd_gen(&args(&[
+            "--rows", "16", "--cols", "8", "--out", &a_path, "--seed", "7",
+        ]))
+        .expect("gen");
 
         let mut results = Vec::new();
         for algo in ["ata", "syrk", "naive"] {
-            let out = dir.join(format!("g_{algo}.csv")).to_string_lossy().to_string();
+            let out = dir
+                .join(format!("g_{algo}.csv"))
+                .to_string_lossy()
+                .to_string();
             cmd_gram(&args(&["--input", &a_path, "--out", &out, "--algo", algo])).expect("gram");
             results.push(io::load::<f64>(&out).expect("load"));
         }
@@ -239,21 +264,43 @@ mod tests {
         let dir = std::env::temp_dir().join("ata_cli_test4");
         std::fs::create_dir_all(&dir).expect("mkdir");
         let a_path = dir.join("a.csv").to_string_lossy().to_string();
-        cmd_gen(&args(&["--rows", "40", "--cols", "24", "--out", &a_path, "--seed", "3"])).expect("gen");
+        cmd_gen(&args(&[
+            "--rows", "40", "--cols", "24", "--out", &a_path, "--seed", "3",
+        ]))
+        .expect("gen");
         let g1 = dir.join("g1.csv").to_string_lossy().to_string();
         let g2 = dir.join("g2.csv").to_string_lossy().to_string();
         cmd_gram(&args(&[
-            "--input", &a_path, "--out", &g1, "--cache-words", "64",
+            "--input",
+            &a_path,
+            "--out",
+            &g1,
+            "--cache-words",
+            "64",
         ]))
         .expect("classic");
         cmd_gram(&args(&[
-            "--input", &a_path, "--out", &g2, "--cache-words", "64", "--strassen", "winograd",
+            "--input",
+            &a_path,
+            "--out",
+            &g2,
+            "--cache-words",
+            "64",
+            "--strassen",
+            "winograd",
         ]))
         .expect("winograd");
         let ga: Matrix<f64> = io::load(&g1).expect("g1");
         let gb: Matrix<f64> = io::load(&g2).expect("g2");
         assert!(ga.max_abs_diff(&gb) < 1e-10);
-        let bad = cmd_gram(&args(&["--input", &a_path, "--out", &g2, "--strassen", "x"]));
+        let bad = cmd_gram(&args(&[
+            "--input",
+            &a_path,
+            "--out",
+            &g2,
+            "--strassen",
+            "x",
+        ]));
         assert!(bad.is_err());
     }
 
@@ -263,7 +310,9 @@ mod tests {
         std::fs::create_dir_all(&dir).expect("mkdir");
         let a_path = dir.join("a.csv").to_string_lossy().to_string();
         cmd_gen(&args(&["--rows", "4", "--cols", "4", "--out", &a_path])).expect("gen");
-        let r = cmd_gram(&args(&["--input", &a_path, "--out", &a_path, "--algo", "magic"]));
+        let r = cmd_gram(&args(&[
+            "--input", &a_path, "--out", &a_path, "--algo", "magic",
+        ]));
         assert!(r.is_err());
     }
 }

@@ -136,7 +136,11 @@ pub struct ErrorStats {
 pub fn gram_forward_error<T: Scalar>(computed: &Matrix<T>, reference: &Matrix<f64>) -> ErrorStats {
     let n = reference.rows();
     assert_eq!(reference.shape(), (n, n), "reference must be square");
-    assert_eq!(computed.shape(), (n, n), "computed/reference shape mismatch");
+    assert_eq!(
+        computed.shape(),
+        (n, n),
+        "computed/reference shape mismatch"
+    );
 
     // Scale floor for relative error: largest reference magnitude.
     let mut norm = 0.0f64;
@@ -162,7 +166,11 @@ pub fn gram_forward_error<T: Scalar>(computed: &Matrix<T>, reference: &Matrix<f6
     ErrorStats {
         max_abs,
         max_rel,
-        fro_rel: if rfro > 0.0 { (dfro / rfro).sqrt() } else { 0.0 },
+        fro_rel: if rfro > 0.0 {
+            (dfro / rfro).sqrt()
+        } else {
+            0.0
+        },
     }
 }
 

@@ -155,7 +155,10 @@ mod tests {
         // With a huge cache budget, AtA degenerates to one syrk call.
         let n = 64usize;
         let big = CacheConfig::with_words(usize::MAX / 2);
-        assert_eq!(ata_mults(n, n, &big), (n as u64) * (n as u64) * (n as u64 + 1) / 2);
+        assert_eq!(
+            ata_mults(n, n, &big),
+            (n as u64) * (n as u64) * (n as u64 + 1) / 2
+        );
     }
 
     #[test]

@@ -51,7 +51,12 @@ pub fn ata_syrk<T: Scalar>(
     cfg: &CacheConfig,
 ) {
     let n = a.cols();
-    assert_eq!(c.shape(), (n, n), "ata_syrk: C must be {n}x{n}, got {:?}", c.shape());
+    assert_eq!(
+        c.shape(),
+        (n, n),
+        "ata_syrk: C must be {n}x{n}, got {:?}",
+        c.shape()
+    );
     scale_lower(c, beta);
     let mut ws = StrassenWorkspace::empty();
     ata_into_with(alpha, a, c, cfg, &mut ws);
@@ -130,7 +135,10 @@ mod tests {
                 "alpha={alpha}, beta={beta}"
             );
             // Strict upper untouched by both.
-            assert_eq!(c_fast.max_abs_diff(&c_ref), c_fast.max_abs_diff_lower(&c_ref));
+            assert_eq!(
+                c_fast.max_abs_diff(&c_ref),
+                c_fast.max_abs_diff_lower(&c_ref)
+            );
         }
     }
 
@@ -139,10 +147,19 @@ mod tests {
         let a = gen::standard::<f64>(3, 8, 6);
         let mut c = Matrix::from_fn(6, 6, |_, _| f64::NAN);
         c.zero_strict_upper(); // NaN lower, zero upper
-        ata_syrk(1.0, a.as_ref(), 0.0, &mut c.as_mut(), &CacheConfig::default());
+        ata_syrk(
+            1.0,
+            a.as_ref(),
+            0.0,
+            &mut c.as_mut(),
+            &CacheConfig::default(),
+        );
         let mut c_ref = Matrix::zeros(6, 6);
         reference::syrk_ln(1.0, a.as_ref(), &mut c_ref.as_mut());
-        assert!(c.max_abs_diff_lower(&c_ref) < 1e-12, "beta=0 must squash NaNs");
+        assert!(
+            c.max_abs_diff_lower(&c_ref) < 1e-12,
+            "beta=0 must squash NaNs"
+        );
     }
 
     #[test]
@@ -154,7 +171,14 @@ mod tests {
         let cfg = CacheConfig::with_words(16);
 
         let mut c_fast = c0.clone();
-        strassen_gemm(1.5, a.as_ref(), b.as_ref(), 0.25, &mut c_fast.as_mut(), &cfg);
+        strassen_gemm(
+            1.5,
+            a.as_ref(),
+            b.as_ref(),
+            0.25,
+            &mut c_fast.as_mut(),
+            &cfg,
+        );
         let mut c_ref = c0.clone();
         c_ref.scale(0.25);
         reference::gemm_tn(1.5, a.as_ref(), b.as_ref(), &mut c_ref.as_mut());

@@ -129,9 +129,23 @@ pub fn lower_with<T: Scalar>(a: MatRef<'_, T>, opts: &AtaOptions) -> Matrix<T> {
     let mut c = Matrix::zeros(n, n);
     if opts.threads <= 1 {
         let mut ws = ata_strassen::StrassenWorkspace::empty();
-        serial::ata_into_with_kind(T::ONE, a, &mut c.as_mut(), &opts.cache, opts.strassen, &mut ws);
+        serial::ata_into_with_kind(
+            T::ONE,
+            a,
+            &mut c.as_mut(),
+            &opts.cache,
+            opts.strassen,
+            &mut ws,
+        );
     } else {
-        parallel::ata_s_kind(T::ONE, a, &mut c.as_mut(), opts.threads, &opts.cache, opts.strassen);
+        parallel::ata_s_kind(
+            T::ONE,
+            a,
+            &mut c.as_mut(),
+            opts.threads,
+            &opts.cache,
+            opts.strassen,
+        );
     }
     c
 }

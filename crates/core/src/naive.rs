@@ -31,11 +31,23 @@ pub fn recursive_gemm<T: Scalar>(
     let (m, n) = a.shape();
     let (mb, k) = b.shape();
     assert_eq!(m, mb, "recursive_gemm: A is {m}x{n} but B has {mb} rows");
-    assert_eq!(c.shape(), (n, k), "recursive_gemm: C must be {n}x{k}, got {:?}", c.shape());
+    assert_eq!(
+        c.shape(),
+        (n, k),
+        "recursive_gemm: C must be {n}x{k}, got {:?}",
+        c.shape()
+    );
     rec_gemm(alpha, a, b, c, cfg);
 }
 
-fn rec_gemm<T: Scalar>(alpha: T, a: MatRef<'_, T>, b: MatRef<'_, T>, c: &mut MatMut<'_, T>, cfg: &CacheConfig) {
+#[allow(clippy::needless_range_loop)] // the [l][i]/[l][j] indexing mirrors Algorithm 2
+fn rec_gemm<T: Scalar>(
+    alpha: T,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    c: &mut MatMut<'_, T>,
+    cfg: &CacheConfig,
+) {
     let (m, n) = a.shape();
     let k = b.cols();
     if m == 0 || n == 0 || k == 0 {
@@ -75,7 +87,12 @@ fn rec_gemm<T: Scalar>(alpha: T, a: MatRef<'_, T>, b: MatRef<'_, T>, c: &mut Mat
 /// On inconsistent shapes.
 pub fn ata_naive<T: Scalar>(alpha: T, a: MatRef<'_, T>, c: &mut MatMut<'_, T>, cfg: &CacheConfig) {
     let (m, n) = a.shape();
-    assert_eq!(c.shape(), (n, n), "ata_naive: C must be {n}x{n}, got {:?}", c.shape());
+    assert_eq!(
+        c.shape(),
+        (n, n),
+        "ata_naive: C must be {n}x{n}, got {:?}",
+        c.shape()
+    );
     if m == 0 || n == 0 {
         return;
     }
@@ -141,7 +158,13 @@ mod tests {
             let b = gen::standard::<f64>(n as u64 + 9, m, k);
             let mut fast = gen::standard::<f64>(3, n, k);
             let mut slow = fast.clone();
-            recursive_gemm(1.5, a.as_ref(), b.as_ref(), &mut fast.as_mut(), &CacheConfig::with_words(16));
+            recursive_gemm(
+                1.5,
+                a.as_ref(),
+                b.as_ref(),
+                &mut fast.as_mut(),
+                &CacheConfig::with_words(16),
+            );
             reference::gemm_tn(1.5, a.as_ref(), b.as_ref(), &mut slow.as_mut());
             assert!(fast.max_abs_diff(&slow) < 1e-10, "({m},{n},{k})");
         }
@@ -152,7 +175,12 @@ mod tests {
         for &(m, n) in &[(1, 1), (12, 12), (13, 9), (9, 13), (40, 24)] {
             let a = gen::standard::<f64>(m as u64 * 3 + n as u64, m, n);
             let mut fast = Matrix::zeros(n, n);
-            ata_naive(1.0, a.as_ref(), &mut fast.as_mut(), &CacheConfig::with_words(8));
+            ata_naive(
+                1.0,
+                a.as_ref(),
+                &mut fast.as_mut(),
+                &CacheConfig::with_words(8),
+            );
             let mut slow = Matrix::zeros(n, n);
             reference::syrk_ln(1.0, a.as_ref(), &mut slow.as_mut());
             assert!(fast.max_abs_diff_lower(&slow) < 1e-10, "({m},{n})");
@@ -210,6 +238,12 @@ mod tests {
         let a = Matrix::<f64>::zeros(3, 3);
         let b = Matrix::<f64>::zeros(4, 3);
         let mut c = Matrix::<f64>::zeros(3, 3);
-        recursive_gemm(1.0, a.as_ref(), b.as_ref(), &mut c.as_mut(), &CacheConfig::default());
+        recursive_gemm(
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            &mut c.as_mut(),
+            &CacheConfig::default(),
+        );
     }
 }

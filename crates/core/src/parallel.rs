@@ -88,7 +88,12 @@ pub fn ata_s_kind<T: Scalar>(
     kind: StrassenKind,
 ) {
     let (m, n) = a.shape();
-    assert_eq!(c.shape(), (n, n), "ata_s: C must be {n}x{n}, got {:?}", c.shape());
+    assert_eq!(
+        c.shape(),
+        (n, n),
+        "ata_s: C must be {n}x{n}, got {:?}",
+        c.shape()
+    );
     assert!(threads > 0, "ata_s: threads must be positive");
     if m == 0 || n == 0 {
         return;
@@ -100,7 +105,8 @@ pub fn ata_s_kind<T: Scalar>(
     // Group (task, view) pairs by owning thread so each worker processes
     // its list sequentially with one private arena — mirroring the
     // paper's thread lifespan data reuse.
-    let mut per_proc: Vec<Vec<(&SharedLeaf, MatMut<'_, T>)>> = (0..threads).map(|_| Vec::new()).collect();
+    let mut per_proc: Vec<Vec<(&SharedLeaf, MatMut<'_, T>)>> =
+        (0..threads).map(|_| Vec::new()).collect();
     for (task, view) in plan.tasks.iter().zip(views) {
         per_proc[task.proc_id].push((task, view));
     }
@@ -131,12 +137,21 @@ mod tests {
     fn check(m: usize, n: usize, threads: usize, words: usize) {
         let a = gen::standard::<f64>(m as u64 * 3 + n as u64 + threads as u64, m, n);
         let mut c = Matrix::zeros(n, n);
-        ata_s(1.0, a.as_ref(), &mut c.as_mut(), threads, &CacheConfig::with_words(words));
+        ata_s(
+            1.0,
+            a.as_ref(),
+            &mut c.as_mut(),
+            threads,
+            &CacheConfig::with_words(words),
+        );
         let mut c_ref = Matrix::zeros(n, n);
         reference::syrk_ln(1.0, a.as_ref(), &mut c_ref.as_mut());
         let tol = ata_mat::ops::product_tol::<f64>(m.max(n), n, m as f64);
         let diff = c.max_abs_diff_lower(&c_ref);
-        assert!(diff <= tol, "(m={m},n={n},P={threads}) AtA-S differs by {diff} > {tol}");
+        assert!(
+            diff <= tol,
+            "(m={m},n={n},P={threads}) AtA-S differs by {diff} > {tol}"
+        );
         // Strict upper untouched.
         for i in 0..n {
             for j in (i + 1)..n {
@@ -183,7 +198,15 @@ mod tests {
         let pool = pool_with_threads(3);
         let a = gen::standard::<f64>(5, 30, 24);
         let mut c = Matrix::zeros(24, 24);
-        pool.install(|| ata_s(1.0, a.as_ref(), &mut c.as_mut(), 16, &CacheConfig::with_words(16)));
+        pool.install(|| {
+            ata_s(
+                1.0,
+                a.as_ref(),
+                &mut c.as_mut(),
+                16,
+                &CacheConfig::with_words(16),
+            )
+        });
         let mut c_ref = Matrix::zeros(24, 24);
         reference::syrk_ln(1.0, a.as_ref(), &mut c_ref.as_mut());
         assert!(c.max_abs_diff_lower(&c_ref) < 1e-10);
@@ -196,7 +219,13 @@ mod tests {
         let mut c = gen::standard::<f64>(12, n, n);
         c.zero_strict_upper();
         let mut c_ref = c.clone();
-        ata_s(-0.5, a.as_ref(), &mut c.as_mut(), 4, &CacheConfig::with_words(16));
+        ata_s(
+            -0.5,
+            a.as_ref(),
+            &mut c.as_mut(),
+            4,
+            &CacheConfig::with_words(16),
+        );
         reference::syrk_ln(-0.5, a.as_ref(), &mut c_ref.as_mut());
         assert!(c.max_abs_diff_lower(&c_ref) < 1e-10);
     }

@@ -72,8 +72,14 @@ pub fn dist_tree_dot(tree: &DistTree) -> String {
 /// Render a [`SharedPlan`] as a per-thread task listing.
 pub fn shared_plan_ascii(plan: &SharedPlan) -> String {
     let mut out = String::new();
-    writeln!(out, "shared plan: {} threads, {} tasks, depth {}", plan.procs, plan.tasks.len(), plan.depth)
-        .expect("write to string");
+    writeln!(
+        out,
+        "shared plan: {} threads, {} tasks, depth {}",
+        plan.procs,
+        plan.tasks.len(),
+        plan.depth
+    )
+    .expect("write to string");
     for proc_id in 0..plan.procs {
         let tasks: Vec<String> = plan
             .tasks_for(proc_id)
@@ -88,8 +94,16 @@ pub fn shared_plan_ascii(plan: &SharedPlan) -> String {
                 )
             })
             .collect();
-        writeln!(out, "  t{proc_id}: {}", if tasks.is_empty() { "(idle)".into() } else { tasks.join(", ") })
-            .expect("write to string");
+        writeln!(
+            out,
+            "  t{proc_id}: {}",
+            if tasks.is_empty() {
+                "(idle)".into()
+            } else {
+                tasks.join(", ")
+            }
+        )
+        .expect("write to string");
     }
     out
 }

@@ -91,7 +91,12 @@ pub fn ata_into_with_kind<T: Scalar>(
     ws: &mut StrassenWorkspace<T>,
 ) {
     let (m, n) = a.shape();
-    assert_eq!(c.shape(), (n, n), "ata: C must be {n}x{n}, got {:?}", c.shape());
+    assert_eq!(
+        c.shape(),
+        (n, n),
+        "ata: C must be {n}x{n}, got {:?}",
+        c.shape()
+    );
     if m == 0 || n == 0 {
         return;
     }
@@ -171,10 +176,17 @@ mod tests {
         reference::syrk_ln(alpha, a.as_ref(), &mut c_ref.as_mut());
         let tol = ata_mat::ops::product_tol::<f64>(m.max(n), n, m as f64);
         let diff = c_fast.max_abs_diff_lower(&c_ref);
-        assert!(diff <= tol, "({m},{n}) AtA differs from syrk oracle by {diff} > {tol}");
+        assert!(
+            diff <= tol,
+            "({m},{n}) AtA differs from syrk oracle by {diff} > {tol}"
+        );
         // Entire matrix must agree too: strictly-upper entries were common
         // garbage in both and must be untouched by both.
-        assert_eq!(c_fast.max_abs_diff(&c_ref), diff, "({m},{n}) strict upper touched");
+        assert_eq!(
+            c_fast.max_abs_diff(&c_ref),
+            diff,
+            "({m},{n}) strict upper touched"
+        );
     }
 
     #[test]
@@ -186,7 +198,15 @@ mod tests {
 
     #[test]
     fn odd_and_prime_sizes() {
-        for &(m, n) in &[(3, 3), (5, 5), (7, 7), (9, 11), (13, 10), (17, 23), (31, 29)] {
+        for &(m, n) in &[
+            (3, 3),
+            (5, 5),
+            (7, 7),
+            (9, 11),
+            (13, 10),
+            (17, 23),
+            (31, 29),
+        ] {
             check(m, n, 1.0, 4);
         }
     }
@@ -212,8 +232,18 @@ mod tests {
         let a = gen::standard::<f64>(77, m, n);
         let mut shallow = Matrix::zeros(n, n);
         let mut deep = Matrix::zeros(n, n);
-        ata_into(1.0, a.as_ref(), &mut shallow.as_mut(), &CacheConfig::with_words(4096));
-        ata_into(1.0, a.as_ref(), &mut deep.as_mut(), &CacheConfig::with_words(4));
+        ata_into(
+            1.0,
+            a.as_ref(),
+            &mut shallow.as_mut(),
+            &CacheConfig::with_words(4096),
+        );
+        ata_into(
+            1.0,
+            a.as_ref(),
+            &mut deep.as_mut(),
+            &CacheConfig::with_words(4),
+        );
         assert!(shallow.max_abs_diff_lower(&deep) < 1e-10);
     }
 
@@ -221,7 +251,12 @@ mod tests {
     fn exact_on_ternary_inputs() {
         let a = gen::ternary::<f64>(3, 20, 24);
         let mut c = Matrix::zeros(24, 24);
-        ata_into(1.0, a.as_ref(), &mut c.as_mut(), &CacheConfig::with_words(8));
+        ata_into(
+            1.0,
+            a.as_ref(),
+            &mut c.as_mut(),
+            &CacheConfig::with_words(8),
+        );
         let mut c_ref = Matrix::zeros(24, 24);
         reference::syrk_ln(1.0, a.as_ref(), &mut c_ref.as_mut());
         assert_eq!(c.max_abs_diff_lower(&c_ref), 0.0);

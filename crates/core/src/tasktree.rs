@@ -56,7 +56,10 @@ impl Region {
     /// # Panics
     /// If the ranges are reversed.
     pub fn new(r0: usize, r1: usize, c0: usize, c1: usize) -> Self {
-        assert!(r0 <= r1 && c0 <= c1, "invalid region ({r0}..{r1}, {c0}..{c1})");
+        assert!(
+            r0 <= r1 && c0 <= c1,
+            "invalid region ({r0}..{r1}, {c0}..{c1})"
+        );
         Self { r0, r1, c0, c1 }
     }
 
@@ -116,7 +119,7 @@ pub fn dist_levels(p: usize) -> usize {
                 k += 1;
             }
             let modulus = 8usize.pow(k.max(1) as u32);
-            1 + k + usize::from(quarter % modulus != 0)
+            1 + k + usize::from(!quarter.is_multiple_of(modulus))
         }
     }
 }
@@ -133,7 +136,7 @@ pub fn shared_levels(p: usize) -> usize {
                 k += 1;
             }
             let modulus = 4usize.pow(k.max(1) as u32);
-            1 + k + usize::from(half % modulus != 0)
+            1 + k + usize::from(!half.is_multiple_of(modulus))
         }
     }
 }
@@ -238,7 +241,14 @@ impl SharedPlan {
     }
 
     /// `C[ci, cj] += A[:, ci]^T A[:, cj]` distributed over `lo..hi`.
-    fn gemm_node(&mut self, ci: (usize, usize), cj: (usize, usize), lo: usize, hi: usize, depth: usize) {
+    fn gemm_node(
+        &mut self,
+        ci: (usize, usize),
+        cj: (usize, usize),
+        lo: usize,
+        hi: usize,
+        depth: usize,
+    ) {
         let q = hi - lo;
         let (i0, i1) = ci;
         let (j0, j1) = cj;
@@ -371,13 +381,24 @@ impl DistTree {
     /// If `procs == 0` or `alpha` is not in `(0, 1)`.
     pub fn build_with_alpha(m: usize, n: usize, procs: usize, alpha: f64) -> Self {
         assert!(procs > 0, "DistTree needs at least one process");
-        assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1), got {alpha}");
+        assert!(
+            alpha > 0.0 && alpha < 1.0,
+            "alpha must be in (0, 1), got {alpha}"
+        );
         let mut tree = DistTree {
             procs,
             nodes: Vec::new(),
             depth: 0,
         };
-        tree.ata_node(None, Region::new(0, m, 0, n), Region::new(0, n, 0, n), 0, procs, 0, alpha);
+        tree.ata_node(
+            None,
+            Region::new(0, m, 0, n),
+            Region::new(0, n, 0, n),
+            0,
+            procs,
+            0,
+            alpha,
+        );
         tree
     }
 
@@ -416,6 +437,7 @@ impl DistTree {
         d
     }
 
+    #[allow(clippy::too_many_arguments)] // one argument per DistNode field
     fn push(
         &mut self,
         parent: Option<usize>,
@@ -476,10 +498,28 @@ impl DistTree {
                 if b0 > 0 {
                     let left_cols = Region::new(a.r0, a.r1, a.c0, a.c0 + b0);
                     let c_rect = Region::new(c.r0 + b0, c.r0 + b1, c.c0, c.c0 + b0);
-                    self.push(Some(id), ComputeKind::AtB, band_cols, left_cols, c_rect, lo + t, lo + t + 1, depth + 1);
+                    self.push(
+                        Some(id),
+                        ComputeKind::AtB,
+                        band_cols,
+                        left_cols,
+                        c_rect,
+                        lo + t,
+                        lo + t + 1,
+                        depth + 1,
+                    );
                 }
                 let c_diag = Region::new(c.r0 + b0, c.r0 + b1, c.c0 + b0, c.c0 + b1);
-                self.push(Some(id), ComputeKind::AtA, band_cols, band_cols, c_diag, lo + t, lo + t + 1, depth + 1);
+                self.push(
+                    Some(id),
+                    ComputeKind::AtA,
+                    band_cols,
+                    band_cols,
+                    c_diag,
+                    lo + t,
+                    lo + t + 1,
+                    depth + 1,
+                );
             }
             return id;
         }
@@ -565,7 +605,16 @@ impl DistTree {
                 }
                 let b_strip = Region::new(b.r0, b.r1, s0, s1);
                 let c_strip = Region::new(c.r0, c.r1, c.c0 + (s0 - b.c0), c.c0 + (s1 - b.c0));
-                self.push(Some(id), ComputeKind::AtB, a, b_strip, c_strip, lo + t, lo + t + 1, depth + 1);
+                self.push(
+                    Some(id),
+                    ComputeKind::AtB,
+                    a,
+                    b_strip,
+                    c_strip,
+                    lo + t,
+                    lo + t + 1,
+                    depth + 1,
+                );
             }
             return id;
         }
@@ -683,7 +732,10 @@ mod tests {
         let mut c_ref = Matrix::<f64>::zeros(n, n);
         reference::syrk_ln(1.0, a.as_ref(), &mut c_ref.as_mut());
         let diff = c.max_abs_diff_lower(&c_ref);
-        assert!(diff < 1e-10, "n={n} P={p}: plan execution differs by {diff}");
+        assert!(
+            diff < 1e-10,
+            "n={n} P={p}: plan execution differs by {diff}"
+        );
     }
 
     #[test]
@@ -782,12 +834,16 @@ mod tests {
             let a_blk = a.as_ref().block(leaf.a.r0, leaf.a.r1, leaf.a.c0, leaf.a.c1);
             match leaf.kind {
                 ComputeKind::AtA => {
-                    let mut blk = c.as_mut().into_block(leaf.c.r0, leaf.c.r1, leaf.c.c0, leaf.c.c1);
+                    let mut blk = c
+                        .as_mut()
+                        .into_block(leaf.c.r0, leaf.c.r1, leaf.c.c0, leaf.c.c1);
                     reference::syrk_ln(1.0, a_blk, &mut blk);
                 }
                 ComputeKind::AtB => {
                     let b_blk = a.as_ref().block(leaf.b.r0, leaf.b.r1, leaf.b.c0, leaf.b.c1);
-                    let mut blk = c.as_mut().into_block(leaf.c.r0, leaf.c.r1, leaf.c.c0, leaf.c.c1);
+                    let mut blk = c
+                        .as_mut()
+                        .into_block(leaf.c.r0, leaf.c.r1, leaf.c.c0, leaf.c.c1);
                     reference::gemm_tn(1.0, a_blk, b_blk, &mut blk);
                 }
             }
@@ -795,7 +851,10 @@ mod tests {
         let mut c_ref = Matrix::<f64>::zeros(n, n);
         reference::syrk_ln(1.0, a.as_ref(), &mut c_ref.as_mut());
         let diff = c.max_abs_diff_lower(&c_ref);
-        assert!(diff < 1e-10, "m={m} n={n} P={p}: dist tree differs by {diff}");
+        assert!(
+            diff < 1e-10,
+            "m={m} n={n} P={p}: dist tree differs by {diff}"
+        );
     }
 
     #[test]
@@ -824,12 +883,16 @@ mod tests {
             let a_blk = a.as_ref().block(leaf.a.r0, leaf.a.r1, leaf.a.c0, leaf.a.c1);
             match leaf.kind {
                 ComputeKind::AtA => {
-                    let mut blk = c.as_mut().into_block(leaf.c.r0, leaf.c.r1, leaf.c.c0, leaf.c.c1);
+                    let mut blk = c
+                        .as_mut()
+                        .into_block(leaf.c.r0, leaf.c.r1, leaf.c.c0, leaf.c.c1);
                     reference::syrk_ln(1.0, a_blk, &mut blk);
                 }
                 ComputeKind::AtB => {
                     let b_blk = a.as_ref().block(leaf.b.r0, leaf.b.r1, leaf.b.c0, leaf.b.c1);
-                    let mut blk = c.as_mut().into_block(leaf.c.r0, leaf.c.r1, leaf.c.c0, leaf.c.c1);
+                    let mut blk = c
+                        .as_mut()
+                        .into_block(leaf.c.r0, leaf.c.r1, leaf.c.c0, leaf.c.c1);
                     reference::gemm_tn(1.0, a_blk, b_blk, &mut blk);
                 }
             }
@@ -837,7 +900,10 @@ mod tests {
         let mut c_ref = Matrix::<f64>::zeros(n, n);
         reference::syrk_ln(1.0, a.as_ref(), &mut c_ref.as_mut());
         let diff = c.max_abs_diff_lower(&c_ref);
-        assert!(diff < 1e-10, "alpha={alpha} P={p}: dist tree differs by {diff}");
+        assert!(
+            diff < 1e-10,
+            "alpha={alpha} P={p}: dist tree differs by {diff}"
+        );
     }
 
     #[test]
@@ -868,7 +934,11 @@ mod tests {
         let p = 32usize;
         let share = |alpha: f64| {
             let tree = DistTree::build_with_alpha(64, 64, p, alpha);
-            let root_children: Vec<_> = tree.nodes[0].children.iter().map(|&c| &tree.nodes[c]).collect();
+            let root_children: Vec<_> = tree.nodes[0]
+                .children
+                .iter()
+                .map(|&c| &tree.nodes[c])
+                .collect();
             root_children
                 .iter()
                 .filter(|n| n.kind == ComputeKind::AtB)
@@ -900,7 +970,7 @@ mod tests {
     }
 
     #[test]
-    fn dist_tree_p0_computes_a_gemm_task_after_level_one(){
+    fn dist_tree_p0_computes_a_gemm_task_after_level_one() {
         // §4.3.2: "After the first parallel level, p0 works on a A^T B task".
         let tree = DistTree::build(256, 256, 16);
         let tasks = tree.tasks_for(0);
@@ -932,7 +1002,14 @@ mod tests {
 
     #[test]
     fn dist_tree_depth_tracks_formula() {
-        for (p, exact) in [(1usize, true), (2, true), (4, true), (6, true), (16, true), (32, true)] {
+        for (p, exact) in [
+            (1usize, true),
+            (2, true),
+            (4, true),
+            (6, true),
+            (16, true),
+            (32, true),
+        ] {
             let tree = DistTree::build(1 << 11, 1 << 11, p);
             let f = dist_levels(p);
             if exact {
@@ -971,7 +1048,10 @@ mod tests {
         let c = Region::new(4, 8, 0, 4);
         assert!(a.intersects(&b));
         assert!(!a.intersects(&c));
-        assert!(!Region::new(0, 0, 0, 4).intersects(&a), "empty never intersects");
+        assert!(
+            !Region::new(0, 0, 0, 4).intersects(&a),
+            "empty never intersects"
+        );
         assert_eq!(a.area(), 16);
         assert_eq!(b.rows(), 2);
     }

@@ -1,0 +1,408 @@
+//! AtA-D (Algorithm 4, §4.2–§4.3): the distributed `A^T A` on the
+//! simulated cluster.
+//!
+//! Structure follows the paper's distribute–compute–retrieve phases:
+//!
+//! 1. **Distribution** (§4.3) — `p0` owns the input; it walks the leaves
+//!    of the [`DistTree`] (the §4.1 task-tree process mapping) and ships
+//!    each leaf's operand block(s) to the owning rank, point-to-point.
+//! 2. **Compute** — every rank executes its leaf tasks locally: `A^T A`
+//!    leaves run the serial AtA recursion (Algorithm 1), `A^T B` leaves
+//!    run FastStrassen — or the plain BLAS-substitute kernels when
+//!    [`AtaDConfig::strassen_leaves`] is off (the §4.3.1 leaf-kernel
+//!    choice, ablated in `ata-bench/bin/ablation`). With
+//!    [`AtaDConfig::threads_per_rank`] > 1 the leaves run their
+//!    shared-memory variants, modeling the paper's hybrid SM+DM setup
+//!    (Table 1: 6 processes x 16 threads).
+//! 3. **Retrieval** — results climb the tree: each node's owner sums its
+//!    children's contributions (children writing the same `C` block are
+//!    *summed by the parent*, §4.1.1) and forwards the accumulated block
+//!    to its parent's owner, until the root holds the lower triangle.
+//!
+//! Every message is accounted by the LogGP clock of [`Comm`]; compute is
+//! charged at the model's flop rate (divided by `threads_per_rank`), so
+//! critical paths mirror the paper's §4.3.2 cost analysis. The exact
+//! per-rank message/word counts are predicted by [`crate::traffic`] and
+//! audited against Proposition 4.2 in `tests/traffic.rs`.
+
+use std::collections::HashMap;
+
+use ata_core::analysis::ata_mults;
+use ata_core::parallel::ata_s;
+use ata_core::serial::{ata_into_with_kind, StrassenKind};
+use ata_core::tasktree::{ComputeKind, DistNode, DistTree};
+use ata_kernels::par::{par_gemm_tn, par_syrk_ln};
+use ata_kernels::{gemm_tn, syrk_ln, CacheConfig};
+use ata_mat::{ops, MatRef, Matrix, Scalar};
+use ata_mpisim::Comm;
+use ata_strassen::{fast_strassen, strassen_mults, StrassenWorkspace};
+
+use crate::wire;
+
+/// Tuning knobs of AtA-D.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AtaDConfig {
+    /// Load-balance parameter of the task tree (§4.1.2; the paper
+    /// derives `alpha = 1/2` from the gemm/syrk flop ratio).
+    pub alpha: f64,
+    /// Cache model for the leaf recursions' base cases.
+    pub cache: CacheConfig,
+    /// Run AtA/FastStrassen at the leaves (`true`, §4.3.1's default for
+    /// "larger volumes of data") or the plain blocked kernels (`false`).
+    pub strassen_leaves: bool,
+    /// Threads per rank for the leaf computations (> 1 models the hybrid
+    /// SM+DM runs of Table 1; the modeled compute time divides by it).
+    pub threads_per_rank: usize,
+}
+
+impl Default for AtaDConfig {
+    fn default() -> Self {
+        Self {
+            alpha: 0.5,
+            cache: CacheConfig::default(),
+            strassen_leaves: true,
+            threads_per_rank: 1,
+        }
+    }
+}
+
+/// Charge `flops` of modeled compute spread over `threads` workers.
+fn charge<T: Send + 'static>(comm: &mut Comm<T>, flops: f64, threads: usize) {
+    let secs = comm.model().compute_time(flops) / threads.max(1) as f64;
+    comm.add_compute_seconds(secs);
+}
+
+/// Execute one leaf task into a freshly allocated `C` block.
+fn compute_leaf<T: Scalar>(
+    node: &DistNode,
+    a_blk: MatRef<'_, T>,
+    b_blk: Option<MatRef<'_, T>>,
+    comm: &mut Comm<T>,
+    cfg: &AtaDConfig,
+) -> Matrix<T> {
+    let mut out = Matrix::zeros(node.c.rows(), node.c.cols());
+    let threads = cfg.threads_per_rank;
+    match node.kind {
+        ComputeKind::AtA => {
+            let (mb, nb) = a_blk.shape();
+            let flops = if cfg.strassen_leaves {
+                2.0 * ata_mults(mb, nb, &cfg.cache) as f64
+            } else {
+                (mb * nb * (nb + 1)) as f64
+            };
+            if threads > 1 && cfg.strassen_leaves {
+                ata_s(T::ONE, a_blk, &mut out.as_mut(), threads, &cfg.cache);
+            } else if threads > 1 {
+                par_syrk_ln(T::ONE, a_blk, &mut out.as_mut(), threads);
+            } else if cfg.strassen_leaves {
+                let mut ws = StrassenWorkspace::empty();
+                ata_into_with_kind(
+                    T::ONE,
+                    a_blk,
+                    &mut out.as_mut(),
+                    &cfg.cache,
+                    StrassenKind::Classic,
+                    &mut ws,
+                );
+            } else {
+                syrk_ln(T::ONE, a_blk, &mut out.as_mut());
+            }
+            charge(comm, flops, threads);
+        }
+        ComputeKind::AtB => {
+            let b_blk = b_blk.expect("AtB leaf carries a B block");
+            let (mb, nb) = a_blk.shape();
+            let kb = b_blk.cols();
+            // No parallel FastStrassen exists: multi-threaded leaves run
+            // the plain blocked kernel, so charge its flops, not
+            // Strassen's.
+            let flops = if cfg.strassen_leaves && threads == 1 {
+                2.0 * strassen_mults(mb, nb, kb, &cfg.cache) as f64
+            } else {
+                2.0 * (mb * nb * kb) as f64
+            };
+            if threads > 1 {
+                par_gemm_tn(T::ONE, a_blk, b_blk, &mut out.as_mut(), threads);
+            } else if cfg.strassen_leaves {
+                fast_strassen(T::ONE, a_blk, b_blk, &mut out.as_mut(), &cfg.cache);
+            } else {
+                gemm_tn(T::ONE, a_blk, b_blk, &mut out.as_mut());
+            }
+            charge(comm, flops, threads);
+        }
+    }
+    out
+}
+
+/// AtA-D (Algorithm 4): lower triangle of `C = A^T A` on the simulated
+/// cluster.
+///
+/// SPMD contract: every rank calls this with the same `m`, `n` and
+/// config; rank 0 passes `Some(&a)` (the full `m x n` input), everyone
+/// else `None`. Rank 0 returns `Some(C)` — an `n x n` matrix whose
+/// strictly-upper part is zero — and all other ranks return `None`.
+///
+/// # Panics
+/// If the root passes `None` / a wrong-shape matrix, a non-root passes
+/// `Some`, or `cfg.threads_per_rank == 0`.
+pub fn ata_d<T: Scalar>(
+    input: Option<&Matrix<T>>,
+    m: usize,
+    n: usize,
+    comm: &mut Comm<T>,
+    cfg: &AtaDConfig,
+) -> Option<Matrix<T>> {
+    let rank = comm.rank();
+    let procs = comm.size();
+    assert!(
+        cfg.threads_per_rank > 0,
+        "threads_per_rank must be positive"
+    );
+    if rank == 0 {
+        let a = input.expect("rank 0 must provide the input matrix");
+        assert_eq!(a.shape(), (m, n), "input must be {m} x {n}");
+    } else {
+        assert!(input.is_none(), "non-root rank {rank} must pass None");
+    }
+
+    // Every rank deterministically builds the same task tree (§4.1: the
+    // tree is "simulated" locally; no coordination needed).
+    let tree = DistTree::build_with_alpha(m, n, procs, cfg.alpha);
+    let node_count = tree.nodes.len() as u64;
+    let tag_a = |id: usize| id as u64;
+    let tag_b = |id: usize| node_count + id as u64;
+    let tag_c = |id: usize| 2 * node_count + id as u64;
+
+    // --- Phase 1: distribution (root ships leaf operands). ---
+    let mut received: HashMap<usize, (Matrix<T>, Option<Matrix<T>>)> = HashMap::new();
+    if rank == 0 {
+        let a = input.expect("checked above");
+        for node in tree.nodes.iter().filter(|nd| nd.is_leaf() && nd.owner != 0) {
+            comm.send(
+                node.owner,
+                tag_a(node.id),
+                wire::pack_region(a.as_ref(), &node.a),
+            );
+            if node.kind == ComputeKind::AtB {
+                comm.send(
+                    node.owner,
+                    tag_b(node.id),
+                    wire::pack_region(a.as_ref(), &node.b),
+                );
+            }
+        }
+    } else {
+        for node in tree
+            .nodes
+            .iter()
+            .filter(|nd| nd.is_leaf() && nd.owner == rank)
+        {
+            let a_blk = wire::unpack(comm.recv(0, tag_a(node.id)), node.a.rows(), node.a.cols());
+            let b_blk = (node.kind == ComputeKind::AtB)
+                .then(|| wire::unpack(comm.recv(0, tag_b(node.id)), node.b.rows(), node.b.cols()));
+            received.insert(node.id, (a_blk, b_blk));
+        }
+    }
+
+    // --- Phases 2 + 3: leaf compute and upward accumulation. ---
+    // Reverse creation order visits children before parents (ids grow
+    // downward), so every dependency is ready — or in flight from
+    // another rank — by the time its parent gathers.
+    let mut pending: HashMap<usize, Matrix<T>> = HashMap::new();
+    let mut result = None;
+    for node in tree.nodes.iter().rev() {
+        if node.owner != rank {
+            continue;
+        }
+        let block = if node.is_leaf() {
+            if rank == 0 {
+                let a = input.expect("checked above");
+                let a_blk = a.as_ref().block(node.a.r0, node.a.r1, node.a.c0, node.a.c1);
+                let b_blk = (node.kind == ComputeKind::AtB)
+                    .then(|| a.as_ref().block(node.b.r0, node.b.r1, node.b.c0, node.b.c1));
+                compute_leaf(node, a_blk, b_blk, comm, cfg)
+            } else {
+                let (a_blk, b_blk) = received.remove(&node.id).expect("operands distributed");
+                let b_ref = b_blk.as_ref().map(|b| b.as_ref());
+                compute_leaf(node, a_blk.as_ref(), b_ref, comm, cfg)
+            }
+        } else {
+            // Gather-with-sums (§4.1.1): overlapping children accumulate.
+            let mut acc = Matrix::zeros(node.c.rows(), node.c.cols());
+            for &cid in &node.children {
+                let child = &tree.nodes[cid];
+                let contrib = if child.owner == rank {
+                    pending.remove(&cid).expect("child result computed first")
+                } else {
+                    wire::unpack(
+                        comm.recv(child.owner, tag_c(cid)),
+                        child.c.rows(),
+                        child.c.cols(),
+                    )
+                };
+                let r0 = child.c.r0 - node.c.r0;
+                let c0 = child.c.c0 - node.c.c0;
+                let mut dst =
+                    acc.as_mut()
+                        .into_block(r0, r0 + child.c.rows(), c0, c0 + child.c.cols());
+                ops::add_assign(&mut dst, contrib.as_ref());
+                comm.add_compute_flops(child.c.area() as f64);
+            }
+            acc
+        };
+        match node.parent {
+            None => result = Some(block),
+            Some(pid) => {
+                let parent_owner = tree.nodes[pid].owner;
+                if parent_owner == rank {
+                    pending.insert(node.id, block);
+                } else {
+                    comm.send(parent_owner, tag_c(node.id), block.into_vec());
+                }
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ata_mat::{gen, reference};
+    use ata_mpisim::{run, CostModel};
+
+    fn oracle(a: &Matrix<f64>) -> Matrix<f64> {
+        let n = a.cols();
+        let mut c = Matrix::zeros(n, n);
+        reference::syrk_ln(1.0, a.as_ref(), &mut c.as_mut());
+        c
+    }
+
+    fn check(m: usize, n: usize, procs: usize, cfg: AtaDConfig) {
+        let a = gen::standard::<f64>(m as u64 * 31 + n as u64 + procs as u64, m, n);
+        let c_ref = oracle(&a);
+        let a_ref = &a;
+        let report = run(procs, CostModel::zero(), move |comm| {
+            let input = (comm.rank() == 0).then_some(a_ref);
+            ata_d(input, m, n, comm, &cfg)
+        });
+        let c = report.results[0].as_ref().expect("root returns C");
+        let tol = ata_mat::ops::product_tol::<f64>(m, n, m as f64);
+        let diff = c.max_abs_diff_lower(&c_ref);
+        assert!(
+            diff <= tol,
+            "m={m} n={n} P={procs}: AtA-D differs by {diff} > {tol}"
+        );
+        // Non-roots return nothing.
+        for r in 1..procs {
+            assert!(report.results[r].is_none(), "rank {r} must return None");
+        }
+        // Strict upper is zero at the root.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                assert_eq!(c[(i, j)], 0.0, "upper ({i},{j}) written");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_oracle_across_rank_counts() {
+        for procs in [1usize, 2, 3, 4, 5, 6, 7, 8, 12, 16] {
+            check(
+                48,
+                40,
+                procs,
+                AtaDConfig {
+                    cache: CacheConfig::with_words(64),
+                    ..AtaDConfig::default()
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn rectangular_and_tiny_inputs() {
+        let cfg = AtaDConfig {
+            cache: CacheConfig::with_words(32),
+            ..AtaDConfig::default()
+        };
+        check(70, 20, 8, cfg);
+        check(20, 70, 8, cfg);
+        check(5, 64, 12, cfg);
+        check(1, 1, 4, cfg);
+        check(3, 2, 16, cfg);
+    }
+
+    #[test]
+    fn blas_leaves_agree_with_strassen_leaves() {
+        let (m, n, p) = (52, 44, 8);
+        let a = gen::standard::<f64>(77, m, n);
+        let c_ref = oracle(&a);
+        for strassen in [false, true] {
+            let cfg = AtaDConfig {
+                cache: CacheConfig::with_words(64),
+                strassen_leaves: strassen,
+                ..AtaDConfig::default()
+            };
+            let a_ref = &a;
+            let report = run(p, CostModel::zero(), move |comm| {
+                let input = (comm.rank() == 0).then_some(a_ref);
+                ata_d(input, m, n, comm, &cfg)
+            });
+            let c = report.results[0].as_ref().expect("root");
+            let tol = ata_mat::ops::product_tol::<f64>(m, n, m as f64);
+            assert!(c.max_abs_diff_lower(&c_ref) <= tol, "strassen={strassen}");
+        }
+    }
+
+    #[test]
+    fn hybrid_threads_per_rank() {
+        let cfg = AtaDConfig {
+            cache: CacheConfig::with_words(64),
+            threads_per_rank: 4,
+            ..AtaDConfig::default()
+        };
+        check(64, 48, 6, cfg);
+    }
+
+    #[test]
+    fn alpha_sweep_stays_correct() {
+        for alpha in [0.25, 0.4, 0.6, 0.75] {
+            check(
+                40,
+                36,
+                12,
+                AtaDConfig {
+                    alpha,
+                    cache: CacheConfig::with_words(32),
+                    ..AtaDConfig::default()
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn compute_time_is_charged_under_costed_model() {
+        let (m, n, p) = (64, 64, 8);
+        let a = gen::standard::<f64>(3, m, n);
+        let a_ref = &a;
+        let report = run(p, CostModel::terastat(), move |comm| {
+            let input = (comm.rank() == 0).then_some(a_ref);
+            ata_d(input, m, n, comm, &AtaDConfig::default());
+        });
+        assert!(report.critical_path() > 0.0);
+        assert!(report.metrics.iter().any(|m| m.compute_time > 0.0));
+        assert!(
+            report.metrics[0].words_sent > 0,
+            "root distributes A blocks"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must provide the input")]
+    fn missing_root_input_rejected() {
+        let _ = run::<f64, _, _>(1, CostModel::zero(), |comm| {
+            ata_d::<f64>(None, 4, 4, comm, &AtaDConfig::default());
+        });
+    }
+}

@@ -1,0 +1,132 @@
+//! Exact traffic prediction for AtA-D — the analytical side of
+//! Proposition 4.2.
+//!
+//! [`ata_d_traffic`] replays the communication schedule of
+//! [`crate::ata_d`] on the task tree *without running anything*: the
+//! distribution phase ships every remotely-owned leaf's operand blocks
+//! from `p0`, the retrieval phase ships every node's `C` block to its
+//! parent's owner when they differ. Because the simulator's counters are
+//! exact, `tests/traffic.rs` asserts bit-exact agreement between this
+//! prediction and [`ata_mpisim::RankMetrics`], then checks the
+//! Proposition 4.2 scaling: per-level volume is `O(mn + n^2)` and the
+//! level count grows like Eq. 5's `l(P)`, so total words are bounded by
+//! `2 (mn + n^2) (l + 1)`.
+
+use ata_core::tasktree::{ComputeKind, DistTree};
+
+/// Predicted per-rank traffic (messages and payload words sent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RankTraffic {
+    /// Messages this rank sends.
+    pub msgs: u64,
+    /// Payload words this rank sends.
+    pub words: u64,
+}
+
+/// Predicted traffic of a whole AtA-D run.
+#[derive(Debug, Clone)]
+pub struct TrafficPlan {
+    /// Per-rank prediction, indexed by rank.
+    pub per_rank: Vec<RankTraffic>,
+    /// Depth of the task tree the prediction was derived from.
+    pub levels: usize,
+}
+
+impl TrafficPlan {
+    /// Total words sent by all ranks.
+    pub fn total_words(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.words).sum()
+    }
+
+    /// Total messages sent by all ranks.
+    pub fn total_msgs(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.msgs).sum()
+    }
+
+    /// The Proposition 4.2-style upper bound on total words for an
+    /// `m x n` input: `2 (mn + n^2)` per tree level, plus one level's
+    /// worth for the final retrieval into `p0`.
+    pub fn word_bound(m: usize, n: usize, levels: usize) -> u64 {
+        2 * (m * n + n * n) as u64 * (levels as u64 + 1)
+    }
+}
+
+/// Replay AtA-D's communication schedule for an `m x n` input on
+/// `procs` ranks with load-balance `alpha`.
+///
+/// # Panics
+/// If `procs == 0` or `alpha` is outside `(0, 1)` (same contract as
+/// [`DistTree::build_with_alpha`]).
+pub fn ata_d_traffic(m: usize, n: usize, procs: usize, alpha: f64) -> TrafficPlan {
+    let tree = DistTree::build_with_alpha(m, n, procs, alpha);
+    let mut per_rank = vec![RankTraffic::default(); procs];
+
+    for node in &tree.nodes {
+        // Distribution: p0 ships every remotely-owned leaf's operands.
+        if node.is_leaf() && node.owner != 0 {
+            per_rank[0].msgs += 1;
+            per_rank[0].words += node.a.area() as u64;
+            if node.kind == ComputeKind::AtB {
+                per_rank[0].msgs += 1;
+                per_rank[0].words += node.b.area() as u64;
+            }
+        }
+        // Retrieval: every node ships its C block to its parent's owner
+        // when the owners differ.
+        if let Some(pid) = node.parent {
+            let parent_owner = tree.nodes[pid].owner;
+            if parent_owner != node.owner {
+                per_rank[node.owner].msgs += 1;
+                per_rank[node.owner].words += node.c.area() as u64;
+            }
+        }
+    }
+
+    TrafficPlan {
+        per_rank,
+        levels: tree.depth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_is_silent() {
+        let plan = ata_d_traffic(64, 48, 1, 0.5);
+        assert_eq!(plan.total_words(), 0);
+        assert_eq!(plan.total_msgs(), 0);
+    }
+
+    #[test]
+    fn multi_rank_runs_communicate() {
+        let plan = ata_d_traffic(64, 48, 8, 0.5);
+        assert!(plan.per_rank[0].words > 0, "root distributes blocks");
+        assert!(plan.total_msgs() > 0);
+    }
+
+    #[test]
+    fn words_respect_the_bound() {
+        for p in [2usize, 4, 8, 16, 32, 64] {
+            let (m, n) = (96usize, 80usize);
+            let plan = ata_d_traffic(m, n, p, 0.5);
+            let bound = TrafficPlan::word_bound(m, n, plan.levels);
+            assert!(
+                plan.total_words() <= bound,
+                "P={p}: {} words > bound {bound}",
+                plan.total_words()
+            );
+        }
+    }
+
+    #[test]
+    fn levels_grow_logarithmically() {
+        let l8 = ata_d_traffic(128, 128, 8, 0.5).levels;
+        let l64 = ata_d_traffic(128, 128, 64, 0.5).levels;
+        assert!(
+            l64 <= l8 + 2,
+            "levels must grow like Eq. 5, got {l8} -> {l64}"
+        );
+    }
+}

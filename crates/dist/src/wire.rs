@@ -1,0 +1,58 @@
+//! Wire format helpers: matrix blocks travel between ranks as row-major
+//! flattened `Vec<T>` payloads (the simulator's word-count accounting
+//! then equals the element count, which is what Proposition 4.2 talks
+//! about).
+
+use ata_core::tasktree::Region;
+use ata_mat::{MatRef, Matrix, Scalar};
+
+/// Flatten a view row-major.
+pub(crate) fn pack_view<T: Scalar>(v: MatRef<'_, T>) -> Vec<T> {
+    let mut out = Vec::with_capacity(v.rows() * v.cols());
+    for i in 0..v.rows() {
+        out.extend_from_slice(v.row(i));
+    }
+    out
+}
+
+/// Flatten the `region` block of `a` row-major.
+pub(crate) fn pack_region<T: Scalar>(a: MatRef<'_, T>, region: &Region) -> Vec<T> {
+    pack_view(a.block(region.r0, region.r1, region.c0, region.c1))
+}
+
+/// Rebuild a `rows x cols` matrix from a flattened payload.
+///
+/// # Panics
+/// If the payload length does not match the shape.
+pub(crate) fn unpack<T: Scalar>(data: Vec<T>, rows: usize, cols: usize) -> Matrix<T> {
+    assert_eq!(data.len(), rows * cols, "payload shape mismatch");
+    Matrix::from_vec(data, rows, cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ata_mat::gen;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let a = gen::standard::<f64>(3, 7, 5);
+        let packed = pack_view(a.as_ref());
+        let back = unpack(packed, 7, 5);
+        assert_eq!(back.max_abs_diff(&a), 0.0);
+    }
+
+    #[test]
+    fn pack_region_extracts_block() {
+        let a = gen::standard::<f64>(4, 8, 6);
+        let r = Region::new(2, 5, 1, 4);
+        let packed = pack_region(a.as_ref(), &r);
+        assert_eq!(packed.len(), 9);
+        let back = unpack(packed, 3, 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(back[(i, j)], a[(i + 2, j + 1)]);
+            }
+        }
+    }
+}

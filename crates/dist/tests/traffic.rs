@@ -1,0 +1,95 @@
+//! Traffic audit for AtA-D: the per-rank message/word counters reported
+//! by `ata_mpisim::RankMetrics` must agree **exactly** with the
+//! analytical prediction replayed from the task tree
+//! (`ata_dist::traffic`), and the totals must respect the Proposition
+//! 4.2 scaling — per-level communication volume `O(mn + n^2)` with the
+//! level count of Eq. 5.
+
+use ata_dist::traffic::{ata_d_traffic, TrafficPlan};
+use ata_dist::{ata_d, AtaDConfig};
+use ata_kernels::CacheConfig;
+use ata_mat::gen;
+use ata_mpisim::{run, CostModel};
+
+fn run_and_audit(m: usize, n: usize, procs: usize, alpha: f64) -> TrafficPlan {
+    let a = gen::standard::<f64>(m as u64 * 13 + n as u64 + procs as u64, m, n);
+    let cfg = AtaDConfig {
+        alpha,
+        cache: CacheConfig::with_words(64),
+        strassen_leaves: true,
+        threads_per_rank: 1,
+    };
+    let a_ref = &a;
+    let report = run(procs, CostModel::zero(), move |comm| {
+        let input = (comm.rank() == 0).then_some(a_ref);
+        ata_d(input, m, n, comm, &cfg);
+    });
+    let plan = ata_d_traffic(m, n, procs, alpha);
+    assert_eq!(plan.per_rank.len(), procs);
+    for (rank, (metrics, predicted)) in report.metrics.iter().zip(&plan.per_rank).enumerate() {
+        assert_eq!(
+            metrics.msgs_sent, predicted.msgs,
+            "m={m} n={n} P={procs} alpha={alpha}: rank {rank} message count"
+        );
+        assert_eq!(
+            metrics.words_sent, predicted.words,
+            "m={m} n={n} P={procs} alpha={alpha}: rank {rank} word count"
+        );
+    }
+    assert_eq!(report.total_words(), plan.total_words());
+    assert_eq!(report.total_msgs(), plan.total_msgs());
+    plan
+}
+
+#[test]
+fn counters_match_prediction_across_rank_counts() {
+    for procs in [1usize, 2, 3, 4, 6, 8, 12, 16] {
+        run_and_audit(64, 48, procs, 0.5);
+    }
+}
+
+#[test]
+fn counters_match_prediction_on_rectangles() {
+    for &(m, n) in &[(96usize, 24usize), (24, 96), (40, 40), (7, 50)] {
+        run_and_audit(m, n, 8, 0.5);
+    }
+}
+
+#[test]
+fn counters_match_prediction_across_alpha() {
+    for &alpha in &[0.25, 0.4, 0.5, 0.6, 0.75] {
+        run_and_audit(48, 40, 12, alpha);
+    }
+}
+
+#[test]
+fn total_words_respect_proposition_42_bound() {
+    let (m, n) = (96usize, 80usize);
+    for procs in [2usize, 4, 8, 16, 32] {
+        let plan = run_and_audit(m, n, procs, 0.5);
+        let bound = TrafficPlan::word_bound(m, n, plan.levels);
+        assert!(
+            plan.total_words() <= bound,
+            "P={procs}: {} words exceed the Prop 4.2 bound {bound}",
+            plan.total_words()
+        );
+    }
+}
+
+#[test]
+fn distribution_is_rooted_and_retrieval_converges_to_root() {
+    // Only p0 distributes; every other communicating rank only ships
+    // results upward, so with the zero-cost model the root's received
+    // volume equals everyone else's sent volume.
+    let plan = run_and_audit(64, 64, 8, 0.5);
+    assert!(plan.per_rank[0].words > 0, "root must distribute A blocks");
+    let others: u64 = plan.per_rank[1..].iter().map(|r| r.words).sum();
+    assert!(others > 0, "workers must retrieve results");
+}
+
+#[test]
+fn single_rank_sends_nothing() {
+    let plan = run_and_audit(32, 32, 1, 0.5);
+    assert_eq!(plan.total_words(), 0);
+    assert_eq!(plan.total_msgs(), 0);
+}

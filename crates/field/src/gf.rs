@@ -65,7 +65,7 @@ impl Gf31 {
         let mut acc = Gf31(1);
         while e > 0 {
             if e & 1 == 1 {
-                acc = acc * base;
+                acc *= base;
             }
             base = base * base;
             e >>= 1;
@@ -122,6 +122,7 @@ impl Mul for Gf31 {
 
 impl Div for Gf31 {
     type Output = Gf31;
+    #[allow(clippy::suspicious_arithmetic_impl)] // field division is multiplication by the inverse
     #[track_caller]
     fn div(self, rhs: Self) -> Self {
         self * rhs.inv()
@@ -252,7 +253,7 @@ mod tests {
         let mut acc = g(1);
         for e in 0..12u64 {
             assert_eq!(x.pow(e), acc, "e = {e}");
-            acc = acc * x;
+            acc *= x;
         }
         assert_eq!(x.pow(P as u64 - 1), g(1), "Fermat: x^(p-1) = 1");
     }

@@ -168,10 +168,16 @@ impl Mul for Q64 {
     fn mul(self, rhs: Self) -> Self {
         // Cross-reduce before multiplying to keep intermediates small:
         // (a/b)(c/d) = (a/gcd(a,d))(c/gcd(c,b)) / ((b/gcd(c,b))(d/gcd(a,d))).
-        let g1 = gcd_u(self.num.unsigned_abs() as u128, rhs.den.unsigned_abs() as u128).max(1)
-            as i128;
-        let g2 = gcd_u(rhs.num.unsigned_abs() as u128, self.den.unsigned_abs() as u128).max(1)
-            as i128;
+        let g1 = gcd_u(
+            self.num.unsigned_abs() as u128,
+            rhs.den.unsigned_abs() as u128,
+        )
+        .max(1) as i128;
+        let g2 = gcd_u(
+            rhs.num.unsigned_abs() as u128,
+            self.den.unsigned_abs() as u128,
+        )
+        .max(1) as i128;
         let num = (self.num as i128 / g1) * (rhs.num as i128 / g2);
         let den = (self.den as i128 / g2) * (rhs.den as i128 / g1);
         Q64::reduce(num, den)
@@ -180,6 +186,7 @@ impl Mul for Q64 {
 
 impl Div for Q64 {
     type Output = Q64;
+    #[allow(clippy::suspicious_arithmetic_impl)] // field division is multiplication by the inverse
     #[track_caller]
     fn div(self, rhs: Self) -> Self {
         self * rhs.recip()

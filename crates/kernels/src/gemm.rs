@@ -68,7 +68,12 @@ pub fn gemm_tn_blocked<T: Scalar>(
     let (m, n) = a.shape();
     let (mb, k) = b.shape();
     assert_eq!(m, mb, "gemm_tn: A is {m}x{n} but B has {mb} rows");
-    assert_eq!(c.shape(), (n, k), "gemm_tn: C must be {n}x{k}, got {:?}", c.shape());
+    assert_eq!(
+        c.shape(),
+        (n, k),
+        "gemm_tn: C must be {n}x{k}, got {:?}",
+        c.shape()
+    );
     if m == 0 || n == 0 || k == 0 {
         return;
     }
@@ -103,17 +108,27 @@ pub fn gemm_tn_blocked<T: Scalar>(
 
 /// Unblocked rank-1-update variant kept for the blocking ablation bench;
 /// semantically identical to [`gemm_tn`].
-pub fn gemm_tn_unblocked<T: Scalar>(alpha: T, a: MatRef<'_, T>, b: MatRef<'_, T>, c: &mut MatMut<'_, T>) {
+pub fn gemm_tn_unblocked<T: Scalar>(
+    alpha: T,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    c: &mut MatMut<'_, T>,
+) {
     let (m, n) = a.shape();
     let (mb, k) = b.shape();
     assert_eq!(m, mb, "gemm_tn: A is {m}x{n} but B has {mb} rows");
-    assert_eq!(c.shape(), (n, k), "gemm_tn: C must be {n}x{k}, got {:?}", c.shape());
+    assert_eq!(
+        c.shape(),
+        (n, k),
+        "gemm_tn: C must be {n}x{k}, got {:?}",
+        c.shape()
+    );
     let alpha_is_one = alpha == T::ONE;
     for l in 0..m {
         let arow = a.row(l);
         let brow = b.row(l);
-        for i in 0..n {
-            let s = if alpha_is_one { arow[i] } else { alpha * arow[i] };
+        for (i, &av) in arow.iter().enumerate() {
+            let s = if alpha_is_one { av } else { alpha * av };
             let crow = c.row_mut(i);
             for (cv, &bv) in crow.iter_mut().zip(brow) {
                 *cv += s * bv;
@@ -136,7 +151,10 @@ mod tests {
         reference::gemm_tn(alpha, a.as_ref(), b.as_ref(), &mut c_ref.as_mut());
         let tol = ata_mat::ops::product_tol::<f64>(m.max(n), k, m as f64);
         let diff = c_fast.max_abs_diff(&c_ref);
-        assert!(diff <= tol, "({m},{n},{k}) blocked gemm differs from oracle by {diff} > {tol}");
+        assert!(
+            diff <= tol,
+            "({m},{n},{k}) blocked gemm differs from oracle by {diff} > {tol}"
+        );
     }
 
     #[test]

@@ -70,10 +70,13 @@ pub fn dot<T: Scalar>(x: &[T], y: &[T]) -> T {
 /// Euclidean norm, accumulated in `f64` for robustness.
 #[inline]
 pub fn nrm2<T: Scalar>(x: &[T]) -> f64 {
-    x.iter().map(|v| {
-        let f = v.to_f64();
-        f * f
-    }).sum::<f64>().sqrt()
+    x.iter()
+        .map(|v| {
+            let f = v.to_f64();
+            f * f
+        })
+        .sum::<f64>()
+        .sqrt()
 }
 
 /// `y = x` over the common prefix; the tail of `y` is zero-filled.

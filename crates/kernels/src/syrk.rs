@@ -29,9 +29,19 @@ pub fn syrk_ln<T: Scalar>(alpha: T, a: MatRef<'_, T>, c: &mut MatMut<'_, T>) {
 ///
 /// # Panics
 /// On inconsistent shapes.
-pub fn syrk_ln_blocked<T: Scalar>(alpha: T, a: MatRef<'_, T>, c: &mut MatMut<'_, T>, bs: BlockSizes) {
+pub fn syrk_ln_blocked<T: Scalar>(
+    alpha: T,
+    a: MatRef<'_, T>,
+    c: &mut MatMut<'_, T>,
+    bs: BlockSizes,
+) {
     let (m, n) = a.shape();
-    assert_eq!(c.shape(), (n, n), "syrk_ln: C must be {n}x{n}, got {:?}", c.shape());
+    assert_eq!(
+        c.shape(),
+        (n, n),
+        "syrk_ln: C must be {n}x{n}, got {:?}",
+        c.shape()
+    );
     if m == 0 || n == 0 {
         return;
     }
@@ -54,7 +64,11 @@ pub fn syrk_ln_blocked<T: Scalar>(alpha: T, a: MatRef<'_, T>, c: &mut MatMut<'_,
         for l in 0..m {
             let arow = a.row(l);
             for i in i0..i1 {
-                let s = if alpha_is_one { arow[i] } else { alpha * arow[i] };
+                let s = if alpha_is_one {
+                    arow[i]
+                } else {
+                    alpha * arow[i]
+                };
                 // C[i, i0..=i] += s * A[l, i0..=i]
                 let src = &arow[i0..=i];
                 let dst = &mut c.row_mut(i)[i0..=i];
@@ -105,7 +119,10 @@ mod tests {
         reference::syrk_ln(alpha, a.as_ref(), &mut c_ref.as_mut());
         let tol = ata_mat::ops::product_tol::<f64>(m.max(n), n, m as f64);
         let diff = c_fast.max_abs_diff_lower(&c_ref);
-        assert!(diff <= tol, "({m},{n}) syrk differs from oracle by {diff} > {tol}");
+        assert!(
+            diff <= tol,
+            "({m},{n}) syrk differs from oracle by {diff} > {tol}"
+        );
         // Strict upper part untouched: both started from the same garbage.
         assert_eq!(
             c_fast.max_abs_diff(&c_ref),
@@ -116,7 +133,15 @@ mod tests {
 
     #[test]
     fn matches_oracle_on_assorted_shapes() {
-        for &(m, n) in &[(1, 1), (3, 2), (5, 7), (16, 16), (40, 33), (33, 80), (128, 35)] {
+        for &(m, n) in &[
+            (1, 1),
+            (3, 2),
+            (5, 7),
+            (16, 16),
+            (40, 33),
+            (33, 80),
+            (128, 35),
+        ] {
             check(m, n, 1.0, BlockSizes::default());
         }
     }

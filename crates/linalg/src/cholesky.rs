@@ -25,7 +25,10 @@ impl std::fmt::Display for CholeskyError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CholeskyError::NotPositiveDefinite { column } => {
-                write!(f, "matrix is not positive definite (pivot at column {column})")
+                write!(
+                    f,
+                    "matrix is not positive definite (pivot at column {column})"
+                )
             }
         }
     }
@@ -165,7 +168,13 @@ mod tests {
     #[test]
     fn rank_deficient_gram_detected() {
         // A with a repeated column -> singular Gram matrix.
-        let a = Matrix::from_fn(6, 3, |i, j| if j == 2 { (i + 1) as f64 } else { ((i + 1) * (j + 1)) as f64 });
+        let a = Matrix::from_fn(6, 3, |i, j| {
+            if j == 2 {
+                (i + 1) as f64
+            } else {
+                ((i + 1) * (j + 1)) as f64
+            }
+        });
         let mut a2 = a.clone();
         for i in 0..6 {
             a2[(i, 2)] = a[(i, 0)]; // duplicate column 0

@@ -26,7 +26,11 @@ pub fn jacobi_eigen<T: Scalar>(s: &Matrix<T>, tol: f64) -> (Vec<f64>, Matrix<f64
     let mut a = vec![0.0f64; n * n];
     for i in 0..n {
         for j in 0..n {
-            let v = if i >= j { s[(i, j)].to_f64() } else { s[(j, i)].to_f64() };
+            let v = if i >= j {
+                s[(i, j)].to_f64()
+            } else {
+                s[(j, i)].to_f64()
+            };
             a[i * n + j] = v;
         }
     }

@@ -32,7 +32,10 @@ pub fn solve_normal_equations<T: Scalar>(
     opts: &AtaOptions,
 ) -> Result<Vec<T>, CholeskyError> {
     let (m, n) = a.shape();
-    assert!(m >= n, "normal equations need an overdetermined (tall) system");
+    assert!(
+        m >= n,
+        "normal equations need an overdetermined (tall) system"
+    );
     assert_eq!(b.len(), m, "rhs length must equal A's row count");
 
     // G = A^T A via AtA (lower triangle is all Cholesky needs).
@@ -55,9 +58,9 @@ pub fn residual_norm<T: Scalar>(a: MatRef<'_, T>, x: &[T], b: &[T]) -> f64 {
     assert_eq!(x.len(), n, "x length mismatch");
     assert_eq!(b.len(), m, "b length mismatch");
     let mut acc = 0.0f64;
-    for i in 0..m {
+    for (i, bv) in b.iter().enumerate() {
         let row = a.row(i);
-        let mut r = -b[i].to_f64();
+        let mut r = -bv.to_f64();
         for (aij, xj) in row.iter().zip(x) {
             r += aij.to_f64() * xj.to_f64();
         }
@@ -105,7 +108,10 @@ mod tests {
                 }
                 dot += a[(i, j)] * ri;
             }
-            assert!(dot.abs() < 1e-8, "column {j} not orthogonal to residual: {dot}");
+            assert!(
+                dot.abs() < 1e-8,
+                "column {j} not orthogonal to residual: {dot}"
+            );
         }
     }
 
@@ -115,7 +121,8 @@ mod tests {
         let a = gen::tall_well_conditioned::<f64>(3, m, n);
         let b: Vec<f64> = (0..m).map(|i| (i as f64).sin()).collect();
         let x1 = solve_normal_equations(a.as_ref(), &b, &AtaOptions::serial()).expect("rank");
-        let x2 = solve_normal_equations(a.as_ref(), &b, &AtaOptions::with_threads(4)).expect("rank");
+        let x2 =
+            solve_normal_equations(a.as_ref(), &b, &AtaOptions::with_threads(4)).expect("rank");
         for (u, v) in x1.iter().zip(&x2) {
             assert!((u - v).abs() < 1e-9);
         }

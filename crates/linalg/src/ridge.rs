@@ -30,7 +30,10 @@ impl<T: Scalar> RidgeSolver<T> {
     /// If `b.len() != m` or `m < n`.
     pub fn new(a: MatRef<'_, T>, b: &[T], opts: &AtaOptions) -> Self {
         let (m, n) = a.shape();
-        assert!(m >= n, "ridge regression needs a tall (overdetermined) system");
+        assert!(
+            m >= n,
+            "ridge regression needs a tall (overdetermined) system"
+        );
         assert_eq!(b.len(), m, "rhs length must equal A's row count");
         let gram_lower = lower_with(a, opts);
         let b_mat = Matrix::from_vec(b.to_vec(), m, 1);
@@ -119,9 +122,15 @@ mod tests {
             assert!(w[1] <= w[0] + 1e-12, "norm grew along the path: {norms:?}");
         }
         // And residuals increase (bias/variance trade).
-        let res: Vec<f64> = path.iter().map(|x| residual_norm(a.as_ref(), x, &b)).collect();
+        let res: Vec<f64> = path
+            .iter()
+            .map(|x| residual_norm(a.as_ref(), x, &b))
+            .collect();
         for w in res.windows(2) {
-            assert!(w[1] >= w[0] - 1e-12, "residual shrank along the path: {res:?}");
+            assert!(
+                w[1] >= w[0] - 1e-12,
+                "residual shrank along the path: {res:?}"
+            );
         }
     }
 
@@ -168,7 +177,7 @@ mod tests {
         let x = solver.solve(1e-6).expect("regularized solve must succeed");
         assert!((x[4] - x[5]).abs() < 1e-6, "tied columns split: {x:?}");
         // The regularized solution still fits well.
-        assert!(residual_norm(a.as_ref(), &x, &b) < residual_norm(a.as_ref(), &vec![0.0; 6], &b));
+        assert!(residual_norm(a.as_ref(), &x, &b) < residual_norm(a.as_ref(), &[0.0; 6], &b));
         // Stronger lambda shrinks the tied pair together, staying tied.
         let x2 = solver.solve(10.0).expect("spd");
         assert!((x2[4] - x2[5]).abs() < 1e-9);
@@ -179,12 +188,12 @@ mod tests {
     fn parallel_and_winograd_options_agree() {
         let (a, b) = setup(64, 16, 5);
         let base = RidgeSolver::new(a.as_ref(), &b, &AtaOptions::serial());
-        let par = RidgeSolver::new(
+        let par = RidgeSolver::new(a.as_ref(), &b, &AtaOptions::with_threads(4).cache_words(64));
+        let win = RidgeSolver::new(
             a.as_ref(),
             &b,
-            &AtaOptions::with_threads(4).cache_words(64),
+            &AtaOptions::serial().cache_words(64).winograd(),
         );
-        let win = RidgeSolver::new(a.as_ref(), &b, &AtaOptions::serial().cache_words(64).winograd());
         let xb = base.solve(0.5).expect("spd");
         let xp = par.solve(0.5).expect("spd");
         let xw = win.solve(0.5).expect("spd");

@@ -36,7 +36,10 @@ pub fn gram_svd<T: Scalar>(a: MatRef<'_, T>, opts: &AtaOptions) -> (Vec<f64>, Ma
 /// rank-deficient input).
 pub fn condition_number<T: Scalar>(a: MatRef<'_, T>, opts: &AtaOptions) -> f64 {
     let s = singular_values(a, opts);
-    let (max, min) = (s.first().copied().unwrap_or(0.0), s.last().copied().unwrap_or(0.0));
+    let (max, min) = (
+        s.first().copied().unwrap_or(0.0),
+        s.last().copied().unwrap_or(0.0),
+    );
     if min == 0.0 {
         f64::INFINITY
     } else {

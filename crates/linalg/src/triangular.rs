@@ -43,8 +43,8 @@ pub fn solve_lower_transposed<T: Scalar>(l: MatRef<'_, T>, y: &[T]) -> Vec<T> {
     for i in (0..n).rev() {
         let mut s = x[i];
         // L^T[i, k] = L[k, i] for k > i.
-        for k in (i + 1)..n {
-            s -= *l.at(k, i) * x[k];
+        for (k, &xv) in x.iter().enumerate().skip(i + 1) {
+            s -= *l.at(k, i) * xv;
         }
         let d = *l.at(i, i);
         assert!(d != T::ZERO, "zero diagonal at {i}");

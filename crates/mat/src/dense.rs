@@ -38,7 +38,12 @@ impl<T: Scalar> Matrix<T> {
     /// # Panics
     /// If `data.len() != rows * cols`.
     pub fn from_vec(data: Vec<T>, rows: usize, cols: usize) -> Self {
-        assert_eq!(data.len(), rows * cols, "from_vec: length {} != {rows}x{cols}", data.len());
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "from_vec: length {} != {rows}x{cols}",
+            data.len()
+        );
         Self { data, rows, cols }
     }
 
@@ -143,7 +148,11 @@ impl<T: Scalar> Matrix<T> {
     /// (`i >= j`); used to compare algorithms that, per the paper, leave the
     /// strictly-upper part untouched.
     pub fn max_abs_diff_lower(&self, other: &Matrix<T>) -> f64 {
-        assert_eq!(self.shape(), other.shape(), "max_abs_diff_lower shape mismatch");
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "max_abs_diff_lower shape mismatch"
+        );
         let mut worst = 0.0f64;
         for i in 0..self.rows {
             for j in 0..=i.min(self.cols.saturating_sub(1)) {
@@ -206,7 +215,12 @@ impl<T: Scalar> Index<(usize, usize)> for Matrix<T> {
 
     #[inline]
     fn index(&self, (i, j): (usize, usize)) -> &T {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         &self.data[i * self.cols + j]
     }
 }
@@ -214,7 +228,12 @@ impl<T: Scalar> Index<(usize, usize)> for Matrix<T> {
 impl<T: Scalar> IndexMut<(usize, usize)> for Matrix<T> {
     #[inline]
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         &mut self.data[i * self.cols + j]
     }
 }

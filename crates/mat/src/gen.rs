@@ -27,7 +27,9 @@ pub fn standard<T: Scalar>(seed: u64, rows: usize, cols: usize) -> Matrix<T> {
 /// tolerance even through Strassen's add/subtract recombinations.
 pub fn ternary<T: Scalar>(seed: u64, rows: usize, cols: usize) -> Matrix<T> {
     let mut rng = StdRng::seed_from_u64(seed);
-    Matrix::from_fn(rows, cols, |_, _| T::from_f64((rng.random_range(0..3i32) - 1) as f64))
+    Matrix::from_fn(rows, cols, |_, _| {
+        T::from_f64((rng.random_range(0..3i32) - 1) as f64)
+    })
 }
 
 /// Well-conditioned tall matrix for the least-squares example: a random

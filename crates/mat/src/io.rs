@@ -76,10 +76,9 @@ pub fn read_csv<T: Scalar>(r: impl Read) -> Result<Matrix<T>, IoError> {
         }
         let mut count = 0usize;
         for cell in trimmed.split(',') {
-            let v: f64 = cell
-                .trim()
-                .parse()
-                .map_err(|_| IoError::Format(format!("line {}: bad number '{cell}'", lineno + 1)))?;
+            let v: f64 = cell.trim().parse().map_err(|_| {
+                IoError::Format(format!("line {}: bad number '{cell}'", lineno + 1))
+            })?;
             data.push(T::from_f64(v));
             count += 1;
         }
@@ -198,7 +197,11 @@ mod tests {
         let mut buf = Vec::new();
         write_csv(&m, &mut buf).expect("write");
         let back = read_csv::<f64>(&buf[..]).expect("read");
-        assert_eq!(m.max_abs_diff(&back), 0.0, "CSV must round-trip f64 exactly");
+        assert_eq!(
+            m.max_abs_diff(&back),
+            0.0,
+            "CSV must round-trip f64 exactly"
+        );
     }
 
     #[test]

@@ -39,7 +39,12 @@ impl<T: Scalar> SymPacked<T> {
     /// # Panics
     /// If `data.len() != n(n+1)/2`.
     pub fn from_vec(data: Vec<T>, n: usize) -> Self {
-        assert_eq!(data.len(), packed_len(n), "packed length {} != n(n+1)/2 for n={n}", data.len());
+        assert_eq!(
+            data.len(),
+            packed_len(n),
+            "packed length {} != n(n+1)/2 for n={n}",
+            data.len()
+        );
         Self { data, n }
     }
 
@@ -48,7 +53,11 @@ impl<T: Scalar> SymPacked<T> {
     /// # Panics
     /// If `full` is not square.
     pub fn from_lower(full: &Matrix<T>) -> Self {
-        assert_eq!(full.rows(), full.cols(), "from_lower requires a square matrix");
+        assert_eq!(
+            full.rows(),
+            full.cols(),
+            "from_lower requires a square matrix"
+        );
         let n = full.rows();
         let mut data = Vec::with_capacity(packed_len(n));
         for i in 0..n {
@@ -99,7 +108,11 @@ impl<T: Scalar> SymPacked<T> {
     /// On out-of-bounds indices.
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> T {
-        assert!(i < self.n && j < self.n, "index ({i},{j}) out of bounds for order {}", self.n);
+        assert!(
+            i < self.n && j < self.n,
+            "index ({i},{j}) out of bounds for order {}",
+            self.n
+        );
         let (r, c) = if i >= j { (i, j) } else { (j, i) };
         self.data[r * (r + 1) / 2 + c]
     }
@@ -110,7 +123,11 @@ impl<T: Scalar> SymPacked<T> {
     /// If `i < j` (the strictly-upper part is not stored) or out of bounds.
     #[inline]
     pub fn set(&mut self, i: usize, j: usize, v: T) {
-        assert!(i < self.n && j < self.n, "index ({i},{j}) out of bounds for order {}", self.n);
+        assert!(
+            i < self.n && j < self.n,
+            "index ({i},{j}) out of bounds for order {}",
+            self.n
+        );
         assert!(i >= j, "set({i},{j}): only the lower triangle is stored");
         self.data[i * (i + 1) / 2 + j] = v;
     }
@@ -118,7 +135,11 @@ impl<T: Scalar> SymPacked<T> {
     /// Accumulate `v` onto element `(i, j)`, `i >= j`.
     #[inline]
     pub fn add(&mut self, i: usize, j: usize, v: T) {
-        assert!(i < self.n && j < self.n, "index ({i},{j}) out of bounds for order {}", self.n);
+        assert!(
+            i < self.n && j < self.n,
+            "index ({i},{j}) out of bounds for order {}",
+            self.n
+        );
         assert!(i >= j, "add({i},{j}): only the lower triangle is stored");
         self.data[i * (i + 1) / 2 + j] += v;
     }

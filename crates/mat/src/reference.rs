@@ -17,7 +17,12 @@ pub fn gemm_tn<T: Scalar>(alpha: T, a: MatRef<'_, T>, b: MatRef<'_, T>, c: &mut 
     let (m, n) = a.shape();
     let (mb, k) = b.shape();
     assert_eq!(m, mb, "gemm_tn: A is {m}x{n} but B has {mb} rows");
-    assert_eq!(c.shape(), (n, k), "gemm_tn: C must be {n}x{k}, got {:?}", c.shape());
+    assert_eq!(
+        c.shape(),
+        (n, k),
+        "gemm_tn: C must be {n}x{k}, got {:?}",
+        c.shape()
+    );
     for i in 0..n {
         for j in 0..k {
             let mut acc = T::ZERO;
@@ -39,7 +44,12 @@ pub fn gemm_tn<T: Scalar>(alpha: T, a: MatRef<'_, T>, b: MatRef<'_, T>, c: &mut 
 /// On inconsistent shapes.
 pub fn syrk_ln<T: Scalar>(alpha: T, a: MatRef<'_, T>, c: &mut MatMut<'_, T>) {
     let (m, n) = a.shape();
-    assert_eq!(c.shape(), (n, n), "syrk_ln: C must be {n}x{n}, got {:?}", c.shape());
+    assert_eq!(
+        c.shape(),
+        (n, n),
+        "syrk_ln: C must be {n}x{n}, got {:?}",
+        c.shape()
+    );
     for i in 0..n {
         for j in 0..=i {
             let mut acc = T::ZERO;
@@ -72,7 +82,12 @@ pub fn gemm_nn<T: Scalar>(alpha: T, a: MatRef<'_, T>, b: MatRef<'_, T>, c: &mut 
     let (m, ka) = a.shape();
     let (kb, n) = b.shape();
     assert_eq!(ka, kb, "gemm_nn: inner dimensions differ ({ka} vs {kb})");
-    assert_eq!(c.shape(), (m, n), "gemm_nn: C must be {m}x{n}, got {:?}", c.shape());
+    assert_eq!(
+        c.shape(),
+        (m, n),
+        "gemm_nn: C must be {m}x{n}, got {:?}",
+        c.shape()
+    );
     for i in 0..m {
         for j in 0..n {
             let mut acc = T::ZERO;

@@ -94,6 +94,7 @@ impl Add for Tracked {
 
 impl Sub for Tracked {
     type Output = Tracked;
+    #[allow(clippy::suspicious_arithmetic_impl)] // the + increments the op counter
     #[inline]
     fn sub(self, rhs: Self) -> Self {
         SUBS.with(|c| c.set(c.get() + 1));
@@ -103,6 +104,7 @@ impl Sub for Tracked {
 
 impl Mul for Tracked {
     type Output = Tracked;
+    #[allow(clippy::suspicious_arithmetic_impl)] // the + increments the op counter
     #[inline]
     fn mul(self, rhs: Self) -> Self {
         MULS.with(|c| c.set(c.get() + 1));

@@ -130,7 +130,12 @@ impl<'a, T> MatRef<'a, T> {
     /// On out-of-bounds indices (debug and release).
     #[inline]
     pub fn at(&self, i: usize, j: usize) -> &T {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         // SAFETY: bounds checked above; constructor validated the extent.
         unsafe { &*self.ptr.add(i * self.row_stride + j) }
     }
@@ -138,7 +143,11 @@ impl<'a, T> MatRef<'a, T> {
     /// Row `i` as a contiguous slice.
     #[inline]
     pub fn row(&self, i: usize) -> &'a [T] {
-        assert!(i < self.rows, "row {i} out of bounds for {} rows", self.rows);
+        assert!(
+            i < self.rows,
+            "row {i} out of bounds for {} rows",
+            self.rows
+        );
         // SAFETY: row i spans [i*stride, i*stride + cols) which is in bounds.
         unsafe { std::slice::from_raw_parts(self.ptr.add(i * self.row_stride), self.cols) }
     }
@@ -149,8 +158,16 @@ impl<'a, T> MatRef<'a, T> {
     /// If the ranges are not ordered or exceed the view.
     #[inline]
     pub fn block(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> MatRef<'a, T> {
-        assert!(r0 <= r1 && r1 <= self.rows, "row range {r0}..{r1} invalid for {} rows", self.rows);
-        assert!(c0 <= c1 && c1 <= self.cols, "col range {c0}..{c1} invalid for {} cols", self.cols);
+        assert!(
+            r0 <= r1 && r1 <= self.rows,
+            "row range {r0}..{r1} invalid for {} rows",
+            self.rows
+        );
+        assert!(
+            c0 <= c1 && c1 <= self.cols,
+            "col range {c0}..{c1} invalid for {} cols",
+            self.cols
+        );
         MatRef {
             // SAFETY: offset stays within the validated extent.
             ptr: unsafe { self.ptr.add(r0 * self.row_stride + c0) },
@@ -178,13 +195,19 @@ impl<'a, T> MatRef<'a, T> {
     /// Left/right column strips split at `c` (Fig. 2's vertical tiling).
     #[inline]
     pub fn split_at_col(&self, c: usize) -> (MatRef<'a, T>, MatRef<'a, T>) {
-        (self.block(0, self.rows, 0, c), self.block(0, self.rows, c, self.cols))
+        (
+            self.block(0, self.rows, 0, c),
+            self.block(0, self.rows, c, self.cols),
+        )
     }
 
     /// Top/bottom row strips split at `r` (Fig. 2's horizontal tiling).
     #[inline]
     pub fn split_at_row(&self, r: usize) -> (MatRef<'a, T>, MatRef<'a, T>) {
-        (self.block(0, r, 0, self.cols), self.block(r, self.rows, 0, self.cols))
+        (
+            self.block(0, r, 0, self.cols),
+            self.block(r, self.rows, 0, self.cols),
+        )
     }
 }
 
@@ -237,7 +260,12 @@ impl<'a, T> MatMut<'a, T> {
     /// # Panics
     /// If the last addressable element would fall outside `data`.
     #[inline]
-    pub fn from_slice_strided(data: &'a mut [T], rows: usize, cols: usize, row_stride: usize) -> Self {
+    pub fn from_slice_strided(
+        data: &'a mut [T],
+        rows: usize,
+        cols: usize,
+        row_stride: usize,
+    ) -> Self {
         check_dims(data.len(), rows, cols, row_stride);
         Self {
             ptr: data.as_mut_ptr(),
@@ -319,7 +347,12 @@ impl<'a, T> MatMut<'a, T> {
     /// Shared reference to element `(i, j)`.
     #[inline]
     pub fn at(&self, i: usize, j: usize) -> &T {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         // SAFETY: bounds checked; extent validated by constructor.
         unsafe { &*self.ptr.add(i * self.row_stride + j) }
     }
@@ -327,7 +360,12 @@ impl<'a, T> MatMut<'a, T> {
     /// Mutable reference to element `(i, j)`.
     #[inline]
     pub fn at_mut(&mut self, i: usize, j: usize) -> &mut T {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         // SAFETY: bounds checked; extent validated by constructor.
         unsafe { &mut *self.ptr.add(i * self.row_stride + j) }
     }
@@ -335,7 +373,11 @@ impl<'a, T> MatMut<'a, T> {
     /// Row `i` as a contiguous mutable slice.
     #[inline]
     pub fn row_mut(&mut self, i: usize) -> &mut [T] {
-        assert!(i < self.rows, "row {i} out of bounds for {} rows", self.rows);
+        assert!(
+            i < self.rows,
+            "row {i} out of bounds for {} rows",
+            self.rows
+        );
         // SAFETY: row i spans [i*stride, i*stride + cols) which is in bounds
         // and uniquely borrowed through self.
         unsafe { std::slice::from_raw_parts_mut(self.ptr.add(i * self.row_stride), self.cols) }
@@ -344,7 +386,11 @@ impl<'a, T> MatMut<'a, T> {
     /// Row `i` as a contiguous shared slice.
     #[inline]
     pub fn row(&self, i: usize) -> &[T] {
-        assert!(i < self.rows, "row {i} out of bounds for {} rows", self.rows);
+        assert!(
+            i < self.rows,
+            "row {i} out of bounds for {} rows",
+            self.rows
+        );
         // SAFETY: as above, shared.
         unsafe { std::slice::from_raw_parts(self.ptr.add(i * self.row_stride), self.cols) }
     }
@@ -356,8 +402,16 @@ impl<'a, T> MatMut<'a, T> {
     /// If the ranges are not ordered or exceed the view.
     #[inline]
     pub fn into_block(self, r0: usize, r1: usize, c0: usize, c1: usize) -> MatMut<'a, T> {
-        assert!(r0 <= r1 && r1 <= self.rows, "row range {r0}..{r1} invalid for {} rows", self.rows);
-        assert!(c0 <= c1 && c1 <= self.cols, "col range {c0}..{c1} invalid for {} cols", self.cols);
+        assert!(
+            r0 <= r1 && r1 <= self.rows,
+            "row range {r0}..{r1} invalid for {} rows",
+            self.rows
+        );
+        assert!(
+            c0 <= c1 && c1 <= self.cols,
+            "col range {c0}..{c1} invalid for {} cols",
+            self.cols
+        );
         MatMut {
             // SAFETY: offset stays within the validated extent.
             ptr: unsafe { self.ptr.add(r0 * self.row_stride + c0) },
@@ -380,7 +434,11 @@ impl<'a, T> MatMut<'a, T> {
     /// different threads is sound.
     #[inline]
     pub fn split_at_row_mut(self, r: usize) -> (MatMut<'a, T>, MatMut<'a, T>) {
-        assert!(r <= self.rows, "split row {r} out of bounds for {} rows", self.rows);
+        assert!(
+            r <= self.rows,
+            "split row {r} out of bounds for {} rows",
+            self.rows
+        );
         let top = MatMut {
             ptr: self.ptr,
             rows: r,
@@ -404,7 +462,11 @@ impl<'a, T> MatMut<'a, T> {
     /// The views interleave in memory but address disjoint element sets.
     #[inline]
     pub fn split_at_col_mut(self, c: usize) -> (MatMut<'a, T>, MatMut<'a, T>) {
-        assert!(c <= self.cols, "split col {c} out of bounds for {} cols", self.cols);
+        assert!(
+            c <= self.cols,
+            "split col {c} out of bounds for {} cols",
+            self.cols
+        );
         let left = MatMut {
             ptr: self.ptr,
             rows: self.rows,
@@ -482,7 +544,11 @@ impl<T> std::ops::IndexMut<(usize, usize)> for MatMut<'_, T> {
 
 impl<T: Scalar> std::fmt::Debug for MatRef<'_, T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "MatRef {}x{} (stride {})", self.rows, self.cols, self.row_stride)?;
+        writeln!(
+            f,
+            "MatRef {}x{} (stride {})",
+            self.rows, self.cols, self.row_stride
+        )?;
         for i in 0..self.rows.min(8) {
             write!(f, " [")?;
             for j in 0..self.cols.min(8) {
@@ -599,7 +665,10 @@ mod tests {
                 *v += 1.0;
             }
         }
-        assert!(data.iter().all(|&x| x == 1.0), "each element written exactly once");
+        assert!(
+            data.iter().all(|&x| x == 1.0),
+            "each element written exactly once"
+        );
     }
 
     #[test]

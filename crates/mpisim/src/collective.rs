@@ -287,14 +287,18 @@ mod tests {
     #[test]
     fn mixed_collectives_in_sequence() {
         let report = run(6, CostModel::zero(), |comm| {
-            let b = comm.bcast_from_root(if comm.rank() == 0 { Some(vec![2.0f64]) } else { None });
+            let b = comm.bcast_from_root(if comm.rank() == 0 {
+                Some(vec![2.0f64])
+            } else {
+                None
+            });
             comm.barrier();
             let r = comm.reduce_to_root(vec![b[0] * comm.rank() as f64], |acc, o| acc[0] += o[0]);
             comm.barrier();
             r
         });
         let sum = report.results[0].as_ref().expect("root");
-        assert_eq!(sum[0], 2.0 * (0 + 1 + 2 + 3 + 4 + 5) as f64);
+        assert_eq!(sum[0], 2.0 * (1 + 2 + 3 + 4 + 5) as f64);
     }
 
     #[test]

@@ -171,12 +171,19 @@ impl<T: Send + 'static> Comm<T> {
     /// If `to` is out of range or the tag collides with the reserved
     /// collective space.
     pub fn send(&mut self, to: usize, tag: u64, payload: Vec<T>) {
-        assert!(tag < COLLECTIVE_TAG_BASE, "tag {tag} collides with reserved collective tags");
+        assert!(
+            tag < COLLECTIVE_TAG_BASE,
+            "tag {tag} collides with reserved collective tags"
+        );
         self.send_impl(to, tag, payload);
     }
 
     pub(crate) fn send_impl(&mut self, to: usize, tag: u64, payload: Vec<T>) {
-        assert!(to < self.size, "send to rank {to} out of range (size {})", self.size);
+        assert!(
+            to < self.size,
+            "send to rank {to} out of range (size {})",
+            self.size
+        );
         let words = payload.len();
         // Sender occupied for the latency; payload lands after transfer.
         let arrival = self.clock + self.model.transfer_time(words);
@@ -202,13 +209,20 @@ impl<T: Send + 'static> Comm<T> {
     /// # Panics
     /// If no matching message arrives within the deadlock-guard timeout.
     pub fn recv(&mut self, from: usize, tag: u64) -> Vec<T> {
-        assert!(tag < COLLECTIVE_TAG_BASE, "tag {tag} collides with reserved collective tags");
+        assert!(
+            tag < COLLECTIVE_TAG_BASE,
+            "tag {tag} collides with reserved collective tags"
+        );
         self.recv_impl(from, tag)
     }
 
     pub(crate) fn recv_impl(&mut self, from: usize, tag: u64) -> Vec<T> {
         // Check the out-of-order buffer first.
-        if let Some(pos) = self.mailbox.iter().position(|m| m.src == from && m.tag == tag) {
+        if let Some(pos) = self
+            .mailbox
+            .iter()
+            .position(|m| m.src == from && m.tag == tag)
+        {
             let msg = self.mailbox.remove(pos).expect("position valid");
             self.clock = self.clock.max(msg.arrival);
             return msg.payload;
@@ -245,7 +259,10 @@ impl<T: Send + 'static> Comm<T> {
     /// # Panics
     /// If the tag collides with the reserved collective space.
     pub fn try_recv(&mut self, from: usize, tag: u64) -> Option<Vec<T>> {
-        assert!(tag < COLLECTIVE_TAG_BASE, "tag {tag} collides with reserved collective tags");
+        assert!(
+            tag < COLLECTIVE_TAG_BASE,
+            "tag {tag} collides with reserved collective tags"
+        );
         self.drain_channel();
         let pos = self
             .mailbox
@@ -271,7 +288,10 @@ impl<T: Send + 'static> Comm<T> {
     /// If no matching message arrives within the deadlock-guard timeout,
     /// or on a reserved tag.
     pub fn recv_any(&mut self, tag: u64) -> (usize, Vec<T>) {
-        assert!(tag < COLLECTIVE_TAG_BASE, "tag {tag} collides with reserved collective tags");
+        assert!(
+            tag < COLLECTIVE_TAG_BASE,
+            "tag {tag} collides with reserved collective tags"
+        );
         if let Some(pos) = self.mailbox.iter().position(|m| m.tag == tag) {
             let msg = self.mailbox.remove(pos).expect("position valid");
             self.clock = self.clock.max(msg.arrival);
@@ -510,6 +530,10 @@ mod tests {
                 0.0
             }
         });
-        assert!(report.results[0] >= 5.0, "clock {} < arrival", report.results[0]);
+        assert!(
+            report.results[0] >= 5.0,
+            "clock {} < arrival",
+            report.results[0]
+        );
     }
 }

@@ -44,9 +44,16 @@ impl CostModel {
     /// If any parameter is negative or not finite.
     pub fn new(alpha: f64, beta: f64, flop_time: f64) -> Self {
         for (name, v) in [("alpha", alpha), ("beta", beta), ("flop_time", flop_time)] {
-            assert!(v.is_finite() && v >= 0.0, "CostModel {name} must be finite and >= 0, got {v}");
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "CostModel {name} must be finite and >= 0, got {v}"
+            );
         }
-        Self { alpha, beta, flop_time }
+        Self {
+            alpha,
+            beta,
+            flop_time,
+        }
     }
 
     /// Transfer time of a `words`-element payload (excluding the latency

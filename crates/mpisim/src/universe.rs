@@ -203,10 +203,7 @@ mod tests {
         }));
         let elapsed = start.elapsed().as_secs_f64();
         let err = result.expect_err("universe must propagate the panic");
-        let msg = err
-            .downcast_ref::<String>()
-            .cloned()
-            .unwrap_or_default();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
         assert!(
             msg.contains("rank 0 panicked") && msg.contains("injected root failure"),
             "culprit not surfaced: {msg}"

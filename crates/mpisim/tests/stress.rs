@@ -92,7 +92,10 @@ fn clock_causality_chain() {
             clock >= rank as f64 * 1e-3 - 1e-12,
             "rank {rank} clock {clock} violates causality"
         );
-        assert!(clock >= report.results[rank - 1] - 1e-9, "monotone along the chain");
+        assert!(
+            clock >= report.results[rank - 1] - 1e-9,
+            "monotone along the chain"
+        );
     }
 }
 

@@ -61,12 +61,21 @@ pub fn strassen_allocating<T: Scalar>(
 ) {
     let (m, n) = a.shape();
     let (mb, k) = b.shape();
-    assert_eq!(m, mb, "strassen_allocating: A is {m}x{n} but B has {mb} rows");
+    assert_eq!(
+        m, mb,
+        "strassen_allocating: A is {m}x{n} but B has {mb} rows"
+    );
     assert_eq!(c.shape(), (n, k), "strassen_allocating: C must be {n}x{k}");
     rec(alpha, a, b, c, cfg);
 }
 
-fn rec<T: Scalar>(alpha: T, a: MatRef<'_, T>, b: MatRef<'_, T>, c: &mut MatMut<'_, T>, cfg: &CacheConfig) {
+fn rec<T: Scalar>(
+    alpha: T,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    c: &mut MatMut<'_, T>,
+    cfg: &CacheConfig,
+) {
     let (m, n) = a.shape();
     let k = b.cols();
     if m == 0 || n == 0 || k == 0 {
@@ -89,7 +98,9 @@ fn rec<T: Scalar>(alpha: T, a: MatRef<'_, T>, b: MatRef<'_, T>, c: &mut MatMut<'
 
     // Every product allocates tA, tB (when needed) and M — the behaviour
     // the fast variant exists to avoid.
-    let run = |ta: MatRef<'_, T>, tb: MatRef<'_, T>, targets: &[((usize, usize, usize, usize), i8)], c: &mut MatMut<'_, T>| {
+    // (quadrant bounds, accumulation sign) pairs for one product.
+    type Targets = [((usize, usize, usize, usize), i8)];
+    let run = |ta: MatRef<'_, T>, tb: MatRef<'_, T>, targets: &Targets, c: &mut MatMut<'_, T>| {
         let mut mm = Matrix::<T>::zeros(n1, k1);
         rec(T::ONE, ta, tb, &mut mm.as_mut(), cfg);
         for &((r0, r1, q0, q1), sgn) in targets {

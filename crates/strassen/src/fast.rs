@@ -141,7 +141,12 @@ pub fn fast_strassen_with<T: Scalar>(
     let (m, n) = a.shape();
     let (mb, k) = b.shape();
     assert_eq!(m, mb, "fast_strassen: A is {m}x{n} but B has {mb} rows");
-    assert_eq!(c.shape(), (n, k), "fast_strassen: C must be {n}x{k}, got {:?}", c.shape());
+    assert_eq!(
+        c.shape(),
+        (n, k),
+        "fast_strassen: C must be {n}x{k}, got {:?}",
+        c.shape()
+    );
     ws.reserve_for(m, n, k, cfg);
     rec(alpha, a, b, c, cfg, ws.as_mut_slice());
 }
@@ -224,7 +229,13 @@ mod tests {
 
     #[test]
     fn rectangular_shapes() {
-        for &(m, n, k) in &[(64, 8, 8), (8, 64, 8), (8, 8, 64), (40, 12, 28), (12, 40, 4)] {
+        for &(m, n, k) in &[
+            (64, 8, 8),
+            (8, 64, 8),
+            (8, 8, 64),
+            (40, 12, 28),
+            (12, 40, 4),
+        ] {
             check(m, n, k, 1.0, 16);
         }
     }
@@ -349,6 +360,12 @@ mod tests {
         let a = Matrix::<f64>::zeros(4, 4);
         let b = Matrix::<f64>::zeros(5, 4);
         let mut c = Matrix::<f64>::zeros(4, 4);
-        fast_strassen(1.0, a.as_ref(), b.as_ref(), &mut c.as_mut(), &CacheConfig::default());
+        fast_strassen(
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            &mut c.as_mut(),
+            &CacheConfig::default(),
+        );
     }
 }

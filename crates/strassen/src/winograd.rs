@@ -287,7 +287,13 @@ mod tests {
 
     #[test]
     fn rectangular_shapes() {
-        for &(m, n, k) in &[(64, 8, 8), (8, 64, 8), (8, 8, 64), (40, 12, 28), (12, 40, 4)] {
+        for &(m, n, k) in &[
+            (64, 8, 8),
+            (8, 64, 8),
+            (8, 8, 64),
+            (40, 12, 28),
+            (12, 40, 4),
+        ] {
             check(m, n, k, 1.0, 16);
         }
     }
@@ -417,6 +423,12 @@ mod tests {
         let a = Matrix::<f64>::zeros(4, 4);
         let b = Matrix::<f64>::zeros(5, 4);
         let mut c = Matrix::<f64>::zeros(4, 4);
-        winograd_strassen(1.0, a.as_ref(), b.as_ref(), &mut c.as_mut(), &CacheConfig::default());
+        winograd_strassen(
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            &mut c.as_mut(),
+            &CacheConfig::default(),
+        );
     }
 }

@@ -39,8 +39,15 @@ fn main() {
     let c = report.results[0].as_ref().expect("root result");
     let diff = c.max_abs_diff_lower(&oracle);
     println!("\nAtA-D:");
-    println!("  simulated elapsed (critical path): {:.4} s", report.critical_path());
-    println!("  total messages: {}, total words: {}", report.total_msgs(), report.total_words());
+    println!(
+        "  simulated elapsed (critical path): {:.4} s",
+        report.critical_path()
+    );
+    println!(
+        "  total messages: {}, total words: {}",
+        report.total_msgs(),
+        report.total_words()
+    );
     println!("  max |C - oracle| (lower): {diff:.3e}");
     assert!(diff < 1e-8);
 
@@ -53,8 +60,15 @@ fn main() {
     let cb = report_b.results[0].as_ref().expect("root result");
     let diff_b = cb.max_abs_diff_lower(&oracle);
     println!("\npdsyrk-like baseline:");
-    println!("  simulated elapsed (critical path): {:.4} s", report_b.critical_path());
-    println!("  total messages: {}, total words: {}", report_b.total_msgs(), report_b.total_words());
+    println!(
+        "  simulated elapsed (critical path): {:.4} s",
+        report_b.critical_path()
+    );
+    println!(
+        "  total messages: {}, total words: {}",
+        report_b.total_msgs(),
+        report_b.total_words()
+    );
     println!("  max |C - oracle| (lower): {diff_b:.3e}");
     assert!(diff_b < 1e-8);
 

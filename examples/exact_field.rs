@@ -60,7 +60,11 @@ fn rational_demo() {
         }
     }
     let (i, j) = (n - 1, n - 2);
-    println!("G[{i}][{j}] exactly = {} = {:.12}...", g_q[(i, j)], g_q[(i, j)].to_f64());
+    println!(
+        "G[{i}][{j}] exactly = {} = {:.12}...",
+        g_q[(i, j)],
+        g_q[(i, j)].to_f64()
+    );
     println!("f32 max entrywise error = {max_err:.2e}; rational error = 0 by construction\n");
 }
 
@@ -86,7 +90,13 @@ fn prime_field_demo() {
     println!("A: {m}x{n} uniform over the field");
     println!("Strassen-based AtA == naive oracle, entrywise: {equal}");
     assert!(equal, "prime-field AtA must be exact");
-    println!("sample entries: G[0][0] = {}, G[{}][{}] = {}", g[(0, 0)], n - 1, 0, g[(n - 1, 0)]);
+    println!(
+        "sample entries: G[0][0] = {}, G[{}][{}] = {}",
+        g[(0, 0)],
+        n - 1,
+        0,
+        g[(n - 1, 0)]
+    );
     println!("(finite fields have no rounding: Strassen's subtractions are harmless)");
 }
 

@@ -83,23 +83,34 @@ fn main() {
 
     println!("\ntop eigenvalues (explained variance):");
     for (ev, idx) in &top {
-        println!("  lambda = {ev:9.4}  ({:5.1}% of total)", 100.0 * ev / total_var);
+        println!(
+            "  lambda = {ev:9.4}  ({:5.1}% of total)",
+            100.0 * ev / total_var
+        );
         let _ = idx;
     }
 
     // Alignment of the top two eigenvectors with the planted directions.
     let align = |vec_idx: usize, dir: &[f64], dnorm: f64| -> f64 {
-        let dot: f64 = (0..n).map(|j| eigvecs[(j, vec_idx)] * dir[j] / dnorm.sqrt()).sum();
+        let dot: f64 = (0..n)
+            .map(|j| eigvecs[(j, vec_idx)] * dir[j] / dnorm.sqrt())
+            .sum();
         dot.abs()
     };
     let a1 = align(top[0].1, &dir1, norm1).max(align(top[0].1, &dir2, norm2));
     let a2 = align(top[1].1, &dir1, norm1).max(align(top[1].1, &dir2, norm2));
     println!("\n|<pc1, planted>| = {a1:.4} (1.0 = perfect recovery)");
     println!("|<pc2, planted>| = {a2:.4}");
-    assert!(a1 > 0.98 && a2 > 0.98, "PCA failed to recover planted factors");
+    assert!(
+        a1 > 0.98 && a2 > 0.98,
+        "PCA failed to recover planted factors"
+    );
 
     // The noise floor: remaining eigenvalues should sit near noise^2.
     let floor: f64 = eigvals.iter().cloned().fold(f64::INFINITY, f64::min);
-    println!("noise floor eigenvalue = {floor:.4} (construction: ~{:.4})", noise * noise);
+    println!(
+        "noise floor eigenvalue = {floor:.4} (construction: ~{:.4})",
+        noise * noise
+    );
     println!("\nPCA recovered both planted components — covariance path exercised end to end.");
 }

@@ -34,8 +34,14 @@ fn main() {
     let t_par = t0.elapsed().as_secs_f64();
 
     println!("naive oracle : {t_naive:8.3} s");
-    println!("AtA (serial) : {t_serial:8.3} s   speedup vs naive: {:.2}x", t_naive / t_serial);
-    println!("AtA-S ({threads} thr.): {t_par:8.3} s   speedup vs naive: {:.2}x", t_naive / t_par);
+    println!(
+        "AtA (serial) : {t_serial:8.3} s   speedup vs naive: {:.2}x",
+        t_naive / t_serial
+    );
+    println!(
+        "AtA-S ({threads} thr.): {t_par:8.3} s   speedup vs naive: {:.2}x",
+        t_naive / t_par
+    );
 
     let d1 = g_serial.max_abs_diff(&g_naive);
     let d2 = g_par.max_abs_diff(&g_naive);
@@ -43,6 +49,9 @@ fn main() {
     println!("max |AtA-S - naive| = {d2:.3e}");
     assert!(g_serial.is_symmetric(0.0) && g_par.is_symmetric(0.0));
     let tol = ata::mat::ops::product_tol::<f64>(m.max(n), n, m as f64);
-    assert!(d1 <= tol && d2 <= tol, "results disagree beyond tolerance {tol:.3e}");
+    assert!(
+        d1 <= tol && d2 <= tol,
+        "results disagree beyond tolerance {tol:.3e}"
+    );
     println!("all three agree within {tol:.3e} — OK");
 }

@@ -11,8 +11,8 @@
 //! sweeps lambda over six decades, and selects the best value on a
 //! held-out split.
 
-use ata::linalg::ridge::RidgeSolver;
 use ata::linalg::lstsq::residual_norm;
+use ata::linalg::ridge::RidgeSolver;
 use ata::mat::Matrix;
 use ata::AtaOptions;
 use rand::rngs::StdRng;
@@ -26,7 +26,15 @@ fn main() {
     // Ground truth: a sparse coefficient vector over a polynomial
     // feature map of t in [-1, 1] (Chebyshev-ish basis via cos).
     let mut rng = StdRng::seed_from_u64(77);
-    let coeff: Vec<f64> = (0..n).map(|j| if j % 5 == 0 { 2.0 / (j + 1) as f64 } else { 0.0 }).collect();
+    let coeff: Vec<f64> = (0..n)
+        .map(|j| {
+            if j % 5 == 0 {
+                2.0 / (j + 1) as f64
+            } else {
+                0.0
+            }
+        })
+        .collect();
     let noise = 0.05f64;
 
     let design = |rows: usize, seed: u64| -> (Matrix<f64>, Vec<f64>) {
@@ -48,7 +56,10 @@ fn main() {
     let (a_test, b_test) = design(m / 3, 2);
     let _ = &mut rng;
 
-    println!("ridge path: {m} train / {} test samples, {n} Chebyshev features", m / 3);
+    println!(
+        "ridge path: {m} train / {} test samples, {n} Chebyshev features",
+        m / 3
+    );
 
     // One AtA call...
     let t0 = std::time::Instant::now();
@@ -61,7 +72,12 @@ fn main() {
     let path = solver.solve_path(&lambdas).expect("SPD for lambda > 0");
     let t_path = t0.elapsed().as_secs_f64();
 
-    println!("gram (AtA): {:.1} ms; {} solves: {:.1} ms total\n", t_gram * 1e3, lambdas.len(), t_path * 1e3);
+    println!(
+        "gram (AtA): {:.1} ms; {} solves: {:.1} ms total\n",
+        t_gram * 1e3,
+        lambdas.len(),
+        t_path * 1e3
+    );
     println!("  lambda     train RMS   test RMS    ||x||");
     let mut best = (f64::INFINITY, 0usize);
     for (idx, (lambda, x)) in lambdas.iter().zip(&path).enumerate() {
@@ -74,7 +90,10 @@ fn main() {
         }
     }
     let (best_rms, best_idx) = best;
-    println!("\nselected lambda = {:.0e} (test RMS {best_rms:.5})", lambdas[best_idx]);
+    println!(
+        "\nselected lambda = {:.0e} (test RMS {best_rms:.5})",
+        lambdas[best_idx]
+    );
 
     // Sanity: the selected model recovers the planted sparse pattern.
     let x = &path[best_idx];
@@ -85,6 +104,12 @@ fn main() {
         planted.iter().all(|j| recovered.contains(j)),
         "selected model must keep every strong planted coefficient"
     );
-    assert!(best_rms < 3.0 * noise, "test error should approach the noise floor");
-    println!("\nOK — one Gram matrix amortized across {} regularized solves.", lambdas.len());
+    assert!(
+        best_rms < 3.0 * noise,
+        "test error should approach the noise floor"
+    );
+    println!(
+        "\nOK — one Gram matrix amortized across {} regularized solves.",
+        lambdas.len()
+    );
 }

@@ -30,7 +30,9 @@ fn main() {
     let v = mgs_orthonormalize(gen::standard::<f64>(11, n, n).as_ref());
     // A = U diag(sigma) V^T.
     let a = Matrix::from_fn(m, n, |i, j| {
-        (0..n).map(|k| u[(i, k)] * sigma_true[k] * v[(j, k)]).sum::<f64>()
+        (0..n)
+            .map(|k| u[(i, k)] * sigma_true[k] * v[(j, k)])
+            .sum::<f64>()
     });
 
     let opts = AtaOptions::with_threads(4);
@@ -42,12 +44,18 @@ fn main() {
         .map(|(a, b)| (a - b).abs())
         .fold(0.0f64, f64::max);
     println!("max |sigma - sigma_true|   = {worst:.3e}");
-    assert!(worst < 1e-8, "recovered spectrum must match the planted one");
+    assert!(
+        worst < 1e-8,
+        "recovered spectrum must match the planted one"
+    );
 
     // Frobenius identity: sum sigma^2 = ||A||_F^2.
     let sum_sq: f64 = sigma.iter().map(|x| x * x).sum();
     let frob_sq = a.as_ref().frobenius().powi(2);
-    println!("|sum sigma^2 - ||A||_F^2|  = {:.3e}", (sum_sq - frob_sq).abs());
+    println!(
+        "|sum sigma^2 - ||A||_F^2|  = {:.3e}",
+        (sum_sq - frob_sq).abs()
+    );
     assert!((sum_sq - frob_sq).abs() < 1e-6 * frob_sq);
 
     // Right singular vectors: ||A v_i|| = sigma_i.

@@ -8,8 +8,7 @@
 //! paths compute the *same* mathematical object.
 
 use ata::core::accuracy::{
-    abs_gram, compensated_gram, componentwise_factor, dd_dot, gram_forward_error, two_prod,
-    two_sum,
+    abs_gram, compensated_gram, componentwise_factor, dd_dot, gram_forward_error, two_prod, two_sum,
 };
 use ata::field::Q64;
 use ata::mat::{reference, Matrix, Scalar};
@@ -57,13 +56,29 @@ fn compensated_gram_matches_exact_rationals_to_the_last_bit() {
 fn dd_dot_matches_exact_rationals_on_cancellation_heavy_input() {
     // Alternating huge/tiny dyadics: plain f64 summation loses the tail,
     // double-double must not (the result still fits one f64 exactly).
-    let x64: Vec<f64> = (0..40).map(|k| if k % 2 == 0 { 1024.0 } else { 1.0 / 1024.0 }).collect();
-    let y64: Vec<f64> = (0..40).map(|k| if k % 2 == 0 { 1.0 } else { -1.0 }).collect();
+    let x64: Vec<f64> = (0..40)
+        .map(|k| if k % 2 == 0 { 1024.0 } else { 1.0 / 1024.0 })
+        .collect();
+    let y64: Vec<f64> = (0..40)
+        .map(|k| if k % 2 == 0 { 1.0 } else { -1.0 })
+        .collect();
     let xq: Vec<Q64> = (0..40)
-        .map(|k| if k % 2 == 0 { Q64::new(1024, 1) } else { Q64::new(1, 1024) })
+        .map(|k| {
+            if k % 2 == 0 {
+                Q64::new(1024, 1)
+            } else {
+                Q64::new(1, 1024)
+            }
+        })
         .collect();
     let yq: Vec<Q64> = (0..40)
-        .map(|k| if k % 2 == 0 { Q64::new(1, 1) } else { Q64::new(-1, 1) })
+        .map(|k| {
+            if k % 2 == 0 {
+                Q64::new(1, 1)
+            } else {
+                Q64::new(-1, 1)
+            }
+        })
         .collect();
     let exact: Q64 = xq.iter().zip(&yq).map(|(a, b)| *a * *b).sum();
     assert_eq!(dd_dot(&x64, &y64), exact.to_f64());

@@ -30,8 +30,14 @@ fn every_algorithm_agrees_on_one_input() {
 
     // Shared-memory, several thread counts.
     for threads in [2usize, 5, 16] {
-        let par = lower_with(a.as_ref(), &AtaOptions::with_threads(threads).cache_words(32));
-        assert!(par.max_abs_diff_lower(&reference_c) <= tol, "AtA-S P={threads}");
+        let par = lower_with(
+            a.as_ref(),
+            &AtaOptions::with_threads(threads).cache_words(32),
+        );
+        assert!(
+            par.max_abs_diff_lower(&reference_c) <= tol,
+            "AtA-S P={threads}"
+        );
     }
 
     // Distributed on the simulator.
@@ -70,7 +76,11 @@ fn baselines_agree_with_oracle_end_to_end() {
     // cosma-like computes the full A^T A (as A^T B with B = A).
     let a_ref = &a;
     let report = run(8, CostModel::zero(), move |comm| {
-        let (ia, ib) = if comm.rank() == 0 { (Some(a_ref), Some(a_ref)) } else { (None, None) };
+        let (ia, ib) = if comm.rank() == 0 {
+            (Some(a_ref), Some(a_ref))
+        } else {
+            (None, None)
+        };
         cosma_like(ia, ib, m, n, n, comm)
     });
     let c = report.results[0].as_ref().expect("root");
@@ -82,7 +92,11 @@ fn baselines_agree_with_oracle_end_to_end() {
     let cache = CacheConfig::with_words(64);
     let a_ref = &a;
     let report = run(7, CostModel::zero(), move |comm| {
-        let (ia, ib) = if comm.rank() == 0 { (Some(a_ref), Some(a_ref)) } else { (None, None) };
+        let (ia, ib) = if comm.rank() == 0 {
+            (Some(a_ref), Some(a_ref))
+        } else {
+            (None, None)
+        };
         caps_like(ia, ib, n, comm, &cache)
     });
     let c = report.results[0].as_ref().expect("root");

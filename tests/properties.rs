@@ -218,6 +218,32 @@ proptest! {
     }
 
     #[test]
+    fn ata_d_matches_syrk_any_shape_and_rank_count(
+        m in 1usize..40,
+        n in 1usize..40,
+        procs in 1usize..14,
+        seed in 0u64..500,
+        words in 8usize..64,
+    ) {
+        use ata::dist::{ata_d, AtaDConfig};
+        use ata::mpisim::{run, CostModel};
+        let a = gen::standard::<f64>(seed, m, n);
+        let cfg = AtaDConfig {
+            cache: CacheConfig::with_words(words),
+            ..AtaDConfig::default()
+        };
+        let a_ref = &a;
+        let report = run(procs, CostModel::zero(), move |comm| {
+            let input = (comm.rank() == 0).then_some(a_ref);
+            ata_d(input, m, n, comm, &cfg)
+        });
+        let c = report.results.into_iter().flatten().next().expect("root");
+        let mut slow = Matrix::zeros(n, n);
+        reference::syrk_ln(1.0, a.as_ref(), &mut slow.as_mut());
+        prop_assert!(c.max_abs_diff_lower(&slow) <= tolerance(m, n) * 2.0);
+    }
+
+    #[test]
     fn carma_matches_oracle_any_shape_and_budget(
         m in 1usize..32,
         n in 1usize..32,

@@ -1,0 +1,209 @@
+//! Offline stand-in for the `criterion` crate (see
+//! `third_party/README.md`).
+//!
+//! Benchmarks compile and run with the same source as against real
+//! criterion; this harness performs one warm-up iteration and a short
+//! timed loop per benchmark, printing the mean iteration time. No
+//! statistics, plots, or baselines — it exists so `cargo bench` works
+//! offline and the benchmark code stays honest (it really runs).
+
+use std::time::{Duration, Instant};
+
+/// Measurement driver handed to each benchmark body.
+pub struct Bencher {
+    iters_done: u64,
+    total: Duration,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly inside the time budget, recording timings.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warm-up.
+        std::hint::black_box(f());
+        let start = Instant::now();
+        while start.elapsed() < self.budget {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            self.total += t0.elapsed();
+            self.iters_done += 1;
+        }
+    }
+
+    fn mean(&self) -> Duration {
+        if self.iters_done == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.iters_done as u32
+        }
+    }
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Function name + parameter value.
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        Self {
+            label: format!("{}/{}", name.into(), param),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        Self {
+            label: param.to_string(),
+        }
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    budget: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling is time-budgeted here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        // Real criterion spends `d` per benchmark; keep runs short, the
+        // stand-in is for smoke coverage rather than statistics.
+        self.budget = d.min(Duration::from_secs(1));
+        self
+    }
+
+    fn run(&mut self, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            iters_done: 0,
+            total: Duration::ZERO,
+            budget: self.budget,
+        };
+        f(&mut b);
+        println!(
+            "bench {}/{label}: {:?}/iter ({} iters)",
+            self.name,
+            b.mean(),
+            b.iters_done
+        );
+    }
+
+    /// Benchmark taking an explicit input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = id.label.clone();
+        self.run(&label, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmark with no input.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        self.run(name, &mut f);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark context.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            budget: Duration::from_millis(200),
+            _criterion: self,
+        }
+    }
+
+    /// Standalone benchmark outside any group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        self.benchmark_group("toplevel").bench_function(name, f);
+        self
+    }
+}
+
+/// Prevent the optimizer from discarding a value (re-export of
+/// `std::hint::black_box` for API compatibility).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declare a benchmark group function, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("tiny");
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_millis(10));
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("sum", 8), &8usize, |b, &n| {
+            b.iter(|| (0..n).sum::<usize>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, tiny_bench);
+
+    #[test]
+    fn group_macro_produces_runnable_fn() {
+        benches();
+    }
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut b = Bencher {
+            iters_done: 0,
+            total: Duration::ZERO,
+            budget: Duration::from_millis(5),
+        };
+        b.iter(|| std::hint::black_box(2 * 2));
+        assert!(b.iters_done > 0);
+        assert!(b.mean() <= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 32).label, "f/32");
+        assert_eq!(BenchmarkId::from_parameter(7).label, "7");
+    }
+}

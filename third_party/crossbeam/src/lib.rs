@@ -1,0 +1,104 @@
+//! Offline stand-in for the `crossbeam` crate (see
+//! `third_party/README.md`).
+//!
+//! Only `crossbeam::channel` is provided, as a thin façade over
+//! `std::sync::mpsc`: since Rust 1.67 the std channel *is* the crossbeam
+//! implementation, so semantics (unbounded MPSC, `recv_timeout`,
+//! disconnect detection) match what the simulator relies on.
+
+/// Multi-producer single-consumer channels.
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvTimeoutError, SendError, TryRecvError};
+
+    /// Sending half (cloneable).
+    #[derive(Debug)]
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue a message; fails only if the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    /// Receiving half.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocking receive with a timeout.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+
+        /// Blocking receive.
+        pub fn recv(&self) -> Result<T, mpsc::RecvError> {
+            self.0.recv()
+        }
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (s, r) = mpsc::channel();
+        (Sender(s), Receiver(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvTimeoutError};
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let (s, r) = unbounded();
+        s.send(5usize).unwrap();
+        assert_eq!(r.recv().unwrap(), 5);
+    }
+
+    #[test]
+    fn timeout_elapses_when_empty() {
+        let (_s, r) = unbounded::<u8>();
+        assert_eq!(
+            r.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+    }
+
+    #[test]
+    fn clone_senders_feed_one_receiver() {
+        let (s, r) = unbounded();
+        let s2 = s.clone();
+        std::thread::scope(|scope| {
+            scope.spawn(move || s.send(1u8).unwrap());
+            scope.spawn(move || s2.send(2u8).unwrap());
+        });
+        let mut got = vec![r.recv().unwrap(), r.recv().unwrap()];
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn disconnect_is_detected() {
+        let (s, r) = unbounded::<u8>();
+        drop(s);
+        assert_eq!(
+            r.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+}

@@ -1,0 +1,225 @@
+//! Offline stand-in for the `rayon` crate (see `third_party/README.md`).
+//!
+//! Real data parallelism, minimal API: consumers call
+//! `vec.into_par_iter()` (optionally `.enumerate()`) and `.for_each(f)`,
+//! or build a fixed-size [`ThreadPool`] and `install` a closure. Work is
+//! executed on `std::thread::scope` threads — one bucket of items per
+//! worker, round-robin assignment, which matches how the workspace uses
+//! rayon (few, coarse, pre-balanced tasks; see `ata-core::parallel`).
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Thread count override installed by [`ThreadPool::install`].
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads the calling context would use.
+pub fn current_num_threads() -> usize {
+    POOL_THREADS.with(|p| p.get()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// The traits consumers import.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, ParallelIterator};
+}
+
+/// Parallel iterator machinery.
+pub mod iter {
+    use super::current_num_threads;
+
+    /// Conversion into a parallel iterator (consuming `self`).
+    pub trait IntoParallelIterator {
+        /// Element type.
+        type Item: Send;
+        /// Concrete iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Convert.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    /// A finite, splittable sequence of items processed in parallel.
+    pub trait ParallelIterator: Sized {
+        /// Element type.
+        type Item: Send;
+
+        /// Consume the iterator into a vector of items (drive order is
+        /// the original order).
+        fn drain(self) -> Vec<Self::Item>;
+
+        /// Pair each item with its index, like `Iterator::enumerate`.
+        fn enumerate(self) -> VecParIter<(usize, Self::Item)> {
+            VecParIter {
+                items: self.drain().into_iter().enumerate().collect(),
+            }
+        }
+
+        /// Apply `f` to every item, in parallel.
+        fn for_each<F>(self, f: F)
+        where
+            F: Fn(Self::Item) + Send + Sync,
+        {
+            let items = self.drain();
+            let workers = current_num_threads().min(items.len()).max(1);
+            if workers == 1 {
+                for item in items {
+                    f(item);
+                }
+                return;
+            }
+            // Round-robin buckets: preserves the coarse pre-balanced
+            // decomposition the callers construct.
+            let mut buckets: Vec<Vec<Self::Item>> = (0..workers).map(|_| Vec::new()).collect();
+            for (i, item) in items.into_iter().enumerate() {
+                buckets[i % workers].push(item);
+            }
+            let f = &f;
+            std::thread::scope(|scope| {
+                for bucket in buckets {
+                    scope.spawn(move || {
+                        for item in bucket {
+                            f(item);
+                        }
+                    });
+                }
+            });
+        }
+    }
+
+    /// Parallel iterator over an owned vector.
+    pub struct VecParIter<T> {
+        pub(crate) items: Vec<T>,
+    }
+
+    impl<T: Send> ParallelIterator for VecParIter<T> {
+        type Item = T;
+
+        fn drain(self) -> Vec<T> {
+            self.items
+        }
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = VecParIter<T>;
+
+        fn into_par_iter(self) -> VecParIter<T> {
+            VecParIter { items: self }
+        }
+    }
+}
+
+/// Error building a pool (never produced by this stand-in).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Fresh builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fix the worker count.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            threads: self.num_threads.unwrap_or_else(current_num_threads).max(1),
+        })
+    }
+}
+
+/// A fixed-size worker pool. In this stand-in the pool holds no threads;
+/// it scopes a worker-count override that `for_each` picks up, and the
+/// scoped threads are spawned per call.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's thread count in force.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = POOL_THREADS.with(|p| p.replace(Some(self.threads)));
+        let out = f();
+        POOL_THREADS.with(|p| p.set(prev));
+        out
+    }
+
+    /// The pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn for_each_visits_every_item_once() {
+        let hits = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..100).collect();
+        items.into_par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn enumerate_matches_sequential_indices() {
+        let items = vec![10usize, 20, 30];
+        let sum = AtomicUsize::new(0);
+        items.into_par_iter().enumerate().for_each(|(i, v)| {
+            sum.fetch_add(i * 1000 + v, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 10 + 1020 + 2030);
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+        // Restored outside.
+        let outer = current_num_threads();
+        assert!(outer >= 1);
+    }
+
+    #[test]
+    fn parallel_writes_to_disjoint_slices() {
+        let mut data = vec![0u32; 64];
+        let chunks: Vec<&mut [u32]> = data.chunks_mut(16).collect();
+        chunks.into_par_iter().enumerate().for_each(|(i, chunk)| {
+            for x in chunk {
+                *x = i as u32 + 1;
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, (i / 16) as u32 + 1);
+        }
+    }
+}
