@@ -3,19 +3,27 @@
 //! ```text
 //! ata gen    --rows M --cols N [--seed S] --out FILE        generate a random matrix
 //! ata gram   --input FILE --out FILE [--threads T]          C = A^T A (full symmetric)
-//!            [--algo ata|ata-s|syrk|naive] [--cache-words W]
-//!            [--strassen classic|winograd]
+//!            [--algo ata|ata-s|ata-d|syrk|naive] [--cache-words W]
+//!            [--strassen classic|winograd] [--ranks R] [--repeat K]
 //! ata verify --input FILE [--threads T]                     AtA vs naive oracle
 //! ata info   --input FILE                                   shape and norms
 //! ```
 //!
+//! All AtA variants run through one [`AtaContext`]: `--threads` selects
+//! the shared-memory backend, `--algo ata-d --ranks R` the simulated
+//! distributed one. `--repeat K` executes the plan `K` times (a serving
+//! loop) and reports per-call time, demonstrating the plan-reuse
+//! amortization.
+//!
 //! Files are CSV (`.csv`) or the compact binary `.atm` format, chosen by
 //! extension. All computation is `f64`.
 
-use ata_core::{gram_with, AtaOptions};
+use ata::{AtaContext, Backend, Output};
 use ata_kernels::syrk_ln;
 use ata_mat::{gen, io, reference, Matrix};
+use ata_mpisim::CostModel;
 use std::collections::HashMap;
+use std::num::NonZeroUsize;
 use std::process::ExitCode;
 
 struct Args {
@@ -52,6 +60,17 @@ impl Args {
         }
     }
 
+    /// Positive integer argument: the zero case is rejected in parsing,
+    /// so the invariant reaches the API as a [`NonZeroUsize`].
+    fn nonzero(&self, key: &str, default: NonZeroUsize) -> Result<NonZeroUsize, String> {
+        match self.kv.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse::<NonZeroUsize>()
+                .map_err(|_| format!("--{key} expects a positive integer, got '{v}'")),
+        }
+    }
+
     fn required_usize(&self, key: &str) -> Result<usize, String> {
         self.required(key)?
             .parse()
@@ -66,25 +85,37 @@ impl Args {
     }
 }
 
-fn options(args: &Args) -> Result<AtaOptions, String> {
-    let threads = args.usize("threads", 1)?;
-    let mut opts = if threads > 1 {
-        AtaOptions::with_threads(threads)
+const ONE: NonZeroUsize = NonZeroUsize::MIN;
+
+/// Build the execution context from the common flags. `--algo ata-d`
+/// selects the simulated-distributed backend (`--ranks`, default 4);
+/// otherwise `--threads` > 1 selects the shared-memory backend.
+fn context(args: &Args, algo: &str) -> Result<AtaContext, String> {
+    let mut b = AtaContext::builder();
+    if algo == "ata-d" {
+        let ranks = args.nonzero("ranks", NonZeroUsize::new(4).expect("4 > 0"))?;
+        b = b.backend(Backend::SimulatedDist {
+            ranks,
+            loggp: CostModel::terastat(),
+        });
     } else {
-        AtaOptions::serial()
-    };
+        let threads = args.nonzero("threads", ONE)?;
+        if threads.get() > 1 {
+            b = b.backend(Backend::Shared { threads });
+        }
+    }
     if let Some(w) = args.kv.get("cache-words") {
         let w: usize = w
             .parse()
             .map_err(|_| "--cache-words expects an integer".to_string())?;
-        opts = opts.cache_words(w);
+        b = b.cache_words(w);
     }
     match args.str_or("strassen", "classic").as_str() {
         "classic" => {}
-        "winograd" => opts = opts.winograd(),
+        "winograd" => b = b.winograd(),
         other => return Err(format!("unknown --strassen '{other}' (classic | winograd)")),
     }
-    Ok(opts)
+    Ok(b.build())
 }
 
 fn cmd_gen(args: &Args) -> Result<(), String> {
@@ -102,38 +133,57 @@ fn cmd_gram(args: &Args) -> Result<(), String> {
     let input = args.required("input")?;
     let out = args.required("out")?;
     let algo = args.str_or("algo", "ata");
-    let opts = options(args)?;
+    let repeat = args.nonzero("repeat", ONE)?.get();
     let a: Matrix<f64> = io::load(input).map_err(|e| e.to_string())?;
     let (m, n) = a.shape();
 
     let t0 = std::time::Instant::now();
     let g = match algo.as_str() {
-        "ata" | "ata-s" => gram_with(a.as_ref(), &opts),
+        "ata" | "ata-s" | "ata-d" => {
+            // Plan once, execute `repeat` times — the context API's
+            // serving-loop shape.
+            let ctx = context(args, &algo)?;
+            let plan = ctx.plan_with::<f64>(m, n, Output::Gram);
+            let mut c = Matrix::<f64>::zeros(n, n);
+            for _ in 0..repeat {
+                plan.execute_into(a.as_ref(), &mut c.as_mut());
+            }
+            c
+        }
         "syrk" => {
             let mut c = Matrix::<f64>::zeros(n, n);
-            syrk_ln(1.0, a.as_ref(), &mut c.as_mut());
+            for _ in 0..repeat {
+                c.as_mut().fill_zero();
+                syrk_ln(1.0, a.as_ref(), &mut c.as_mut());
+            }
             c.mirror_lower_to_upper();
             c
         }
-        "naive" => reference::gram(a.as_ref()),
+        "naive" => {
+            let mut g = reference::gram(a.as_ref());
+            for _ in 1..repeat {
+                g = reference::gram(a.as_ref());
+            }
+            g
+        }
         other => {
             return Err(format!(
-                "unknown --algo '{other}' (ata | ata-s | syrk | naive)"
+                "unknown --algo '{other}' (ata | ata-s | ata-d | syrk | naive)"
             ))
         }
     };
-    let dt = t0.elapsed().as_secs_f64();
+    let dt = t0.elapsed().as_secs_f64() / repeat as f64;
     io::save(&g, out).map_err(|e| e.to_string())?;
-    println!("A: {m}x{n}; C = A^T A ({n}x{n}) via {algo} in {dt:.3}s -> {out}");
+    println!("A: {m}x{n}; C = A^T A ({n}x{n}) via {algo} in {dt:.3}s/call (x{repeat}) -> {out}");
     Ok(())
 }
 
 fn cmd_verify(args: &Args) -> Result<(), String> {
     let input = args.required("input")?;
-    let opts = options(args)?;
+    let ctx = context(args, &args.str_or("algo", "ata"))?;
     let a: Matrix<f64> = io::load(input).map_err(|e| e.to_string())?;
     let (m, n) = a.shape();
-    let fast = gram_with(a.as_ref(), &opts);
+    let fast = ctx.gram(a.as_ref());
     let slow = reference::gram(a.as_ref());
     let diff = fast.max_abs_diff(&slow);
     let tol = ata_mat::ops::product_tol::<f64>(m.max(n), n, m as f64);
@@ -159,7 +209,8 @@ fn cmd_info(args: &Args) -> Result<(), String> {
 fn usage() -> String {
     "usage: ata <gen|gram|verify|info> [--key value ...]\n\
      \n  ata gen    --rows M --cols N [--seed S] --out FILE\
-     \n  ata gram   --input FILE --out FILE [--threads T] [--algo ata|syrk|naive]\
+     \n  ata gram   --input FILE --out FILE [--threads T] [--repeat K]\
+     \n             [--algo ata|ata-s|ata-d|syrk|naive] [--ranks R]\
      \n             [--cache-words W] [--strassen classic|winograd]\
      \n  ata verify --input FILE [--threads T]\
      \n  ata info   --input FILE"
@@ -212,6 +263,28 @@ mod tests {
     }
 
     #[test]
+    fn zero_threads_is_a_parse_error_not_a_panic() {
+        let a = args(&["--threads", "0"]);
+        let err = a.nonzero("threads", ONE).expect_err("0 must be rejected");
+        assert!(err.contains("positive integer"), "got: {err}");
+        // And the context builder reports it as a clean Err.
+        assert!(context(&a, "ata").is_err());
+    }
+
+    #[test]
+    fn negative_and_garbage_threads_rejected() {
+        for bad in ["-1", "1.5", "lots"] {
+            let a = args(&["--threads", bad]);
+            assert!(a.nonzero("threads", ONE).is_err(), "--threads {bad}");
+        }
+        // Valid values still parse.
+        assert_eq!(
+            args(&["--threads", "8"]).nonzero("threads", ONE).unwrap(),
+            NonZeroUsize::new(8).unwrap()
+        );
+    }
+
+    #[test]
     fn end_to_end_gen_gram_verify() {
         let dir = std::env::temp_dir().join("ata_cli_test");
         std::fs::create_dir_all(&dir).expect("mkdir");
@@ -247,7 +320,7 @@ mod tests {
         .expect("gen");
 
         let mut results = Vec::new();
-        for algo in ["ata", "syrk", "naive"] {
+        for algo in ["ata", "ata-d", "syrk", "naive"] {
             let out = dir
                 .join(format!("g_{algo}.csv"))
                 .to_string_lossy()
@@ -255,8 +328,31 @@ mod tests {
             cmd_gram(&args(&["--input", &a_path, "--out", &out, "--algo", algo])).expect("gram");
             results.push(io::load::<f64>(&out).expect("load"));
         }
-        assert!(results[0].max_abs_diff(&results[1]) < 1e-10);
-        assert!(results[0].max_abs_diff(&results[2]) < 1e-10);
+        for (i, r) in results.iter().enumerate().skip(1) {
+            assert!(results[0].max_abs_diff(r) < 1e-10, "variant {i} disagrees");
+        }
+    }
+
+    #[test]
+    fn repeated_gram_reuses_plan() {
+        let dir = std::env::temp_dir().join("ata_cli_test5");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let a_path = dir.join("a.csv").to_string_lossy().to_string();
+        let g_path = dir.join("g.csv").to_string_lossy().to_string();
+        cmd_gen(&args(&["--rows", "24", "--cols", "12", "--out", &a_path])).expect("gen");
+        cmd_gram(&args(&[
+            "--input",
+            &a_path,
+            "--out",
+            &g_path,
+            "--repeat",
+            "5",
+            "--threads",
+            "2",
+        ]))
+        .expect("gram x5");
+        let g: Matrix<f64> = io::load(&g_path).expect("load");
+        assert!(g.is_symmetric(0.0));
     }
 
     #[test]

@@ -201,7 +201,12 @@ mod tests {
         let mut s = gen::standard::<f64>(8, 12, 12);
         s.mirror_lower_to_upper();
         let cfg = CacheConfig::with_words(16);
-        let left = crate::gram_with(s.as_ref(), &crate::AtaOptions::serial().cache_words(16));
+        let left = crate::lower_impl(s.as_ref(), &crate::AtaOptions::serial().cache_words(16));
+        let left = {
+            let mut full = left;
+            full.mirror_lower_to_upper();
+            full
+        };
         let right = aat(s.as_ref(), &cfg);
         assert!(left.max_abs_diff(&right) < 1e-10);
     }

@@ -48,8 +48,8 @@ pub use accuracy::{
 pub use analysis::{ata_mults, effective_gflops};
 pub use blas_parity::{aat, aat_lower, ata_syrk, strassen_gemm};
 pub use naive::{ata_naive, recursive_gemm};
-pub use parallel::{ata_s, ata_s_kind};
-pub use serial::{ata_into, ata_into_with, ata_into_with_kind, StrassenKind};
+pub use parallel::{ata_s, ata_s_kind, ata_s_planned, plan_workspace_elems, task_workspace_elems};
+pub use serial::{ata_into, ata_into_with, ata_into_with_kind, ata_workspace_elems, StrassenKind};
 
 use ata_kernels::CacheConfig;
 use ata_mat::{MatRef, Matrix, Scalar, SymPacked};
@@ -104,27 +104,8 @@ impl AtaOptions {
     }
 }
 
-/// Full symmetric Gram matrix `A^T A` (both triangles filled) with
-/// default options — the one-call entry point.
-pub fn gram<T: Scalar>(a: MatRef<'_, T>) -> Matrix<T> {
-    gram_with(a, &AtaOptions::default())
-}
-
-/// Full symmetric Gram matrix `A^T A` with explicit options.
-pub fn gram_with<T: Scalar>(a: MatRef<'_, T>, opts: &AtaOptions) -> Matrix<T> {
-    let mut c = lower_with(a, opts);
-    c.mirror_lower_to_upper();
-    c
-}
-
-/// Lower-triangular `A^T A` (strictly-upper entries are zero), default
-/// options.
-pub fn lower<T: Scalar>(a: MatRef<'_, T>) -> Matrix<T> {
-    lower_with(a, &AtaOptions::default())
-}
-
-/// Lower-triangular `A^T A` with explicit options.
-pub fn lower_with<T: Scalar>(a: MatRef<'_, T>, opts: &AtaOptions) -> Matrix<T> {
+/// Shared implementation of the legacy one-shot entry points.
+pub(crate) fn lower_impl<T: Scalar>(a: MatRef<'_, T>, opts: &AtaOptions) -> Matrix<T> {
     let n = a.cols();
     let mut c = Matrix::zeros(n, n);
     if opts.threads <= 1 {
@@ -150,19 +131,52 @@ pub fn lower_with<T: Scalar>(a: MatRef<'_, T>, opts: &AtaOptions) -> Matrix<T> {
     c
 }
 
+/// Full symmetric Gram matrix `A^T A` (both triangles filled) with
+/// default options — the one-call entry point.
+pub fn gram<T: Scalar>(a: MatRef<'_, T>) -> Matrix<T> {
+    let mut c = lower_impl(a, &AtaOptions::default());
+    c.mirror_lower_to_upper();
+    c
+}
+
+/// Full symmetric Gram matrix `A^T A` with explicit options.
+#[deprecated(note = "use AtaContext/AtaPlan (the `ata` facade's plan–execute API) instead")]
+pub fn gram_with<T: Scalar>(a: MatRef<'_, T>, opts: &AtaOptions) -> Matrix<T> {
+    let mut c = lower_impl(a, opts);
+    c.mirror_lower_to_upper();
+    c
+}
+
+/// Lower-triangular `A^T A` (strictly-upper entries are zero), default
+/// options.
+pub fn lower<T: Scalar>(a: MatRef<'_, T>) -> Matrix<T> {
+    lower_impl(a, &AtaOptions::default())
+}
+
+/// Lower-triangular `A^T A` with explicit options.
+#[deprecated(note = "use AtaContext/AtaPlan (the `ata` facade's plan–execute API) instead")]
+pub fn lower_with<T: Scalar>(a: MatRef<'_, T>, opts: &AtaOptions) -> Matrix<T> {
+    lower_impl(a, opts)
+}
+
 /// `A^T A` in packed lower-triangular storage (`n(n+1)/2` elements) —
 /// the memory-saving representation of §3.1 / wire format of §4.3.1.
 pub fn packed<T: Scalar>(a: MatRef<'_, T>) -> SymPacked<T> {
-    packed_with(a, &AtaOptions::default())
+    SymPacked::from_lower(&lower_impl(a, &AtaOptions::default()))
 }
 
 /// Packed `A^T A` with explicit options.
+#[deprecated(note = "use AtaContext/AtaPlan (the `ata` facade's plan–execute API) instead")]
 pub fn packed_with<T: Scalar>(a: MatRef<'_, T>, opts: &AtaOptions) -> SymPacked<T> {
-    SymPacked::from_lower(&lower_with(a, opts))
+    SymPacked::from_lower(&lower_impl(a, opts))
 }
 
 #[cfg(test)]
 mod tests {
+    // These tests intentionally exercise the deprecated one-shot legacy
+    // path (the `_with` free functions) alongside the defaults.
+    #![allow(deprecated)]
+
     use super::*;
     use ata_mat::{gen, reference};
 

@@ -12,11 +12,11 @@
 //! serial [`crate::serial`] routines ("each thread operates on the same
 //! data throughout its entire lifespan", §4.2.1).
 
-use crate::serial::{ata_into_with_kind, StrassenKind};
+use crate::serial::{ata_into_with_kind, ata_workspace_elems, StrassenKind};
 use crate::tasktree::{ComputeKind, SharedLeaf, SharedPlan};
 use ata_kernels::CacheConfig;
 use ata_mat::{MatMut, MatRef, Scalar};
-use ata_strassen::StrassenWorkspace;
+use ata_strassen::ArenaPool;
 use rayon::prelude::*;
 
 /// Carve one disjoint `MatMut` per task out of `c`.
@@ -87,32 +87,98 @@ pub fn ata_s_kind<T: Scalar>(
     cfg: &CacheConfig,
     kind: StrassenKind,
 ) {
+    assert!(threads > 0, "ata_s: threads must be positive");
+    let plan = SharedPlan::build(a.cols(), threads);
+    let arenas = ArenaPool::new();
+    ata_s_planned(alpha, a, c, &plan, cfg, kind, &arenas);
+}
+
+/// Strassen-workspace requirement (elements) of one shared-plan task —
+/// used to pre-warm arena caches so a plan's first execution is already
+/// allocation-free.
+pub fn task_workspace_elems(
+    task: &SharedLeaf,
+    m: usize,
+    cfg: &CacheConfig,
+    kind: StrassenKind,
+) -> usize {
+    match task.kind {
+        ComputeKind::AtA => ata_workspace_elems(m, task.a_cols.1 - task.a_cols.0, cfg, kind),
+        ComputeKind::AtB => kind.gemm_workspace_elems(
+            m,
+            task.a_cols.1 - task.a_cols.0,
+            task.b_cols.1 - task.b_cols.0,
+            cfg,
+        ),
+    }
+}
+
+/// Largest per-thread workspace requirement (elements) of a whole
+/// [`SharedPlan`] on an `m`-row input: the arena one worker needs to
+/// process any of its tasks without regrowth.
+pub fn plan_workspace_elems(
+    plan: &SharedPlan,
+    m: usize,
+    cfg: &CacheConfig,
+    kind: StrassenKind,
+) -> usize {
+    plan.tasks
+        .iter()
+        .map(|t| task_workspace_elems(t, m, cfg, kind))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Execute a prebuilt [`SharedPlan`] — the reusable core of AtA-S.
+///
+/// This is the execution half of the plan/execute split: the task tree
+/// (phase 1 of Algorithm 3) was built once by [`SharedPlan::build`] and
+/// can be replayed against many same-shape inputs. Worker arenas come
+/// from `arenas` (checkout/return), so a warm [`ArenaPool`] makes
+/// repeated executions allocation-free; the one-shot wrappers simply
+/// pass an empty pool.
+///
+/// # Panics
+/// If `plan` was built for a different `n` than `a.cols()`, or on
+/// inconsistent shapes.
+pub fn ata_s_planned<T: Scalar>(
+    alpha: T,
+    a: MatRef<'_, T>,
+    c: &mut MatMut<'_, T>,
+    plan: &SharedPlan,
+    cfg: &CacheConfig,
+    kind: StrassenKind,
+    arenas: &ArenaPool<T>,
+) {
     let (m, n) = a.shape();
+    assert_eq!(
+        plan.n, n,
+        "ata_s: plan built for n={} but A has {n} columns",
+        plan.n
+    );
     assert_eq!(
         c.shape(),
         (n, n),
         "ata_s: C must be {n}x{n}, got {:?}",
         c.shape()
     );
-    assert!(threads > 0, "ata_s: threads must be positive");
     if m == 0 || n == 0 {
         return;
     }
 
-    let plan = SharedPlan::build(n, threads);
     let views = carve_tasks(c, &plan.tasks);
 
     // Group (task, view) pairs by owning thread so each worker processes
     // its list sequentially with one private arena — mirroring the
     // paper's thread lifespan data reuse.
     let mut per_proc: Vec<Vec<(&SharedLeaf, MatMut<'_, T>)>> =
-        (0..threads).map(|_| Vec::new()).collect();
+        (0..plan.procs).map(|_| Vec::new()).collect();
     for (task, view) in plan.tasks.iter().zip(views) {
         per_proc[task.proc_id].push((task, view));
     }
 
     per_proc.into_par_iter().for_each(|list| {
-        let mut ws = StrassenWorkspace::<T>::empty();
+        let mut ws = arenas.checkout(0);
         for (task, mut view) in list {
             let a_left = a.block(0, m, task.a_cols.0, task.a_cols.1);
             match task.kind {
@@ -125,6 +191,7 @@ pub fn ata_s_kind<T: Scalar>(
                 }
             }
         }
+        arenas.give_back(ws);
     });
 }
 
@@ -228,6 +295,46 @@ mod tests {
         );
         reference::syrk_ln(-0.5, a.as_ref(), &mut c_ref.as_mut());
         assert!(c.max_abs_diff_lower(&c_ref) < 1e-10);
+    }
+
+    #[test]
+    fn planned_execution_reuses_plan_and_arenas() {
+        let (m, n, threads) = (40usize, 32usize, 4usize);
+        let cfg = CacheConfig::with_words(32);
+        let kind = StrassenKind::Classic;
+        let plan = SharedPlan::build(n, threads);
+        let arenas = ArenaPool::new();
+        let need = plan_workspace_elems(&plan, m, &cfg, kind);
+        arenas.warm(threads, need);
+        for seed in 0..3u64 {
+            let a = gen::standard::<f64>(seed, m, n);
+            let mut c = Matrix::zeros(n, n);
+            ata_s_planned(1.0, a.as_ref(), &mut c.as_mut(), &plan, &cfg, kind, &arenas);
+            let mut c_ref = Matrix::zeros(n, n);
+            reference::syrk_ln(1.0, a.as_ref(), &mut c_ref.as_mut());
+            assert!(c.max_abs_diff_lower(&c_ref) < 1e-10, "seed {seed}");
+        }
+        // Every checked-out arena came back, and none regrew: the warmed
+        // capacity covered all executions.
+        assert_eq!(arenas.cached(), threads);
+        assert_eq!(arenas.cached_elems(), threads * need);
+    }
+
+    #[test]
+    #[should_panic(expected = "plan built for n=16")]
+    fn plan_shape_mismatch_rejected() {
+        let plan = SharedPlan::build(16, 2);
+        let a = gen::standard::<f64>(1, 8, 8);
+        let mut c = Matrix::zeros(8, 8);
+        ata_s_planned(
+            1.0,
+            a.as_ref(),
+            &mut c.as_mut(),
+            &plan,
+            &CacheConfig::default(),
+            StrassenKind::Classic,
+            &ArenaPool::new(),
+        );
     }
 
     #[test]

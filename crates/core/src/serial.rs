@@ -42,6 +42,15 @@ pub enum StrassenKind {
 }
 
 impl StrassenKind {
+    /// Exact workspace requirement (elements) of one `C += alpha A^T B`
+    /// product under this scheme.
+    pub fn gemm_workspace_elems(self, m: usize, n: usize, k: usize, cfg: &CacheConfig) -> usize {
+        match self {
+            StrassenKind::Classic => ata_strassen::required_elems(m, n, k, cfg),
+            StrassenKind::Winograd => ata_strassen::required_elems_winograd(m, n, k, cfg),
+        }
+    }
+
     /// Dispatch `C += alpha A^T B` to the selected scheme.
     #[inline]
     pub fn gemm_into<T: Scalar>(
@@ -110,6 +119,35 @@ pub fn ata_into_with_kind<T: Scalar>(
 pub fn ata_into<T: Scalar>(alpha: T, a: MatRef<'_, T>, c: &mut MatMut<'_, T>, cfg: &CacheConfig) {
     let mut ws = StrassenWorkspace::empty();
     ata_into_with(alpha, a, c, cfg, &mut ws);
+}
+
+/// Exact Strassen-workspace requirement (elements) of the whole serial
+/// AtA recursion on an `m x n` input.
+///
+/// The recursion shares a single arena across all its `C21` products, so
+/// the requirement is the *maximum* over the six children of each level
+/// — an arena of this size makes [`ata_into_with_kind`] allocation-free.
+/// Plan construction (the `ata` facade's `AtaPlan`) uses this to warm
+/// the context's arena cache before the first execution.
+pub fn ata_workspace_elems(m: usize, n: usize, cfg: &CacheConfig, kind: StrassenKind) -> usize {
+    if m == 0 || n == 0 || cfg.ata_base(m, n) {
+        return 0;
+    }
+    let (m1, n1) = (half_up(m), half_up(n));
+    let (m2, n2) = (m - m1, n - n1);
+    // Mirror rec(): four AtA quadrant recursions and the two C21
+    // products A12^T A11 (m1 x n2 by m1 x n1) and A22^T A21.
+    [
+        ata_workspace_elems(m1, n1, cfg, kind),
+        ata_workspace_elems(m2, n1, cfg, kind),
+        ata_workspace_elems(m1, n2, cfg, kind),
+        ata_workspace_elems(m2, n2, cfg, kind),
+        kind.gemm_workspace_elems(m1, n2, n1, cfg),
+        kind.gemm_workspace_elems(m2, n2, n1, cfg),
+    ]
+    .into_iter()
+    .max()
+    .unwrap_or(0)
 }
 
 fn rec<T: Scalar>(
@@ -275,6 +313,28 @@ mod tests {
         ata_into_with(1.0, a.as_ref(), &mut c2.as_mut(), &cfg, &mut ws);
         assert_eq!(ws.capacity(), cap_after_first);
         assert_eq!(c.max_abs_diff(&c2), 0.0);
+    }
+
+    #[test]
+    fn workspace_elems_presizes_exactly() {
+        // An arena warmed to ata_workspace_elems covers the whole
+        // recursion: no mid-execution regrowth (the plan path relies on
+        // this to stay allocation-free after warm-up).
+        for kind in [StrassenKind::Classic, StrassenKind::Winograd] {
+            for &(m, n, words) in &[(32usize, 32usize, 8usize), (37, 29, 16), (64, 48, 4)] {
+                let cfg = CacheConfig::with_words(words);
+                let need = ata_workspace_elems(m, n, &cfg, kind);
+                let a = gen::standard::<f64>(1, m, n);
+                let mut c = Matrix::zeros(n, n);
+                let mut ws = StrassenWorkspace::<f64>::with_capacity(need);
+                ata_into_with_kind(1.0, a.as_ref(), &mut c.as_mut(), &cfg, kind, &mut ws);
+                assert_eq!(
+                    ws.capacity(),
+                    need,
+                    "({m},{n},{words},{kind:?}): presized arena regrew"
+                );
+            }
+        }
     }
 
     #[test]

@@ -167,6 +167,8 @@ pub struct SharedLeaf {
 /// The complete shared-memory schedule for `P` threads.
 #[derive(Debug, Clone)]
 pub struct SharedPlan {
+    /// Output order (`C` is `n x n`) the plan was built for.
+    pub n: usize,
     /// Thread count the plan was built for.
     pub procs: usize,
     /// All leaf tasks; a thread may own several.
@@ -184,6 +186,7 @@ impl SharedPlan {
     pub fn build(n: usize, procs: usize) -> Self {
         assert!(procs > 0, "SharedPlan needs at least one thread");
         let mut plan = SharedPlan {
+            n,
             procs,
             tasks: Vec::new(),
             depth: 0,

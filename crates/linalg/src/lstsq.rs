@@ -11,6 +11,9 @@
 //! fastest dense method.
 
 use crate::cholesky::{cholesky_factor, cholesky_solve, CholeskyError};
+// The linalg layer keeps the stable `AtaOptions`-based signature and
+// intentionally rides the legacy one-shot path underneath.
+#[allow(deprecated)]
 use ata_core::{lower_with, AtaOptions};
 use ata_kernels::gemm_tn;
 use ata_mat::{MatRef, Matrix, Scalar};
@@ -39,6 +42,7 @@ pub fn solve_normal_equations<T: Scalar>(
     assert_eq!(b.len(), m, "rhs length must equal A's row count");
 
     // G = A^T A via AtA (lower triangle is all Cholesky needs).
+    #[allow(deprecated)]
     let mut g = lower_with(a, opts);
 
     // rhs = A^T b via the transposed-left kernel (b as an m x 1 block).

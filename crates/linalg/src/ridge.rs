@@ -10,6 +10,8 @@
 //! factorizations.
 
 use crate::cholesky::{cholesky_factor, cholesky_solve, CholeskyError};
+// Intentionally rides the legacy one-shot path (see `lstsq`).
+#[allow(deprecated)]
 use ata_core::{lower_with, AtaOptions};
 use ata_kernels::gemm_tn;
 use ata_mat::{MatRef, Matrix, Scalar};
@@ -35,6 +37,7 @@ impl<T: Scalar> RidgeSolver<T> {
             "ridge regression needs a tall (overdetermined) system"
         );
         assert_eq!(b.len(), m, "rhs length must equal A's row count");
+        #[allow(deprecated)]
         let gram_lower = lower_with(a, opts);
         let b_mat = Matrix::from_vec(b.to_vec(), m, 1);
         let mut rhs = Matrix::<T>::zeros(n, 1);

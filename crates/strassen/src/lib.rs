@@ -24,9 +24,11 @@
 pub mod alloc;
 pub mod fast;
 pub(crate) mod pad;
+pub mod pool;
 pub mod winograd;
 pub mod workspace;
 
 pub use fast::{fast_strassen, fast_strassen_with, strassen_mults};
-pub use winograd::{winograd_strassen, winograd_strassen_with};
-pub use workspace::StrassenWorkspace;
+pub use pool::ArenaPool;
+pub use winograd::{required_elems_winograd, winograd_strassen, winograd_strassen_with};
+pub use workspace::{required_elems, StrassenWorkspace};

@@ -16,8 +16,9 @@
 //! ```
 
 use ata::mat::Matrix;
-use ata::{gram_with, AtaOptions};
+use ata::AtaContext;
 use std::f64::consts::PI;
+use std::num::NonZeroUsize;
 
 /// Eigenvalues of the path-graph Laplacian: `lambda_k = 2 - 2 cos(pi k / n)`.
 fn eigenvalue(n: usize, k: usize) -> f64 {
@@ -45,7 +46,8 @@ fn main() {
     let bt = Matrix::from_fn(n, n, |k, i| {
         (-eigenvalue(n, k) * t / 2.0).exp() * eigenvector(n, k, i)
     });
-    let k_t = gram_with(bt.as_ref(), &AtaOptions::with_threads(4));
+    let ctx = AtaContext::shared(NonZeroUsize::new(4).expect("4 > 0"));
+    let k_t = ctx.gram(bt.as_ref());
 
     // 1. Symmetry (inherent to the product, checked anyway).
     assert!(k_t.is_symmetric(1e-12), "heat kernel must be symmetric");
@@ -68,7 +70,7 @@ fn main() {
     let bt_long = Matrix::from_fn(n, n, |k, i| {
         (-eigenvalue(n, k) * 200.0 / 2.0).exp() * eigenvector(n, k, i)
     });
-    let k_long = gram_with(bt_long.as_ref(), &AtaOptions::serial());
+    let k_long = AtaContext::serial().gram(bt_long.as_ref());
     let mut worst_uniform = 0.0f64;
     for i in 0..n {
         for j in 0..n {

@@ -21,9 +21,10 @@
 
 use ata::linalg::eigen::jacobi_eigen;
 use ata::mat::Matrix;
-use ata::{gram_with, AtaOptions};
+use ata::AtaContext;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use std::num::NonZeroUsize;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -62,7 +63,8 @@ fn main() {
     // Covariance via AtA-S.
     println!("data: {m} observations x {n} features; covariance via AtA-S ({threads} threads)");
     let t = std::time::Instant::now();
-    let mut cov = gram_with(x.as_ref(), &AtaOptions::with_threads(threads));
+    let ctx = AtaContext::shared(NonZeroUsize::new(threads.max(1)).expect("clamped"));
+    let mut cov = ctx.gram(x.as_ref());
     let secs = t.elapsed().as_secs_f64();
     let scale = 1.0 / (m as f64 - 1.0);
     for i in 0..n {

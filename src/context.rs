@@ -1,0 +1,692 @@
+//! The plan–execute API: [`AtaContext`] and [`AtaPlan`].
+//!
+//! The paper's algorithms are built for *repeated* heavy use — Gram
+//! matrices inside least squares, SVD and covariance pipelines (§1) —
+//! but one-shot free functions re-pay dispatch overhead on every call:
+//! thread spawn-up for AtA-S and a fresh Strassen arena for every
+//! recursion. Following the BLIS-Strassen observation that amortizing
+//! workspace across calls is where a practical Strassen wins or loses,
+//! this module splits the API in two phases:
+//!
+//! 1. **Context** ([`AtaContext`]) — built once per configuration
+//!    (backend, cache model, Strassen kind). Owns the persistent worker
+//!    pool and a cache of reusable Strassen arenas, both shared by every
+//!    plan created from it.
+//! 2. **Plan** ([`AtaPlan`]) — built once per `(m, n)` problem shape.
+//!    Pre-computes the §4.1 task tree and the exact workspace layout,
+//!    then executes any number of times against same-shape inputs, into
+//!    caller-provided output ([`AtaPlan::execute_into`]) or freshly
+//!    allocated output ([`AtaPlan::execute`]).
+//!
+//! The [`Backend`] enum unifies dispatch: the same plan API fronts the
+//! serial recursion (Algorithm 1), the shared-memory AtA-S (Algorithm 3)
+//! and the simulated-cluster AtA-D (Algorithm 4), which previously had a
+//! completely disjoint entry point in `ata-dist`.
+//!
+//! # Example
+//!
+//! ```
+//! use ata::{AtaContext, Output};
+//! use ata::mat::gen;
+//! use std::num::NonZeroUsize;
+//!
+//! // Context: 4 worker threads, built once.
+//! let ctx = AtaContext::shared(NonZeroUsize::new(4).unwrap());
+//! // Plan: one 256 x 96 problem shape, built once...
+//! let plan = ctx.plan::<f64>(256, 96);
+//! // ...executed many times (a serving loop) without re-planning.
+//! for seed in 0..3 {
+//!     let a = gen::standard::<f64>(seed, 256, 96);
+//!     let g = plan.execute(a.as_ref()).into_dense();
+//!     assert!(g.is_symmetric(1e-12));
+//! }
+//! # let _ = Output::Gram;
+//! ```
+
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::num::NonZeroUsize;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use ata_core::serial::{ata_into_with_kind, ata_workspace_elems, StrassenKind};
+use ata_core::tasktree::SharedPlan;
+use ata_core::{ata_s_planned, plan_workspace_elems, AtaOptions};
+use ata_dist::{ata_d, AtaDConfig};
+use ata_kernels::CacheConfig;
+use ata_mat::{MatMut, MatRef, Matrix, Scalar, SymPacked};
+use ata_mpisim::{run, CostModel};
+use ata_strassen::ArenaPool;
+
+// ---------------------------------------------------------------------
+// Backend and output selectors.
+// ---------------------------------------------------------------------
+
+/// Which execution engine a context drives — the unified dispatch over
+/// the paper's three algorithm variants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Backend {
+    /// Algorithm 1: the serial cache-oblivious recursion.
+    Serial,
+    /// AtA-S (Algorithm 3) on `threads` workers of the persistent pool.
+    Shared {
+        /// Worker/task count (the invariant `threads > 0` lives in the
+        /// type).
+        threads: NonZeroUsize,
+    },
+    /// AtA-D (Algorithm 4) on the simulated LogGP cluster.
+    SimulatedDist {
+        /// Number of simulated ranks.
+        ranks: NonZeroUsize,
+        /// LogGP cost model driving the simulated clocks.
+        loggp: CostModel,
+    },
+}
+
+/// Which representation of `C = A^T A` an execution produces — unifying
+/// the historical `gram` / `lower` / `packed` entry-point triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Output {
+    /// Full symmetric matrix (both triangles filled).
+    #[default]
+    Gram,
+    /// Lower triangle only; strictly-upper entries are zero.
+    Lower,
+    /// Packed lower-triangular storage (`n(n+1)/2` elements, §3.1).
+    Packed,
+}
+
+/// Result of [`AtaPlan::execute`]: dense or packed, per the plan's
+/// [`Output`] selector.
+#[derive(Debug, Clone)]
+pub enum AtaOutput<T: Scalar> {
+    /// Dense `n x n` output ([`Output::Gram`] or [`Output::Lower`]).
+    Dense(Matrix<T>),
+    /// Packed lower-triangular output ([`Output::Packed`]).
+    Packed(SymPacked<T>),
+}
+
+impl<T: Scalar> AtaOutput<T> {
+    /// The output as a dense matrix; packed results are expanded (both
+    /// triangles filled).
+    pub fn into_dense(self) -> Matrix<T> {
+        match self {
+            AtaOutput::Dense(c) => c,
+            AtaOutput::Packed(p) => {
+                let mut full = p.to_full();
+                full.mirror_lower_to_upper();
+                full
+            }
+        }
+    }
+
+    /// The output in packed storage; dense results are compacted from
+    /// their lower triangle.
+    pub fn into_packed(self) -> SymPacked<T> {
+        match self {
+            AtaOutput::Dense(c) => SymPacked::from_lower(&c),
+            AtaOutput::Packed(p) => p,
+        }
+    }
+
+    /// Order `n` of the (symmetric) output.
+    pub fn order(&self) -> usize {
+        match self {
+            AtaOutput::Dense(c) => c.rows(),
+            AtaOutput::Packed(p) => p.order(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Arena cache (type-erased, shared by all plans of a context).
+// ---------------------------------------------------------------------
+
+/// Per-scalar-type [`ArenaPool`]s, keyed by `TypeId` so one context can
+/// serve `f32`, `f64` and exact-arithmetic plans simultaneously.
+#[derive(Debug, Default)]
+struct ArenaCache {
+    pools: Mutex<HashMap<TypeId, Box<dyn Any + Send>>>,
+}
+
+impl ArenaCache {
+    fn pool<T: Scalar + 'static>(&self) -> Arc<ArenaPool<T>> {
+        let mut map = self.pools.lock().expect("arena cache poisoned");
+        map.entry(TypeId::of::<T>())
+            .or_insert_with(|| Box::new(Arc::new(ArenaPool::<T>::new())))
+            .downcast_ref::<Arc<ArenaPool<T>>>()
+            .expect("arena cache entry has the keyed type")
+            .clone()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Context.
+// ---------------------------------------------------------------------
+
+/// Builder for [`AtaContext`].
+#[derive(Debug)]
+pub struct AtaContextBuilder {
+    backend: Backend,
+    cache: CacheConfig,
+    strassen: StrassenKind,
+    dedicated_pool: bool,
+}
+
+impl Default for AtaContextBuilder {
+    fn default() -> Self {
+        Self {
+            backend: Backend::Serial,
+            cache: CacheConfig::default(),
+            strassen: StrassenKind::Classic,
+            dedicated_pool: true,
+        }
+    }
+}
+
+impl AtaContextBuilder {
+    /// Select the execution backend.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Shorthand for [`Backend::Shared`] with `threads` workers.
+    pub fn threads(self, threads: NonZeroUsize) -> Self {
+        self.backend(Backend::Shared { threads })
+    }
+
+    /// Override the cache model deciding recursion base cases.
+    pub fn cache(mut self, cache: CacheConfig) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Override the cache budget in elements.
+    pub fn cache_words(mut self, words: usize) -> Self {
+        self.cache = CacheConfig::with_words(words);
+        self
+    }
+
+    /// Select the 7-product scheme for off-diagonal products.
+    pub fn strassen(mut self, kind: StrassenKind) -> Self {
+        self.strassen = kind;
+        self
+    }
+
+    /// Use the Strassen–Winograd products.
+    pub fn winograd(self) -> Self {
+        self.strassen(StrassenKind::Winograd)
+    }
+
+    /// Whether a [`Backend::Shared`] context spawns its own persistent
+    /// worker pool (default) or shares the process-global one. The
+    /// legacy one-shot wrappers disable this so they never pay pool
+    /// spawn-up per call.
+    pub fn dedicated_pool(mut self, dedicated: bool) -> Self {
+        self.dedicated_pool = dedicated;
+        self
+    }
+
+    /// Build the context (spawning the worker pool for a dedicated
+    /// shared backend).
+    pub fn build(self) -> AtaContext {
+        let pool = match self.backend {
+            Backend::Shared { threads } if self.dedicated_pool => {
+                Some(ata_kernels::par::pool_with_threads(threads.get()))
+            }
+            _ => None,
+        };
+        AtaContext {
+            backend: self.backend,
+            cache: self.cache,
+            strassen: self.strassen,
+            pool,
+            arenas: ArenaCache::default(),
+        }
+    }
+}
+
+/// A reusable execution context: configuration plus the persistent
+/// resources (worker pool, cached Strassen arenas) that one-shot calls
+/// used to re-create on every invocation.
+///
+/// Create plans from it with [`AtaContext::plan`]; one-shot conveniences
+/// ([`AtaContext::gram`] and friends) build a transient plan internally
+/// but still reuse the context's pool and arena cache.
+#[derive(Debug)]
+pub struct AtaContext {
+    backend: Backend,
+    cache: CacheConfig,
+    strassen: StrassenKind,
+    pool: Option<rayon::ThreadPool>,
+    arenas: ArenaCache,
+}
+
+impl Default for AtaContext {
+    fn default() -> Self {
+        Self::builder().build()
+    }
+}
+
+impl AtaContext {
+    /// Start building a context.
+    pub fn builder() -> AtaContextBuilder {
+        AtaContextBuilder::default()
+    }
+
+    /// Serial context with the default cache model.
+    pub fn serial() -> Self {
+        Self::builder().build()
+    }
+
+    /// Shared-memory context with `threads` persistent workers.
+    pub fn shared(threads: NonZeroUsize) -> Self {
+        Self::builder().threads(threads).build()
+    }
+
+    /// Simulated-cluster context with `ranks` ranks under `loggp`.
+    pub fn simulated_dist(ranks: NonZeroUsize, loggp: CostModel) -> Self {
+        Self::builder()
+            .backend(Backend::SimulatedDist { ranks, loggp })
+            .build()
+    }
+
+    /// Map the legacy [`AtaOptions`] onto a context. Used by the
+    /// deprecated `_with` wrappers; shares the process-global pool so a
+    /// per-call context stays cheap.
+    pub fn from_options(opts: &AtaOptions) -> Self {
+        let mut b = Self::builder()
+            .cache(opts.cache)
+            .strassen(opts.strassen)
+            .dedicated_pool(false);
+        if let Some(threads) = NonZeroUsize::new(opts.threads).filter(|t| t.get() > 1) {
+            b = b.threads(threads);
+        }
+        b.build()
+    }
+
+    /// The context's backend.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// The context's cache model.
+    pub fn cache(&self) -> CacheConfig {
+        self.cache
+    }
+
+    /// The context's product scheme.
+    pub fn strassen(&self) -> StrassenKind {
+        self.strassen
+    }
+
+    /// Build a plan for an `m x n` input with the default
+    /// [`Output::Gram`] selector.
+    pub fn plan<T: Scalar + 'static>(&self, m: usize, n: usize) -> AtaPlan<'_, T> {
+        self.plan_with(m, n, Output::Gram)
+    }
+
+    /// Build a plan for an `m x n` input with an explicit [`Output`]
+    /// selector. This is the expensive phase: the §4.1 task tree is
+    /// built and the arena cache warmed to the exact workspace
+    /// requirement, so `execute` stays allocation-free.
+    pub fn plan_with<T: Scalar + 'static>(
+        &self,
+        m: usize,
+        n: usize,
+        output: Output,
+    ) -> AtaPlan<'_, T> {
+        let arenas = self.arenas.pool::<T>();
+        let (shared, ws_elems) = match self.backend {
+            Backend::Serial => {
+                let need = ata_workspace_elems(m, n, &self.cache, self.strassen);
+                arenas.warm(1, need);
+                (None, need)
+            }
+            Backend::Shared { threads } => {
+                let plan = SharedPlan::build(n, threads.get());
+                let need = plan_workspace_elems(&plan, m, &self.cache, self.strassen);
+                arenas.warm(threads.get(), need);
+                (Some(plan), need)
+            }
+            Backend::SimulatedDist { .. } => (None, 0),
+        };
+        AtaPlan {
+            ctx: self,
+            m,
+            n,
+            output,
+            shared,
+            ws_elems,
+            arenas,
+        }
+    }
+
+    /// One-shot full symmetric Gram matrix through this context.
+    pub fn gram<T: Scalar + 'static>(&self, a: MatRef<'_, T>) -> Matrix<T> {
+        let (m, n) = a.shape();
+        self.plan_with::<T>(m, n, Output::Gram)
+            .execute(a)
+            .into_dense()
+    }
+
+    /// One-shot lower-triangular `A^T A` through this context.
+    pub fn lower<T: Scalar + 'static>(&self, a: MatRef<'_, T>) -> Matrix<T> {
+        let (m, n) = a.shape();
+        match self.plan_with::<T>(m, n, Output::Lower).execute(a) {
+            AtaOutput::Dense(c) => c,
+            AtaOutput::Packed(p) => p.to_full(),
+        }
+    }
+
+    /// One-shot packed `A^T A` through this context.
+    pub fn packed<T: Scalar + 'static>(&self, a: MatRef<'_, T>) -> SymPacked<T> {
+        let (m, n) = a.shape();
+        self.plan_with::<T>(m, n, Output::Packed)
+            .execute(a)
+            .into_packed()
+    }
+}
+
+/// The lazily-initialized process-wide default context (serial backend,
+/// default cache model) behind the legacy free functions.
+pub fn default_context() -> &'static AtaContext {
+    static DEFAULT: OnceLock<AtaContext> = OnceLock::new();
+    DEFAULT.get_or_init(AtaContext::serial)
+}
+
+// ---------------------------------------------------------------------
+// Plan.
+// ---------------------------------------------------------------------
+
+/// A reusable execution plan for one `(m, n)` problem shape.
+///
+/// Created by [`AtaContext::plan`]; borrows its context (whose pool and
+/// arena cache it uses) and can be executed any number of times, from
+/// multiple threads, against inputs of the planned shape.
+#[derive(Debug)]
+pub struct AtaPlan<'ctx, T> {
+    ctx: &'ctx AtaContext,
+    m: usize,
+    n: usize,
+    output: Output,
+    /// Prebuilt AtA-S task tree ([`Backend::Shared`] only).
+    shared: Option<SharedPlan>,
+    /// Per-worker Strassen arena requirement, elements.
+    ws_elems: usize,
+    /// The context's arena pool for `T`.
+    arenas: Arc<ArenaPool<T>>,
+}
+
+impl<T: Scalar + 'static> AtaPlan<'_, T> {
+    /// Planned input shape `(m, n)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.m, self.n)
+    }
+
+    /// The plan's output selector.
+    pub fn output(&self) -> Output {
+        self.output
+    }
+
+    /// Exact per-worker Strassen workspace requirement, in elements —
+    /// the size the context's arena cache was warmed to.
+    pub fn workspace_elems(&self) -> usize {
+        self.ws_elems
+    }
+
+    /// Compute the lower triangle of `C = A^T A` into `c` (which must be
+    /// zeroed by the caller on the written triangle).
+    fn compute_lower(&self, a: MatRef<'_, T>, c: &mut MatMut<'_, T>) {
+        match self.ctx.backend {
+            Backend::Serial => {
+                let mut ws = self.arenas.checkout(self.ws_elems);
+                ata_into_with_kind(T::ONE, a, c, &self.ctx.cache, self.ctx.strassen, &mut ws);
+                self.arenas.give_back(ws);
+            }
+            Backend::Shared { .. } => {
+                let plan = self.shared.as_ref().expect("shared backend has a plan");
+                match &self.ctx.pool {
+                    Some(pool) => pool.install(|| {
+                        ata_s_planned(
+                            T::ONE,
+                            a,
+                            c,
+                            plan,
+                            &self.ctx.cache,
+                            self.ctx.strassen,
+                            &self.arenas,
+                        )
+                    }),
+                    None => ata_s_planned(
+                        T::ONE,
+                        a,
+                        c,
+                        plan,
+                        &self.ctx.cache,
+                        self.ctx.strassen,
+                        &self.arenas,
+                    ),
+                }
+            }
+            Backend::SimulatedDist { ranks, loggp } => {
+                let owned = a.to_matrix();
+                let cfg = AtaDConfig {
+                    cache: self.ctx.cache,
+                    ..AtaDConfig::default()
+                };
+                let (m, n) = (self.m, self.n);
+                let input = &owned;
+                let report = run(ranks.get(), loggp, move |comm| {
+                    let input = (comm.rank() == 0).then_some(input);
+                    ata_d(input, m, n, comm, &cfg)
+                });
+                let lower = report
+                    .results
+                    .into_iter()
+                    .flatten()
+                    .next()
+                    .expect("rank 0 returns the result");
+                for i in 0..n {
+                    for j in 0..=i {
+                        c[(i, j)] = lower[(i, j)];
+                    }
+                }
+            }
+        }
+    }
+
+    /// Execute the plan, writing dense output into a caller-provided
+    /// `n x n` buffer — the serving-loop entry point. For the
+    /// [`Backend::Serial`] and [`Backend::Shared`] backends this is
+    /// allocation-free after warm-up; [`Backend::SimulatedDist`]
+    /// necessarily copies the operand into the simulated cluster on
+    /// every call.
+    ///
+    /// The buffer is overwritten: [`Output::Gram`] fills both triangles;
+    /// [`Output::Lower`] and [`Output::Packed`] fill the lower triangle
+    /// and zero the strict upper.
+    ///
+    /// # Panics
+    /// If `a` is not the planned shape or `c` is not `n x n`.
+    pub fn execute_into(&self, a: MatRef<'_, T>, c: &mut MatMut<'_, T>) {
+        assert_eq!(
+            a.shape(),
+            (self.m, self.n),
+            "plan built for {}x{}, input is {:?}",
+            self.m,
+            self.n,
+            a.shape()
+        );
+        assert_eq!(
+            c.shape(),
+            (self.n, self.n),
+            "output must be {0}x{0}, got {1:?}",
+            self.n,
+            c.shape()
+        );
+        c.fill_zero();
+        self.compute_lower(a, c);
+        if self.output == Output::Gram {
+            // Mirror in place: C is symmetric by construction.
+            for i in 0..self.n {
+                for j in (i + 1)..self.n {
+                    c[(i, j)] = c[(j, i)];
+                }
+            }
+        }
+    }
+
+    /// Execute the plan into freshly allocated output, per the plan's
+    /// [`Output`] selector.
+    ///
+    /// # Panics
+    /// If `a` is not the planned shape.
+    pub fn execute(&self, a: MatRef<'_, T>) -> AtaOutput<T> {
+        assert_eq!(
+            a.shape(),
+            (self.m, self.n),
+            "plan built for {}x{}, input is {:?}",
+            self.m,
+            self.n,
+            a.shape()
+        );
+        let mut c = Matrix::zeros(self.n, self.n);
+        self.compute_lower(a, &mut c.as_mut());
+        match self.output {
+            Output::Gram => {
+                c.mirror_lower_to_upper();
+                AtaOutput::Dense(c)
+            }
+            Output::Lower => AtaOutput::Dense(c),
+            Output::Packed => AtaOutput::Packed(SymPacked::from_lower(&c)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ata_mat::{gen, reference};
+
+    fn oracle(a: &Matrix<f64>) -> Matrix<f64> {
+        let n = a.cols();
+        let mut c = Matrix::zeros(n, n);
+        reference::syrk_ln(1.0, a.as_ref(), &mut c.as_mut());
+        c
+    }
+
+    #[test]
+    fn serial_plan_matches_oracle_across_reuses() {
+        let ctx = AtaContext::builder().cache_words(32).build();
+        let plan = ctx.plan::<f64>(40, 32);
+        for seed in 0..4 {
+            let a = gen::standard::<f64>(seed, 40, 32);
+            let g = plan.execute(a.as_ref()).into_dense();
+            assert!(g.max_abs_diff_lower(&oracle(&a)) < 1e-10, "seed {seed}");
+            assert!(g.is_symmetric(0.0));
+        }
+    }
+
+    #[test]
+    fn shared_plan_executes_on_context_pool() {
+        let ctx = AtaContext::shared(NonZeroUsize::new(4).unwrap());
+        let plan = ctx.plan::<f64>(64, 48);
+        let a = gen::standard::<f64>(7, 64, 48);
+        let g = plan.execute(a.as_ref()).into_dense();
+        assert!(g.max_abs_diff_lower(&oracle(&a)) < 1e-10);
+    }
+
+    #[test]
+    fn execute_into_reuses_caller_buffer() {
+        let ctx = AtaContext::builder()
+            .threads(NonZeroUsize::new(2).unwrap())
+            .cache_words(64)
+            .build();
+        let plan = ctx.plan_with::<f64>(32, 24, Output::Lower);
+        let mut c = Matrix::zeros(24, 24);
+        for seed in 0..3 {
+            let a = gen::standard::<f64>(seed + 100, 32, 24);
+            plan.execute_into(a.as_ref(), &mut c.as_mut());
+            assert!(c.max_abs_diff_lower(&oracle(&a)) < 1e-10, "seed {seed}");
+            // Strict upper zeroed for the Lower selector.
+            for i in 0..24 {
+                for j in (i + 1)..24 {
+                    assert_eq!(c[(i, j)], 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_selector_round_trips() {
+        let ctx = AtaContext::serial();
+        let plan = ctx.plan_with::<f64>(20, 12, Output::Packed);
+        let a = gen::standard::<f64>(4, 20, 12);
+        let p = plan.execute(a.as_ref()).into_packed();
+        assert_eq!(p.order(), 12);
+        let mut full = p.to_full();
+        full.mirror_lower_to_upper();
+        let g = ctx.gram(a.as_ref());
+        assert!(full.max_abs_diff(&g) < 1e-12);
+    }
+
+    #[test]
+    fn dist_backend_matches_direct_ata_d_bitwise() {
+        let (m, n, ranks) = (32usize, 24usize, 4usize);
+        let a = gen::standard::<f64>(11, m, n);
+        let ctx = AtaContext::simulated_dist(NonZeroUsize::new(ranks).unwrap(), CostModel::zero());
+        let via_ctx = ctx.lower(a.as_ref());
+        let a_ref = &a;
+        let report = run(ranks, CostModel::zero(), move |comm| {
+            let input = (comm.rank() == 0).then_some(a_ref);
+            ata_d(input, m, n, comm, &AtaDConfig::default())
+        });
+        let direct = report.results[0].as_ref().expect("root holds C");
+        assert_eq!(
+            via_ctx.max_abs_diff(direct),
+            0.0,
+            "context dist backend must be bit-identical to ata_d"
+        );
+    }
+
+    #[test]
+    fn plans_share_the_context_arena_cache() {
+        let ctx = AtaContext::builder().cache_words(16).build();
+        let plan = ctx.plan::<f64>(32, 32);
+        let a = gen::standard::<f64>(1, 32, 32);
+        let _ = plan.execute(a.as_ref());
+        let cached_before = ctx.arenas.pool::<f64>().cached_elems();
+        // A second same-shape plan must not grow the cache further.
+        let plan2 = ctx.plan::<f64>(32, 32);
+        let _ = plan2.execute(a.as_ref());
+        assert_eq!(ctx.arenas.pool::<f64>().cached_elems(), cached_before);
+    }
+
+    #[test]
+    fn from_options_maps_legacy_knobs() {
+        let opts = AtaOptions::with_threads(3).cache_words(128).winograd();
+        let ctx = AtaContext::from_options(&opts);
+        assert_eq!(
+            ctx.backend(),
+            Backend::Shared {
+                threads: NonZeroUsize::new(3).unwrap()
+            }
+        );
+        assert_eq!(ctx.cache().words, 128);
+        assert_eq!(ctx.strassen(), StrassenKind::Winograd);
+        assert_eq!(
+            AtaContext::from_options(&AtaOptions::serial()).backend(),
+            Backend::Serial
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "plan built for")]
+    fn wrong_shape_input_rejected() {
+        let ctx = AtaContext::serial();
+        let plan = ctx.plan::<f64>(16, 8);
+        let a = gen::standard::<f64>(1, 8, 8);
+        let _ = plan.execute(a.as_ref());
+    }
+}

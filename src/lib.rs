@@ -8,38 +8,80 @@
 //! parallel runtime and a message-passing simulator with a LogGP cost
 //! model for the distributed experiments.
 //!
-//! This facade crate re-exports the public API of the workspace:
+//! ## The plan–execute API
 //!
-//! * [`gram`], [`lower`], [`packed`] / [`AtaOptions`] — the high-level
-//!   `A^T A` entry points (serial or multi-threaded);
+//! The primary entry point is the two-phase [`AtaContext`] /
+//! [`AtaPlan`] API: build a context once per configuration (it owns a
+//! persistent worker pool and a cache of Strassen arenas), build a plan
+//! once per problem shape (it pre-computes the §4.1 task tree and
+//! workspace layout), then execute the plan as many times as the
+//! workload demands:
+//!
+//! ```
+//! use ata::{AtaContext, Output};
+//! use ata::mat::gen;
+//! use std::num::NonZeroUsize;
+//!
+//! // Context: shared-memory AtA-S with 4 persistent workers.
+//! let ctx = AtaContext::shared(NonZeroUsize::new(4).unwrap());
+//! // Plan: built once for the 256 x 96 shape.
+//! let plan = ctx.plan_with::<f64>(256, 96, Output::Gram);
+//! // Execute repeatedly — no re-planning, no re-allocation.
+//! for seed in 0..3 {
+//!     let a = gen::standard::<f64>(seed, 256, 96);
+//!     let g = plan.execute(a.as_ref()).into_dense();
+//!     assert_eq!(g.shape(), (96, 96));
+//!     assert!(g.is_symmetric(1e-12));
+//! }
+//! ```
+//!
+//! The [`Backend`] selector drives all three of the paper's algorithm
+//! variants through the same plan API — serial Algorithm 1, the
+//! shared-memory AtA-S and the simulated-cluster AtA-D:
+//!
+//! ```
+//! use ata::{AtaContext, Backend};
+//! use ata::mpisim::CostModel;
+//! use ata::mat::gen;
+//! use std::num::NonZeroUsize;
+//!
+//! let a = gen::standard::<f64>(7, 48, 32);
+//! let ctx = AtaContext::builder()
+//!     .backend(Backend::SimulatedDist {
+//!         ranks: NonZeroUsize::new(4).unwrap(),
+//!         loggp: CostModel::zero(),
+//!     })
+//!     .build();
+//! let c = ctx.lower(a.as_ref()); // AtA-D on 4 simulated ranks
+//! assert_eq!(c.shape(), (32, 32));
+//! ```
+//!
+//! One-shot helpers remain for single calls: [`gram`], [`lower`],
+//! [`packed`] run through a lazily-initialized default (serial) context,
+//! so even they amortize arena allocation across calls.
+//!
+//! ## Crates
+//!
 //! * [`core`] (`ata-core`) — Algorithm 1, AtA-S, the task trees and the
 //!   flop-count analysis;
 //! * [`mat`] (`ata-mat`) — matrices, views, packed symmetric storage,
 //!   workload generators, op-counting scalars;
 //! * [`kernels`] (`ata-kernels`) — the BLAS substitute;
 //! * [`strassen`] (`ata-strassen`) — `C += alpha * A^T B` with a
-//!   pre-allocated arena;
+//!   pre-allocated arena and the [`strassen::ArenaPool`] checkout cache;
 //! * [`mpisim`] (`ata-mpisim`) and [`dist`] (`ata-dist`) — the simulated
 //!   cluster, AtA-D and the distributed baselines;
 //! * [`linalg`] (`ata-linalg`) — the paper's §1 applications as library
 //!   code: normal-equations least squares, SVD via the Gram matrix,
 //!   Gram–Schmidt orthogonalization.
-//!
-//! ## Example
-//!
-//! ```
-//! use ata::{gram_with, AtaOptions};
-//! use ata::mat::gen;
-//!
-//! // 256 x 96, entries uniform in [-1, 1), seeded.
-//! let a = gen::standard::<f64>(42, 256, 96);
-//! // Multi-threaded AtA-S with 4 workers.
-//! let g = gram_with(a.as_ref(), &AtaOptions::with_threads(4));
-//! assert_eq!(g.shape(), (96, 96));
-//! assert!(g.is_symmetric(1e-12));
-//! ```
 
-pub use ata_core::{gram, gram_with, lower, lower_with, packed, packed_with, AtaOptions};
+pub mod context;
+
+pub use context::{
+    default_context, AtaContext, AtaContextBuilder, AtaOutput, AtaPlan, Backend, Output,
+};
+
+pub use ata_core::AtaOptions;
 
 /// The paper's core algorithms (`ata-core`).
 pub use ata_core as core;
@@ -59,3 +101,39 @@ pub use ata_mpisim as mpisim;
 pub use ata_strassen as strassen;
 
 pub use ata_mat::{MatMut, MatRef, Matrix, Scalar, SymPacked};
+
+/// Full symmetric Gram matrix `A^T A` (both triangles filled) through
+/// the lazily-initialized default context.
+pub fn gram<T: Scalar + 'static>(a: MatRef<'_, T>) -> Matrix<T> {
+    default_context().gram(a)
+}
+
+/// Lower-triangular `A^T A` (strictly-upper entries are zero) through
+/// the lazily-initialized default context.
+pub fn lower<T: Scalar + 'static>(a: MatRef<'_, T>) -> Matrix<T> {
+    default_context().lower(a)
+}
+
+/// `A^T A` in packed lower-triangular storage (`n(n+1)/2` elements)
+/// through the lazily-initialized default context.
+pub fn packed<T: Scalar + 'static>(a: MatRef<'_, T>) -> SymPacked<T> {
+    default_context().packed(a)
+}
+
+/// Full symmetric Gram matrix with explicit legacy options.
+#[deprecated(note = "build an AtaContext (AtaContext::builder()) and reuse an AtaPlan instead")]
+pub fn gram_with<T: Scalar + 'static>(a: MatRef<'_, T>, opts: &AtaOptions) -> Matrix<T> {
+    AtaContext::from_options(opts).gram(a)
+}
+
+/// Lower-triangular `A^T A` with explicit legacy options.
+#[deprecated(note = "build an AtaContext (AtaContext::builder()) and reuse an AtaPlan instead")]
+pub fn lower_with<T: Scalar + 'static>(a: MatRef<'_, T>, opts: &AtaOptions) -> Matrix<T> {
+    AtaContext::from_options(opts).lower(a)
+}
+
+/// Packed `A^T A` with explicit legacy options.
+#[deprecated(note = "build an AtaContext (AtaContext::builder()) and reuse an AtaPlan instead")]
+pub fn packed_with<T: Scalar + 'static>(a: MatRef<'_, T>, opts: &AtaOptions) -> SymPacked<T> {
+    AtaContext::from_options(opts).packed(a)
+}

@@ -2,6 +2,11 @@
 //! `A^T A` through every path the workspace offers — naive oracle,
 //! serial AtA, shared-memory AtA-S, distributed AtA-D on the simulator,
 //! and all three distributed baselines where applicable.
+//!
+//! The deprecated `gram_with`/`lower_with`/`packed_with` wrappers are
+//! exercised deliberately: they must keep agreeing with the plan API
+//! they now delegate to.
+#![allow(deprecated)]
 
 use ata::dist::baselines::{caps_like, cosma_like, pdsyrk_like};
 use ata::dist::{ata_d, AtaDConfig};
@@ -155,6 +160,62 @@ fn exactness_on_integer_inputs_across_algorithms() {
     });
     let c = report.results[0].as_ref().expect("root");
     assert_eq!(c.max_abs_diff_lower(&reference_c), 0.0, "AtA-D exact");
+}
+
+#[test]
+fn context_backends_agree_through_one_api() {
+    use ata::{AtaContext, Backend, Output};
+    use std::num::NonZeroUsize;
+
+    let (m, n) = (64usize, 48usize);
+    let a = gen::standard::<f64>(2024, m, n);
+    let reference_c = oracle_lower(&a);
+    let tol = ata::mat::ops::product_tol::<f64>(m, n, m as f64);
+
+    let backends = [
+        Backend::Serial,
+        Backend::Shared {
+            threads: NonZeroUsize::new(4).unwrap(),
+        },
+        Backend::SimulatedDist {
+            ranks: NonZeroUsize::new(6).unwrap(),
+            loggp: CostModel::zero(),
+        },
+    ];
+    for backend in backends {
+        let ctx = AtaContext::builder()
+            .backend(backend)
+            .cache_words(64)
+            .build();
+        let plan = ctx.plan_with::<f64>(m, n, Output::Lower);
+        // Execute twice through the same plan: reuse must not drift.
+        let first = plan.execute(a.as_ref()).into_dense();
+        let second = plan.execute(a.as_ref()).into_dense();
+        assert!(
+            first.max_abs_diff_lower(&reference_c) <= tol,
+            "{backend:?} disagrees with the oracle"
+        );
+        assert_eq!(
+            first.max_abs_diff(&second),
+            0.0,
+            "{backend:?} is not deterministic under plan reuse"
+        );
+    }
+}
+
+#[test]
+fn deprecated_wrappers_match_context_results() {
+    let (m, n) = (40usize, 32usize);
+    let a = gen::standard::<f64>(99, m, n);
+    let opts = AtaOptions::with_threads(3).cache_words(32);
+    let legacy = gram_with(a.as_ref(), &opts);
+    let ctx = ata::AtaContext::from_options(&opts);
+    let modern = ctx.gram(a.as_ref());
+    assert_eq!(
+        legacy.max_abs_diff(&modern),
+        0.0,
+        "wrapper and context must run the identical computation"
+    );
 }
 
 #[test]

@@ -3,12 +3,17 @@
 //! positive-semidefiniteness of Gram matrices, packed round trips, and
 //! scheduler invariants under random process counts.
 
+// The `lower_with` cases below intentionally keep exercising the
+// deprecated one-shot wrappers next to the plan API they delegate to.
+#![allow(deprecated)]
+
 use ata::core::tasktree::{ComputeKind, DistTree, SharedPlan};
 use ata::kernels::{gemm_tn, syrk_ln, CacheConfig};
 use ata::mat::{gen, reference, Matrix};
 use ata::strassen::{fast_strassen, winograd_strassen};
-use ata::{lower_with, AtaOptions, SymPacked};
+use ata::{lower_with, AtaContext, AtaOptions, Output, SymPacked};
 use proptest::prelude::*;
+use std::num::NonZeroUsize;
 
 fn tolerance(m: usize, n: usize) -> f64 {
     ata::mat::ops::product_tol::<f64>(m, n, m as f64)
@@ -297,6 +302,70 @@ proptest! {
         let mut slow = Matrix::zeros(n, n);
         reference::syrk_ln(1.0, a.as_ref(), &mut slow.as_mut());
         prop_assert!(c.max_abs_diff_lower(&slow) <= tolerance(n + 3, n) * 2.0);
+    }
+
+    #[test]
+    fn reused_plan_matches_naive_across_threads_and_outputs(
+        m in 1usize..32,
+        n in 1usize..32,
+        seed in 0u64..500,
+        words in 4usize..64,
+    ) {
+        // One plan per (threads, output), executed against several random
+        // same-shape matrices: every execution must match the ata_naive
+        // oracle within the f64 product tolerance.
+        let cfg = CacheConfig::with_words(words);
+        for threads in [1usize, 2, 4] {
+            let mut builder = AtaContext::builder().cache(cfg).dedicated_pool(false);
+            if threads > 1 {
+                builder = builder.threads(NonZeroUsize::new(threads).expect("threads > 0"));
+            }
+            let ctx = builder.build();
+            for output in [Output::Gram, Output::Lower, Output::Packed] {
+                let plan = ctx.plan_with::<f64>(m, n, output);
+                for round in 0..3u64 {
+                    let a = gen::standard::<f64>(seed + round * 131, m, n);
+                    let mut naive = Matrix::zeros(n, n);
+                    ata::core::ata_naive(1.0, a.as_ref(), &mut naive.as_mut(), &cfg);
+                    let got = plan.execute(a.as_ref()).into_dense();
+                    prop_assert!(
+                        got.max_abs_diff_lower(&naive) <= tolerance(m, n) * 2.0,
+                        "threads={threads} output={output:?} round={round}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reused_plan_op_count_is_bit_for_bit_stable(
+        m in 1usize..24,
+        n in 1usize..24,
+        seed in 0u64..500,
+        words in 4usize..32,
+    ) {
+        // With the op-counting scalar, repeated executions of one plan
+        // perform the *identical* sequence of scalar operations, and the
+        // count equals the legacy one-shot path's: plan reuse changes
+        // dispatch, never the computation.
+        use ata::mat::tracked::{measure, Tracked};
+        let opts = AtaOptions::serial().cache_words(words);
+        let ctx = AtaContext::builder().cache(CacheConfig::with_words(words)).build();
+        let plan = ctx.plan_with::<Tracked>(m, n, Output::Lower);
+        let a = gen::standard::<Tracked>(seed, m, n);
+        let (_, ops_first) = measure(|| {
+            let _ = plan.execute(a.as_ref());
+        });
+        let (_, ops_again) = measure(|| {
+            let _ = plan.execute(a.as_ref());
+        });
+        prop_assert_eq!(ops_first, ops_again, "plan reuse drifted in op count");
+        // The true legacy oracle: ata-core's one-shot recursion (the
+        // facade's lower_with now delegates to the plan path itself).
+        let (_, ops_legacy) = measure(|| {
+            let _ = ata::core::lower_with(a.as_ref(), &opts);
+        });
+        prop_assert_eq!(ops_first, ops_legacy, "plan path != legacy path in op count");
     }
 
     #[test]

@@ -2,16 +2,47 @@
 //!
 //! Real data parallelism, minimal API: consumers call
 //! `vec.into_par_iter()` (optionally `.enumerate()`) and `.for_each(f)`,
-//! or build a fixed-size [`ThreadPool`] and `install` a closure. Work is
-//! executed on `std::thread::scope` threads — one bucket of items per
-//! worker, round-robin assignment, which matches how the workspace uses
-//! rayon (few, coarse, pre-balanced tasks; see `ata-core::parallel`).
+//! or build a fixed-size [`ThreadPool`] and `install` a closure.
+//!
+//! Since the Plan/Context redesign the pool is **persistent**: a
+//! [`ThreadPool`] owns long-lived worker threads blocking on a shared
+//! work queue, and `for_each` submits lifetime-erased jobs and waits on a
+//! completion latch instead of spawning `std::thread::scope` threads per
+//! call. A lazily-created global pool serves callers outside any
+//! `install`, so even one-shot entry points stop paying thread-spawn
+//! latency on every invocation. The original scoped-threads execution is
+//! kept as a fallback: build with [`ThreadPoolBuilder::scoped`] or set
+//! `ATA_RAYON_SCOPED=1` to force it process-wide.
+//!
+//! Work is still distributed as one bucket of items per worker,
+//! round-robin, which matches how the workspace uses rayon (few, coarse,
+//! pre-balanced tasks; see `ata-core::parallel`).
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Where `for_each` sends its buckets.
+#[derive(Clone, Default)]
+enum Submit {
+    /// No pool installed: use the lazily-created global persistent pool.
+    #[default]
+    Global,
+    /// A persistent [`ThreadPool`] is installed: submit to its workers.
+    Pool(Arc<PoolInner>),
+    /// A scoped-fallback pool is installed: spawn scoped threads per call.
+    Scoped,
+}
 
 thread_local! {
     /// Thread count override installed by [`ThreadPool::install`].
     static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Submission target installed by [`ThreadPool::install`].
+    static CURRENT_POOL: RefCell<Submit> = const { RefCell::new(Submit::Global) };
+    /// Set on pool worker threads: nested `for_each` calls run inline
+    /// instead of re-entering the queue (which could deadlock).
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
 }
 
 /// Number of worker threads the calling context would use.
@@ -23,6 +54,134 @@ pub fn current_num_threads() -> usize {
     })
 }
 
+/// True when the scoped-threads fallback is forced via the environment.
+fn scoped_forced() -> bool {
+    static FORCED: OnceLock<bool> = OnceLock::new();
+    *FORCED.get_or_init(|| std::env::var_os("ATA_RAYON_SCOPED").is_some_and(|v| v != "0"))
+}
+
+/// A queued unit of work. The `'static` is a lie maintained by the
+/// submitting call: `Latch::wait` blocks until every job has run, so the
+/// borrows captured by the closure never outlive their stack frame.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Countdown latch a submitter waits on; also carries the first panic
+/// payload raised by any of its jobs.
+struct Latch {
+    state: Mutex<LatchState>,
+    done: Condvar,
+}
+
+struct LatchState {
+    remaining: usize,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl Latch {
+    fn new(count: usize) -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(LatchState {
+                remaining: count,
+                panic: None,
+            }),
+            done: Condvar::new(),
+        })
+    }
+
+    fn complete(&self, panic: Option<Box<dyn std::any::Any + Send>>) {
+        let mut st = self.state.lock().expect("latch poisoned");
+        st.remaining -= 1;
+        if st.panic.is_none() {
+            st.panic = panic;
+        }
+        if st.remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    /// Block until every counted job has completed, then re-raise the
+    /// first panic any of them hit.
+    fn wait(&self) {
+        let mut st = self.state.lock().expect("latch poisoned");
+        while st.remaining > 0 {
+            st = self.done.wait(st).expect("latch poisoned");
+        }
+        if let Some(payload) = st.panic.take() {
+            drop(st);
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Shared state of a persistent pool: the job queue and shutdown flag.
+struct PoolInner {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    threads: usize,
+}
+
+impl PoolInner {
+    fn submit(&self, job: Job) {
+        let mut q = self.queue.lock().expect("pool queue poisoned");
+        q.push_back(job);
+        drop(q);
+        self.available.notify_one();
+    }
+
+    /// Worker loop: pop jobs until shutdown.
+    fn work(&self) {
+        IN_WORKER.with(|w| w.set(true));
+        loop {
+            let job = {
+                let mut q = self.queue.lock().expect("pool queue poisoned");
+                loop {
+                    if let Some(job) = q.pop_front() {
+                        break job;
+                    }
+                    if self.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    q = self.available.wait(q).expect("pool queue poisoned");
+                }
+            };
+            // Panics are caught per-job and routed to the submitter's
+            // latch inside the job wrapper, so the worker survives.
+            job();
+        }
+    }
+}
+
+/// Spawn `threads` workers over a fresh [`PoolInner`].
+fn spawn_workers(threads: usize) -> Arc<PoolInner> {
+    let inner = Arc::new(PoolInner {
+        queue: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        threads,
+    });
+    for i in 0..threads {
+        let inner = inner.clone();
+        std::thread::Builder::new()
+            .name(format!("ata-pool-{i}"))
+            .spawn(move || inner.work())
+            .expect("failed to spawn pool worker");
+    }
+    inner
+}
+
+/// The process-wide pool used outside any [`ThreadPool::install`].
+fn global_pool() -> &'static Arc<PoolInner> {
+    static GLOBAL: OnceLock<Arc<PoolInner>> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        spawn_workers(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    })
+}
+
 /// The traits consumers import.
 pub mod prelude {
     pub use crate::iter::{IntoParallelIterator, ParallelIterator};
@@ -30,7 +189,11 @@ pub mod prelude {
 
 /// Parallel iterator machinery.
 pub mod iter {
-    use super::current_num_threads;
+    use super::{
+        current_num_threads, global_pool, scoped_forced, Job, Latch, PoolInner, Submit,
+        CURRENT_POOL, IN_WORKER,
+    };
+    use std::sync::Arc;
 
     /// Conversion into a parallel iterator (consuming `self`).
     pub trait IntoParallelIterator {
@@ -65,7 +228,10 @@ pub mod iter {
         {
             let items = self.drain();
             let workers = current_num_threads().min(items.len()).max(1);
-            if workers == 1 {
+            // Serial shortcuts: single worker, or we *are* a pool worker
+            // (re-entering the queue could deadlock with all workers
+            // waiting on each other's jobs).
+            if workers == 1 || IN_WORKER.with(|w| w.get()) {
                 for item in items {
                     f(item);
                 }
@@ -77,16 +243,71 @@ pub mod iter {
             for (i, item) in items.into_iter().enumerate() {
                 buckets[i % workers].push(item);
             }
-            let f = &f;
-            std::thread::scope(|scope| {
-                for bucket in buckets {
-                    scope.spawn(move || {
-                        for item in bucket {
-                            f(item);
-                        }
-                    });
+            match CURRENT_POOL.with(|p| p.borrow().clone()) {
+                Submit::Scoped => run_scoped(buckets, &f),
+                Submit::Pool(pool) => run_pooled(pool, buckets, &f),
+                Submit::Global => {
+                    if scoped_forced() {
+                        run_scoped(buckets, &f);
+                    } else {
+                        run_pooled(global_pool().clone(), buckets, &f);
+                    }
                 }
+            }
+        }
+    }
+
+    /// The legacy execution: one `std::thread::scope` thread per bucket.
+    /// Kept as the fallback path (`ATA_RAYON_SCOPED=1`).
+    fn run_scoped<I: Send, F: Fn(I) + Send + Sync>(buckets: Vec<Vec<I>>, f: &F) {
+        std::thread::scope(|scope| {
+            for bucket in buckets {
+                scope.spawn(move || {
+                    for item in bucket {
+                        f(item);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Persistent-pool execution: submit each remote bucket as a
+    /// lifetime-erased job, run one bucket inline, then wait on the
+    /// latch (which also re-raises any job panic).
+    fn run_pooled<I: Send, F: Fn(I) + Send + Sync>(
+        pool: Arc<PoolInner>,
+        mut buckets: Vec<Vec<I>>,
+        f: &F,
+    ) {
+        let local = buckets.pop().expect("at least one bucket");
+        let latch = Latch::new(buckets.len());
+        for bucket in buckets {
+            let latch = latch.clone();
+            let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    for item in bucket {
+                        f(item);
+                    }
+                }));
+                latch.complete(outcome.err());
             });
+            // SAFETY: `latch.wait()` below does not return until this job
+            // has run to completion (or panicked), so every borrow the
+            // closure captures (`f`, the items) outlives its execution.
+            let job: Job =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) };
+            pool.submit(job);
+        }
+        // The submitter contributes instead of idling: run one bucket
+        // inline, then block for the rest.
+        let local_outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            for item in local {
+                f(item);
+            }
+        }));
+        latch.wait();
+        if let Err(payload) = local_outcome {
+            std::panic::resume_unwind(payload);
         }
     }
 
@@ -129,6 +350,7 @@ impl std::error::Error for ThreadPoolBuildError {}
 #[derive(Debug, Default)]
 pub struct ThreadPoolBuilder {
     num_threads: Option<usize>,
+    scoped: bool,
 }
 
 impl ThreadPoolBuilder {
@@ -143,34 +365,89 @@ impl ThreadPoolBuilder {
         self
     }
 
-    /// Build the pool.
+    /// Use the scoped-threads fallback instead of persistent workers:
+    /// the pool then only scopes a thread-count override and every
+    /// `for_each` spawns its threads per call (the pre-redesign
+    /// behavior).
+    pub fn scoped(mut self, scoped: bool) -> Self {
+        self.scoped = scoped;
+        self
+    }
+
+    /// Build the pool, spawning its workers unless scoped.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        Ok(ThreadPool {
-            threads: self.num_threads.unwrap_or_else(current_num_threads).max(1),
-        })
+        let threads = self.num_threads.unwrap_or_else(current_num_threads).max(1);
+        let inner = if self.scoped || scoped_forced() {
+            None
+        } else {
+            Some(spawn_workers(threads))
+        };
+        Ok(ThreadPool { threads, inner })
     }
 }
 
-/// A fixed-size worker pool. In this stand-in the pool holds no threads;
-/// it scopes a worker-count override that `for_each` picks up, and the
-/// scoped threads are spawned per call.
+/// A fixed-size persistent worker pool.
+///
+/// Workers are spawned at build time and block on a shared queue;
+/// [`ThreadPool::install`] scopes both the thread-count override and the
+/// submission target that `for_each` picks up. Dropping the pool signals
+/// shutdown and lets the workers exit (they are detached, so drop does
+/// not block on in-flight jobs — every submitter has already waited for
+/// its own).
 #[derive(Debug)]
 pub struct ThreadPool {
     threads: usize,
+    inner: Option<Arc<PoolInner>>,
+}
+
+impl std::fmt::Debug for PoolInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolInner")
+            .field("threads", &self.threads)
+            .finish_non_exhaustive()
+    }
 }
 
 impl ThreadPool {
-    /// Run `f` with this pool's thread count in force.
+    /// Run `f` with this pool's thread count and workers in force.
+    ///
+    /// The previous routing is restored even if `f` panics (a caught
+    /// panic must not leave the thread permanently routed to this
+    /// pool, which could be shut down by then).
     pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
-        let prev = POOL_THREADS.with(|p| p.replace(Some(self.threads)));
-        let out = f();
-        POOL_THREADS.with(|p| p.set(prev));
-        out
+        struct Restore {
+            threads: Option<usize>,
+            pool: Submit,
+        }
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_THREADS.with(|p| p.set(self.threads));
+                CURRENT_POOL.with(|p| *p.borrow_mut() = std::mem::take(&mut self.pool));
+            }
+        }
+        let submit = match &self.inner {
+            Some(inner) => Submit::Pool(inner.clone()),
+            None => Submit::Scoped,
+        };
+        let _restore = Restore {
+            threads: POOL_THREADS.with(|p| p.replace(Some(self.threads))),
+            pool: CURRENT_POOL.with(|p| p.replace(submit)),
+        };
+        f()
     }
 
     /// The pool's worker count.
     pub fn current_num_threads(&self) -> usize {
         self.threads
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        if let Some(inner) = &self.inner {
+            inner.shutdown.store(true, Ordering::Release);
+            inner.available.notify_all();
+        }
     }
 }
 
@@ -221,5 +498,141 @@ mod tests {
         for (i, &v) in data.iter().enumerate() {
             assert_eq!(v, (i / 16) as u32 + 1);
         }
+    }
+
+    #[test]
+    fn pool_reuse_runs_on_persistent_workers() {
+        // Submitting work twice through the same installed pool must not
+        // spawn new worker threads: jobs report the same small set of
+        // worker thread names both times.
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let names = std::sync::Mutex::new(std::collections::BTreeSet::new());
+        for _round in 0..2 {
+            pool.install(|| {
+                (0..8).collect::<Vec<_>>().into_par_iter().for_each(|_| {
+                    if let Some(name) = std::thread::current().name() {
+                        if name.starts_with("ata-pool-") {
+                            names.lock().unwrap().insert(name.to_string());
+                        }
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                });
+            });
+        }
+        // At most the pool's two workers ever appear (the caller thread
+        // also runs one bucket inline and has no ata-pool name).
+        assert!(names.lock().unwrap().len() <= 2);
+    }
+
+    #[test]
+    fn job_panic_propagates_to_submitter() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| {
+                (0..4usize)
+                    .collect::<Vec<_>>()
+                    .into_par_iter()
+                    .for_each(|i| {
+                        if i == 3 {
+                            panic!("injected job failure");
+                        }
+                    });
+            });
+        }));
+        assert!(result.is_err(), "panic must cross the pool boundary");
+        // The pool stays usable afterwards.
+        let hits = AtomicUsize::new(0);
+        pool.install(|| {
+            (0..4usize)
+                .collect::<Vec<_>>()
+                .into_par_iter()
+                .for_each(|_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn nested_for_each_inside_worker_runs_inline() {
+        // A job that itself calls for_each must not deadlock.
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let hits = AtomicUsize::new(0);
+        pool.install(|| {
+            (0..4usize)
+                .collect::<Vec<_>>()
+                .into_par_iter()
+                .for_each(|_| {
+                    (0..4usize)
+                        .collect::<Vec<_>>()
+                        .into_par_iter()
+                        .for_each(|_| {
+                            hits.fetch_add(1, Ordering::Relaxed);
+                        });
+                });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn install_restores_routing_after_panic() {
+        let outer_threads = current_num_threads();
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| panic!("boom"));
+        }));
+        assert!(result.is_err());
+        drop(pool); // shut the pool down while this thread survives
+                    // The thread must be routed back to the global pool, not the
+                    // dead one: this would hang forever if install leaked routing.
+        assert_eq!(current_num_threads(), outer_threads);
+        let hits = AtomicUsize::new(0);
+        (0..8usize)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .for_each(|_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        assert_eq!(hits.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn scoped_fallback_builder_still_works() {
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(3)
+            .scoped(true)
+            .build()
+            .unwrap();
+        let hits = AtomicUsize::new(0);
+        pool.install(|| {
+            (0..9usize)
+                .collect::<Vec<_>>()
+                .into_par_iter()
+                .for_each(|_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 9);
+        assert_eq!(pool.current_num_threads(), 3);
+    }
+
+    #[test]
+    fn concurrent_submitters_share_the_global_pool() {
+        // Multiple OS threads (like mpisim ranks) driving for_each at
+        // once must all complete: each waits only on its own latch.
+        let total = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    (0..32usize)
+                        .collect::<Vec<_>>()
+                        .into_par_iter()
+                        .for_each(|_| {
+                            total.fetch_add(1, Ordering::Relaxed);
+                        });
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 4 * 32);
     }
 }
