@@ -7,6 +7,7 @@
 //!            [--strassen classic|winograd] [--ranks R] [--repeat K]
 //! ata verify --input FILE [--threads T]                     AtA vs naive oracle
 //! ata info   --input FILE                                   shape and norms
+//! ata calibrate [--quick 1]                                 measure kernel tuning table
 //! ```
 //!
 //! All AtA variants run through one [`AtaContext`]: `--threads` selects
@@ -196,6 +197,37 @@ fn cmd_verify(args: &Args) -> Result<(), String> {
     }
 }
 
+/// Run the kernel calibration sweeps and print the measured table in
+/// the shape of `ata_kernels::calibrate`'s baked records, so new
+/// hardware can be re-tuned by pasting the output over the constants
+/// (or exporting `ATA_KERNEL_PARAMS`).
+fn cmd_calibrate(args: &Args) -> Result<(), String> {
+    let quick = args.usize("quick", 0)? != 0;
+    println!(
+        "calibrating packed-kernel parameters ({} sweep, single thread)...",
+        if quick { "quick" } else { "full" }
+    );
+    let f64_t = ata_kernels::calibrate::measure::<f64>(quick);
+    let f32_t = ata_kernels::calibrate::measure::<f32>(quick);
+    for (name, t) in [("f64", f64_t), ("f32", f32_t)] {
+        let k = t.kernel;
+        println!(
+            "{name}: mr={} nr={} kc={} mc={} nc={} base_words={}",
+            k.mr, k.nr, k.kc, k.mc, k.nc, t.base_words
+        );
+    }
+    println!(
+        "override per run with ATA_KERNEL_PARAMS=\"mr={},nr={},kc={},mc={},nc={},words={}\"",
+        f64_t.kernel.mr,
+        f64_t.kernel.nr,
+        f64_t.kernel.kc,
+        f64_t.kernel.mc,
+        f64_t.kernel.nc,
+        f64_t.base_words
+    );
+    Ok(())
+}
+
 fn cmd_info(args: &Args) -> Result<(), String> {
     let input = args.required("input")?;
     let a: Matrix<f64> = io::load(input).map_err(|e| e.to_string())?;
@@ -213,21 +245,22 @@ fn usage() -> String {
      \n             [--algo ata|ata-s|ata-d|syrk|naive] [--ranks R]\
      \n             [--cache-words W] [--strassen classic|winograd]\
      \n  ata verify --input FILE [--threads T]\
-     \n  ata info   --input FILE"
+     \n  ata info   --input FILE\
+     \n  ata calibrate [--quick 1]"
         .to_string()
 }
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let result = match argv.first().map(String::as_str) {
-        Some(cmd @ ("gen" | "gram" | "verify" | "info")) => {
-            Args::parse(&argv[1..]).and_then(|args| match cmd {
+        Some(cmd @ ("gen" | "gram" | "verify" | "info" | "calibrate")) => Args::parse(&argv[1..])
+            .and_then(|args| match cmd {
                 "gen" => cmd_gen(&args),
                 "gram" => cmd_gram(&args),
                 "verify" => cmd_verify(&args),
+                "calibrate" => cmd_calibrate(&args),
                 _ => cmd_info(&args),
-            })
-        }
+            }),
         _ => Err(usage()),
     };
     match result {

@@ -1,0 +1,297 @@
+//! Measured kernel tuning: blocking parameters and base-case cutoffs.
+//!
+//! The pre-engine kernels ran with one guessed blocking (`MC = 32`,
+//! `NC = 256`) and one guessed recursion cutoff (32768 cache words) for
+//! every scalar type. This module replaces the guesses with a *measured*
+//! model, in two layers:
+//!
+//! 1. [`tuned_for`] — the zero-cost lookup the kernel entry points use.
+//!    It returns a per-scalar [`Tuned`] record from a table measured
+//!    with [`measure`] (regenerate any time with `ata calibrate`), after
+//!    applying the `ATA_KERNEL_PARAMS` environment override.
+//! 2. [`measure`] — the calibration run itself: sweeps the register-tile
+//!    menu and the `KC/MC/NC` grid with wall-clock timings, then locates
+//!    the Strassen base-case crossover (the problem size where one
+//!    7-product recursion level stops paying for its block sums).
+//!
+//! # Overriding
+//!
+//! `ATA_KERNEL_PARAMS` accepts comma-separated `key=value` pairs with
+//! keys `mr`, `nr`, `kc`, `mc`, `nc`, `words`, e.g.
+//! `ATA_KERNEL_PARAMS="mr=8,nr=4,kc=128,words=16384"`. Unknown keys and
+//! malformed pairs are ignored; the override applies to every scalar
+//! type. `ATA_MICRO=0` disables the packed engine entirely (see
+//! [`crate::micro::selected_path`]).
+
+use crate::micro::{gemm_tn_micro_with, KernelConfig};
+use crate::pack::PackBufs;
+use ata_mat::{MatMut, MatRef, Scalar};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// One scalar type's measured kernel parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tuned {
+    /// Blocking parameters of the packed microkernel engine.
+    pub kernel: KernelConfig,
+    /// Cache-word budget at which the Strassen-style recursions stop
+    /// splitting and call the packed kernel (the measured crossover,
+    /// in elements; see [`crate::CacheConfig`]).
+    pub base_words: usize,
+}
+
+/// Measured on the development container (Intel Xeon @ 2.10 GHz,
+/// baseline x86-64 SSE2 codegen, single thread) via `ata calibrate`.
+/// Re-run [`measure`] on new hardware and update these records.
+const TUNED_F64: Tuned = Tuned {
+    kernel: KernelConfig {
+        mr: 4,
+        nr: 8,
+        kc: 256,
+        mc: 64,
+        nc: 256,
+    },
+    // No measured crossover below 256^2 operand pairs: the packed kernel
+    // is flat-rate enough that one extra Strassen level only pays once
+    // blocks exceed ~256 x 256 (validated end to end at n = 1024, where
+    // this cutoff beats both 32768 and no-recursion).
+    base_words: 131_072,
+};
+
+/// See [`TUNED_F64`]; f32 packs twice the lanes per register, so the
+/// measured register tile is wider (`nr = 12`).
+const TUNED_F32: Tuned = Tuned {
+    kernel: KernelConfig {
+        mr: 4,
+        nr: 12,
+        kc: 256,
+        mc: 64,
+        nc: 256,
+    },
+    base_words: 131_072,
+};
+
+/// The measured parameters for scalar type `T`, with any
+/// `ATA_KERNEL_PARAMS` override applied.
+///
+/// Types without their own table row (e.g. the op-counting `Tracked`
+/// scalar or exact fields) inherit the `f64` row: their "speed" is
+/// irrelevant, but sharing the row keeps their blocking — and therefore
+/// their measured operation *counts* — identical to the f64 fast path.
+pub fn tuned_for<T: Scalar>() -> Tuned {
+    let base = match T::NAME {
+        "f32" => TUNED_F32,
+        _ => TUNED_F64,
+    };
+    apply_env(base)
+}
+
+/// Parsed `ATA_KERNEL_PARAMS` override (read once per process).
+#[derive(Debug, Default, Clone, Copy)]
+struct EnvOverride {
+    mr: Option<usize>,
+    nr: Option<usize>,
+    kc: Option<usize>,
+    mc: Option<usize>,
+    nc: Option<usize>,
+    words: Option<usize>,
+}
+
+fn env_override() -> &'static Option<EnvOverride> {
+    static PARSED: OnceLock<Option<EnvOverride>> = OnceLock::new();
+    PARSED.get_or_init(|| {
+        let raw = std::env::var("ATA_KERNEL_PARAMS").ok()?;
+        let mut ov = EnvOverride::default();
+        for pair in raw.split(',') {
+            let Some((key, value)) = pair.split_once('=') else {
+                continue;
+            };
+            let Ok(v) = value.trim().parse::<usize>() else {
+                continue;
+            };
+            if v == 0 {
+                continue;
+            }
+            match key.trim() {
+                "mr" => ov.mr = Some(v),
+                "nr" => ov.nr = Some(v),
+                "kc" => ov.kc = Some(v),
+                "mc" => ov.mc = Some(v),
+                "nc" => ov.nc = Some(v),
+                "words" => ov.words = Some(v),
+                _ => {}
+            }
+        }
+        Some(ov)
+    })
+}
+
+fn apply_env(mut t: Tuned) -> Tuned {
+    if let Some(ov) = env_override() {
+        let k = &mut t.kernel;
+        k.mr = ov.mr.unwrap_or(k.mr);
+        k.nr = ov.nr.unwrap_or(k.nr);
+        k.kc = ov.kc.unwrap_or(k.kc);
+        k.mc = ov.mc.unwrap_or(k.mc);
+        k.nc = ov.nc.unwrap_or(k.nc);
+        t.base_words = ov.words.unwrap_or(t.base_words);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Measurement.
+// ---------------------------------------------------------------------
+
+/// Fill a buffer with a cheap deterministic pseudo-random pattern
+/// (avoids depending on `gen` and keeps calibration self-contained).
+fn fill_pattern<T: Scalar>(buf: &mut [T], seed: u64) {
+    let mut state = seed | 1;
+    for v in buf.iter_mut() {
+        // xorshift64*
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        let r = (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64;
+        *v = T::from_f64(r / (1u64 << 53) as f64 - 0.5);
+    }
+}
+
+/// Median-of-three wall-clock seconds of one `C += A^T B` run at
+/// `m = n = k = size` under `cfg`.
+fn time_gemm<T: Scalar>(size: usize, cfg: &KernelConfig, bufs: &mut PackBufs<T>) -> f64 {
+    let mut a = vec![T::ZERO; size * size];
+    let mut b = vec![T::ZERO; size * size];
+    let mut c = vec![T::ZERO; size * size];
+    fill_pattern(&mut a, 1);
+    fill_pattern(&mut b, 2);
+    let av = MatRef::from_slice(&a, size, size);
+    let bv = MatRef::from_slice(&b, size, size);
+    let mut samples = [0.0f64; 3];
+    for s in samples.iter_mut() {
+        let mut cv = MatMut::from_slice(&mut c, size, size);
+        let t0 = Instant::now();
+        gemm_tn_micro_with(T::ONE, av, bv, &mut cv, cfg, bufs);
+        *s = t0.elapsed().as_secs_f64();
+    }
+    samples.sort_by(f64::total_cmp);
+    std::hint::black_box(&c);
+    samples[1]
+}
+
+/// Sweep the register-tile menu and a coarse `KC/MC/NC` grid, returning
+/// the fastest [`KernelConfig`] by measured square-gemm time.
+///
+/// `quick` trims the grid for smoke runs (CI, `ata calibrate --quick`).
+pub fn measure_kernel<T: Scalar>(quick: bool) -> KernelConfig {
+    let size = if quick { 64 } else { 192 };
+    let kcs: &[usize] = if quick { &[128] } else { &[128, 256] };
+    let mcs: &[usize] = if quick { &[64] } else { &[32, 64, 128] };
+    let ncs: &[usize] = if quick { &[256] } else { &[128, 256] };
+    let mut bufs = PackBufs::new();
+    let mut best = (f64::INFINITY, KernelConfig::for_scalar::<T>());
+    for &(mr, nr) in KernelConfig::MENU {
+        for &kc in kcs {
+            for &mc in mcs {
+                for &nc in ncs {
+                    let cfg = KernelConfig::new(mr, nr, kc, mc, nc);
+                    let t = time_gemm::<T>(size, &cfg, &mut bufs);
+                    if t < best.0 {
+                        best = (t, cfg);
+                    }
+                }
+            }
+        }
+    }
+    best.1
+}
+
+/// Locate the Strassen base-case crossover for `T` under `kernel`.
+///
+/// One recursion level trades a size-`s` product for 7 half-size
+/// products plus ~22 half-size-squared element additions (the measured
+/// block-sum volume of the classic scheme). The crossover `s*` is the
+/// smallest size where the trade wins; recursion should *stop* below
+/// it, i.e. when the operands fit `words = 2 * s*^2` cache words (the
+/// `gemm_base` predicate `m*n + m*k <= words` on a square problem).
+pub fn measure_base_words<T: Scalar>(kernel: &KernelConfig, quick: bool) -> usize {
+    let sizes: &[usize] = if quick {
+        &[48, 96]
+    } else {
+        &[48, 64, 96, 128, 192, 256]
+    };
+    let mut bufs = PackBufs::new();
+    // Per-element cost of one block-sum addition, measured on an axpy.
+    let add_cost = {
+        let len = 1 << 16;
+        let mut x = vec![T::ZERO; len];
+        let mut y = vec![T::ZERO; len];
+        fill_pattern(&mut x, 3);
+        let t0 = Instant::now();
+        for _ in 0..8 {
+            crate::level1::axpy(T::ONE, &x, &mut y);
+        }
+        std::hint::black_box(&y);
+        t0.elapsed().as_secs_f64() / (8 * len) as f64
+    };
+    for &s in sizes {
+        let t_full = time_gemm::<T>(s, kernel, &mut bufs);
+        let t_half = time_gemm::<T>(s.div_ceil(2), kernel, &mut bufs);
+        let half_sq = (s.div_ceil(2) * s.div_ceil(2)) as f64;
+        let t_level = 7.0 * t_half + 22.0 * half_sq * add_cost;
+        if t_level < 0.95 * t_full {
+            return 2 * s * s;
+        }
+    }
+    // No crossover in range: keep recursion rare.
+    let s = *sizes.last().expect("size table is non-empty");
+    2 * s * s
+}
+
+/// Full calibration for scalar type `T`: tile/blocking sweep plus the
+/// base-case crossover. `quick` keeps the run under a second for smoke
+/// use; the full run takes a few seconds per type.
+pub fn measure<T: Scalar>(quick: bool) -> Tuned {
+    let kernel = measure_kernel::<T>(quick);
+    let base_words = measure_base_words::<T>(&kernel, quick);
+    Tuned { kernel, base_words }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baked_tables_are_on_menu() {
+        for t in [TUNED_F64, TUNED_F32] {
+            assert!(
+                KernelConfig::MENU.contains(&(t.kernel.mr, t.kernel.nr)),
+                "baked tile {:?} must have an unrolled kernel",
+                (t.kernel.mr, t.kernel.nr)
+            );
+            assert!(t.base_words >= 1024, "cutoff suspiciously small");
+        }
+    }
+
+    #[test]
+    fn tuned_for_covers_every_scalar() {
+        let f64_t = tuned_for::<f64>();
+        let f32_t = tuned_for::<f32>();
+        let tracked = tuned_for::<ata_mat::tracked::Tracked>();
+        assert_eq!(
+            tracked, f64_t,
+            "op-counting scalar must share the f64 blocking"
+        );
+        assert!(f32_t.kernel.mr > 0 && f32_t.kernel.nr > 0);
+    }
+
+    #[test]
+    fn quick_measurement_returns_sane_values() {
+        // Smoke only: a quick sweep must terminate and produce a menu
+        // tile with positive blocking. (The actual numbers are
+        // hardware-dependent and not asserted.)
+        let t = measure::<f32>(true);
+        assert!(KernelConfig::MENU.contains(&(t.kernel.mr, t.kernel.nr)));
+        assert!(t.base_words >= 2 * 48 * 48);
+    }
+}

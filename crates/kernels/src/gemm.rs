@@ -43,7 +43,13 @@ impl BlockSizes {
     }
 }
 
-/// `C += alpha * A^T B` with default blocking.
+/// `C += alpha * A^T B` — the workspace's default `?gemm('T','N')`.
+///
+/// Dispatches to the packed register-blocked engine
+/// ([`crate::micro::gemm_tn_micro`]) with the measured per-scalar
+/// blocking from [`crate::calibrate`]; tiny products (and builds with
+/// `ATA_MICRO=0`) fall back to [`gemm_tn_blocked`] — see
+/// [`crate::micro::selected_path`].
 ///
 /// Shapes: `A: m x n`, `B: m x k`, `C: n x k`.
 ///
@@ -51,7 +57,15 @@ impl BlockSizes {
 /// On inconsistent shapes.
 #[inline]
 pub fn gemm_tn<T: Scalar>(alpha: T, a: MatRef<'_, T>, b: MatRef<'_, T>, c: &mut MatMut<'_, T>) {
-    gemm_tn_blocked(alpha, a, b, c, BlockSizes::default());
+    let (m, n) = a.shape();
+    let k = b.cols();
+    match crate::micro::selected_path::<T>(m, n, k) {
+        crate::micro::KernelPath::Micro => {
+            let cfg = crate::micro::KernelConfig::for_scalar::<T>();
+            crate::micro::gemm_tn_micro(alpha, a, b, c, &cfg);
+        }
+        crate::micro::KernelPath::Blocked => gemm_tn_blocked(alpha, a, b, c, BlockSizes::default()),
+    }
 }
 
 /// `C += alpha * A^T B` with explicit blocking parameters.

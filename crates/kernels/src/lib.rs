@@ -10,6 +10,12 @@
 //!   (the `?gemm('T','N')` case used everywhere in the paper);
 //! * [`syrk`] — lower-triangular `C += alpha * A^T A`
 //!   (the `?syrk('L','T')` case);
+//! * [`pack`] / [`micro`] — the BLIS-style packed, register-blocked
+//!   engine both of the above dispatch to (Huang et al.'s prescription
+//!   for making Strassen leaves competitive), with the pre-engine loops
+//!   retained as the ablation fallback;
+//! * [`calibrate`] — the measured per-scalar blocking table and
+//!   base-case cutoff model behind the engine's defaults;
 //! * [`par`] — rayon-parallel versions standing in for multi-threaded MKL
 //!   in the Figure 5/6 comparisons.
 //!
@@ -20,12 +26,16 @@
 //! [`CacheConfig`] centralizes the "fits in cache" predicate that decides
 //! the recursion base cases of Algorithms 1 and 2.
 
+pub mod calibrate;
 pub mod gemm;
 pub mod level1;
+pub mod micro;
+pub mod pack;
 pub mod par;
 pub mod syrk;
 
 pub use gemm::gemm_tn;
+pub use micro::{KernelConfig, KernelPath};
 pub use syrk::syrk_ln;
 
 /// Cache-size model driving the base-case tests of the recursive
@@ -41,10 +51,12 @@ pub struct CacheConfig {
 }
 
 impl Default for CacheConfig {
-    /// 32768 elements = 256 KiB of `f64` — matches the L2 slice of the
-    /// paper's Xeon E5-2630v3 per-core budget.
+    /// The measured `f64` base-case crossover from the calibration table
+    /// (see [`calibrate::tuned_for`]) — recursion stops where one more
+    /// Strassen level stops paying for its block sums on this machine.
+    /// Override per run with `ATA_KERNEL_PARAMS="words=..."`.
     fn default() -> Self {
-        Self { words: 32_768 }
+        Self::for_scalar::<f64>()
     }
 }
 
@@ -53,6 +65,12 @@ impl CacheConfig {
     pub fn with_words(words: usize) -> Self {
         assert!(words >= 1, "cache budget must be positive");
         Self { words }
+    }
+
+    /// The measured base-case budget for scalar type `T` from the
+    /// calibration table (plus any environment override).
+    pub fn for_scalar<T: ata_mat::Scalar>() -> Self {
+        Self::with_words(calibrate::tuned_for::<T>().base_words)
     }
 
     /// Base-case predicate of AtA (Algorithm 1): the `m x n` input block
@@ -75,10 +93,14 @@ mod tests {
     use super::*;
 
     #[test]
-    fn default_budget_is_sane() {
+    fn default_budget_is_the_calibrated_f64_cutoff() {
         let c = CacheConfig::default();
-        assert!(c.ata_base(181, 181));
-        assert!(!c.ata_base(182, 182));
+        let words = calibrate::tuned_for::<f64>().base_words;
+        assert_eq!(c.words, words);
+        // The ata_base boundary sits exactly at sqrt(words).
+        let s = (words as f64).sqrt() as usize;
+        assert!(c.ata_base(s, words / s.max(1)));
+        assert!(!c.ata_base(s + 1, words / s.max(1) + 1));
     }
 
     #[test]

@@ -1,0 +1,675 @@
+//! The register-blocked microkernel engine (BLIS-style `GEMM`/`SYRK`).
+//!
+//! [`crate::gemm::gemm_tn`] and [`crate::syrk::syrk_ln`] dispatch onto
+//! this module by default (see [`selected_path`]); the pre-engine loops
+//! remain available as `gemm_tn_blocked` / `gemm_tn_unblocked` for
+//! ablation and as the op-counting reference.
+//!
+//! # Anatomy
+//!
+//! The engine is the classical three-level blocking of Goto / BLIS,
+//! specialized to the transposed-left product `C += alpha * A^T B` that
+//! the paper's algorithms need (`A: m x n`, `B: m x k`, `C: n x k`):
+//!
+//! ```text
+//! for jc in steps of NC over k        // C column blocks
+//!   for pc in steps of KC over m      // reduction blocks
+//!     pack B[pc.., jc..]  -> bpack    // NR-wide panels, alpha folded in
+//!     for ic in steps of MC over n    // C row blocks
+//!       pack A[pc.., ic..] -> apack   // MR-wide panels
+//!       for jr in steps of NR         // micro-tile columns
+//!         for ir in steps of MR       // micro-tile rows
+//!           microkernel: MR x NR accumulators in registers,
+//!           one fused multiply-add per (i, j, p)
+//! ```
+//!
+//! The microkernel keeps an `MR x NR` accumulator array in registers,
+//! seeded from `C` and written back once per `KC` block, so `C` traffic
+//! is `1/KC` of the rank-1 scheme's and `A`/`B` traffic is `1/NR` and
+//! `1/MR` respectively. `MR`/`NR` are const generics from a fixed menu
+//! ([`KernelConfig::MENU`]); the blocking parameters come from the
+//! measured per-scalar table in [`crate::calibrate`].
+//!
+//! # Exact operation accounting
+//!
+//! Every result element is produced by `Scalar::mul_add` chains seeded
+//! from the existing `C` value: with `alpha = 1` — the hot path every
+//! Strassen product and every measured-flop validation runs — the
+//! engine performs *exactly* `m * n * k` multiplications and
+//! `m * n * k` additions, the same counts as the rank-1 reference path
+//! (a parity the `micro_props` proptests pin down). Ragged edges are
+//! computed by a bounds-aware scalar tile ([`edge kernel`](self))
+//! rather than with zero-padding arithmetic, which is what keeps the
+//! counts exact for arbitrary shapes. `alpha = -1` stays
+//! multiplication-exact too (`m * n * k` muls) by folding the sign into
+//! the `B`-pack as `m * k` negations — *cheaper* than the rank-1 path,
+//! which re-multiplies by `alpha` per tile, so negated products are not
+//! count-identical across the [`selected_path`] dispatch boundary.
+
+use crate::pack::{pack_panels, packed_elems, with_thread_bufs, PackBufs, PackScale};
+use ata_mat::{MatMut, MatRef, Scalar};
+use std::sync::OnceLock;
+
+/// Blocking parameters of the microkernel engine.
+///
+/// `(mr, nr)` select the register tile (must come from
+/// [`KernelConfig::MENU`] for the fast path; any other pair still
+/// computes correctly through the bounds-aware edge kernel). `kc`, `mc`,
+/// `nc` are the cache-blocking depths of the loop nest: a `kc x mc`
+/// `A`-block should sit in L2 and a `kc x nr` `B`-sliver in L1 while a
+/// micro-tile executes.
+///
+/// Defaults per scalar type come from the measured table in
+/// [`crate::calibrate`]; construct explicitly (or set
+/// `ATA_KERNEL_PARAMS`) to override.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelConfig {
+    /// Register-tile rows (micro-panel width of the packed `A` operand).
+    pub mr: usize,
+    /// Register-tile columns (micro-panel width of the packed `B`
+    /// operand).
+    pub nr: usize,
+    /// Reduction-dimension block depth.
+    pub kc: usize,
+    /// `C` row-block height (columns of `A` packed per block).
+    pub mc: usize,
+    /// `C` column-block width (columns of `B` packed per block).
+    pub nc: usize,
+}
+
+impl KernelConfig {
+    /// Register tiles with a dedicated unrolled microkernel. Other
+    /// `(mr, nr)` pairs run through the (slower) bounds-aware kernel.
+    pub const MENU: &'static [(usize, usize)] = &[
+        (4, 4),
+        (4, 8),
+        (6, 8),
+        (8, 4),
+        (8, 6),
+        (8, 8),
+        (12, 4),
+        (4, 12),
+    ];
+
+    /// Validated constructor.
+    ///
+    /// # Panics
+    /// If any parameter is zero.
+    pub fn new(mr: usize, nr: usize, kc: usize, mc: usize, nc: usize) -> Self {
+        assert!(
+            mr > 0 && nr > 0 && kc > 0 && mc > 0 && nc > 0,
+            "kernel blocking parameters must be positive"
+        );
+        Self { mr, nr, kc, mc, nc }
+    }
+
+    /// The measured default for scalar type `T` (see
+    /// [`crate::calibrate::tuned_for`]), after applying any
+    /// `ATA_KERNEL_PARAMS` environment override.
+    pub fn for_scalar<T: Scalar>() -> Self {
+        crate::calibrate::tuned_for::<T>().kernel
+    }
+
+    /// Element counts `(apack, bpack)` of the packing buffers one kernel
+    /// invocation under this config needs — what `AtaPlan` warms
+    /// per-thread so steady-state executes allocate nothing.
+    pub fn pack_buffer_elems(&self) -> (usize, usize) {
+        (
+            packed_elems(self.kc, self.mc, self.mr),
+            packed_elems(self.kc, self.nc, self.nr),
+        )
+    }
+}
+
+/// Which implementation a kernel entry point selects for a given problem
+/// (the dispatch is observable so CI can guard against silent fallback
+/// regressions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelPath {
+    /// The packed register-blocked engine in this module.
+    Micro,
+    /// The legacy cache-blocked rank-1 loops
+    /// ([`crate::gemm::gemm_tn_blocked`]).
+    Blocked,
+}
+
+/// Problems below this flop volume (`m * n * k`) skip packing: the
+/// buffer setup costs more than it saves on sub-microtile products.
+pub const MICRO_MIN_VOLUME: usize = 4096;
+
+/// True when `ATA_MICRO=0` disables the engine process-wide (the
+/// ablation/escape hatch; read once).
+fn micro_disabled() -> bool {
+    static DISABLED: OnceLock<bool> = OnceLock::new();
+    *DISABLED.get_or_init(|| std::env::var_os("ATA_MICRO").is_some_and(|v| v == "0"))
+}
+
+/// The implementation [`crate::gemm::gemm_tn`] / [`crate::syrk::syrk_ln`]
+/// will run for an `(m, n, k)` product of scalar type `T` (for `syrk`,
+/// `k == n`).
+pub fn selected_path<T: Scalar>(m: usize, n: usize, k: usize) -> KernelPath {
+    let volume = m.saturating_mul(n).saturating_mul(k);
+    if micro_disabled() || volume < MICRO_MIN_VOLUME {
+        KernelPath::Blocked
+    } else {
+        KernelPath::Micro
+    }
+}
+
+// ---------------------------------------------------------------------
+// Microkernels.
+// ---------------------------------------------------------------------
+
+/// The full-tile microkernel: `MR x NR` accumulators seeded from `C`,
+/// one `mul_add` per `(i, j, p)`, written back once.
+#[inline(always)]
+fn kernel<T: Scalar, const MR: usize, const NR: usize>(
+    kc: usize,
+    ap: &[T],
+    bp: &[T],
+    c: &mut MatMut<'_, T>,
+) {
+    debug_assert_eq!(c.shape(), (MR, NR));
+    let mut acc = [[T::ZERO; NR]; MR];
+    for (i, row) in acc.iter_mut().enumerate() {
+        row.copy_from_slice(&c.row(i)[..NR]);
+    }
+    let ap = &ap[..kc * MR];
+    let bp = &bp[..kc * NR];
+    for (av, bv) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)) {
+        for (ai, row) in av.iter().zip(acc.iter_mut()) {
+            for (bj, acc_ij) in bv.iter().zip(row.iter_mut()) {
+                *acc_ij = ai.mul_add(*bj, *acc_ij);
+            }
+        }
+    }
+    for (i, row) in acc.iter().enumerate() {
+        c.row_mut(i)[..NR].copy_from_slice(row);
+    }
+}
+
+/// Dispatch a full `mr x nr` tile to its unrolled instantiation.
+#[inline]
+fn full_tile<T: Scalar>(
+    mr: usize,
+    nr: usize,
+    kc: usize,
+    ap: &[T],
+    bp: &[T],
+    c: &mut MatMut<'_, T>,
+) {
+    match (mr, nr) {
+        (4, 4) => kernel::<T, 4, 4>(kc, ap, bp, c),
+        (4, 8) => kernel::<T, 4, 8>(kc, ap, bp, c),
+        (6, 8) => kernel::<T, 6, 8>(kc, ap, bp, c),
+        (8, 4) => kernel::<T, 8, 4>(kc, ap, bp, c),
+        (8, 6) => kernel::<T, 8, 6>(kc, ap, bp, c),
+        (8, 8) => kernel::<T, 8, 8>(kc, ap, bp, c),
+        (12, 4) => kernel::<T, 12, 4>(kc, ap, bp, c),
+        (4, 12) => kernel::<T, 4, 12>(kc, ap, bp, c),
+        _ => edge_tile(kc, mr, nr, mr, nr, ap, bp, c, None),
+    }
+}
+
+/// Bounds-aware tile for ragged edges and diagonal straddles.
+///
+/// Computes `c[ii, jj] (+)= sum_p ap[p, ii] * bp[p, jj]` for
+/// `ii < mr_eff`, `jj < jj_max(ii)` where the column cap enforces the
+/// lower-triangle constraint when `diag = Some((ir, jr))` (tile placed at
+/// rows `ir..`, cols `jr..` of a diagonal block: only `ir + ii >= jr + jj`
+/// entries are touched). Performs exactly one multiply and one add per
+/// computed `(ii, jj, p)` triple — no padding arithmetic.
+#[allow(clippy::too_many_arguments)]
+fn edge_tile<T: Scalar>(
+    kc: usize,
+    mr: usize,
+    nr: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+    ap: &[T],
+    bp: &[T],
+    c: &mut MatMut<'_, T>,
+    diag: Option<(usize, usize)>,
+) {
+    debug_assert_eq!(c.shape(), (mr_eff, nr_eff));
+    for ii in 0..mr_eff {
+        let jj_max = match diag {
+            None => nr_eff,
+            Some((ir, jr)) => (ir + ii + 1).saturating_sub(jr).min(nr_eff),
+        };
+        let crow = c.row_mut(ii);
+        for (jj, cv) in crow.iter_mut().enumerate().take(jj_max) {
+            let mut acc = *cv;
+            for p in 0..kc {
+                acc = ap[p * mr + ii].mul_add(bp[p * nr + jj], acc);
+            }
+            *cv = acc;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Loop nests.
+// ---------------------------------------------------------------------
+
+/// Sweep the packed `(apack, bpack)` block over the `C` block at
+/// `(row0, col0)` of extent `mc_eff x nc_eff`.
+#[allow(clippy::too_many_arguments)]
+fn sweep_tiles<T: Scalar>(
+    cfg: &KernelConfig,
+    kc_eff: usize,
+    mc_eff: usize,
+    nc_eff: usize,
+    apack: &[T],
+    bpack: &[T],
+    c: &mut MatMut<'_, T>,
+    row0: usize,
+    col0: usize,
+) {
+    let (mr, nr) = (cfg.mr, cfg.nr);
+    let mut jr = 0;
+    while jr < nc_eff {
+        let nr_eff = nr.min(nc_eff - jr);
+        let bp = &bpack[(jr / nr) * kc_eff * nr..][..kc_eff * nr];
+        let mut ir = 0;
+        while ir < mc_eff {
+            let mr_eff = mr.min(mc_eff - ir);
+            let ap = &apack[(ir / mr) * kc_eff * mr..][..kc_eff * mr];
+            let mut ctile =
+                c.block_mut(row0 + ir, row0 + ir + mr_eff, col0 + jr, col0 + jr + nr_eff);
+            if mr_eff == mr && nr_eff == nr {
+                full_tile(mr, nr, kc_eff, ap, bp, &mut ctile);
+            } else {
+                edge_tile(kc_eff, mr, nr, mr_eff, nr_eff, ap, bp, &mut ctile, None);
+            }
+            ir += mr;
+        }
+        jr += nr;
+    }
+}
+
+/// `C += alpha * A^T B` through the packed engine, with caller-provided
+/// packing buffers.
+///
+/// Shapes: `A: m x n`, `B: m x k`, `C: n x k`.
+///
+/// # Panics
+/// On inconsistent shapes.
+pub fn gemm_tn_micro_with<T: Scalar>(
+    alpha: T,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    c: &mut MatMut<'_, T>,
+    cfg: &KernelConfig,
+    bufs: &mut PackBufs<T>,
+) {
+    let (m, n) = a.shape();
+    let (mb, k) = b.shape();
+    assert_eq!(m, mb, "gemm_tn: A is {m}x{n} but B has {mb} rows");
+    assert_eq!(
+        c.shape(),
+        (n, k),
+        "gemm_tn: C must be {n}x{k}, got {:?}",
+        c.shape()
+    );
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let scale = PackScale::from_alpha(alpha);
+    let a_elems = packed_elems(cfg.kc.min(m), cfg.mc.min(n), cfg.mr);
+    let b_elems = packed_elems(cfg.kc.min(m), cfg.nc.min(k), cfg.nr);
+    let (apack, bpack) = bufs.split(a_elems, b_elems);
+
+    let mut jc = 0;
+    while jc < k {
+        let jn = (jc + cfg.nc).min(k);
+        let mut pc = 0;
+        while pc < m {
+            let pe = (pc + cfg.kc).min(m);
+            let kc_eff = pe - pc;
+            pack_panels(b.block(pc, pe, jc, jn), cfg.nr, scale, bpack);
+            let mut ic = 0;
+            while ic < n {
+                let im = (ic + cfg.mc).min(n);
+                pack_panels(a.block(pc, pe, ic, im), cfg.mr, PackScale::One, apack);
+                sweep_tiles(cfg, kc_eff, im - ic, jn - jc, apack, bpack, c, ic, jc);
+                ic = im;
+            }
+            pc = pe;
+        }
+        jc = jn;
+    }
+}
+
+/// [`gemm_tn_micro_with`] using this thread's cached packing buffers.
+pub fn gemm_tn_micro<T: Scalar>(
+    alpha: T,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    c: &mut MatMut<'_, T>,
+    cfg: &KernelConfig,
+) {
+    with_thread_bufs(|bufs| gemm_tn_micro_with(alpha, a, b, c, cfg, bufs));
+}
+
+/// Lower-triangular `C += alpha * A^T A` through the packed engine, with
+/// caller-provided packing buffers.
+///
+/// Strictly-lower rectangular blocks reuse the gemm loop nest; diagonal
+/// blocks run micro-tiles below the diagonal at full speed and straddling
+/// tiles through the bounds-aware kernel, so only `i >= j` entries are
+/// read or written and the flop count stays the exact triangle count.
+///
+/// Shapes: `A: m x n`, `C: n x n`.
+///
+/// # Panics
+/// On inconsistent shapes.
+pub fn syrk_ln_micro_with<T: Scalar>(
+    alpha: T,
+    a: MatRef<'_, T>,
+    c: &mut MatMut<'_, T>,
+    cfg: &KernelConfig,
+    bufs: &mut PackBufs<T>,
+) {
+    let (m, n) = a.shape();
+    assert_eq!(
+        c.shape(),
+        (n, n),
+        "syrk_ln: C must be {n}x{n}, got {:?}",
+        c.shape()
+    );
+    if m == 0 || n == 0 {
+        return;
+    }
+    let scale = PackScale::from_alpha(alpha);
+    let (mr, nr) = (cfg.mr, cfg.nr);
+
+    let mut i0 = 0;
+    while i0 < n {
+        let i1 = (i0 + cfg.mc).min(n);
+        // Strictly-lower rectangle of this block row:
+        // C[i0..i1, 0..i0] += alpha * A[:, i0..i1]^T A[:, 0..i0].
+        if i0 > 0 {
+            let a_i = a.block(0, m, i0, i1);
+            let a_j = a.block(0, m, 0, i0);
+            let mut c_blk = c.block_mut(i0, i1, 0, i0);
+            gemm_tn_micro_with(alpha, a_i, a_j, &mut c_blk, cfg, bufs);
+        }
+        // Diagonal block C[i0..i1, i0..i1], lower part only. Both packed
+        // operands come from the same A columns; micro-tiles entirely
+        // below the diagonal take the fast kernel.
+        let t = i1 - i0;
+        let a_elems = packed_elems(cfg.kc.min(m), t, mr);
+        let b_elems = packed_elems(cfg.kc.min(m), t, nr);
+        let mut pc = 0;
+        while pc < m {
+            let pe = (pc + cfg.kc).min(m);
+            let kc_eff = pe - pc;
+            let atile = a.block(pc, pe, i0, i1);
+            let (apack, bpack) = bufs.split(a_elems, b_elems);
+            pack_panels(atile, mr, PackScale::One, apack);
+            pack_panels(atile, nr, scale, bpack);
+            let mut jr = 0;
+            while jr < t {
+                let nr_eff = nr.min(t - jr);
+                let bp = &bpack[(jr / nr) * kc_eff * nr..][..kc_eff * nr];
+                // First micro-row containing any i >= j entry.
+                let mut ir = (jr / mr) * mr;
+                while ir < t {
+                    let mr_eff = mr.min(t - ir);
+                    let ap = &apack[(ir / mr) * kc_eff * mr..][..kc_eff * mr];
+                    let mut ctile =
+                        c.block_mut(i0 + ir, i0 + ir + mr_eff, i0 + jr, i0 + jr + nr_eff);
+                    if mr_eff == mr && nr_eff == nr && ir >= jr + nr - 1 {
+                        full_tile(mr, nr, kc_eff, ap, bp, &mut ctile);
+                    } else {
+                        edge_tile(
+                            kc_eff,
+                            mr,
+                            nr,
+                            mr_eff,
+                            nr_eff,
+                            ap,
+                            bp,
+                            &mut ctile,
+                            Some((ir, jr)),
+                        );
+                    }
+                    ir += mr;
+                }
+                jr += nr;
+            }
+            pc = pe;
+        }
+        i0 = i1;
+    }
+}
+
+/// [`syrk_ln_micro_with`] using this thread's cached packing buffers.
+pub fn syrk_ln_micro<T: Scalar>(
+    alpha: T,
+    a: MatRef<'_, T>,
+    c: &mut MatMut<'_, T>,
+    cfg: &KernelConfig,
+) {
+    with_thread_bufs(|bufs| syrk_ln_micro_with(alpha, a, c, cfg, bufs));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ata_mat::tracked::{measure, Tracked};
+    use ata_mat::{gen, reference, Matrix};
+
+    fn cfg_small() -> KernelConfig {
+        // Deliberately tiny blocking so unit-test shapes span many
+        // blocks and tiles.
+        KernelConfig::new(4, 4, 8, 12, 16)
+    }
+
+    fn check_gemm(m: usize, n: usize, k: usize, alpha: f64, cfg: &KernelConfig) {
+        let a = gen::standard::<f64>(10_000 + m as u64, m, n);
+        let b = gen::standard::<f64>(20_000 + k as u64, m, k);
+        let mut c_fast = gen::standard::<f64>(5, n, k);
+        let mut c_ref = c_fast.clone();
+        gemm_tn_micro(alpha, a.as_ref(), b.as_ref(), &mut c_fast.as_mut(), cfg);
+        reference::gemm_tn(alpha, a.as_ref(), b.as_ref(), &mut c_ref.as_mut());
+        let tol = ata_mat::ops::product_tol::<f64>(m.max(n), k, m as f64);
+        let diff = c_fast.max_abs_diff(&c_ref);
+        assert!(
+            diff <= tol,
+            "({m},{n},{k}) micro gemm differs from oracle by {diff} > {tol}"
+        );
+    }
+
+    #[test]
+    fn matches_oracle_on_assorted_shapes() {
+        for &(m, n, k) in &[
+            (1, 1, 1),
+            (2, 3, 4),
+            (7, 5, 3),
+            (16, 16, 16),
+            (33, 31, 29),
+            (64, 1, 64),
+            (1, 64, 64),
+            (100, 37, 65),
+        ] {
+            check_gemm(m, n, k, 1.0, &cfg_small());
+        }
+    }
+
+    #[test]
+    fn default_config_matches_oracle() {
+        let cfg = KernelConfig::for_scalar::<f64>();
+        check_gemm(80, 60, 70, 1.0, &cfg);
+        check_gemm(300, 40, 50, 1.0, &cfg);
+    }
+
+    #[test]
+    fn alpha_paths() {
+        for alpha in [1.0, -1.0, 2.5, -0.125] {
+            check_gemm(21, 17, 19, alpha, &cfg_small());
+        }
+    }
+
+    #[test]
+    fn every_menu_tile_is_correct() {
+        for &(mr, nr) in KernelConfig::MENU {
+            let cfg = KernelConfig::new(mr, nr, 16, 2 * mr + 1, 2 * nr + 3);
+            check_gemm(40, 2 * mr + 5, 2 * nr + 7, 1.0, &cfg);
+        }
+    }
+
+    #[test]
+    fn off_menu_tile_still_correct() {
+        // (5, 3) has no unrolled instantiation: the sweep must fall back
+        // to the bounds-aware kernel everywhere.
+        let cfg = KernelConfig::new(5, 3, 8, 11, 10);
+        check_gemm(25, 23, 22, 1.0, &cfg);
+    }
+
+    #[test]
+    fn syrk_matches_oracle_and_preserves_upper() {
+        for &(m, n) in &[(1, 1), (5, 7), (16, 16), (40, 33), (33, 80), (128, 35)] {
+            let cfg = cfg_small();
+            let a = gen::standard::<f64>(77 + m as u64, m, n);
+            let mut c_fast = gen::standard::<f64>(6, n, n);
+            let mut c_ref = c_fast.clone();
+            syrk_ln_micro(1.0, a.as_ref(), &mut c_fast.as_mut(), &cfg);
+            reference::syrk_ln(1.0, a.as_ref(), &mut c_ref.as_mut());
+            let tol = ata_mat::ops::product_tol::<f64>(m.max(n), n, m as f64);
+            let diff = c_fast.max_abs_diff_lower(&c_ref);
+            assert!(diff <= tol, "({m},{n}) micro syrk differs by {diff}");
+            assert_eq!(
+                c_fast.max_abs_diff(&c_ref),
+                diff,
+                "({m},{n}) strict upper must be untouched"
+            );
+        }
+    }
+
+    #[test]
+    fn syrk_alpha_and_menu_tiles() {
+        for &(mr, nr) in &[(4, 4), (8, 4), (4, 8), (6, 8)] {
+            let cfg = KernelConfig::new(mr, nr, 8, 3 * mr, 3 * nr);
+            let a = gen::standard::<f64>(9, 30, 26);
+            let mut c_fast = Matrix::zeros(26, 26);
+            let mut c_ref = Matrix::zeros(26, 26);
+            syrk_ln_micro(-1.5, a.as_ref(), &mut c_fast.as_mut(), &cfg);
+            reference::syrk_ln(-1.5, a.as_ref(), &mut c_ref.as_mut());
+            assert!(
+                c_fast.max_abs_diff_lower(&c_ref) < 1e-10,
+                "tile ({mr},{nr})"
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_op_counts_match_reference_volume_at_unit_alpha() {
+        // Exactly m*n*k muls and adds, like the rank-1 path: the measured
+        // flop validations of the paper's claims hold on the fast path.
+        for &(m, n, k) in &[(8, 8, 8), (13, 7, 9), (20, 5, 30)] {
+            let a = gen::standard::<Tracked>(1, m, n);
+            let b = gen::standard::<Tracked>(2, m, k);
+            let mut c = Matrix::<Tracked>::zeros(n, k);
+            let (_, ops) = measure(|| {
+                gemm_tn_micro(
+                    Tracked(1.0),
+                    a.as_ref(),
+                    b.as_ref(),
+                    &mut c.as_mut(),
+                    &cfg_small(),
+                );
+            });
+            let volume = (m * n * k) as u64;
+            assert_eq!(ops.muls, volume, "({m},{n},{k}) muls");
+            assert_eq!(ops.adds, volume, "({m},{n},{k}) adds");
+            assert_eq!(ops.subs, 0);
+        }
+    }
+
+    #[test]
+    fn syrk_op_counts_are_the_exact_triangle_volume() {
+        let (m, n) = (14, 11);
+        let a = gen::standard::<Tracked>(3, m, n);
+        let mut c = Matrix::<Tracked>::zeros(n, n);
+        let (_, ops) = measure(|| {
+            syrk_ln_micro(Tracked(1.0), a.as_ref(), &mut c.as_mut(), &cfg_small());
+        });
+        let triangle = (m * n * (n + 1) / 2) as u64;
+        assert_eq!(ops.muls, triangle);
+        assert_eq!(ops.adds, triangle);
+    }
+
+    #[test]
+    fn negative_unit_alpha_is_multiplication_free() {
+        let (m, n, k) = (9, 6, 8);
+        let a = gen::standard::<Tracked>(4, m, n);
+        let b = gen::standard::<Tracked>(5, m, k);
+        let mut c = Matrix::<Tracked>::zeros(n, k);
+        let (_, ops) = measure(|| {
+            gemm_tn_micro(
+                Tracked(-1.0),
+                a.as_ref(),
+                b.as_ref(),
+                &mut c.as_mut(),
+                &cfg_small(),
+            );
+        });
+        // The sign folds into the B-pack as negations, not multiplies.
+        assert_eq!(ops.muls, (m * n * k) as u64);
+        assert_eq!(ops.negs, (m * k) as u64);
+    }
+
+    #[test]
+    fn works_on_strided_views() {
+        let big = gen::standard::<f64>(9, 16, 16);
+        let (a11, _, _, a22) = big.as_ref().quad_split();
+        let mut c = Matrix::zeros(8, 8);
+        gemm_tn_micro(1.0, a11, a22, &mut c.as_mut(), &cfg_small());
+        let mut c_ref = Matrix::zeros(8, 8);
+        reference::gemm_tn(1.0, a11, a22, &mut c_ref.as_mut());
+        assert!(c.max_abs_diff(&c_ref) < 1e-12);
+    }
+
+    #[test]
+    fn f32_path() {
+        let cfg = KernelConfig::for_scalar::<f32>();
+        let a = gen::standard::<f32>(11, 40, 30);
+        let b = gen::standard::<f32>(12, 40, 35);
+        let mut c = Matrix::<f32>::zeros(30, 35);
+        gemm_tn_micro(2.0f32, a.as_ref(), b.as_ref(), &mut c.as_mut(), &cfg);
+        let mut c_ref = Matrix::<f32>::zeros(30, 35);
+        reference::gemm_tn(2.0f32, a.as_ref(), b.as_ref(), &mut c_ref.as_mut());
+        assert!(c.max_abs_diff(&c_ref) < 1e-3);
+    }
+
+    #[test]
+    fn selection_guard_micro_is_default_for_f64() {
+        // CI guard: the engine must actually be selected for real
+        // problems at the default config — a silent fallback to the
+        // rank-1 loops would regress every backend at once.
+        assert_eq!(selected_path::<f64>(256, 128, 128), KernelPath::Micro);
+        assert_eq!(selected_path::<f64>(181, 181, 181), KernelPath::Micro);
+        assert_eq!(selected_path::<f32>(256, 128, 128), KernelPath::Micro);
+        // Tiny products stay on the cheap path by design.
+        assert_eq!(selected_path::<f64>(4, 4, 4), KernelPath::Blocked);
+    }
+
+    #[test]
+    fn pack_buffer_elems_covers_worst_block() {
+        let cfg = KernelConfig::new(8, 4, 16, 20, 24);
+        let (ae, be) = cfg.pack_buffer_elems();
+        assert_eq!(ae, packed_elems(16, 20, 8));
+        assert_eq!(be, packed_elems(16, 24, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "gemm_tn")]
+    fn dimension_mismatch_panics() {
+        let a = Matrix::<f64>::zeros(3, 2);
+        let b = Matrix::<f64>::zeros(4, 2);
+        let mut c = Matrix::<f64>::zeros(2, 2);
+        gemm_tn_micro(1.0, a.as_ref(), b.as_ref(), &mut c.as_mut(), &cfg_small());
+    }
+}

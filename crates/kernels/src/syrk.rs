@@ -14,7 +14,13 @@
 use crate::gemm::{gemm_tn_blocked, BlockSizes};
 use ata_mat::{MatMut, MatRef, Scalar};
 
-/// `C_low += alpha * A^T A` with default blocking.
+/// `C_low += alpha * A^T A` — the workspace's default `?syrk('L','T')`.
+///
+/// Dispatches to the packed register-blocked engine
+/// ([`crate::micro::syrk_ln_micro`], diagonal tiles included) with the
+/// measured per-scalar blocking from [`crate::calibrate`]; tiny updates
+/// (and builds with `ATA_MICRO=0`) fall back to [`syrk_ln_blocked`] —
+/// see [`crate::micro::selected_path`].
 ///
 /// Shapes: `A: m x n`, `C: n x n` (only `i >= j` entries touched).
 ///
@@ -22,7 +28,14 @@ use ata_mat::{MatMut, MatRef, Scalar};
 /// On inconsistent shapes.
 #[inline]
 pub fn syrk_ln<T: Scalar>(alpha: T, a: MatRef<'_, T>, c: &mut MatMut<'_, T>) {
-    syrk_ln_blocked(alpha, a, c, BlockSizes::default());
+    let (m, n) = a.shape();
+    match crate::micro::selected_path::<T>(m, n, n) {
+        crate::micro::KernelPath::Micro => {
+            let cfg = crate::micro::KernelConfig::for_scalar::<T>();
+            crate::micro::syrk_ln_micro(alpha, a, c, &cfg);
+        }
+        crate::micro::KernelPath::Blocked => syrk_ln_blocked(alpha, a, c, BlockSizes::default()),
+    }
 }
 
 /// `C_low += alpha * A^T A` with explicit blocking parameters.

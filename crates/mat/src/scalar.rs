@@ -47,7 +47,17 @@ pub trait Scalar:
     /// Short type tag used in benchmark output (`"f32"`, `"f64"`, ...).
     const NAME: &'static str;
 
-    /// Fused (or at least contracted) multiply-add `self * a + b`.
+    /// Multiply-add `self * a + b` — the one operation the packed
+    /// microkernel engine (`ata-kernels::micro`) issues per accumulator
+    /// update.
+    ///
+    /// Contract: implementations must cost exactly one multiplication
+    /// plus one addition in the workspace's operation accounting and
+    /// round like the unfused expression, so kernels built on `mul_add`
+    /// chains stay bit-identical (and measured-flop-identical) to the
+    /// reference loops. The float impls deliberately stay unfused: a
+    /// forced FMA instruction would change rounding *and* often defeat
+    /// autovectorization on targets without vector FMA.
     #[inline]
     fn mul_add(self, a: Self, b: Self) -> Self {
         self * a + b

@@ -154,6 +154,18 @@ impl Scalar for Tracked {
     const NEG_ONE: Self = Tracked(-1.0);
     const NAME: &'static str = "tracked";
 
+    /// Exact-op semantics: counts one multiplication and one addition and
+    /// computes the *unfused* `self * a + b`, so results (and measured
+    /// flop counts) are bit-identical whether a kernel uses `mul_add`
+    /// chains — as the packed microkernel engine does — or separate
+    /// `*`/`+` operations like the reference loops.
+    #[inline]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        MULS.with(|c| c.set(c.get() + 1));
+        ADDS.with(|c| c.set(c.get() + 1));
+        Tracked(self.0 * a.0 + b.0)
+    }
+
     #[inline]
     fn from_f64(x: f64) -> Self {
         Tracked(x)

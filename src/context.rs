@@ -52,7 +52,7 @@ use ata_core::serial::{ata_into_with_kind, ata_workspace_elems, StrassenKind};
 use ata_core::tasktree::SharedPlan;
 use ata_core::{ata_s_planned, plan_workspace_elems, AtaOptions};
 use ata_dist::{ata_d, AtaDConfig};
-use ata_kernels::CacheConfig;
+use ata_kernels::{CacheConfig, KernelConfig};
 use ata_mat::{MatMut, MatRef, Matrix, Scalar, SymPacked};
 use ata_mpisim::{run, CostModel};
 use ata_strassen::ArenaPool;
@@ -328,8 +328,11 @@ impl AtaContext {
 
     /// Build a plan for an `m x n` input with an explicit [`Output`]
     /// selector. This is the expensive phase: the §4.1 task tree is
-    /// built and the arena cache warmed to the exact workspace
-    /// requirement, so `execute` stays allocation-free.
+    /// built, the arena cache warmed to the exact workspace requirement,
+    /// and the packed-kernel buffers of the planning thread pre-grown
+    /// (worker threads warm theirs on first execution and keep them for
+    /// the life of the pool), so steady-state `execute` calls stay
+    /// allocation-free.
     pub fn plan_with<T: Scalar + 'static>(
         &self,
         m: usize,
@@ -351,6 +354,16 @@ impl AtaContext {
             }
             Backend::SimulatedDist { .. } => (None, 0),
         };
+        // Leaf-kernel packing workspace (BLIS-style engine): sized from
+        // the measured per-scalar blocking, warmed per thread.
+        let (pack_a, pack_b) = KernelConfig::for_scalar::<T>().pack_buffer_elems();
+        let pack_elems = match self.backend {
+            Backend::SimulatedDist { .. } => 0,
+            _ => {
+                ata_kernels::pack::warm_thread::<T>(pack_a, pack_b);
+                pack_a + pack_b
+            }
+        };
         AtaPlan {
             ctx: self,
             m,
@@ -358,6 +371,7 @@ impl AtaContext {
             output,
             shared,
             ws_elems,
+            pack_elems,
             arenas,
         }
     }
@@ -414,6 +428,8 @@ pub struct AtaPlan<'ctx, T> {
     shared: Option<SharedPlan>,
     /// Per-worker Strassen arena requirement, elements.
     ws_elems: usize,
+    /// Per-thread packed-kernel buffer requirement, elements.
+    pack_elems: usize,
     /// The context's arena pool for `T`.
     arenas: Arc<ArenaPool<T>>,
 }
@@ -433,6 +449,15 @@ impl<T: Scalar + 'static> AtaPlan<'_, T> {
     /// the size the context's arena cache was warmed to.
     pub fn workspace_elems(&self) -> usize {
         self.ws_elems
+    }
+
+    /// Per-thread packing-buffer requirement of the leaf microkernel
+    /// engine, in elements (`apack + bpack`; zero for the simulated-dist
+    /// backend, whose ranks size their own). Planning warms the calling
+    /// thread to this size; each pool worker grows its own buffers once
+    /// on first execution and keeps them for the life of the pool.
+    pub fn pack_workspace_elems(&self) -> usize {
+        self.pack_elems
     }
 
     /// Compute the lower triangle of `C = A^T A` into `c` (which must be
@@ -679,6 +704,19 @@ mod tests {
             AtaContext::from_options(&AtaOptions::serial()).backend(),
             Backend::Serial
         );
+    }
+
+    #[test]
+    fn plan_sizes_and_warms_pack_buffers() {
+        let ctx = AtaContext::serial();
+        let plan = ctx.plan::<f64>(64, 48);
+        let (a_elems, b_elems) = KernelConfig::for_scalar::<f64>().pack_buffer_elems();
+        assert_eq!(plan.pack_workspace_elems(), a_elems + b_elems);
+        // Planning warmed this thread's buffers to the full requirement.
+        assert!(ata_kernels::pack::thread_buf_elems::<f64>() >= a_elems + b_elems);
+        // The dist backend packs rank-side; the plan reports zero.
+        let dist = AtaContext::simulated_dist(NonZeroUsize::new(2).unwrap(), CostModel::zero());
+        assert_eq!(dist.plan::<f64>(16, 8).pack_workspace_elems(), 0);
     }
 
     #[test]

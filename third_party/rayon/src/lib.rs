@@ -47,10 +47,35 @@ thread_local! {
 
 /// Number of worker threads the calling context would use.
 pub fn current_num_threads() -> usize {
-    POOL_THREADS.with(|p| p.get()).unwrap_or_else(|| {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
+    POOL_THREADS
+        .with(|p| p.get())
+        .unwrap_or_else(global_pool_threads)
+}
+
+/// Parse a thread-count override (`ATA_NUM_THREADS`-style value):
+/// a positive integer, anything else is ignored.
+fn parse_thread_override(raw: Option<std::ffi::OsString>) -> Option<usize> {
+    raw.and_then(|v| v.into_string().ok())
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+/// Size of the process-global worker pool.
+///
+/// Defaults to `available_parallelism`, overridden by the
+/// `ATA_NUM_THREADS` environment variable (a positive integer; invalid
+/// values are ignored) — the knob for container deployments whose CPU
+/// quota is smaller than the host's core count. Read once: changing the
+/// variable after the first call (or after the global pool spawned) has
+/// no effect.
+pub fn global_pool_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        parse_thread_override(std::env::var_os("ATA_NUM_THREADS")).unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
     })
 }
 
@@ -171,15 +196,10 @@ fn spawn_workers(threads: usize) -> Arc<PoolInner> {
 }
 
 /// The process-wide pool used outside any [`ThreadPool::install`].
+/// Sized by [`global_pool_threads`] (`ATA_NUM_THREADS` respected).
 fn global_pool() -> &'static Arc<PoolInner> {
     static GLOBAL: OnceLock<Arc<PoolInner>> = OnceLock::new();
-    GLOBAL.get_or_init(|| {
-        spawn_workers(
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
-        )
-    })
+    GLOBAL.get_or_init(|| spawn_workers(global_pool_threads()))
 }
 
 /// The traits consumers import.
@@ -475,6 +495,28 @@ mod tests {
             sum.fetch_add(i * 1000 + v, Ordering::Relaxed);
         });
         assert_eq!(sum.load(Ordering::Relaxed), 10 + 1020 + 2030);
+    }
+
+    #[test]
+    fn thread_override_parsing() {
+        use std::ffi::OsString;
+        let parse = |s: &str| super::parse_thread_override(Some(OsString::from(s)));
+        assert_eq!(parse("4"), Some(4));
+        assert_eq!(parse(" 16 "), Some(16));
+        assert_eq!(parse("0"), None, "zero workers is meaningless");
+        assert_eq!(parse("-2"), None);
+        assert_eq!(parse("lots"), None);
+        assert_eq!(super::parse_thread_override(None), None);
+    }
+
+    #[test]
+    fn global_pool_threads_is_stable_and_positive() {
+        // The env-override behavior itself is exercised in the
+        // `global_pool` integration binary (own process); here only the
+        // invariants that hold regardless of environment.
+        let n = super::global_pool_threads();
+        assert!(n >= 1);
+        assert_eq!(super::global_pool_threads(), n, "read-once caching");
     }
 
     #[test]

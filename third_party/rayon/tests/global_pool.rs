@@ -1,0 +1,41 @@
+//! `ATA_NUM_THREADS` sizing of the global pool.
+//!
+//! Runs as its own integration-test binary (own process), so setting the
+//! environment variable before the first `global_pool_threads()` read is
+//! race-free — the in-crate unit tests may have already spawned the
+//! global pool in their process, this binary has not.
+
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+#[test]
+fn env_override_sizes_the_global_pool() {
+    // Must happen before anything touches the pool or the cached count.
+    std::env::set_var("ATA_NUM_THREADS", "3");
+
+    assert_eq!(rayon::global_pool_threads(), 3);
+    // Outside any installed pool, the ambient thread count is the
+    // global pool's.
+    assert_eq!(rayon::current_num_threads(), 3);
+
+    // The pool still executes work correctly at the overridden size.
+    let hits = AtomicUsize::new(0);
+    (0..64usize)
+        .collect::<Vec<_>>()
+        .into_par_iter()
+        .for_each(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+    assert_eq!(hits.load(Ordering::Relaxed), 64);
+
+    // Read-once semantics: changing the variable later has no effect.
+    std::env::set_var("ATA_NUM_THREADS", "7");
+    assert_eq!(rayon::global_pool_threads(), 3);
+
+    // An explicit ThreadPool is unaffected by the global override.
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(2)
+        .build()
+        .expect("pool builds");
+    assert_eq!(pool.install(rayon::current_num_threads), 2);
+}
