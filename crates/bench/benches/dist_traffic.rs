@@ -1,0 +1,160 @@
+//! Dist-traffic bench: predicted vs simulated root-rank words for AtA-D
+//! per `{P, wire format}`, written to `BENCH_dist.json`.
+//!
+//! This is the machine-readable record of the communication-lean stack's
+//! headline: §4.3.1's packed wire format strictly reducing the words
+//! that converge on the root, with the analytical predictor
+//! (`ata_dist::traffic`) agreeing with the simulator's exact counters on
+//! every point. The numbers are deterministic replays (no timing noise),
+//! so `bench_gate` enforces them even on CI smoke runs — a schedule
+//! change that moves more words through the root fails the gate until
+//! the committed record is refreshed.
+//!
+//! Set `ATA_BENCH_SMOKE=1` to keep the criterion anchor cheap in CI (the
+//! record itself costs a handful of zero-cost-model simulations either
+//! way); `ATA_BENCH_OUT` overrides the output path (smoke runs default
+//! to `target/` so they never clobber the committed record).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use ata_dist::traffic::ata_d_traffic;
+use ata_dist::{ata_d, AtaDConfig, WireFormat};
+use ata_kernels::CacheConfig;
+use ata_mat::gen;
+use ata_mpisim::{run, CostModel};
+
+fn smoke() -> bool {
+    std::env::var_os("ATA_BENCH_SMOKE").is_some_and(|v| v != "0")
+}
+
+struct Rec {
+    p: usize,
+    wire: &'static str,
+    root_recv_words_pred: u64,
+    root_recv_words_sim: u64,
+    root_sent_words: u64,
+    root_msgs: u64,
+    total_words: u64,
+}
+
+fn measure(m: usize, n: usize) -> Vec<Rec> {
+    let mut recs = Vec::new();
+    let a = gen::standard::<f64>(42, m, n);
+    for &p in &[2usize, 4, 8, 16, 32] {
+        for (wire, name) in [
+            (WireFormat::Dense, "dense"),
+            (WireFormat::SymPacked, "packed"),
+        ] {
+            let cfg = AtaDConfig {
+                cache: CacheConfig::with_words(64),
+                wire,
+                ..AtaDConfig::default()
+            };
+            let plan = ata_d_traffic(m, n, p, &cfg);
+            let a_ref = &a;
+            let report = run(p, CostModel::zero(), move |comm| {
+                let input = (comm.rank() == 0).then_some(a_ref);
+                ata_d(input, m, n, comm, &cfg);
+            });
+            let sim_root_recv = report.metrics[0].words_recv;
+            assert_eq!(
+                sim_root_recv,
+                plan.root_recv_words(),
+                "P={p} {name}: predictor out of sync with the simulator"
+            );
+            assert_eq!(report.total_words(), plan.total_words());
+            recs.push(Rec {
+                p,
+                wire: name,
+                root_recv_words_pred: plan.root_recv_words(),
+                root_recv_words_sim: sim_root_recv,
+                root_sent_words: plan.root_sent_words(),
+                root_msgs: plan.per_rank[0].msgs,
+                total_words: plan.total_words(),
+            });
+        }
+    }
+    recs
+}
+
+fn bench_dist_traffic_record(c: &mut Criterion) {
+    let (m, n) = (96usize, 80usize);
+    let recs = measure(m, n);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"dist-traffic\",\n  \"schema\": 1,\n");
+    json.push_str(&format!("  \"smoke\": {},\n", smoke()));
+    json.push_str(&format!("  \"m\": {m},\n  \"n\": {n},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in recs.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"p\": {}, \"wire\": \"{}\", \"root_recv_words_pred\": {}, \
+             \"root_recv_words_sim\": {}, \"root_sent_words\": {}, \"root_msgs\": {}, \
+             \"total_words\": {}}}{}\n",
+            r.p,
+            r.wire,
+            r.root_recv_words_pred,
+            r.root_recv_words_sim,
+            r.root_sent_words,
+            r.root_msgs,
+            r.total_words,
+            if i + 1 == recs.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let out_path = std::env::var("ATA_BENCH_OUT").unwrap_or_else(|_| {
+        if smoke() {
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/BENCH_dist.json").into()
+        } else {
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dist.json").into()
+        }
+    });
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("dist-traffic record: wrote {out_path}"),
+        Err(e) => eprintln!("dist-traffic record: could not write {out_path}: {e}"),
+    }
+    for r in &recs {
+        println!(
+            "dist-traffic: P={:<2} {:>6}: root recv {:>6} words (pred == sim), \
+             root sent {:>6}, root msgs {}, total {:>7}",
+            r.p, r.wire, r.root_recv_words_sim, r.root_sent_words, r.root_msgs, r.total_words
+        );
+    }
+    for p in [2usize, 4, 8, 16, 32] {
+        let dense = recs
+            .iter()
+            .find(|r| r.p == p && r.wire == "dense")
+            .expect("dense point");
+        let packed = recs
+            .iter()
+            .find(|r| r.p == p && r.wire == "packed")
+            .expect("packed point");
+        assert!(
+            packed.root_recv_words_sim < dense.root_recv_words_sim,
+            "P={p}: packed must strictly reduce root words"
+        );
+        println!(
+            "dist-traffic: P={p}: packed cuts root recv words {:.1}% (dense {} -> packed {})",
+            100.0 * (1.0 - packed.root_recv_words_sim as f64 / dense.root_recv_words_sim as f64),
+            dense.root_recv_words_sim,
+            packed.root_recv_words_sim
+        );
+    }
+
+    let mut group = c.benchmark_group("dist traffic record");
+    let budget = if smoke() {
+        Duration::from_millis(1)
+    } else {
+        Duration::from_millis(200)
+    };
+    group.sample_size(1).measurement_time(budget);
+    group.bench_function("noop anchor", |bch| bch.iter(|| black_box(1 + 1)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_dist_traffic_record);
+criterion_main!(benches);

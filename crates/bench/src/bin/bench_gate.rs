@@ -1,0 +1,538 @@
+//! `bench_gate` — the perf-regression gate over `BENCH_*.json` records.
+//!
+//! Compares the newest benchmark record against the previously committed
+//! one and fails (exit code 1) when a tracked metric regresses beyond
+//! the noise band:
+//!
+//! ```text
+//! bench_gate --old BENCH_kernels.json --new target/BENCH_kernels.json \
+//!            [--tol 0.10] [--strict]
+//! ```
+//!
+//! Result entries are matched on their identity keys (every string/int
+//! field that is not a metric), and the first present metric of
+//! `secs_per_call` (kernel timings, lower is better) or
+//! `root_recv_words_sim` / `total_words` (dist traffic, lower is
+//! better) is compared as `new / old`. A ratio above `1 + tol` is a
+//! regression.
+//!
+//! Noise policy: timing metrics from a record marked `"smoke": true`
+//! (single CI iteration) are statistically meaningless, so they are
+//! *reported* but do not fail the gate unless `--strict` is passed.
+//! Word-count metrics are deterministic replay counts — they are
+//! enforced even for smoke records, so a schedule change that moves more
+//! words through the root cannot land silently.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+// ---------------------------------------------------------------------
+// Minimal JSON parsing (the records are flat and regular; no serde in
+// the offline workspace).
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value (the subset the records use).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (parsed as `f64`).
+    Num(f64),
+    /// A string literal.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, insertion-ordered.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document.
+///
+/// # Errors
+/// Returns a position-annotated message on malformed input.
+pub fn parse_json(src: &str) -> Result<Json, String> {
+    let bytes = src.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && b[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == ch {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {pos}", ch as char))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = match parse_value(b, pos)? {
+                    Json::Str(s) => s,
+                    other => return Err(format!("object key must be a string, got {other:?}")),
+                };
+                expect(b, pos, b':')?;
+                let val = parse_value(b, pos)?;
+                fields.push((key, val));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => {
+            *pos += 1;
+            let mut out = String::new();
+            loop {
+                match b.get(*pos) {
+                    None => return Err("unterminated string".into()),
+                    Some(b'"') => {
+                        *pos += 1;
+                        return Ok(Json::Str(out));
+                    }
+                    Some(b'\\') => {
+                        *pos += 1;
+                        match b.get(*pos) {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b't') => out.push('\t'),
+                            other => return Err(format!("unsupported escape {other:?}")),
+                        }
+                        *pos += 1;
+                    }
+                    Some(&c) => {
+                        out.push(c as char);
+                        *pos += 1;
+                    }
+                }
+            }
+        }
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let tok = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+            tok.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("bad number '{tok}' at byte {start}"))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Gate logic.
+// ---------------------------------------------------------------------
+
+/// Metrics the gate knows how to compare (`(field, enforced_on_smoke)`).
+/// All are lower-is-better. Word/message counts are deterministic
+/// replays, so they stay enforced even on smoke records.
+const METRICS: &[(&str, bool)] = &[
+    ("secs_per_call", false),
+    ("root_recv_words_pred", true),
+    ("root_recv_words_sim", true),
+    ("root_sent_words", true),
+    ("root_msgs", true),
+    ("total_words", true),
+];
+
+/// Fields that identify an entry rather than measure it: every
+/// string-valued field plus the size/rank-count integers. Numeric fields
+/// outside this list are metrics (or derived values like `gflops`) and
+/// must never participate in matching — otherwise a regressed count
+/// would just fail to match and slip past the gate as "absent".
+const IDENTITY_INTS: &[&str] = &["n", "m", "p", "k", "ranks", "threads"];
+
+/// The identity of one result entry, rendered to a stable string.
+fn identity(entry: &Json) -> String {
+    let mut id = BTreeMap::new();
+    if let Json::Obj(fields) = entry {
+        for (k, v) in fields {
+            let rendered = match v {
+                Json::Str(s) => s.clone(),
+                Json::Num(x) if IDENTITY_INTS.contains(&k.as_str()) => format!("{x}"),
+                Json::Bool(x) => format!("{x}"),
+                _ => continue,
+            };
+            id.insert(k.clone(), rendered);
+        }
+    }
+    id.iter()
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// One comparison outcome.
+#[derive(Debug)]
+struct Outcome {
+    id: String,
+    metric: &'static str,
+    old: f64,
+    new: f64,
+    enforced: bool,
+}
+
+impl Outcome {
+    fn ratio(&self) -> f64 {
+        if self.old == 0.0 {
+            if self.new == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.new / self.old
+        }
+    }
+}
+
+/// Compare two parsed records; `smoke` is the *new* record's smoke flag.
+fn compare(old: &Json, new: &Json, smoke: bool) -> Result<Vec<Outcome>, String> {
+    let old_results = match old.get("results") {
+        Some(Json::Arr(items)) => items,
+        _ => return Err("old record has no results array".into()),
+    };
+    let new_results = match new.get("results") {
+        Some(Json::Arr(items)) => items,
+        _ => return Err("new record has no results array".into()),
+    };
+    let mut outcomes = Vec::new();
+    for old_entry in old_results {
+        let id = identity(old_entry);
+        let Some(new_entry) = new_results.iter().find(|e| identity(e) == id) else {
+            // Entries may legitimately disappear when a bench's grid
+            // changes; report, don't fail.
+            eprintln!("bench_gate: note: '{id}' absent from the new record");
+            continue;
+        };
+        for &(metric, enforced_on_smoke) in METRICS {
+            let (Some(o), Some(n)) = (
+                old_entry.get(metric).and_then(Json::as_f64),
+                new_entry.get(metric).and_then(Json::as_f64),
+            ) else {
+                continue;
+            };
+            outcomes.push(Outcome {
+                id: id.clone(),
+                metric,
+                old: o,
+                new: n,
+                enforced: !smoke || enforced_on_smoke,
+            });
+        }
+    }
+    if outcomes.is_empty() {
+        return Err("no comparable metrics between the two records".into());
+    }
+    Ok(outcomes)
+}
+
+fn run_gate(
+    old_path: &str,
+    new_path: &str,
+    tol: f64,
+    strict: bool,
+) -> Result<(usize, usize), String> {
+    let old_src =
+        std::fs::read_to_string(old_path).map_err(|e| format!("reading {old_path}: {e}"))?;
+    let new_src =
+        std::fs::read_to_string(new_path).map_err(|e| format!("reading {new_path}: {e}"))?;
+    let old = parse_json(&old_src).map_err(|e| format!("{old_path}: {e}"))?;
+    let new = parse_json(&new_src).map_err(|e| format!("{new_path}: {e}"))?;
+    let smoke = matches!(new.get("smoke"), Some(Json::Bool(true))) && !strict;
+
+    let outcomes = compare(&old, &new, smoke)?;
+    let mut regressions = 0usize;
+    for o in &outcomes {
+        let ratio = o.ratio();
+        let regressed = ratio > 1.0 + tol;
+        let status = if !regressed {
+            "ok"
+        } else if o.enforced {
+            regressions += 1;
+            "REGRESSION"
+        } else {
+            "regressed (smoke, informational)"
+        };
+        println!(
+            "bench_gate: {} {}: {:.6e} -> {:.6e} ({:+.1}%) {}",
+            o.id,
+            o.metric,
+            o.old,
+            o.new,
+            (ratio - 1.0) * 100.0,
+            status
+        );
+    }
+    Ok((outcomes.len(), regressions))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut old_path = None;
+    let mut new_path = None;
+    let mut tol = 0.10f64;
+    let mut strict = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--old" => old_path = it.next().cloned(),
+            "--new" => new_path = it.next().cloned(),
+            "--tol" => {
+                tol = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(t) => t,
+                    None => {
+                        eprintln!("bench_gate: --tol expects a number");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--strict" => strict = true,
+            other => {
+                eprintln!("bench_gate: unknown argument '{other}'");
+                eprintln!("usage: bench_gate --old FILE --new FILE [--tol 0.10] [--strict]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let (Some(old_path), Some(new_path)) = (old_path, new_path) else {
+        eprintln!("usage: bench_gate --old FILE --new FILE [--tol 0.10] [--strict]");
+        return ExitCode::FAILURE;
+    };
+    match run_gate(&old_path, &new_path, tol, strict) {
+        Ok((compared, 0)) => {
+            println!(
+                "bench_gate: {compared} metrics compared, no regressions (tol {:.0}%)",
+                tol * 100.0
+            );
+            ExitCode::SUCCESS
+        }
+        Ok((compared, regressions)) => {
+            eprintln!(
+                "bench_gate: {regressions} of {compared} metrics regressed beyond {:.0}%",
+                tol * 100.0
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OLD: &str = r#"{
+      "bench": "kernels", "schema": 1, "smoke": false,
+      "results": [
+        {"kernel": "gemm_tn", "engine": "micro", "dtype": "f64", "n": 128,
+         "secs_per_call": 1.0e-4, "gflops": 10.0},
+        {"kernel": "syrk_ln", "engine": "micro", "dtype": "f64", "n": 128,
+         "secs_per_call": 2.0e-4, "gflops": 5.0}
+      ]
+    }"#;
+
+    fn record_with(secs1: f64, secs2: f64, smoke: bool) -> String {
+        format!(
+            r#"{{"bench": "kernels", "schema": 1, "smoke": {smoke},
+              "results": [
+                {{"kernel": "gemm_tn", "engine": "micro", "dtype": "f64", "n": 128,
+                  "secs_per_call": {secs1:e}, "gflops": 1.0}},
+                {{"kernel": "syrk_ln", "engine": "micro", "dtype": "f64", "n": 128,
+                  "secs_per_call": {secs2:e}, "gflops": 1.0}}
+              ]}}"#
+        )
+    }
+
+    #[test]
+    fn parser_handles_the_record_shape() {
+        let v = parse_json(OLD).expect("parse");
+        assert_eq!(v.get("bench"), Some(&Json::Str("kernels".into())));
+        assert_eq!(v.get("smoke"), Some(&Json::Bool(false)));
+        let Json::Arr(results) = v.get("results").expect("results") else {
+            panic!("results must be an array");
+        };
+        assert_eq!(results.len(), 2);
+        assert_eq!(
+            results[0].get("secs_per_call").and_then(Json::as_f64),
+            Some(1.0e-4)
+        );
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[1, }").is_err());
+        assert!(parse_json("{\"a\": 1} x").is_err());
+        assert!(parse_json("{\"a\": nope}").is_err());
+    }
+
+    #[test]
+    fn identical_records_pass() {
+        let old = parse_json(OLD).expect("old");
+        let new = parse_json(OLD).expect("new");
+        let outcomes = compare(&old, &new, false).expect("compare");
+        assert_eq!(outcomes.len(), 2);
+        assert!(outcomes.iter().all(|o| o.ratio() == 1.0));
+    }
+
+    #[test]
+    fn improvement_and_noise_pass_regression_fails() {
+        let old = parse_json(OLD).expect("old");
+        // 5% slower on one metric: inside the 10% band.
+        let new = parse_json(&record_with(1.05e-4, 1.9e-4, false)).expect("new");
+        let outcomes = compare(&old, &new, false).expect("compare");
+        assert!(outcomes.iter().all(|o| o.ratio() <= 1.10));
+        // 50% slower: a regression the gate must count as enforced.
+        let bad = parse_json(&record_with(1.5e-4, 2.0e-4, false)).expect("bad");
+        let outcomes = compare(&old, &bad, false).expect("compare");
+        let regressed: Vec<_> = outcomes
+            .iter()
+            .filter(|o| o.ratio() > 1.10 && o.enforced)
+            .collect();
+        assert_eq!(regressed.len(), 1);
+        assert!(regressed[0].id.contains("gemm_tn"));
+    }
+
+    #[test]
+    fn smoke_records_demote_timing_regressions_to_informational() {
+        let old = parse_json(OLD).expect("old");
+        let noisy = parse_json(&record_with(9.0e-4, 9.0e-4, true)).expect("noisy");
+        let outcomes = compare(&old, &noisy, true).expect("compare");
+        assert!(
+            outcomes.iter().all(|o| !o.enforced),
+            "smoke timings must not be enforced"
+        );
+    }
+
+    #[test]
+    fn word_metrics_stay_enforced_on_smoke_records() {
+        let old = parse_json(
+            r#"{"bench": "dist-traffic", "schema": 1, "smoke": false,
+               "results": [{"p": 8, "wire": "packed", "root_recv_words_sim": 1000,
+                            "total_words": 5000}]}"#,
+        )
+        .expect("old");
+        let new = parse_json(
+            r#"{"bench": "dist-traffic", "schema": 1, "smoke": true,
+               "results": [{"p": 8, "wire": "packed", "root_recv_words_sim": 2000,
+                            "total_words": 5000}]}"#,
+        )
+        .expect("new");
+        let outcomes = compare(&old, &new, true).expect("compare");
+        assert_eq!(outcomes.len(), 2, "both word metrics compare");
+        assert!(
+            outcomes.iter().all(|o| o.enforced),
+            "deterministic words always enforced"
+        );
+        assert!(
+            outcomes
+                .iter()
+                .any(|o| o.metric == "root_recv_words_sim" && o.ratio() > 1.10),
+            "the doubled root words must show as a regression"
+        );
+    }
+
+    #[test]
+    fn missing_entries_are_reported_not_fatal() {
+        let old = parse_json(OLD).expect("old");
+        let new = parse_json(
+            r#"{"bench": "kernels", "schema": 1, "smoke": false,
+               "results": [{"kernel": "gemm_tn", "engine": "micro", "dtype": "f64",
+                            "n": 128, "secs_per_call": 1.0e-4, "gflops": 1.0}]}"#,
+        )
+        .expect("new");
+        let outcomes = compare(&old, &new, false).expect("compare");
+        assert_eq!(outcomes.len(), 1, "the surviving entry still compares");
+    }
+}

@@ -5,6 +5,7 @@
 //! ata gram   --input FILE --out FILE [--threads T]          C = A^T A (full symmetric)
 //!            [--algo ata|ata-s|ata-d|syrk|naive] [--cache-words W]
 //!            [--strassen classic|winograd] [--ranks R] [--repeat K]
+//!            [--wire packed|dense]
 //! ata verify --input FILE [--threads T]                     AtA vs naive oracle
 //! ata info   --input FILE                                   shape and norms
 //! ata calibrate [--quick 1]                                 measure kernel tuning table
@@ -12,14 +13,15 @@
 //!
 //! All AtA variants run through one [`AtaContext`]: `--threads` selects
 //! the shared-memory backend, `--algo ata-d --ranks R` the simulated
-//! distributed one. `--repeat K` executes the plan `K` times (a serving
-//! loop) and reports per-call time, demonstrating the plan-reuse
-//! amortization.
+//! distributed one (`--wire packed|dense` picks the §4.3.1 retrieval
+//! encoding; packed is the default). `--repeat K` executes the plan `K`
+//! times (a serving loop) and reports per-call time, demonstrating the
+//! plan-reuse amortization.
 //!
 //! Files are CSV (`.csv`) or the compact binary `.atm` format, chosen by
 //! extension. All computation is `f64`.
 
-use ata::{AtaContext, Backend, Output};
+use ata::{AtaContext, Backend, Output, WireFormat};
 use ata_kernels::syrk_ln;
 use ata_mat::{gen, io, reference, Matrix};
 use ata_mpisim::CostModel;
@@ -93,12 +95,24 @@ const ONE: NonZeroUsize = NonZeroUsize::MIN;
 /// otherwise `--threads` > 1 selects the shared-memory backend.
 fn context(args: &Args, algo: &str) -> Result<AtaContext, String> {
     let mut b = AtaContext::builder();
+    // --wire only affects the distributed backend; reject it elsewhere
+    // instead of silently ignoring it (or a typo'd value).
+    let wire = match args.kv.get("wire").map(String::as_str) {
+        None => None,
+        Some("packed") => Some(WireFormat::SymPacked),
+        Some("dense") => Some(WireFormat::Dense),
+        Some(other) => return Err(format!("unknown --wire '{other}' (packed | dense)")),
+    };
+    if wire.is_some() && algo != "ata-d" {
+        return Err("--wire applies only to --algo ata-d".to_string());
+    }
     if algo == "ata-d" {
         let ranks = args.nonzero("ranks", NonZeroUsize::new(4).expect("4 > 0"))?;
         b = b.backend(Backend::SimulatedDist {
             ranks,
             loggp: CostModel::terastat(),
         });
+        b = b.wire(wire.unwrap_or(WireFormat::SymPacked));
     } else {
         let threads = args.nonzero("threads", ONE)?;
         if threads.get() > 1 {
@@ -243,7 +257,8 @@ fn usage() -> String {
      \n  ata gen    --rows M --cols N [--seed S] --out FILE\
      \n  ata gram   --input FILE --out FILE [--threads T] [--repeat K]\
      \n             [--algo ata|ata-s|ata-d|syrk|naive] [--ranks R]\
-     \n             [--cache-words W] [--strassen classic|winograd]\
+     \n             [--wire packed|dense] [--cache-words W]\
+     \n             [--strassen classic|winograd]\
      \n  ata verify --input FILE [--threads T]\
      \n  ata info   --input FILE\
      \n  ata calibrate [--quick 1]"
@@ -364,6 +379,47 @@ mod tests {
         for (i, r) in results.iter().enumerate().skip(1) {
             assert!(results[0].max_abs_diff(r) < 1e-10, "variant {i} disagrees");
         }
+    }
+
+    #[test]
+    fn wire_flag_selects_format_and_agrees() {
+        let dir = std::env::temp_dir().join("ata_cli_test6");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let a_path = dir.join("a.csv").to_string_lossy().to_string();
+        cmd_gen(&args(&[
+            "--rows", "24", "--cols", "16", "--out", &a_path, "--seed", "5",
+        ]))
+        .expect("gen");
+        let mut results = Vec::new();
+        for wire in ["packed", "dense"] {
+            let out = dir
+                .join(format!("g_{wire}.csv"))
+                .to_string_lossy()
+                .to_string();
+            cmd_gram(&args(&[
+                "--input", &a_path, "--out", &out, "--algo", "ata-d", "--ranks", "3", "--wire",
+                wire,
+            ]))
+            .expect("gram");
+            results.push(io::load::<f64>(&out).expect("load"));
+        }
+        assert_eq!(
+            results[0].max_abs_diff(&results[1]),
+            0.0,
+            "wire formats must agree bit-for-bit"
+        );
+        // The builder surfaces the selection.
+        let a = args(&["--wire", "dense"]);
+        assert_eq!(
+            context(&a, "ata-d").expect("context").wire(),
+            WireFormat::Dense
+        );
+        assert!(context(&args(&["--wire", "zip"]), "ata-d").is_err());
+        // No silent no-ops: --wire outside ata-d is an error, not a
+        // quietly ignored flag.
+        let err = context(&args(&["--wire", "packed"]), "ata").expect_err("must reject");
+        assert!(err.contains("ata-d"), "got: {err}");
+        assert!(context(&args(&["--wire", "zip"]), "ata").is_err());
     }
 
     #[test]

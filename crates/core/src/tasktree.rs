@@ -36,6 +36,20 @@
 
 use ata_kernels::syrk::triangle_row_partition;
 use ata_mat::half_up;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Process-wide count of [`DistTree`] constructions (see
+/// [`DistTree::build_count`]).
+static DIST_TREE_BUILDS: AtomicU64 = AtomicU64::new(0);
+
+/// Build counts keyed by `(m, n, procs)` (see [`DIST_TREE_BUILDS_BY_SHAPE`]).
+type ShapeBuildCounts = HashMap<(usize, usize, usize), u64>;
+
+/// Per-`(m, n, procs)` build counts, for amortization tests that must
+/// not race with unrelated tree builds on sibling test threads.
+static DIST_TREE_BUILDS_BY_SHAPE: Mutex<Option<ShapeBuildCounts>> = Mutex::new(None);
 
 /// Half-open 2D index region (`rows r0..r1`, `cols c0..c1`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -388,6 +402,13 @@ impl DistTree {
             alpha > 0.0 && alpha < 1.0,
             "alpha must be in (0, 1), got {alpha}"
         );
+        DIST_TREE_BUILDS.fetch_add(1, Ordering::Relaxed);
+        *DIST_TREE_BUILDS_BY_SHAPE
+            .lock()
+            .expect("build counter poisoned")
+            .get_or_insert_with(HashMap::new)
+            .entry((m, n, procs))
+            .or_insert(0) += 1;
         let mut tree = DistTree {
             procs,
             nodes: Vec::new(),
@@ -403,6 +424,30 @@ impl DistTree {
             alpha,
         );
         tree
+    }
+
+    /// Process-wide number of [`DistTree`] constructions so far.
+    pub fn build_count() -> u64 {
+        DIST_TREE_BUILDS.load(Ordering::Relaxed)
+    }
+
+    /// Process-wide number of [`DistTree`] constructions for one
+    /// specific `(m, n, procs)` shape.
+    ///
+    /// Plan-level amortization tests snapshot this around repeated
+    /// executions to prove the distributed backend builds its tree once
+    /// at planning time and never again (the PR 2 follow-up the
+    /// `DistPlan` refactor closes). Keying by shape keeps the assertion
+    /// deterministic under the parallel test harness: sibling tests
+    /// building trees for *other* shapes cannot perturb the count, so a
+    /// test only needs a shape unique within its own binary.
+    pub fn build_count_for(m: usize, n: usize, procs: usize) -> u64 {
+        DIST_TREE_BUILDS_BY_SHAPE
+            .lock()
+            .expect("build counter poisoned")
+            .as_ref()
+            .and_then(|map| map.get(&(m, n, procs)).copied())
+            .unwrap_or(0)
     }
 
     /// All leaf nodes.

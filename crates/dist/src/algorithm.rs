@@ -1,12 +1,22 @@
 //! AtA-D (Algorithm 4, §4.2–§4.3): the distributed `A^T A` on the
 //! simulated cluster.
 //!
-//! Structure follows the paper's distribute–compute–retrieve phases:
+//! Structure follows the paper's distribute–compute–retrieve phases,
+//! built on the plan/execute split of [`DistPlan`]:
 //!
-//! 1. **Distribution** (§4.3) — `p0` owns the input; it walks the leaves
-//!    of the [`DistTree`] (the §4.1 task-tree process mapping) and ships
-//!    each leaf's operand block(s) to the owning rank, point-to-point.
-//! 2. **Compute** — every rank executes its leaf tasks locally: `A^T A`
+//! 1. **Planning** — every rank deterministically builds the same
+//!    [`DistTree`] (the §4.1 task-tree process mapping) plus the
+//!    distribution layout: per-rank scatter payload sizes derived from
+//!    the leaves each rank owns. A [`DistPlan`] is built once per
+//!    `(m, n, P, config)` and executed any number of times — the facade's
+//!    `AtaPlan` holds one so serving loops never rebuild the tree.
+//! 2. **Distribution** (§4.3) — `p0` owns the input; it assembles one
+//!    concatenated operand chunk per rank (every remotely-owned leaf's
+//!    block(s), in tree order) and ships them down a binomial tree with
+//!    [`Comm::tree_scatterv`]. The root pays `O(log P)` latencies
+//!    instead of one per leaf block, and transfers overlap down the
+//!    subtrees under the LogGP clock.
+//! 3. **Compute** — every rank executes its leaf tasks locally: `A^T A`
 //!    leaves run the serial AtA recursion (Algorithm 1), `A^T B` leaves
 //!    run FastStrassen — or the plain BLAS-substitute kernels when
 //!    [`AtaDConfig::strassen_leaves`] is off (the §4.3.1 leaf-kernel
@@ -14,10 +24,13 @@
 //!    [`AtaDConfig::threads_per_rank`] > 1 the leaves run their
 //!    shared-memory variants, modeling the paper's hybrid SM+DM setup
 //!    (Table 1: 6 processes x 16 threads).
-//! 3. **Retrieval** — results climb the tree: each node's owner sums its
+//! 4. **Retrieval** — results climb the tree: each node's owner sums its
 //!    children's contributions (children writing the same `C` block are
 //!    *summed by the parent*, §4.1.1) and forwards the accumulated block
 //!    to its parent's owner, until the root holds the lower triangle.
+//!    Symmetric (`A^T A`) blocks travel in the §4.3.1 packed encoding
+//!    when [`AtaDConfig::wire`] is [`WireFormat::SymPacked`] (the
+//!    default), cutting the words that converge on the root.
 //!
 //! Every message is accounted by the LogGP clock of [`Comm`]; compute is
 //! charged at the model's flop rate (divided by `threads_per_rank`), so
@@ -37,7 +50,7 @@ use ata_mat::{ops, MatRef, Matrix, Scalar};
 use ata_mpisim::Comm;
 use ata_strassen::{fast_strassen, strassen_mults, StrassenWorkspace};
 
-use crate::wire;
+use crate::wire::{self, WireFormat};
 
 /// Tuning knobs of AtA-D.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -53,6 +66,10 @@ pub struct AtaDConfig {
     /// Threads per rank for the leaf computations (> 1 models the hybrid
     /// SM+DM runs of Table 1; the modeled compute time divides by it).
     pub threads_per_rank: usize,
+    /// Wire encoding of result blocks during retrieval (§4.3.1). The
+    /// packed default is bit-identical to dense and strictly cheaper on
+    /// the root's received words.
+    pub wire: WireFormat,
 }
 
 impl Default for AtaDConfig {
@@ -62,6 +79,7 @@ impl Default for AtaDConfig {
             cache: CacheConfig::default(),
             strassen_leaves: true,
             threads_per_rank: 1,
+            wire: WireFormat::SymPacked,
         }
     }
 }
@@ -134,8 +152,226 @@ fn compute_leaf<T: Scalar>(
     out
 }
 
+/// A prebuilt AtA-D execution plan: the §4.1 task tree plus the
+/// distribution layout, reusable across any number of executions.
+///
+/// Building is the expensive, allocation-heavy phase (tree construction
+/// is `O(nodes)`); [`DistPlan::execute`] then runs the
+/// distribute–compute–retrieve schedule without rebuilding anything —
+/// the facade's simulated-dist backend holds one plan per problem shape
+/// and the `DistTree::build_count` tests prove repeat executions rebuild
+/// no tree.
+#[derive(Debug, Clone)]
+pub struct DistPlan {
+    m: usize,
+    n: usize,
+    procs: usize,
+    cfg: AtaDConfig,
+    tree: DistTree,
+    /// Distribution layout: operand words shipped to each rank by the
+    /// scatter (concatenated leaf blocks, tree order; `counts[0] == 0`
+    /// because the root reads its own leaves in place).
+    counts: Vec<usize>,
+}
+
+impl DistPlan {
+    /// Build the plan for an `m x n` input on `procs` ranks.
+    ///
+    /// # Panics
+    /// If `procs == 0`, `cfg.threads_per_rank == 0`, or `cfg.alpha` is
+    /// outside `(0, 1)`.
+    pub fn build(m: usize, n: usize, procs: usize, cfg: &AtaDConfig) -> Self {
+        assert!(
+            cfg.threads_per_rank > 0,
+            "threads_per_rank must be positive"
+        );
+        let tree = DistTree::build_with_alpha(m, n, procs, cfg.alpha);
+        let mut counts = vec![0usize; procs];
+        for node in tree.leaves().filter(|nd| nd.owner != 0) {
+            counts[node.owner] += node.a.area();
+            if node.kind == ComputeKind::AtB {
+                counts[node.owner] += node.b.area();
+            }
+        }
+        Self {
+            m,
+            n,
+            procs,
+            cfg: *cfg,
+            tree,
+            counts,
+        }
+    }
+
+    /// Planned input shape `(m, n)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.m, self.n)
+    }
+
+    /// Rank count the plan was built for.
+    pub fn procs(&self) -> usize {
+        self.procs
+    }
+
+    /// The configuration the plan was built with.
+    pub fn config(&self) -> &AtaDConfig {
+        &self.cfg
+    }
+
+    /// The prebuilt task tree.
+    pub fn tree(&self) -> &DistTree {
+        &self.tree
+    }
+
+    /// Per-rank scatter payload sizes (words), indexed by rank — the
+    /// `counts` argument of [`Comm::tree_scatterv`].
+    pub fn scatter_counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Execute the plan (Algorithm 4) on the simulated cluster.
+    ///
+    /// SPMD contract: every rank calls this on the same plan; rank 0
+    /// passes `Some(&a)` (the full `m x n` input), everyone else `None`.
+    /// Rank 0 returns `Some(C)` — an `n x n` matrix whose strictly-upper
+    /// part is zero — and all other ranks return `None`.
+    ///
+    /// # Panics
+    /// If the universe size differs from the planned rank count, the
+    /// root passes `None` / a wrong-shape matrix, or a non-root passes
+    /// `Some`.
+    pub fn execute<T: Scalar>(
+        &self,
+        input: Option<&Matrix<T>>,
+        comm: &mut Comm<T>,
+    ) -> Option<Matrix<T>> {
+        let rank = comm.rank();
+        let (m, n) = (self.m, self.n);
+        assert_eq!(
+            comm.size(),
+            self.procs,
+            "plan built for {} ranks, universe has {}",
+            self.procs,
+            comm.size()
+        );
+        if rank == 0 {
+            let a = input.expect("rank 0 must provide the input matrix");
+            assert_eq!(a.shape(), (m, n), "input must be {m} x {n}");
+        } else {
+            assert!(input.is_none(), "non-root rank {rank} must pass None");
+        }
+
+        let tree = &self.tree;
+        let cfg = &self.cfg;
+        let tag_c = |id: usize| id as u64;
+
+        // --- Phase 1: distribution (binomial-tree scatter of the
+        // per-rank operand chunks; root leaves stay in place). ---
+        let mut received: HashMap<usize, (Matrix<T>, Option<Matrix<T>>)> = HashMap::new();
+        if self.procs > 1 {
+            let chunks = (rank == 0).then(|| {
+                let a = input.expect("checked above");
+                let mut chunks: Vec<Vec<T>> =
+                    self.counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+                for node in tree.leaves().filter(|nd| nd.owner != 0) {
+                    let chunk = &mut chunks[node.owner];
+                    wire::append_view(
+                        chunk,
+                        a.as_ref().block(node.a.r0, node.a.r1, node.a.c0, node.a.c1),
+                    );
+                    if node.kind == ComputeKind::AtB {
+                        wire::append_view(
+                            chunk,
+                            a.as_ref().block(node.b.r0, node.b.r1, node.b.c0, node.b.c1),
+                        );
+                    }
+                }
+                chunks
+            });
+            let mine = comm.tree_scatterv(chunks, &self.counts);
+            if rank != 0 {
+                // Disassemble the chunk in the same deterministic order
+                // the root packed it.
+                let mut off = 0usize;
+                for node in tree.leaves().filter(|nd| nd.owner == rank) {
+                    let a_blk = wire::read_block(&mine, &mut off, node.a.rows(), node.a.cols());
+                    let b_blk = (node.kind == ComputeKind::AtB)
+                        .then(|| wire::read_block(&mine, &mut off, node.b.rows(), node.b.cols()));
+                    received.insert(node.id, (a_blk, b_blk));
+                }
+                debug_assert_eq!(off, mine.len(), "chunk fully consumed");
+            }
+        }
+
+        // --- Phases 2 + 3: leaf compute and upward accumulation. ---
+        // Reverse creation order visits children before parents (ids grow
+        // downward), so every dependency is ready — or in flight from
+        // another rank — by the time its parent gathers.
+        let mut pending: HashMap<usize, Matrix<T>> = HashMap::new();
+        let mut result = None;
+        for node in tree.nodes.iter().rev() {
+            if node.owner != rank {
+                continue;
+            }
+            let block = if node.is_leaf() {
+                if rank == 0 {
+                    let a = input.expect("checked above");
+                    let a_blk = a.as_ref().block(node.a.r0, node.a.r1, node.a.c0, node.a.c1);
+                    let b_blk = (node.kind == ComputeKind::AtB)
+                        .then(|| a.as_ref().block(node.b.r0, node.b.r1, node.b.c0, node.b.c1));
+                    compute_leaf(node, a_blk, b_blk, comm, cfg)
+                } else {
+                    let (a_blk, b_blk) = received.remove(&node.id).expect("operands distributed");
+                    let b_ref = b_blk.as_ref().map(|b| b.as_ref());
+                    compute_leaf(node, a_blk.as_ref(), b_ref, comm, cfg)
+                }
+            } else {
+                // Gather-with-sums (§4.1.1): overlapping children accumulate.
+                let mut acc = Matrix::zeros(node.c.rows(), node.c.cols());
+                for &cid in &node.children {
+                    let child = &tree.nodes[cid];
+                    let contrib = if child.owner == rank {
+                        pending.remove(&cid).expect("child result computed first")
+                    } else {
+                        wire::unpack_c(
+                            comm.recv(child.owner, tag_c(cid)),
+                            child.kind,
+                            child.c.rows(),
+                            child.c.cols(),
+                            cfg.wire,
+                        )
+                    };
+                    let r0 = child.c.r0 - node.c.r0;
+                    let c0 = child.c.c0 - node.c.c0;
+                    let mut dst =
+                        acc.as_mut()
+                            .into_block(r0, r0 + child.c.rows(), c0, c0 + child.c.cols());
+                    ops::add_assign(&mut dst, contrib.as_ref());
+                    comm.add_compute_flops(child.c.area() as f64);
+                }
+                acc
+            };
+            match node.parent {
+                None => result = Some(block),
+                Some(pid) => {
+                    let parent_owner = tree.nodes[pid].owner;
+                    if parent_owner == rank {
+                        pending.insert(node.id, block);
+                    } else {
+                        let payload = wire::pack_c(&block, node.kind, cfg.wire);
+                        comm.send(parent_owner, tag_c(node.id), payload);
+                    }
+                }
+            }
+        }
+        result
+    }
+}
+
 /// AtA-D (Algorithm 4): lower triangle of `C = A^T A` on the simulated
-/// cluster.
+/// cluster — the one-shot entry point. Every rank builds the (identical,
+/// deterministic) [`DistPlan`] and executes it once; serving loops
+/// should build the plan once and call [`DistPlan::execute`] instead.
 ///
 /// SPMD contract: every rank calls this with the same `m`, `n` and
 /// config; rank 0 passes `Some(&a)` (the full `m x n` input), everyone
@@ -152,117 +388,7 @@ pub fn ata_d<T: Scalar>(
     comm: &mut Comm<T>,
     cfg: &AtaDConfig,
 ) -> Option<Matrix<T>> {
-    let rank = comm.rank();
-    let procs = comm.size();
-    assert!(
-        cfg.threads_per_rank > 0,
-        "threads_per_rank must be positive"
-    );
-    if rank == 0 {
-        let a = input.expect("rank 0 must provide the input matrix");
-        assert_eq!(a.shape(), (m, n), "input must be {m} x {n}");
-    } else {
-        assert!(input.is_none(), "non-root rank {rank} must pass None");
-    }
-
-    // Every rank deterministically builds the same task tree (§4.1: the
-    // tree is "simulated" locally; no coordination needed).
-    let tree = DistTree::build_with_alpha(m, n, procs, cfg.alpha);
-    let node_count = tree.nodes.len() as u64;
-    let tag_a = |id: usize| id as u64;
-    let tag_b = |id: usize| node_count + id as u64;
-    let tag_c = |id: usize| 2 * node_count + id as u64;
-
-    // --- Phase 1: distribution (root ships leaf operands). ---
-    let mut received: HashMap<usize, (Matrix<T>, Option<Matrix<T>>)> = HashMap::new();
-    if rank == 0 {
-        let a = input.expect("checked above");
-        for node in tree.nodes.iter().filter(|nd| nd.is_leaf() && nd.owner != 0) {
-            comm.send(
-                node.owner,
-                tag_a(node.id),
-                wire::pack_region(a.as_ref(), &node.a),
-            );
-            if node.kind == ComputeKind::AtB {
-                comm.send(
-                    node.owner,
-                    tag_b(node.id),
-                    wire::pack_region(a.as_ref(), &node.b),
-                );
-            }
-        }
-    } else {
-        for node in tree
-            .nodes
-            .iter()
-            .filter(|nd| nd.is_leaf() && nd.owner == rank)
-        {
-            let a_blk = wire::unpack(comm.recv(0, tag_a(node.id)), node.a.rows(), node.a.cols());
-            let b_blk = (node.kind == ComputeKind::AtB)
-                .then(|| wire::unpack(comm.recv(0, tag_b(node.id)), node.b.rows(), node.b.cols()));
-            received.insert(node.id, (a_blk, b_blk));
-        }
-    }
-
-    // --- Phases 2 + 3: leaf compute and upward accumulation. ---
-    // Reverse creation order visits children before parents (ids grow
-    // downward), so every dependency is ready — or in flight from
-    // another rank — by the time its parent gathers.
-    let mut pending: HashMap<usize, Matrix<T>> = HashMap::new();
-    let mut result = None;
-    for node in tree.nodes.iter().rev() {
-        if node.owner != rank {
-            continue;
-        }
-        let block = if node.is_leaf() {
-            if rank == 0 {
-                let a = input.expect("checked above");
-                let a_blk = a.as_ref().block(node.a.r0, node.a.r1, node.a.c0, node.a.c1);
-                let b_blk = (node.kind == ComputeKind::AtB)
-                    .then(|| a.as_ref().block(node.b.r0, node.b.r1, node.b.c0, node.b.c1));
-                compute_leaf(node, a_blk, b_blk, comm, cfg)
-            } else {
-                let (a_blk, b_blk) = received.remove(&node.id).expect("operands distributed");
-                let b_ref = b_blk.as_ref().map(|b| b.as_ref());
-                compute_leaf(node, a_blk.as_ref(), b_ref, comm, cfg)
-            }
-        } else {
-            // Gather-with-sums (§4.1.1): overlapping children accumulate.
-            let mut acc = Matrix::zeros(node.c.rows(), node.c.cols());
-            for &cid in &node.children {
-                let child = &tree.nodes[cid];
-                let contrib = if child.owner == rank {
-                    pending.remove(&cid).expect("child result computed first")
-                } else {
-                    wire::unpack(
-                        comm.recv(child.owner, tag_c(cid)),
-                        child.c.rows(),
-                        child.c.cols(),
-                    )
-                };
-                let r0 = child.c.r0 - node.c.r0;
-                let c0 = child.c.c0 - node.c.c0;
-                let mut dst =
-                    acc.as_mut()
-                        .into_block(r0, r0 + child.c.rows(), c0, c0 + child.c.cols());
-                ops::add_assign(&mut dst, contrib.as_ref());
-                comm.add_compute_flops(child.c.area() as f64);
-            }
-            acc
-        };
-        match node.parent {
-            None => result = Some(block),
-            Some(pid) => {
-                let parent_owner = tree.nodes[pid].owner;
-                if parent_owner == rank {
-                    pending.insert(node.id, block);
-                } else {
-                    comm.send(parent_owner, tag_c(node.id), block.into_vec());
-                }
-            }
-        }
-    }
-    result
+    DistPlan::build(m, n, comm.size(), cfg).execute(input, comm)
 }
 
 #[cfg(test)]
@@ -331,6 +457,115 @@ mod tests {
         check(5, 64, 12, cfg);
         check(1, 1, 4, cfg);
         check(3, 2, 16, cfg);
+    }
+
+    #[test]
+    fn dense_wire_matches_oracle_across_rank_counts() {
+        for procs in [2usize, 5, 8, 12] {
+            check(
+                44,
+                36,
+                procs,
+                AtaDConfig {
+                    cache: CacheConfig::with_words(64),
+                    wire: WireFormat::Dense,
+                    ..AtaDConfig::default()
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn wire_formats_are_bit_identical() {
+        let (m, n) = (52usize, 44usize);
+        let a = gen::standard::<f64>(123, m, n);
+        for procs in [2usize, 6, 8, 13] {
+            let mut results = Vec::new();
+            for wire in [WireFormat::Dense, WireFormat::SymPacked] {
+                let cfg = AtaDConfig {
+                    cache: CacheConfig::with_words(64),
+                    wire,
+                    ..AtaDConfig::default()
+                };
+                let a_ref = &a;
+                let report = run(procs, CostModel::zero(), move |comm| {
+                    let input = (comm.rank() == 0).then_some(a_ref);
+                    ata_d(input, m, n, comm, &cfg)
+                });
+                results.push(report.results[0].clone().expect("root"));
+            }
+            assert_eq!(
+                results[0].max_abs_diff(&results[1]),
+                0.0,
+                "P={procs}: wire formats must agree bit-for-bit"
+            );
+        }
+    }
+
+    #[test]
+    fn plan_reuse_is_deterministic_and_rebuilds_no_tree() {
+        // Shape chosen to be unique within this test binary, so the
+        // shape-keyed build counter cannot race with sibling tests.
+        let (m, n, procs) = (41usize, 33usize, 9usize);
+        let cfg = AtaDConfig {
+            cache: CacheConfig::with_words(64),
+            ..AtaDConfig::default()
+        };
+        let plan = DistPlan::build(m, n, procs, &cfg);
+        let a = gen::standard::<f64>(9, m, n);
+        let builds_before = DistTree::build_count_for(m, n, procs);
+        let mut runs = Vec::new();
+        for _ in 0..3 {
+            let (a_ref, plan_ref) = (&a, &plan);
+            let report = run(procs, CostModel::zero(), move |comm| {
+                let input = (comm.rank() == 0).then_some(a_ref);
+                plan_ref.execute(input, comm)
+            });
+            runs.push(report.results[0].clone().expect("root"));
+        }
+        assert_eq!(
+            DistTree::build_count_for(m, n, procs),
+            builds_before,
+            "plan executions must not rebuild the DistTree"
+        );
+        assert_eq!(runs[0].max_abs_diff(&runs[1]), 0.0);
+        assert_eq!(runs[0].max_abs_diff(&runs[2]), 0.0);
+    }
+
+    #[test]
+    fn plan_scatter_counts_cover_remote_leaf_operands() {
+        let plan = DistPlan::build(64, 48, 8, &AtaDConfig::default());
+        assert_eq!(plan.scatter_counts()[0], 0, "root keeps its leaves local");
+        let total: usize = plan.scatter_counts().iter().sum();
+        let expect: usize = plan
+            .tree()
+            .leaves()
+            .filter(|nd| nd.owner != 0)
+            .map(|nd| {
+                nd.a.area()
+                    + if nd.kind == ComputeKind::AtB {
+                        nd.b.area()
+                    } else {
+                        0
+                    }
+            })
+            .sum();
+        assert_eq!(total, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "plan built for")]
+    fn plan_rank_count_mismatch_rejected() {
+        let plan = DistPlan::build(16, 16, 4, &AtaDConfig::default());
+        let _ = run(2, CostModel::zero(), move |comm| {
+            let input = None;
+            if comm.rank() == 0 {
+                let a = Matrix::<f64>::zeros(16, 16);
+                plan.execute(Some(&a), comm)
+            } else {
+                plan.execute(input, comm)
+            }
+        });
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //!
 //! * [`pdsyrk_like`] — the ScaLAPACK `pdsyrk` stand-in, 1D variant:
 //!   balanced row bands of the lower triangle (see
-//!   [`triangle_row_partition`]); the 2D-grid variant lives in
+//!   [`triangle_row_partition`]), bands returning to the root through
+//!   the binomial [`Comm::tree_gatherv`]; the 2D-grid variant lives in
 //!   [`crate::grid::pdsyrk_2d`].
 //! * [`cosma_like`] — a COSMA-flavored `C = A^T B`: the process grid is
 //!   chosen to minimize per-rank communication volume for the given
@@ -10,9 +11,14 @@
 //!   then each rank owns one output tile.
 //! * [`caps_like`] — CAPS (Communication-Avoiding Parallel Strassen,
 //!   Ballard et al.): BFS steps divide the ranks into seven groups, one
-//!   per Strassen product, recursing while at least seven ranks remain;
-//!   below that the group leader runs FastStrassen locally. Square
-//!   inputs only — the same limitation the paper reports (§5.5).
+//!   per Strassen product, recursing while at least seven ranks remain.
+//!   Remainder groups of `1 < q < 7` ranks take a *hybrid BFS/DFS step*
+//!   (the schedule mix of Ballard et al.): the seven products of one
+//!   Strassen level are multiplexed round-robin over the `q` members,
+//!   each computing its share locally, so no rank sits out a level.
+//!   Only a lone rank falls back to the pure DFS base (local
+//!   FastStrassen). Square inputs only — the same limitation the paper
+//!   reports (§5.5).
 //!
 //! All baselines follow the same SPMD contract as [`crate::ata_d`]:
 //! rank 0 provides the input(s) and receives the result.
@@ -26,7 +32,6 @@ use ata_strassen::{fast_strassen, strassen_mults};
 use crate::wire;
 
 const TAG_PANEL: u64 = 11;
-const TAG_BAND: u64 = 12;
 const TAG_A: u64 = 13;
 const TAG_B: u64 = 14;
 const TAG_TILE: u64 = 15;
@@ -35,8 +40,11 @@ const TAG_TILE: u64 = 15;
 ///
 /// The triangle's rows are cut into `P` contiguous bands of equal area;
 /// rank `r` receives the column panel `A[:, 0..r1]` and computes its
-/// band (a rectangle via `gemm_tn` plus a diagonal tile via `syrk_ln`),
-/// then ships the band back to the root.
+/// band (a rectangle via `gemm_tn` plus a diagonal tile via `syrk_ln`).
+/// Bands return to the root through the binomial
+/// [`Comm::tree_gatherv`] — the retrieval-phase analogue of AtA-D's
+/// tree-pipelined distribution, cutting the root's receive latency from
+/// `P - 1` messages to `ceil(log2 P)`.
 ///
 /// Rank 0 passes `Some(&a)` and returns `Some(C)` (`n x n`, strictly
 /// upper zero); everyone else passes `None` and returns `None`.
@@ -50,6 +58,7 @@ pub fn pdsyrk_like<T: Scalar>(
     comm: &mut Comm<T>,
 ) -> Option<Matrix<T>> {
     let rank = comm.rank();
+    let size = comm.size();
     if rank == 0 {
         let a = input.expect("rank 0 must provide the input matrix");
         assert_eq!(a.shape(), (m, n), "input must be {m} x {n}");
@@ -57,8 +66,20 @@ pub fn pdsyrk_like<T: Scalar>(
         assert!(input.is_none(), "non-root rank {rank} must pass None");
     }
 
-    let parts = comm.size().min(n.max(1));
+    let parts = size.min(n.max(1));
     let bounds = triangle_row_partition(n, parts);
+    // Gather counts, known on every rank: band r is rows r0..r1 of the
+    // first r1 columns. The root's own band stays local (count 0), and
+    // ranks beyond `parts` contribute nothing but still ride the tree.
+    let counts: Vec<usize> = (0..size)
+        .map(|r| {
+            if r == 0 || r >= parts {
+                0
+            } else {
+                (bounds[r + 1] - bounds[r]) * bounds[r + 1]
+            }
+        })
+        .collect();
 
     if rank == 0 {
         let a = input.expect("checked above");
@@ -73,40 +94,45 @@ pub fn pdsyrk_like<T: Scalar>(
         let mut c = Matrix::zeros(n, n);
         // Own band.
         compute_band(a.as_ref(), bounds[0], bounds[1], &mut c, comm);
-        // Retrieve the other bands (rows r0..r1, columns 0..r1).
-        for r in 1..parts {
-            let (r0, r1) = (bounds[r], bounds[r + 1]);
-            if r0 == r1 {
+        // Retrieve the other bands (rows r0..r1, columns 0..r1) up the
+        // binomial gather tree.
+        let bands = comm
+            .tree_gatherv(Vec::new(), &counts)
+            .expect("root gathers");
+        for (r, payload) in bands.into_iter().enumerate().skip(1) {
+            if counts[r] == 0 {
                 continue;
             }
-            let band = wire::unpack(comm.recv(r, TAG_BAND), r1 - r0, r1);
+            let (r0, r1) = (bounds[r], bounds[r + 1]);
+            let band = wire::unpack(payload, r1 - r0, r1);
             let mut dst = c.as_mut().into_block(r0, r1, 0, r1);
             dst.copy_from(band.as_ref());
         }
         Some(c)
     } else {
-        if rank < parts {
+        let mut payload = Vec::new();
+        if counts[rank] > 0 {
             let (r0, r1) = (bounds[rank], bounds[rank + 1]);
-            if r0 < r1 {
-                let panel = wire::unpack(comm.recv(0, TAG_PANEL), m, r1);
-                let mut band = Matrix::zeros(r1 - r0, r1);
-                {
-                    // Shift the band so local row 0 is global row r0.
-                    let mut c_view = band.as_mut();
-                    if r0 > 0 {
-                        let a_i = panel.as_ref().block(0, m, r0, r1);
-                        let a_j = panel.as_ref().block(0, m, 0, r0);
-                        let mut rect = c_view.block_mut(0, r1 - r0, 0, r0);
-                        gemm_tn(T::ONE, a_i, a_j, &mut rect);
-                    }
-                    let a_d = panel.as_ref().block(0, m, r0, r1);
-                    let mut diag = c_view.block_mut(0, r1 - r0, r0, r1);
-                    syrk_ln(T::ONE, a_d, &mut diag);
+            let panel = wire::unpack(comm.recv(0, TAG_PANEL), m, r1);
+            let mut band = Matrix::zeros(r1 - r0, r1);
+            {
+                // Shift the band so local row 0 is global row r0.
+                let mut c_view = band.as_mut();
+                if r0 > 0 {
+                    let a_i = panel.as_ref().block(0, m, r0, r1);
+                    let a_j = panel.as_ref().block(0, m, 0, r0);
+                    let mut rect = c_view.block_mut(0, r1 - r0, 0, r0);
+                    gemm_tn(T::ONE, a_i, a_j, &mut rect);
                 }
-                comm.add_compute_flops(band_flops(m, r0, r1));
-                comm.send(0, TAG_BAND, band.into_vec());
+                let a_d = panel.as_ref().block(0, m, r0, r1);
+                let mut diag = c_view.block_mut(0, r1 - r0, r0, r1);
+                syrk_ln(T::ONE, a_d, &mut diag);
             }
+            comm.add_compute_flops(band_flops(m, r0, r1));
+            payload = band.into_vec();
         }
+        let gathered = comm.tree_gatherv(payload, &counts);
+        debug_assert!(gathered.is_none(), "only the root gathers");
         None
     }
 }
@@ -327,15 +353,21 @@ fn caps_group<T: Scalar>(
     let q = hi - lo;
     debug_assert!((lo..hi).contains(&rank));
 
-    if q < 7 || n < 2 {
-        // DFS base: the leader computes locally; other group members idle
-        // (CAPS keeps P = 7^l active ranks — remainders sit out a level).
+    if q == 1 || n < 2 {
+        // DFS base: a lone rank (or a scalar-sized problem) computes
+        // locally.
         return task.map(|(a, b)| {
             let mut c = Matrix::zeros(n, n);
             fast_strassen(T::ONE, a.as_ref(), b.as_ref(), &mut c.as_mut(), cache);
             comm.add_compute_flops(2.0 * strassen_mults(n, n, n, cache) as f64);
             c
         });
+    }
+    if q < 7 {
+        // Hybrid BFS/DFS step: too few ranks for a full BFS level, so
+        // the seven products are multiplexed over the q members instead
+        // of idling everyone but the leader.
+        return caps_hybrid(comm, lo, hi, n, task, cache, depth);
     }
 
     // Subgroup boundaries: deterministic from (lo, hi) alone, so every
@@ -398,6 +430,88 @@ fn caps_group<T: Scalar>(
         if let Some(mi) = sub {
             let (_, _, tag_m) = caps_tags(depth, my_group);
             comm.send(lo, tag_m, mi.into_vec());
+        }
+        None
+    }
+}
+
+/// One hybrid BFS/DFS step over ranks `[lo, hi)` with `1 < hi - lo < 7`
+/// (Ballard et al.'s schedule mix): the leader forms the seven Strassen
+/// operand pairs of one level (a BFS-style split) and deals them
+/// round-robin over the group — product `i` goes to rank
+/// `lo + (i mod q)` — and every member computes its share locally with
+/// [`fast_strassen`] (a DFS step). Since `q <= 7`, every rank owns at
+/// least one product: remainder ranks contribute work and traffic
+/// instead of sitting out the level, which is what fixes the zero-word
+/// `RankMetrics` phases the rooted DFS base used to report.
+fn caps_hybrid<T: Scalar>(
+    comm: &mut Comm<T>,
+    lo: usize,
+    hi: usize,
+    n: usize,
+    task: Option<(Matrix<T>, Matrix<T>)>,
+    cache: &CacheConfig,
+    depth: usize,
+) -> Option<Matrix<T>> {
+    let rank = comm.rank();
+    let q = hi - lo;
+    let h = half_up(n);
+    let owner = |i: usize| lo + (i % q);
+
+    // Deal the seven operand pairs (leader) / collect mine (members).
+    let mut local: Vec<(usize, Matrix<T>, Matrix<T>)> = Vec::new();
+    if rank == lo {
+        let (a, b) = task.expect("leader holds the task");
+        let pairs = strassen_operands(&a, &b, comm);
+        for (i, (l, r)) in pairs.into_iter().enumerate() {
+            if owner(i) == lo {
+                local.push((i, l, r));
+            } else {
+                let (tag_l, tag_r, _) = caps_tags(depth, i);
+                comm.send(owner(i), tag_l, l.into_vec());
+                comm.send(owner(i), tag_r, r.into_vec());
+            }
+        }
+    } else {
+        for i in 0..7 {
+            if owner(i) == rank {
+                let (tag_l, tag_r, _) = caps_tags(depth, i);
+                let l = wire::unpack(comm.recv(lo, tag_l), h, h);
+                let r = wire::unpack(comm.recv(lo, tag_r), h, h);
+                local.push((i, l, r));
+            }
+        }
+    }
+
+    // DFS: compute my share of the level locally.
+    let mut computed: Vec<(usize, Matrix<T>)> = Vec::with_capacity(local.len());
+    for (i, l, r) in local {
+        let mut c = Matrix::zeros(h, h);
+        fast_strassen(T::ONE, l.as_ref(), r.as_ref(), &mut c.as_mut(), cache);
+        comm.add_compute_flops(2.0 * strassen_mults(h, h, h, cache) as f64);
+        computed.push((i, c));
+    }
+
+    if rank == lo {
+        let mut products: Vec<Option<Matrix<T>>> = (0..7).map(|_| None).collect();
+        for (i, c) in computed {
+            products[i] = Some(c);
+        }
+        for (i, slot) in products.iter_mut().enumerate() {
+            if owner(i) != lo {
+                let (_, _, tag_m) = caps_tags(depth, i);
+                *slot = Some(wire::unpack(comm.recv(owner(i), tag_m), h, h));
+            }
+        }
+        let products: Vec<Matrix<T>> = products
+            .into_iter()
+            .map(|p| p.expect("all seven products accounted for"))
+            .collect();
+        Some(strassen_combine(n, &products, comm))
+    } else {
+        for (i, c) in computed {
+            let (_, _, tag_m) = caps_tags(depth, i);
+            comm.send(lo, tag_m, c.into_vec());
         }
         None
     }
@@ -596,6 +710,38 @@ mod tests {
             });
             let c = report.results[0].as_ref().expect("root");
             assert!(c.max_abs_diff(&c_ref) < 1e-9, "n={n} P={p}");
+        }
+    }
+
+    #[test]
+    fn caps_hybrid_keeps_remainder_ranks_busy() {
+        // Rank counts with remainder groups below the 7-way split: the
+        // hybrid BFS/DFS step must give every rank real work, so no rank
+        // reports a zero-word phase in `RankMetrics`.
+        let cache = CacheConfig::with_words(32);
+        for (n, p) in [(32usize, 5usize), (32, 8), (32, 10), (24, 12)] {
+            let a = gen::standard::<f64>(21, n, n);
+            let b = gen::standard::<f64>(22, n, n);
+            let mut c_ref = Matrix::zeros(n, n);
+            reference::gemm_tn(1.0, a.as_ref(), b.as_ref(), &mut c_ref.as_mut());
+            let (ar, br) = (&a, &b);
+            let report = run(p, CostModel::zero(), move |comm| {
+                let (ia, ib) = if comm.rank() == 0 {
+                    (Some(ar), Some(br))
+                } else {
+                    (None, None)
+                };
+                caps_like(ia, ib, n, comm, &cache)
+            });
+            let c = report.results[0].as_ref().expect("root");
+            assert!(c.max_abs_diff(&c_ref) < 1e-9, "n={n} P={p}");
+            for (r, m) in report.metrics.iter().enumerate() {
+                assert!(
+                    m.words_sent > 0,
+                    "n={n} P={p}: rank {r} sat out the run (zero words sent)"
+                );
+                assert!(m.compute_time >= 0.0);
+            }
         }
     }
 

@@ -20,7 +20,13 @@
 //!   structurally;
 //! * [`traffic`] — exact per-rank message/word prediction for AtA-D,
 //!   audited against the simulator's counters and the Proposition 4.2
-//!   bounds in `tests/traffic.rs`.
+//!   bounds in `tests/traffic.rs`;
+//! * [`wire`] — the wire layer: [`wire::WireFormat`] selects between
+//!   dense blocks and §4.3.1's packed lower-triangle encoding
+//!   ([`wire::SymPacked`]) for symmetric result blocks;
+//! * [`DistPlan`] — the plan/execute split: tree + distribution layout
+//!   built once, executed many times (what the facade's `AtaPlan`
+//!   holds for its simulated-dist backend).
 //!
 //! # Example
 //!
@@ -47,7 +53,8 @@ pub mod baselines;
 mod carma;
 pub mod grid;
 pub mod traffic;
-pub(crate) mod wire;
+pub mod wire;
 
-pub use algorithm::{ata_d, AtaDConfig};
+pub use algorithm::{ata_d, AtaDConfig, DistPlan};
 pub use carma::{carma_like, CarmaConfig};
+pub use wire::WireFormat;

@@ -1,39 +1,51 @@
 //! Traffic audit for AtA-D: the per-rank message/word counters reported
-//! by `ata_mpisim::RankMetrics` must agree **exactly** with the
-//! analytical prediction replayed from the task tree
-//! (`ata_dist::traffic`), and the totals must respect the Proposition
-//! 4.2 scaling — per-level communication volume `O(mn + n^2)` with the
-//! level count of Eq. 5.
+//! by `ata_mpisim::RankMetrics` — send **and** receive side — must agree
+//! **exactly** with the analytical prediction replayed from the task
+//! tree (`ata_dist::traffic`), for both wire formats. On top of the
+//! bit-exact audit this checks the Proposition 4.2 scaling: per-rank
+//! communication volume `O(mn + n^2)` with the level count of Eq. 5, and
+//! §4.3.1's packed encoding strictly reducing the words that converge on
+//! the root versus dense at every tested rank count.
 
 use ata_dist::traffic::{ata_d_traffic, TrafficPlan};
-use ata_dist::{ata_d, AtaDConfig};
+use ata_dist::{ata_d, AtaDConfig, WireFormat};
 use ata_kernels::CacheConfig;
 use ata_mat::gen;
-use ata_mpisim::{run, CostModel};
+use ata_mpisim::{run, CostModel, RunReport};
 
-fn run_and_audit(m: usize, n: usize, procs: usize, alpha: f64) -> TrafficPlan {
+fn run_sim(m: usize, n: usize, procs: usize, cfg: AtaDConfig) -> RunReport<()> {
     let a = gen::standard::<f64>(m as u64 * 13 + n as u64 + procs as u64, m, n);
-    let cfg = AtaDConfig {
-        alpha,
-        cache: CacheConfig::with_words(64),
-        strassen_leaves: true,
-        threads_per_rank: 1,
-    };
     let a_ref = &a;
-    let report = run(procs, CostModel::zero(), move |comm| {
+    run(procs, CostModel::zero(), move |comm| {
         let input = (comm.rank() == 0).then_some(a_ref);
         ata_d(input, m, n, comm, &cfg);
-    });
-    let plan = ata_d_traffic(m, n, procs, alpha);
+    })
+}
+
+fn run_and_audit(m: usize, n: usize, procs: usize, cfg: AtaDConfig) -> TrafficPlan {
+    let report = run_sim(m, n, procs, cfg);
+    let plan = ata_d_traffic(m, n, procs, &cfg);
     assert_eq!(plan.per_rank.len(), procs);
+    let ctx = format!(
+        "m={m} n={n} P={procs} alpha={} wire={:?}",
+        cfg.alpha, cfg.wire
+    );
     for (rank, (metrics, predicted)) in report.metrics.iter().zip(&plan.per_rank).enumerate() {
         assert_eq!(
             metrics.msgs_sent, predicted.msgs,
-            "m={m} n={n} P={procs} alpha={alpha}: rank {rank} message count"
+            "{ctx}: rank {rank} sent-message count"
         );
         assert_eq!(
             metrics.words_sent, predicted.words,
-            "m={m} n={n} P={procs} alpha={alpha}: rank {rank} word count"
+            "{ctx}: rank {rank} sent-word count"
+        );
+        assert_eq!(
+            metrics.msgs_recv, predicted.msgs_recv,
+            "{ctx}: rank {rank} received-message count"
+        );
+        assert_eq!(
+            metrics.words_recv, predicted.words_recv,
+            "{ctx}: rank {rank} received-word count"
         );
     }
     assert_eq!(report.total_words(), plan.total_words());
@@ -41,55 +53,113 @@ fn run_and_audit(m: usize, n: usize, procs: usize, alpha: f64) -> TrafficPlan {
     plan
 }
 
+fn cfg_with(alpha: f64, wire: WireFormat) -> AtaDConfig {
+    AtaDConfig {
+        alpha,
+        cache: CacheConfig::with_words(64),
+        strassen_leaves: true,
+        threads_per_rank: 1,
+        wire,
+    }
+}
+
 #[test]
 fn counters_match_prediction_across_rank_counts() {
     for procs in [1usize, 2, 3, 4, 6, 8, 12, 16] {
-        run_and_audit(64, 48, procs, 0.5);
+        for wire in [WireFormat::Dense, WireFormat::SymPacked] {
+            run_and_audit(64, 48, procs, cfg_with(0.5, wire));
+        }
     }
 }
 
 #[test]
 fn counters_match_prediction_on_rectangles() {
     for &(m, n) in &[(96usize, 24usize), (24, 96), (40, 40), (7, 50)] {
-        run_and_audit(m, n, 8, 0.5);
+        for wire in [WireFormat::Dense, WireFormat::SymPacked] {
+            run_and_audit(m, n, 8, cfg_with(0.5, wire));
+        }
     }
 }
 
 #[test]
 fn counters_match_prediction_across_alpha() {
     for &alpha in &[0.25, 0.4, 0.5, 0.6, 0.75] {
-        run_and_audit(48, 40, 12, alpha);
+        run_and_audit(48, 40, 12, cfg_with(alpha, WireFormat::SymPacked));
     }
 }
 
+/// The Proposition 4.2 audit: at every tested rank count the packed
+/// retrieval path must move **strictly fewer** words into the root than
+/// dense (both paths having passed the bit-exact counter audit above),
+/// and no rank may exceed the per-processor word bound.
 #[test]
-fn total_words_respect_proposition_42_bound() {
+fn packed_wire_strictly_reduces_root_words_in_prop42_audit() {
     let (m, n) = (96usize, 80usize);
     for procs in [2usize, 4, 8, 16, 32] {
-        let plan = run_and_audit(m, n, procs, 0.5);
-        let bound = TrafficPlan::word_bound(m, n, plan.levels);
+        let dense = run_and_audit(m, n, procs, cfg_with(0.5, WireFormat::Dense));
+        let packed = run_and_audit(m, n, procs, cfg_with(0.5, WireFormat::SymPacked));
         assert!(
-            plan.total_words() <= bound,
-            "P={procs}: {} words exceed the Prop 4.2 bound {bound}",
-            plan.total_words()
+            packed.root_recv_words() < dense.root_recv_words(),
+            "P={procs}: packed root words {} !< dense {}",
+            packed.root_recv_words(),
+            dense.root_recv_words()
         );
+        assert!(
+            packed.total_words() < dense.total_words(),
+            "P={procs}: packed total {} !< dense {}",
+            packed.total_words(),
+            dense.total_words()
+        );
+        // Distribution is wire-independent (operands ship dense).
+        assert_eq!(packed.root_sent_words(), dense.root_sent_words());
+        for plan in [&dense, &packed] {
+            let bound = TrafficPlan::word_bound(m, n, plan.levels);
+            assert!(
+                plan.max_rank_words() <= bound,
+                "P={procs} {:?}: {} words exceed the Prop 4.2 bound {bound}",
+                plan.wire,
+                plan.max_rank_words()
+            );
+        }
     }
 }
 
 #[test]
 fn distribution_is_rooted_and_retrieval_converges_to_root() {
-    // Only p0 distributes; every other communicating rank only ships
-    // results upward, so with the zero-cost model the root's received
-    // volume equals everyone else's sent volume.
-    let plan = run_and_audit(64, 64, 8, 0.5);
+    // Only p0 injects operand data into the scatter tree; every other
+    // communicating rank forwards scatter chunks or ships results
+    // upward, and the results ultimately converge on the root.
+    let plan = run_and_audit(64, 64, 8, cfg_with(0.5, WireFormat::SymPacked));
     assert!(plan.per_rank[0].words > 0, "root must distribute A blocks");
+    assert!(plan.root_recv_words() > 0, "root must receive results");
     let others: u64 = plan.per_rank[1..].iter().map(|r| r.words).sum();
     assert!(others > 0, "workers must retrieve results");
 }
 
 #[test]
+fn tree_scatter_bounds_root_messages_logarithmically() {
+    // The rooted linear distribution used to pay one message per remote
+    // leaf operand at the root; the binomial scatter pays at most
+    // ceil(log2 P) plus any retrieval sends (rank 0 has none).
+    for procs in [4usize, 8, 16, 32] {
+        let plan = run_and_audit(96, 80, procs, cfg_with(0.5, WireFormat::SymPacked));
+        let log2 = usize::BITS - (procs - 1).leading_zeros();
+        assert!(
+            plan.per_rank[0].msgs <= log2 as u64,
+            "P={procs}: root sent {} messages > log2 bound {log2}",
+            plan.per_rank[0].msgs
+        );
+        let remote_leaves = procs; // every rank owns >= 1 leaf at these sizes
+        assert!(
+            (plan.per_rank[0].msgs as usize) < remote_leaves,
+            "P={procs}: tree scatter must beat one-message-per-leaf"
+        );
+    }
+}
+
+#[test]
 fn single_rank_sends_nothing() {
-    let plan = run_and_audit(32, 32, 1, 0.5);
+    let plan = run_and_audit(32, 32, 1, cfg_with(0.5, WireFormat::SymPacked));
     assert_eq!(plan.total_words(), 0);
     assert_eq!(plan.total_msgs(), 0);
 }

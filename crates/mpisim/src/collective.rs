@@ -6,8 +6,21 @@
 //! input and the result (§4.3).
 //!
 //! Broadcast and reduction use binomial trees (`ceil(log2 P)` rounds);
-//! gather is linear at the root, like the result-retrieval phase of
-//! AtA-D where the root ultimately stores the whole matrix.
+//! the plain [`Comm::gather_to_root`] is linear at the root.
+//!
+//! The *tree-pipelined* variable-count pair
+//! [`Comm::tree_scatterv`] / [`Comm::tree_gatherv`] is what the
+//! refactored distributed stack builds on — AtA-D's distribution phase
+//! scatters its per-rank operand chunks, and the `pdsyrk` baseline's
+//! band retrieval gathers — a recursive-halving binomial tree over
+//! contiguous rank ranges. Under
+//! the LogGP clock this pipelines — while the root is busy with the
+//! latency of its second send, the first subtree's leader is already
+//! forwarding — so the root pays `O(log P)` latencies instead of one per
+//! remote leaf block, at the cost of forwarded bandwidth on interior
+//! ranks. The per-rank payload sizes (`counts`) must be known on every
+//! rank (the usual `MPI_Scatterv`/`MPI_Gatherv` contract); AtA-D derives
+//! them deterministically from the task tree and the wire format.
 
 use crate::comm::{Comm, COLLECTIVE_TAG_BASE};
 
@@ -165,6 +178,124 @@ impl<T: Send + 'static> Comm<T> {
         } else {
             assert!(chunks.is_none(), "non-root rank {rank} must pass None");
             self.recv_impl(0, tag)
+        }
+    }
+
+    /// Tree-pipelined rooted scatter (`MPI_Scatterv` on a binomial
+    /// tree): rank 0 passes one chunk per rank (`chunks[r]` goes to rank
+    /// `r`); every rank returns its chunk. `counts[r]` must equal
+    /// `chunks[r].len()` and be known on **all** ranks — receivers use
+    /// it to carve forwarded payloads, so no sizes travel on the wire.
+    ///
+    /// The tree is recursive halving over contiguous rank ranges: the
+    /// leader of `[lo, hi)` ships the concatenated chunks of the upper
+    /// half `[mid, hi)` to rank `mid`, which forwards within its own
+    /// half concurrently. The root therefore sends `ceil(log2 P)`
+    /// messages (vs one per rank for [`Comm::scatter_from_root`]) and
+    /// the same total words; interior ranks pay forwarding bandwidth,
+    /// which the LogGP clock overlaps across subtrees.
+    ///
+    /// # Panics
+    /// If the root passes `None` / wrong-shape chunks, a non-root passes
+    /// `Some`, or `counts` disagrees with the universe size.
+    pub fn tree_scatterv(&mut self, chunks: Option<Vec<Vec<T>>>, counts: &[usize]) -> Vec<T> {
+        let rank = self.rank();
+        let size = self.size();
+        assert_eq!(counts.len(), size, "need one count per rank");
+        let mut held: Vec<T> = if rank == 0 {
+            let chunks = chunks.expect("root must provide scatter chunks");
+            assert_eq!(chunks.len(), size, "need exactly one chunk per rank");
+            for (r, c) in chunks.iter().enumerate() {
+                assert_eq!(c.len(), counts[r], "chunk {r} disagrees with counts");
+            }
+            chunks.into_iter().flatten().collect()
+        } else {
+            assert!(chunks.is_none(), "non-root rank {rank} must pass None");
+            Vec::new()
+        };
+        let (mut lo, mut hi) = (0usize, size);
+        let mut round = 0u32;
+        while hi - lo > 1 {
+            let span = hi - lo;
+            let mid = lo + (1usize << (ceil_log2(span) - 1));
+            let tag = self.coll_tag(u32::MAX - 200 - round);
+            if rank < mid {
+                if rank == lo {
+                    let keep: usize = counts[lo..mid].iter().sum();
+                    let tail = held.split_off(keep);
+                    self.send_impl(mid, tag, tail);
+                }
+                hi = mid;
+            } else {
+                if rank == mid {
+                    held = self.recv_impl(lo, tag);
+                }
+                lo = mid;
+            }
+            round += 1;
+        }
+        debug_assert_eq!(held.len(), counts[rank], "rank {rank} chunk size");
+        held
+    }
+
+    /// Tree-pipelined rooted gather (`MPI_Gatherv` on a binomial tree):
+    /// every rank contributes `data` (of length `counts[rank]`, known on
+    /// all ranks); the root returns `Some(vec indexed by rank)`,
+    /// everyone else `None`.
+    ///
+    /// The exact mirror of [`Comm::tree_scatterv`]: subtree leaders
+    /// accumulate their half before forwarding down-tree, so the root
+    /// receives `ceil(log2 P)` messages instead of `P - 1` — the
+    /// retrieval-phase analogue of the distribution pipelining.
+    ///
+    /// # Panics
+    /// If `data.len() != counts[rank]` or `counts` disagrees with the
+    /// universe size.
+    pub fn tree_gatherv(&mut self, data: Vec<T>, counts: &[usize]) -> Option<Vec<Vec<T>>> {
+        let rank = self.rank();
+        let size = self.size();
+        assert_eq!(counts.len(), size, "need one count per rank");
+        assert_eq!(
+            data.len(),
+            counts[rank],
+            "rank {rank} payload disagrees with counts"
+        );
+        // Record this rank's descent through the scatter splits, then
+        // replay it bottom-up: deepest merges first, root hop last.
+        let mut splits: Vec<(usize, usize, u32)> = Vec::new();
+        let (mut lo, mut hi) = (0usize, size);
+        let mut round = 0u32;
+        while hi - lo > 1 {
+            let span = hi - lo;
+            let mid = lo + (1usize << (ceil_log2(span) - 1));
+            splits.push((lo, mid, round));
+            if rank < mid {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+            round += 1;
+        }
+        let mut held = data;
+        for &(lo, mid, round) in splits.iter().rev() {
+            let tag = self.coll_tag(u32::MAX - 300 - round);
+            if rank == mid {
+                // My subtree [mid, hi) is fully accumulated: ship it.
+                self.send_impl(lo, tag, std::mem::take(&mut held));
+            } else if rank == lo {
+                let tail = self.recv_impl(mid, tag);
+                held.extend(tail);
+            }
+        }
+        if rank == 0 {
+            let mut out = Vec::with_capacity(size);
+            let mut iter = held.into_iter();
+            for &c in counts {
+                out.push(iter.by_ref().take(c).collect());
+            }
+            Some(out)
+        } else {
+            None
         }
     }
 
@@ -327,6 +458,134 @@ mod tests {
         for (r, chunk) in report.results.iter().enumerate() {
             assert_eq!(chunk, &vec![r as f64; r + 1], "rank {r}");
         }
+    }
+
+    #[test]
+    fn tree_scatterv_delivers_ragged_chunks() {
+        for size in [1usize, 2, 3, 5, 8, 13] {
+            let counts: Vec<usize> = (0..size).map(|r| r + 1).collect();
+            let counts_ref = &counts;
+            let report = run(size, CostModel::zero(), move |comm| {
+                let chunks = (comm.rank() == 0)
+                    .then(|| (0..size).map(|r| vec![r as f64; r + 1]).collect::<Vec<_>>());
+                comm.tree_scatterv(chunks, counts_ref)
+            });
+            for (r, chunk) in report.results.iter().enumerate() {
+                assert_eq!(chunk, &vec![r as f64; r + 1], "size={size} rank={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn tree_gatherv_collects_in_rank_order() {
+        for size in [1usize, 2, 4, 6, 9, 16] {
+            let counts: Vec<usize> = (0..size).map(|r| (r % 3) + 1).collect();
+            let counts_ref = &counts;
+            let report = run(size, CostModel::zero(), move |comm| {
+                let r = comm.rank();
+                comm.tree_gatherv(vec![r as f64; counts_ref[r]], counts_ref)
+            });
+            let gathered = report.results[0].as_ref().expect("root gathers");
+            for (r, part) in gathered.iter().enumerate() {
+                assert_eq!(part, &vec![r as f64; (r % 3) + 1], "size={size} rank={r}");
+            }
+            for r in 1..size {
+                assert!(report.results[r].is_none(), "rank {r} must return None");
+            }
+        }
+    }
+
+    #[test]
+    fn tree_scatter_root_sends_logarithmically_many_messages() {
+        let size = 16usize;
+        let counts = vec![4usize; size];
+        let counts_ref = &counts;
+        let report = run(size, CostModel::zero(), move |comm| {
+            let chunks = (comm.rank() == 0).then(|| (0..size).map(|r| vec![r as f64; 4]).collect());
+            let _ = comm.tree_scatterv(chunks, counts_ref);
+        });
+        // Binomial tree: P - 1 messages in total, only log2(P) from the
+        // root (vs P - 1 root messages for the linear scatter).
+        assert_eq!(report.total_msgs(), 15);
+        assert_eq!(report.metrics[0].msgs_sent, 4);
+        // The root still ships every remote word exactly once.
+        assert_eq!(report.metrics[0].words_sent, 4 * 15);
+        // Interior forwarders pay bandwidth: total words exceed the
+        // linear scatter's.
+        assert!(report.total_words() > 4 * 15);
+    }
+
+    #[test]
+    fn tree_gather_root_receives_logarithmically_many_messages() {
+        let size = 16usize;
+        let counts = vec![3usize; size];
+        let counts_ref = &counts;
+        let report = run(size, CostModel::zero(), move |comm| {
+            let r = comm.rank();
+            comm.tree_gatherv(vec![r as f64; 3], counts_ref)
+        });
+        assert!(report.results[0].is_some());
+        assert_eq!(report.metrics[0].msgs_recv, 4);
+        assert_eq!(report.metrics[0].words_recv, 3 * 15);
+    }
+
+    #[test]
+    fn tree_scatter_gather_roundtrip_with_empty_chunks() {
+        // Zero-length chunks (ranks owning no leaves) must flow through
+        // both trees unharmed.
+        let size = 7usize;
+        let counts = vec![2usize, 0, 3, 0, 0, 1, 2];
+        let counts_ref = &counts;
+        let report = run(size, CostModel::zero(), move |comm| {
+            let chunks = (comm.rank() == 0).then(|| {
+                counts_ref
+                    .iter()
+                    .enumerate()
+                    .map(|(r, &c)| vec![r as f64 * 10.0; c])
+                    .collect()
+            });
+            let mine = comm.tree_scatterv(chunks, counts_ref);
+            comm.tree_gatherv(mine, counts_ref)
+        });
+        let back = report.results[0].as_ref().expect("root");
+        for (r, part) in back.iter().enumerate() {
+            assert_eq!(part, &vec![r as f64 * 10.0; counts[r]], "rank {r}");
+        }
+    }
+
+    #[test]
+    fn tree_scatter_pipelines_under_loggp() {
+        // With latency-only costs, the linear scatter's root pays
+        // alpha * (P - 1); the tree's critical path is O(log P) alphas
+        // per branch. At P = 16 the tree must finish strictly sooner.
+        let model = CostModel::new(1.0, 0.0, 0.0);
+        let size = 16usize;
+        let counts = vec![1usize; size];
+        let counts_ref = &counts;
+        let tree = run(size, model, move |comm| {
+            let chunks = (comm.rank() == 0).then(|| (0..size).map(|r| vec![r as f64]).collect());
+            let _ = comm.tree_scatterv(chunks, counts_ref);
+        });
+        let linear = run(size, model, move |comm| {
+            let chunks = (comm.rank() == 0).then(|| (0..size).map(|r| vec![r as f64]).collect());
+            let _ = comm.scatter_from_root(chunks);
+        });
+        assert!(
+            tree.critical_path() < linear.critical_path(),
+            "tree {} !< linear {}",
+            tree.critical_path(),
+            linear.critical_path()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "disagrees with counts")]
+    fn tree_scatterv_rejects_mismatched_counts() {
+        let _ = run(2, CostModel::zero(), |comm| {
+            let counts = vec![1usize, 1];
+            let chunks = (comm.rank() == 0).then(|| vec![vec![0.0f64; 2], vec![0.0]]);
+            comm.tree_scatterv(chunks, &counts);
+        });
     }
 
     #[test]

@@ -41,6 +41,8 @@ pub struct Comm<T> {
     compute: f64,
     msgs_sent: u64,
     words_sent: u64,
+    msgs_recv: u64,
+    words_recv: u64,
     /// Receive timeout guarding against deadlocks in tests.
     timeout: Duration,
     /// Set by the universe when any rank panics: blocked receivers bail
@@ -68,6 +70,8 @@ impl<T: Send + 'static> Comm<T> {
             compute: 0.0,
             msgs_sent: 0,
             words_sent: 0,
+            msgs_recv: 0,
+            words_recv: 0,
             timeout: Duration::from_secs(120),
             abort,
         }
@@ -138,6 +142,19 @@ impl<T: Send + 'static> Comm<T> {
     #[inline]
     pub fn words_sent(&self) -> u64 {
         self.words_sent
+    }
+
+    /// Messages received (consumed by a matching receive) so far.
+    #[inline]
+    pub fn msgs_recv(&self) -> u64 {
+        self.msgs_recv
+    }
+
+    /// Payload words received so far — the quantity Proposition 4.2
+    /// bounds at the root during retrieval.
+    #[inline]
+    pub fn words_recv(&self) -> u64 {
+        self.words_recv
     }
 
     /// Cost model in force.
@@ -216,6 +233,15 @@ impl<T: Send + 'static> Comm<T> {
         self.recv_impl(from, tag)
     }
 
+    /// Consume a matched message: advance the clock to its arrival and
+    /// account it on the receive counters.
+    fn consume(&mut self, msg: Message<T>) -> Vec<T> {
+        self.clock = self.clock.max(msg.arrival);
+        self.msgs_recv += 1;
+        self.words_recv += msg.payload.len() as u64;
+        msg.payload
+    }
+
     pub(crate) fn recv_impl(&mut self, from: usize, tag: u64) -> Vec<T> {
         // Check the out-of-order buffer first.
         if let Some(pos) = self
@@ -224,14 +250,12 @@ impl<T: Send + 'static> Comm<T> {
             .position(|m| m.src == from && m.tag == tag)
         {
             let msg = self.mailbox.remove(pos).expect("position valid");
-            self.clock = self.clock.max(msg.arrival);
-            return msg.payload;
+            return self.consume(msg);
         }
         loop {
             let msg = self.blocking_next(&|| format!("waiting for (src={from}, tag={tag})"));
             if msg.src == from && msg.tag == tag {
-                self.clock = self.clock.max(msg.arrival);
-                return msg.payload;
+                return self.consume(msg);
             }
             self.mailbox.push_back(msg);
         }
@@ -269,8 +293,7 @@ impl<T: Send + 'static> Comm<T> {
             .iter()
             .position(|m| m.src == from && m.tag == tag)?;
         let msg = self.mailbox.remove(pos).expect("position valid");
-        self.clock = self.clock.max(msg.arrival);
-        Some(msg.payload)
+        Some(self.consume(msg))
     }
 
     /// True if a matching message is already deliverable (`MPI_Iprobe`).
@@ -294,14 +317,14 @@ impl<T: Send + 'static> Comm<T> {
         );
         if let Some(pos) = self.mailbox.iter().position(|m| m.tag == tag) {
             let msg = self.mailbox.remove(pos).expect("position valid");
-            self.clock = self.clock.max(msg.arrival);
-            return (msg.src, msg.payload);
+            let src = msg.src;
+            return (src, self.consume(msg));
         }
         loop {
             let msg = self.blocking_next(&|| format!("waiting for (any src, tag={tag})"));
             if msg.tag == tag {
-                self.clock = self.clock.max(msg.arrival);
-                return (msg.src, msg.payload);
+                let src = msg.src;
+                return (src, self.consume(msg));
             }
             self.mailbox.push_back(msg);
         }
@@ -314,6 +337,8 @@ impl<T: Send + 'static> Comm<T> {
             compute_time: self.compute,
             msgs_sent: self.msgs_sent,
             words_sent: self.words_sent,
+            msgs_recv: self.msgs_recv,
+            words_recv: self.words_recv,
             wall_time: 0.0, // filled by the universe
         }
     }
@@ -389,6 +414,11 @@ mod tests {
         assert_eq!(report.metrics[0].msgs_sent, 2);
         assert_eq!(report.metrics[0].words_sent, 30);
         assert_eq!(report.metrics[1].msgs_sent, 0);
+        // Receive counters mirror the sends on the consuming side.
+        assert_eq!(report.metrics[0].msgs_recv, 0);
+        assert_eq!(report.metrics[1].msgs_recv, 1);
+        assert_eq!(report.metrics[1].words_recv, 10);
+        assert_eq!(report.metrics[2].words_recv, 20);
     }
 
     #[test]

@@ -32,6 +32,11 @@ pub struct RankMetrics {
     pub msgs_sent: u64,
     /// Payload words sent.
     pub words_sent: u64,
+    /// Messages received (consumed by a matching receive).
+    pub msgs_recv: u64,
+    /// Payload words received — at rank 0 this is the root-bandwidth
+    /// term of Proposition 4.2's retrieval phase.
+    pub words_recv: u64,
     /// Real wall-clock seconds the rank's thread ran.
     pub wall_time: f64,
 }

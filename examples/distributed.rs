@@ -11,7 +11,8 @@
 //! path plus exact message/word counts.
 
 use ata::dist::baselines::pdsyrk_like;
-use ata::dist::{ata_d, AtaDConfig};
+use ata::dist::traffic::ata_d_traffic;
+use ata::dist::{ata_d, AtaDConfig, WireFormat};
 use ata::mat::{gen, reference};
 use ata::mpisim::{run, CostModel};
 
@@ -74,5 +75,24 @@ fn main() {
 
     let ratio = report_b.critical_path() / report.critical_path();
     println!("\nAtA-D speedup over pdsyrk-like (simulated): {ratio:.2}x");
+
+    // --- Wire formats (§4.3.1): packed vs dense retrieval ---
+    let dense = ata_d_traffic(
+        m,
+        n,
+        ranks,
+        &AtaDConfig {
+            wire: WireFormat::Dense,
+            ..AtaDConfig::default()
+        },
+    );
+    let packed = ata_d_traffic(m, n, ranks, &cfg);
+    println!("\nwire formats (predicted, audited exact in tests):");
+    println!(
+        "  root recv words: dense {} -> packed {} ({:.1}% cut)",
+        dense.root_recv_words(),
+        packed.root_recv_words(),
+        100.0 * (1.0 - packed.root_recv_words() as f64 / dense.root_recv_words().max(1) as f64)
+    );
     println!("both agree with the oracle — OK");
 }

@@ -1,4 +1,4 @@
-//! The plan–execute API: [`AtaContext`] and [`AtaPlan`].
+//! The plan–execute API: [`AtaContext`], [`AtaPlan`] and [`OwnedPlan`].
 //!
 //! The paper's algorithms are built for *repeated* heavy use — Gram
 //! matrices inside least squares, SVD and covariance pipelines (§1) —
@@ -9,14 +9,22 @@
 //! this module splits the API in two phases:
 //!
 //! 1. **Context** ([`AtaContext`]) — built once per configuration
-//!    (backend, cache model, Strassen kind). Owns the persistent worker
-//!    pool and a cache of reusable Strassen arenas, both shared by every
-//!    plan created from it.
+//!    (backend, cache model, Strassen kind, wire format). Owns the
+//!    persistent worker pool and a cache of reusable Strassen arenas,
+//!    both shared by every plan created from it. Internally the context
+//!    is an `Arc` around its resources, so cloning is cheap and plans
+//!    can outlive the handle they were created from (see
+//!    [`AtaPlan::into_owned`]).
 //! 2. **Plan** ([`AtaPlan`]) — built once per `(m, n)` problem shape.
-//!    Pre-computes the §4.1 task tree and the exact workspace layout,
-//!    then executes any number of times against same-shape inputs, into
-//!    caller-provided output ([`AtaPlan::execute_into`]) or freshly
-//!    allocated output ([`AtaPlan::execute`]).
+//!    Pre-computes the §4.1 task tree and the exact workspace layout —
+//!    including, for the simulated-dist backend, the full
+//!    [`ata_dist::DistPlan`] (task tree + distribution layout), so
+//!    repeat executions rebuild nothing — then executes any number of
+//!    times against same-shape inputs, into caller-provided output
+//!    ([`AtaPlan::execute_into`]) or freshly allocated output
+//!    ([`AtaPlan::execute`]). [`AtaPlan::into_owned`] converts the
+//!    borrowed plan into a `'static`, [`Send`]able [`OwnedPlan`] for
+//!    long-lived services that move plans across threads.
 //!
 //! The [`Backend`] enum unifies dispatch: the same plan API fronts the
 //! serial recursion (Algorithm 1), the shared-memory AtA-S (Algorithm 3)
@@ -51,7 +59,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use ata_core::serial::{ata_into_with_kind, ata_workspace_elems, StrassenKind};
 use ata_core::tasktree::SharedPlan;
 use ata_core::{ata_s_planned, plan_workspace_elems, AtaOptions};
-use ata_dist::{ata_d, AtaDConfig};
+use ata_dist::{AtaDConfig, DistPlan, WireFormat};
 use ata_kernels::{CacheConfig, KernelConfig};
 use ata_mat::{MatMut, MatRef, Matrix, Scalar, SymPacked};
 use ata_mpisim::{run, CostModel};
@@ -169,6 +177,7 @@ pub struct AtaContextBuilder {
     backend: Backend,
     cache: CacheConfig,
     strassen: StrassenKind,
+    wire: WireFormat,
     dedicated_pool: bool,
 }
 
@@ -178,6 +187,7 @@ impl Default for AtaContextBuilder {
             backend: Backend::Serial,
             cache: CacheConfig::default(),
             strassen: StrassenKind::Classic,
+            wire: WireFormat::default(),
             dedicated_pool: true,
         }
     }
@@ -218,6 +228,15 @@ impl AtaContextBuilder {
         self.strassen(StrassenKind::Winograd)
     }
 
+    /// Wire encoding of result blocks for the simulated-dist backend
+    /// (§4.3.1). Defaults to [`WireFormat::SymPacked`], which is
+    /// bit-identical to dense but strictly cheaper on the root's
+    /// received words.
+    pub fn wire(mut self, wire: WireFormat) -> Self {
+        self.wire = wire;
+        self
+    }
+
     /// Whether a [`Backend::Shared`] context spawns its own persistent
     /// worker pool (default) or shares the process-global one. The
     /// legacy one-shot wrappers disable this so they never pay pool
@@ -237,29 +256,41 @@ impl AtaContextBuilder {
             _ => None,
         };
         AtaContext {
-            backend: self.backend,
-            cache: self.cache,
-            strassen: self.strassen,
-            pool,
-            arenas: ArenaCache::default(),
+            inner: Arc::new(ContextInner {
+                backend: self.backend,
+                cache: self.cache,
+                strassen: self.strassen,
+                wire: self.wire,
+                pool,
+                arenas: ArenaCache::default(),
+            }),
         }
     }
+}
+
+/// The shared resources behind an [`AtaContext`] handle.
+#[derive(Debug)]
+struct ContextInner {
+    backend: Backend,
+    cache: CacheConfig,
+    strassen: StrassenKind,
+    wire: WireFormat,
+    pool: Option<rayon::ThreadPool>,
+    arenas: ArenaCache,
 }
 
 /// A reusable execution context: configuration plus the persistent
 /// resources (worker pool, cached Strassen arenas) that one-shot calls
 /// used to re-create on every invocation.
 ///
-/// Create plans from it with [`AtaContext::plan`]; one-shot conveniences
-/// ([`AtaContext::gram`] and friends) build a transient plan internally
-/// but still reuse the context's pool and arena cache.
-#[derive(Debug)]
+/// The context is a cheap [`Arc`]-backed handle — [`Clone`] shares the
+/// same pool and arena cache. Create plans from it with
+/// [`AtaContext::plan`]; one-shot conveniences ([`AtaContext::gram`] and
+/// friends) build a transient plan internally but still reuse the
+/// context's pool and arena cache.
+#[derive(Debug, Clone)]
 pub struct AtaContext {
-    backend: Backend,
-    cache: CacheConfig,
-    strassen: StrassenKind,
-    pool: Option<rayon::ThreadPool>,
-    arenas: ArenaCache,
+    inner: Arc<ContextInner>,
 }
 
 impl Default for AtaContext {
@@ -307,17 +338,22 @@ impl AtaContext {
 
     /// The context's backend.
     pub fn backend(&self) -> Backend {
-        self.backend
+        self.inner.backend
     }
 
     /// The context's cache model.
     pub fn cache(&self) -> CacheConfig {
-        self.cache
+        self.inner.cache
     }
 
     /// The context's product scheme.
     pub fn strassen(&self) -> StrassenKind {
-        self.strassen
+        self.inner.strassen
+    }
+
+    /// The context's wire format for the simulated-dist backend.
+    pub fn wire(&self) -> WireFormat {
+        self.inner.wire
     }
 
     /// Build a plan for an `m x n` input with the default
@@ -328,51 +364,36 @@ impl AtaContext {
 
     /// Build a plan for an `m x n` input with an explicit [`Output`]
     /// selector. This is the expensive phase: the §4.1 task tree is
-    /// built, the arena cache warmed to the exact workspace requirement,
-    /// and the packed-kernel buffers of the planning thread pre-grown
-    /// (worker threads warm theirs on first execution and keep them for
-    /// the life of the pool), so steady-state `execute` calls stay
-    /// allocation-free.
+    /// built (for the simulated-dist backend the full
+    /// [`ata_dist::DistPlan`] — task tree plus distribution layout — so
+    /// executions rebuild nothing), the arena cache warmed to the exact
+    /// workspace requirement, and the packed-kernel buffers of the
+    /// planning thread pre-grown (worker threads warm theirs on first
+    /// execution and keep them for the life of the pool), so
+    /// steady-state `execute` calls stay allocation-free.
     pub fn plan_with<T: Scalar + 'static>(
         &self,
         m: usize,
         n: usize,
         output: Output,
     ) -> AtaPlan<'_, T> {
-        let arenas = self.arenas.pool::<T>();
-        let (shared, ws_elems) = match self.backend {
-            Backend::Serial => {
-                let need = ata_workspace_elems(m, n, &self.cache, self.strassen);
-                arenas.warm(1, need);
-                (None, need)
-            }
-            Backend::Shared { threads } => {
-                let plan = SharedPlan::build(n, threads.get());
-                let need = plan_workspace_elems(&plan, m, &self.cache, self.strassen);
-                arenas.warm(threads.get(), need);
-                (Some(plan), need)
-            }
-            Backend::SimulatedDist { .. } => (None, 0),
-        };
-        // Leaf-kernel packing workspace (BLIS-style engine): sized from
-        // the measured per-scalar blocking, warmed per thread.
-        let (pack_a, pack_b) = KernelConfig::for_scalar::<T>().pack_buffer_elems();
-        let pack_elems = match self.backend {
-            Backend::SimulatedDist { .. } => 0,
-            _ => {
-                ata_kernels::pack::warm_thread::<T>(pack_a, pack_b);
-                pack_a + pack_b
-            }
-        };
         AtaPlan {
             ctx: self,
-            m,
-            n,
-            output,
-            shared,
-            ws_elems,
-            pack_elems,
-            arenas,
+            core: PlanCore::build(&self.inner, m, n, output),
+        }
+    }
+
+    /// Build an owned, `'static` plan directly — equivalent to
+    /// `plan_with(..).into_owned()`.
+    pub fn plan_owned<T: Scalar + 'static>(
+        &self,
+        m: usize,
+        n: usize,
+        output: Output,
+    ) -> OwnedPlan<T> {
+        OwnedPlan {
+            ctx: self.clone(),
+            core: PlanCore::build(&self.inner, m, n, output),
         }
     }
 
@@ -400,6 +421,11 @@ impl AtaContext {
             .execute(a)
             .into_packed()
     }
+
+    #[cfg(test)]
+    fn arena_pool<T: Scalar + 'static>(&self) -> Arc<ArenaPool<T>> {
+        self.inner.arenas.pool::<T>()
+    }
 }
 
 /// The lazily-initialized process-wide default context (serial backend,
@@ -413,19 +439,19 @@ pub fn default_context() -> &'static AtaContext {
 // Plan.
 // ---------------------------------------------------------------------
 
-/// A reusable execution plan for one `(m, n)` problem shape.
-///
-/// Created by [`AtaContext::plan`]; borrows its context (whose pool and
-/// arena cache it uses) and can be executed any number of times, from
-/// multiple threads, against inputs of the planned shape.
+/// The context-independent part of a plan: everything pre-computed at
+/// planning time, shared by [`AtaPlan`] and [`OwnedPlan`].
 #[derive(Debug)]
-pub struct AtaPlan<'ctx, T> {
-    ctx: &'ctx AtaContext,
+struct PlanCore<T> {
     m: usize,
     n: usize,
     output: Output,
     /// Prebuilt AtA-S task tree ([`Backend::Shared`] only).
     shared: Option<SharedPlan>,
+    /// Prebuilt AtA-D plan — task tree + distribution layout
+    /// ([`Backend::SimulatedDist`] only). `Arc` so owned clones of the
+    /// plan share one tree.
+    dist: Option<Arc<DistPlan>>,
     /// Per-worker Strassen arena requirement, elements.
     ws_elems: usize,
     /// Per-thread packed-kernel buffer requirement, elements.
@@ -434,52 +460,74 @@ pub struct AtaPlan<'ctx, T> {
     arenas: Arc<ArenaPool<T>>,
 }
 
-impl<T: Scalar + 'static> AtaPlan<'_, T> {
-    /// Planned input shape `(m, n)`.
-    pub fn shape(&self) -> (usize, usize) {
-        (self.m, self.n)
-    }
-
-    /// The plan's output selector.
-    pub fn output(&self) -> Output {
-        self.output
-    }
-
-    /// Exact per-worker Strassen workspace requirement, in elements —
-    /// the size the context's arena cache was warmed to.
-    pub fn workspace_elems(&self) -> usize {
-        self.ws_elems
-    }
-
-    /// Per-thread packing-buffer requirement of the leaf microkernel
-    /// engine, in elements (`apack + bpack`; zero for the simulated-dist
-    /// backend, whose ranks size their own). Planning warms the calling
-    /// thread to this size; each pool worker grows its own buffers once
-    /// on first execution and keeps them for the life of the pool.
-    pub fn pack_workspace_elems(&self) -> usize {
-        self.pack_elems
+impl<T: Scalar + 'static> PlanCore<T> {
+    fn build(inner: &ContextInner, m: usize, n: usize, output: Output) -> Self {
+        let arenas = inner.arenas.pool::<T>();
+        let mut dist = None;
+        let (shared, ws_elems) = match inner.backend {
+            Backend::Serial => {
+                let need = ata_workspace_elems(m, n, &inner.cache, inner.strassen);
+                arenas.warm(1, need);
+                (None, need)
+            }
+            Backend::Shared { threads } => {
+                let plan = SharedPlan::build(n, threads.get());
+                let need = plan_workspace_elems(&plan, m, &inner.cache, inner.strassen);
+                arenas.warm(threads.get(), need);
+                (Some(plan), need)
+            }
+            Backend::SimulatedDist { ranks, .. } => {
+                let cfg = AtaDConfig {
+                    cache: inner.cache,
+                    wire: inner.wire,
+                    ..AtaDConfig::default()
+                };
+                dist = Some(Arc::new(DistPlan::build(m, n, ranks.get(), &cfg)));
+                (None, 0)
+            }
+        };
+        // Leaf-kernel packing workspace (BLIS-style engine): sized from
+        // the measured per-scalar blocking, warmed per thread.
+        let (pack_a, pack_b) = KernelConfig::for_scalar::<T>().pack_buffer_elems();
+        let pack_elems = match inner.backend {
+            Backend::SimulatedDist { .. } => 0,
+            _ => {
+                ata_kernels::pack::warm_thread::<T>(pack_a, pack_b);
+                pack_a + pack_b
+            }
+        };
+        PlanCore {
+            m,
+            n,
+            output,
+            shared,
+            dist,
+            ws_elems,
+            pack_elems,
+            arenas,
+        }
     }
 
     /// Compute the lower triangle of `C = A^T A` into `c` (which must be
     /// zeroed by the caller on the written triangle).
-    fn compute_lower(&self, a: MatRef<'_, T>, c: &mut MatMut<'_, T>) {
-        match self.ctx.backend {
+    fn compute_lower(&self, inner: &ContextInner, a: MatRef<'_, T>, c: &mut MatMut<'_, T>) {
+        match inner.backend {
             Backend::Serial => {
                 let mut ws = self.arenas.checkout(self.ws_elems);
-                ata_into_with_kind(T::ONE, a, c, &self.ctx.cache, self.ctx.strassen, &mut ws);
+                ata_into_with_kind(T::ONE, a, c, &inner.cache, inner.strassen, &mut ws);
                 self.arenas.give_back(ws);
             }
             Backend::Shared { .. } => {
                 let plan = self.shared.as_ref().expect("shared backend has a plan");
-                match &self.ctx.pool {
+                match &inner.pool {
                     Some(pool) => pool.install(|| {
                         ata_s_planned(
                             T::ONE,
                             a,
                             c,
                             plan,
-                            &self.ctx.cache,
-                            self.ctx.strassen,
+                            &inner.cache,
+                            inner.strassen,
                             &self.arenas,
                         )
                     }),
@@ -488,23 +536,20 @@ impl<T: Scalar + 'static> AtaPlan<'_, T> {
                         a,
                         c,
                         plan,
-                        &self.ctx.cache,
-                        self.ctx.strassen,
+                        &inner.cache,
+                        inner.strassen,
                         &self.arenas,
                     ),
                 }
             }
             Backend::SimulatedDist { ranks, loggp } => {
+                let plan = self.dist.as_ref().expect("dist backend has a plan");
                 let owned = a.to_matrix();
-                let cfg = AtaDConfig {
-                    cache: self.ctx.cache,
-                    ..AtaDConfig::default()
-                };
-                let (m, n) = (self.m, self.n);
-                let input = &owned;
+                let n = self.n;
+                let (input, plan_ref) = (&owned, plan.as_ref());
                 let report = run(ranks.get(), loggp, move |comm| {
                     let input = (comm.rank() == 0).then_some(input);
-                    ata_d(input, m, n, comm, &cfg)
+                    plan_ref.execute(input, comm)
                 });
                 let lower = report
                     .results
@@ -521,20 +566,7 @@ impl<T: Scalar + 'static> AtaPlan<'_, T> {
         }
     }
 
-    /// Execute the plan, writing dense output into a caller-provided
-    /// `n x n` buffer — the serving-loop entry point. For the
-    /// [`Backend::Serial`] and [`Backend::Shared`] backends this is
-    /// allocation-free after warm-up; [`Backend::SimulatedDist`]
-    /// necessarily copies the operand into the simulated cluster on
-    /// every call.
-    ///
-    /// The buffer is overwritten: [`Output::Gram`] fills both triangles;
-    /// [`Output::Lower`] and [`Output::Packed`] fill the lower triangle
-    /// and zero the strict upper.
-    ///
-    /// # Panics
-    /// If `a` is not the planned shape or `c` is not `n x n`.
-    pub fn execute_into(&self, a: MatRef<'_, T>, c: &mut MatMut<'_, T>) {
+    fn execute_into(&self, inner: &ContextInner, a: MatRef<'_, T>, c: &mut MatMut<'_, T>) {
         assert_eq!(
             a.shape(),
             (self.m, self.n),
@@ -551,7 +583,7 @@ impl<T: Scalar + 'static> AtaPlan<'_, T> {
             c.shape()
         );
         c.fill_zero();
-        self.compute_lower(a, c);
+        self.compute_lower(inner, a, c);
         if self.output == Output::Gram {
             // Mirror in place: C is symmetric by construction.
             for i in 0..self.n {
@@ -562,12 +594,7 @@ impl<T: Scalar + 'static> AtaPlan<'_, T> {
         }
     }
 
-    /// Execute the plan into freshly allocated output, per the plan's
-    /// [`Output`] selector.
-    ///
-    /// # Panics
-    /// If `a` is not the planned shape.
-    pub fn execute(&self, a: MatRef<'_, T>) -> AtaOutput<T> {
+    fn execute(&self, inner: &ContextInner, a: MatRef<'_, T>) -> AtaOutput<T> {
         assert_eq!(
             a.shape(),
             (self.m, self.n),
@@ -577,7 +604,7 @@ impl<T: Scalar + 'static> AtaPlan<'_, T> {
             a.shape()
         );
         let mut c = Matrix::zeros(self.n, self.n);
-        self.compute_lower(a, &mut c.as_mut());
+        self.compute_lower(inner, a, &mut c.as_mut());
         match self.output {
             Output::Gram => {
                 c.mirror_lower_to_upper();
@@ -589,9 +616,139 @@ impl<T: Scalar + 'static> AtaPlan<'_, T> {
     }
 }
 
+/// A reusable execution plan for one `(m, n)` problem shape.
+///
+/// Created by [`AtaContext::plan`]; borrows its context (whose pool and
+/// arena cache it uses) and can be executed any number of times, from
+/// multiple threads, against inputs of the planned shape. Convert to a
+/// `'static` [`OwnedPlan`] with [`AtaPlan::into_owned`] when the plan
+/// must move across threads or outlive the context handle.
+#[derive(Debug)]
+pub struct AtaPlan<'ctx, T> {
+    ctx: &'ctx AtaContext,
+    core: PlanCore<T>,
+}
+
+/// An owned, `'static` execution plan for long-lived services: holds a
+/// clone of its (Arc-backed) [`AtaContext`], so it is [`Send`] and can
+/// move across threads — into a serving loop, a thread pool, or an
+/// `Arc` shared by many workers — while still using the context's
+/// persistent pool and arena cache.
+///
+/// Created by [`AtaPlan::into_owned`] or [`AtaContext::plan_owned`].
+#[derive(Debug)]
+pub struct OwnedPlan<T> {
+    ctx: AtaContext,
+    core: PlanCore<T>,
+}
+
+macro_rules! plan_accessors {
+    () => {
+        /// Planned input shape `(m, n)`.
+        pub fn shape(&self) -> (usize, usize) {
+            (self.core.m, self.core.n)
+        }
+
+        /// The plan's output selector.
+        pub fn output(&self) -> Output {
+            self.core.output
+        }
+
+        /// Exact per-worker Strassen workspace requirement, in elements —
+        /// the size the context's arena cache was warmed to.
+        pub fn workspace_elems(&self) -> usize {
+            self.core.ws_elems
+        }
+
+        /// Per-thread packing-buffer requirement of the leaf microkernel
+        /// engine, in elements (`apack + bpack`; zero for the
+        /// simulated-dist backend, whose ranks size their own). Planning
+        /// warms the calling thread to this size; each pool worker grows
+        /// its own buffers once on first execution and keeps them for
+        /// the life of the pool.
+        pub fn pack_workspace_elems(&self) -> usize {
+            self.core.pack_elems
+        }
+
+        /// The prebuilt AtA-D plan ([`Backend::SimulatedDist`] only):
+        /// task tree plus distribution layout, built once at planning
+        /// time and reused by every execution.
+        pub fn dist_plan(&self) -> Option<&DistPlan> {
+            self.core.dist.as_deref()
+        }
+    };
+}
+
+impl<T: Scalar + 'static> AtaPlan<'_, T> {
+    plan_accessors!();
+
+    /// Execute the plan, writing dense output into a caller-provided
+    /// `n x n` buffer — the serving-loop entry point. For the
+    /// [`Backend::Serial`] and [`Backend::Shared`] backends this is
+    /// allocation-free after warm-up; [`Backend::SimulatedDist`]
+    /// necessarily copies the operand into the simulated cluster on
+    /// every call.
+    ///
+    /// The buffer is overwritten: [`Output::Gram`] fills both triangles;
+    /// [`Output::Lower`] and [`Output::Packed`] fill the lower triangle
+    /// and zero the strict upper.
+    ///
+    /// # Panics
+    /// If `a` is not the planned shape or `c` is not `n x n`.
+    pub fn execute_into(&self, a: MatRef<'_, T>, c: &mut MatMut<'_, T>) {
+        self.core.execute_into(&self.ctx.inner, a, c);
+    }
+
+    /// Execute the plan into freshly allocated output, per the plan's
+    /// [`Output`] selector.
+    ///
+    /// # Panics
+    /// If `a` is not the planned shape.
+    pub fn execute(&self, a: MatRef<'_, T>) -> AtaOutput<T> {
+        self.core.execute(&self.ctx.inner, a)
+    }
+
+    /// Convert into an [`OwnedPlan`] that holds its own (cheap, shared)
+    /// context handle instead of a borrow — nothing is re-planned, and
+    /// the worker pool and arena cache stay shared with the original
+    /// context.
+    pub fn into_owned(self) -> OwnedPlan<T> {
+        OwnedPlan {
+            ctx: self.ctx.clone(),
+            core: self.core,
+        }
+    }
+}
+
+impl<T: Scalar + 'static> OwnedPlan<T> {
+    plan_accessors!();
+
+    /// See [`AtaPlan::execute_into`].
+    ///
+    /// # Panics
+    /// If `a` is not the planned shape or `c` is not `n x n`.
+    pub fn execute_into(&self, a: MatRef<'_, T>, c: &mut MatMut<'_, T>) {
+        self.core.execute_into(&self.ctx.inner, a, c);
+    }
+
+    /// See [`AtaPlan::execute`].
+    ///
+    /// # Panics
+    /// If `a` is not the planned shape.
+    pub fn execute(&self, a: MatRef<'_, T>) -> AtaOutput<T> {
+        self.core.execute(&self.ctx.inner, a)
+    }
+
+    /// The context handle this plan executes through.
+    pub fn context(&self) -> &AtaContext {
+        &self.ctx
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ata_core::tasktree::DistTree;
     use ata_mat::{gen, reference};
 
     fn oracle(a: &Matrix<f64>) -> Matrix<f64> {
@@ -658,6 +815,7 @@ mod tests {
 
     #[test]
     fn dist_backend_matches_direct_ata_d_bitwise() {
+        use ata_dist::{ata_d, AtaDConfig};
         let (m, n, ranks) = (32usize, 24usize, 4usize);
         let a = gen::standard::<f64>(11, m, n);
         let ctx = AtaContext::simulated_dist(NonZeroUsize::new(ranks).unwrap(), CostModel::zero());
@@ -676,16 +834,122 @@ mod tests {
     }
 
     #[test]
+    fn dist_plan_is_built_once_and_reused() {
+        // Shape unique within this test binary: the shape-keyed build
+        // counter stays deterministic under the parallel test harness.
+        let (m, n, ranks) = (49usize, 41usize, 6usize);
+        let ctx = AtaContext::simulated_dist(NonZeroUsize::new(ranks).unwrap(), CostModel::zero());
+        let builds_before = DistTree::build_count_for(m, n, ranks);
+        let plan = ctx.plan_with::<f64>(m, n, Output::Lower);
+        assert_eq!(
+            DistTree::build_count_for(m, n, ranks),
+            builds_before + 1,
+            "planning builds the DistTree exactly once"
+        );
+        assert!(plan.dist_plan().is_some());
+        let a = gen::standard::<f64>(17, m, n);
+        let mut runs = Vec::new();
+        for _ in 0..3 {
+            runs.push(plan.execute(a.as_ref()).into_dense());
+        }
+        assert_eq!(
+            DistTree::build_count_for(m, n, ranks),
+            builds_before + 1,
+            "repeat executions must rebuild no DistTree"
+        );
+        assert_eq!(runs[0].max_abs_diff(&runs[1]), 0.0, "bit-identical reuse");
+        assert_eq!(runs[0].max_abs_diff(&runs[2]), 0.0, "bit-identical reuse");
+        assert!(runs[0].max_abs_diff_lower(&oracle(&a)) < 1e-10);
+    }
+
+    #[test]
+    fn dist_wire_formats_agree_bitwise_through_the_context() {
+        let (m, n, ranks) = (40usize, 32usize, 5usize);
+        let a = gen::standard::<f64>(23, m, n);
+        let mk = |wire| {
+            AtaContext::builder()
+                .backend(Backend::SimulatedDist {
+                    ranks: NonZeroUsize::new(ranks).unwrap(),
+                    loggp: CostModel::zero(),
+                })
+                .wire(wire)
+                .build()
+        };
+        let dense = mk(WireFormat::Dense).lower(a.as_ref());
+        let packed = mk(WireFormat::SymPacked).lower(a.as_ref());
+        assert_eq!(dense.max_abs_diff(&packed), 0.0);
+    }
+
+    #[test]
+    fn owned_plan_moves_across_threads() {
+        // OwnedPlan must be Send (compile-time check) and produce the
+        // same bits as the borrowed plan it came from.
+        fn assert_send<X: Send>(_: &X) {}
+        let ctx = AtaContext::builder().cache_words(32).build();
+        let a = gen::standard::<f64>(31, 36, 28);
+        let borrowed = ctx.plan_with::<f64>(36, 28, Output::Gram);
+        let baseline = borrowed.execute(a.as_ref()).into_dense();
+        let owned = borrowed.into_owned();
+        assert_send(&owned);
+        assert_eq!(owned.shape(), (36, 28));
+        let a2 = a.clone();
+        let from_thread = std::thread::spawn(move || owned.execute(a2.as_ref()).into_dense())
+            .join()
+            .expect("worker thread");
+        assert_eq!(baseline.max_abs_diff(&from_thread), 0.0);
+    }
+
+    #[test]
+    fn owned_plan_outlives_the_original_context_handle() {
+        let a = gen::standard::<f64>(41, 24, 20);
+        let (owned, baseline) = {
+            let ctx = AtaContext::shared(NonZeroUsize::new(2).unwrap());
+            let plan = ctx.plan_owned::<f64>(24, 20, Output::Lower);
+            let baseline = plan.execute(a.as_ref());
+            (plan, baseline)
+            // `ctx` handle drops here; the Arc keeps the pool alive.
+        };
+        let again = owned.execute(a.as_ref());
+        match (baseline, again) {
+            (AtaOutput::Dense(b), AtaOutput::Dense(c)) => {
+                assert_eq!(b.max_abs_diff(&c), 0.0);
+            }
+            _ => panic!("Lower selector yields dense output"),
+        }
+        assert!(matches!(owned.context().backend(), Backend::Shared { .. }));
+    }
+
+    #[test]
+    fn owned_dist_plan_is_send_and_reuses_the_tree() {
+        let ctx = AtaContext::simulated_dist(NonZeroUsize::new(4).unwrap(), CostModel::zero());
+        let owned = ctx.plan_owned::<f64>(24, 16, Output::Gram);
+        let builds = DistTree::build_count_for(24, 16, 4);
+        let a = gen::standard::<f64>(51, 24, 16);
+        let handle = std::thread::spawn(move || {
+            let g = owned.execute(a.as_ref()).into_dense();
+            (owned, g)
+        });
+        let (owned, g) = handle.join().expect("worker thread");
+        assert_eq!(
+            DistTree::build_count_for(24, 16, 4),
+            builds,
+            "no rebuild across threads"
+        );
+        assert!(g.is_symmetric(0.0));
+        assert!(owned.dist_plan().is_some());
+    }
+
+    #[test]
     fn plans_share_the_context_arena_cache() {
         let ctx = AtaContext::builder().cache_words(16).build();
         let plan = ctx.plan::<f64>(32, 32);
         let a = gen::standard::<f64>(1, 32, 32);
         let _ = plan.execute(a.as_ref());
-        let cached_before = ctx.arenas.pool::<f64>().cached_elems();
+        let cached_before = ctx.arena_pool::<f64>().cached_elems();
         // A second same-shape plan must not grow the cache further.
         let plan2 = ctx.plan::<f64>(32, 32);
         let _ = plan2.execute(a.as_ref());
-        assert_eq!(ctx.arenas.pool::<f64>().cached_elems(), cached_before);
+        assert_eq!(ctx.arena_pool::<f64>().cached_elems(), cached_before);
     }
 
     #[test]
@@ -700,6 +964,7 @@ mod tests {
         );
         assert_eq!(ctx.cache().words, 128);
         assert_eq!(ctx.strassen(), StrassenKind::Winograd);
+        assert_eq!(ctx.wire(), WireFormat::SymPacked, "packed is the default");
         assert_eq!(
             AtaContext::from_options(&AtaOptions::serial()).backend(),
             Backend::Serial

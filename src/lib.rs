@@ -78,10 +78,11 @@
 pub mod context;
 
 pub use context::{
-    default_context, AtaContext, AtaContextBuilder, AtaOutput, AtaPlan, Backend, Output,
+    default_context, AtaContext, AtaContextBuilder, AtaOutput, AtaPlan, Backend, Output, OwnedPlan,
 };
 
 pub use ata_core::AtaOptions;
+pub use ata_dist::{DistPlan, WireFormat};
 
 /// The paper's core algorithms (`ata-core`).
 pub use ata_core as core;

@@ -52,6 +52,7 @@ fn every_algorithm_agrees_on_one_input() {
             cache: CacheConfig::with_words(64),
             strassen_leaves: true,
             threads_per_rank: 1,
+            ..AtaDConfig::default()
         };
         let a_ref = &a;
         let report = run(ranks, CostModel::zero(), move |comm| {
@@ -152,6 +153,7 @@ fn exactness_on_integer_inputs_across_algorithms() {
         cache: CacheConfig::with_words(16),
         strassen_leaves: true,
         threads_per_rank: 1,
+        ..AtaDConfig::default()
     };
     let a_ref = &a;
     let report = run(12, CostModel::zero(), move |comm| {
