@@ -1,14 +1,18 @@
 //! Dist-traffic bench: predicted vs simulated root-rank words for AtA-D
-//! per `{P, wire format}`, written to `BENCH_dist.json`.
+//! per `{shape, P, wire format}`, written to `BENCH_dist.json`.
 //!
 //! This is the machine-readable record of the communication-lean stack's
 //! headline: §4.3.1's packed wire format strictly reducing the words
 //! that converge on the root, with the analytical predictor
 //! (`ata_dist::traffic`) agreeing with the simulator's exact counters on
-//! every point. The numbers are deterministic replays (no timing noise),
-//! so `bench_gate` enforces them even on CI smoke runs — a schedule
-//! change that moves more words through the root fails the gate until
-//! the committed record is refreshed.
+//! every point. The shape grid sweeps aspect ratios — tall (512 x 64),
+//! square-ish (96 x 80, the historical record point) and wide
+//! (64 x 512) — because the task tree's AtB/AtA block mix, and with it
+//! the packed format's savings, shifts with the aspect ratio. The
+//! numbers are deterministic replays (no timing noise), so `bench_gate`
+//! enforces them even on CI smoke runs — a schedule change that moves
+//! more words through the root fails the gate until the committed
+//! record is refreshed.
 //!
 //! Set `ATA_BENCH_SMOKE=1` to keep the criterion anchor cheap in CI (the
 //! record itself costs a handful of zero-cost-model simulations either
@@ -29,7 +33,12 @@ fn smoke() -> bool {
     std::env::var_os("ATA_BENCH_SMOKE").is_some_and(|v| v != "0")
 }
 
+/// The aspect-ratio grid: tall, square-ish, wide.
+const SHAPES: &[(usize, usize)] = &[(512, 64), (96, 80), (64, 512)];
+
 struct Rec {
+    m: usize,
+    n: usize,
     p: usize,
     wire: &'static str,
     root_recv_words_pred: u64,
@@ -66,6 +75,8 @@ fn measure(m: usize, n: usize) -> Vec<Rec> {
             );
             assert_eq!(report.total_words(), plan.total_words());
             recs.push(Rec {
+                m,
+                n,
                 p,
                 wire: name,
                 root_recv_words_pred: plan.root_recv_words(),
@@ -80,20 +91,21 @@ fn measure(m: usize, n: usize) -> Vec<Rec> {
 }
 
 fn bench_dist_traffic_record(c: &mut Criterion) {
-    let (m, n) = (96usize, 80usize);
-    let recs = measure(m, n);
+    let recs: Vec<Rec> = SHAPES.iter().flat_map(|&(m, n)| measure(m, n)).collect();
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"bench\": \"dist-traffic\",\n  \"schema\": 1,\n");
+    json.push_str("  \"bench\": \"dist-traffic\",\n  \"schema\": 2,\n");
     json.push_str(&format!("  \"smoke\": {},\n", smoke()));
-    json.push_str(&format!("  \"m\": {m},\n  \"n\": {n},\n"));
     json.push_str("  \"results\": [\n");
     for (i, r) in recs.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"p\": {}, \"wire\": \"{}\", \"root_recv_words_pred\": {}, \
+            "    {{\"m\": {}, \"n\": {}, \"p\": {}, \"wire\": \"{}\", \
+             \"root_recv_words_pred\": {}, \
              \"root_recv_words_sim\": {}, \"root_sent_words\": {}, \"root_msgs\": {}, \
              \"total_words\": {}}}{}\n",
+            r.m,
+            r.n,
             r.p,
             r.wire,
             r.root_recv_words_pred,
@@ -119,30 +131,39 @@ fn bench_dist_traffic_record(c: &mut Criterion) {
     }
     for r in &recs {
         println!(
-            "dist-traffic: P={:<2} {:>6}: root recv {:>6} words (pred == sim), \
+            "dist-traffic: {:>3}x{:<3} P={:<2} {:>6}: root recv {:>6} words (pred == sim), \
              root sent {:>6}, root msgs {}, total {:>7}",
-            r.p, r.wire, r.root_recv_words_sim, r.root_sent_words, r.root_msgs, r.total_words
+            r.m,
+            r.n,
+            r.p,
+            r.wire,
+            r.root_recv_words_sim,
+            r.root_sent_words,
+            r.root_msgs,
+            r.total_words
         );
     }
-    for p in [2usize, 4, 8, 16, 32] {
-        let dense = recs
-            .iter()
-            .find(|r| r.p == p && r.wire == "dense")
-            .expect("dense point");
-        let packed = recs
-            .iter()
-            .find(|r| r.p == p && r.wire == "packed")
-            .expect("packed point");
-        assert!(
-            packed.root_recv_words_sim < dense.root_recv_words_sim,
-            "P={p}: packed must strictly reduce root words"
-        );
-        println!(
-            "dist-traffic: P={p}: packed cuts root recv words {:.1}% (dense {} -> packed {})",
-            100.0 * (1.0 - packed.root_recv_words_sim as f64 / dense.root_recv_words_sim as f64),
-            dense.root_recv_words_sim,
-            packed.root_recv_words_sim
-        );
+    for &(m, n) in SHAPES {
+        for p in [2usize, 4, 8, 16, 32] {
+            let pick = |wire: &str| {
+                recs.iter()
+                    .find(|r| r.m == m && r.n == n && r.p == p && r.wire == wire)
+                    .expect("grid point")
+            };
+            let (dense, packed) = (pick("dense"), pick("packed"));
+            assert!(
+                packed.root_recv_words_sim < dense.root_recv_words_sim,
+                "{m}x{n} P={p}: packed must strictly reduce root words"
+            );
+            println!(
+                "dist-traffic: {m}x{n} P={p}: packed cuts root recv words {:.1}% \
+                 (dense {} -> packed {})",
+                100.0
+                    * (1.0 - packed.root_recv_words_sim as f64 / dense.root_recv_words_sim as f64),
+                dense.root_recv_words_sim,
+                packed.root_recv_words_sim
+            );
+        }
     }
 
     let mut group = c.benchmark_group("dist traffic record");

@@ -223,11 +223,24 @@ const METRICS: &[(&str, bool)] = &[
 ];
 
 /// Fields that identify an entry rather than measure it: every
-/// string-valued field plus the size/rank-count integers. Numeric fields
-/// outside this list are metrics (or derived values like `gflops`) and
-/// must never participate in matching — otherwise a regressed count
-/// would just fail to match and slip past the gate as "absent".
-const IDENTITY_INTS: &[&str] = &["n", "m", "p", "k", "ranks", "threads"];
+/// string-valued field plus the size/rank-count integers (including the
+/// serving record's batch geometry: problem count, worker count, chunk
+/// height and total streamed rows). Numeric fields outside this list
+/// are metrics (or derived values like `gflops`) and must never
+/// participate in matching — otherwise a regressed count would just
+/// fail to match and slip past the gate as "absent".
+const IDENTITY_INTS: &[&str] = &[
+    "n",
+    "m",
+    "p",
+    "k",
+    "ranks",
+    "threads",
+    "problems",
+    "workers",
+    "chunk",
+    "total_rows",
+];
 
 /// The identity of one result entry, rendered to a stable string.
 fn identity(entry: &Json) -> String {
@@ -521,6 +534,30 @@ mod tests {
                 .any(|o| o.metric == "root_recv_words_sim" && o.ratio() > 1.10),
             "the doubled root words must show as a regression"
         );
+    }
+
+    #[test]
+    fn serving_record_identities_distinguish_batch_geometry() {
+        // Two entries differing only in batch geometry must not be
+        // conflated — the geometry ints are identity, not metrics.
+        let old = parse_json(
+            r#"{"bench": "serving", "schema": 1, "smoke": false,
+               "results": [
+                 {"mode": "batch", "scheme": "batched", "m": 96, "n": 48,
+                  "problems": 16, "workers": 4, "chunk": 0, "total_rows": 0,
+                  "secs_per_call": 1.0e-4},
+                 {"mode": "stream", "scheme": "accumulator", "m": 4096, "n": 64,
+                  "problems": 1, "workers": 1, "chunk": 512, "total_rows": 4096,
+                  "secs_per_call": 2.0e-3}
+               ]}"#,
+        )
+        .expect("old");
+        let outcomes = compare(&old, &old, false).expect("compare");
+        assert_eq!(outcomes.len(), 2);
+        assert!(outcomes[0].id.contains("problems=16"));
+        assert!(outcomes[0].id.contains("workers=4"));
+        assert!(outcomes[1].id.contains("chunk=512"));
+        assert!(outcomes[1].id.contains("total_rows=4096"));
     }
 
     #[test]

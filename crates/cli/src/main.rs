@@ -6,6 +6,9 @@
 //!            [--algo ata|ata-s|ata-d|syrk|naive] [--cache-words W]
 //!            [--strassen classic|winograd] [--ranks R] [--repeat K]
 //!            [--wire packed|dense]
+//! ata stream --input FILE --out FILE [--chunk R]            streaming Gram over row chunks
+//!            [--decay B] [--threads T] [--cache-words W]
+//! ata batch  --inputs F1,F2,... --out-dir DIR [--threads T] batched small-gram serving
 //! ata verify --input FILE [--threads T]                     AtA vs naive oracle
 //! ata info   --input FILE                                   shape and norms
 //! ata calibrate [--quick 1]                                 measure kernel tuning table
@@ -18,10 +21,15 @@
 //! times (a serving loop) and reports per-call time, demonstrating the
 //! plan-reuse amortization.
 //!
+//! `ata stream` replays a file as a row-chunk stream through a
+//! [`GramAccumulator`] (never holding more than one chunk plus the
+//! `n x n` accumulator); `ata batch` executes many independent gram
+//! problems as one [`ata::BatchPlan`] dispatch across the worker pool.
+//!
 //! Files are CSV (`.csv`) or the compact binary `.atm` format, chosen by
 //! extension. All computation is `f64`.
 
-use ata::{AtaContext, Backend, Output, WireFormat};
+use ata::{AtaContext, Backend, GramAccumulator, Output, WireFormat};
 use ata_kernels::syrk_ln;
 use ata_mat::{gen, io, reference, Matrix};
 use ata_mpisim::CostModel;
@@ -211,6 +219,88 @@ fn cmd_verify(args: &Args) -> Result<(), String> {
     }
 }
 
+/// Replay a matrix file as a stream of row chunks through a
+/// [`GramAccumulator`], as a long-running ingest pipeline would; only
+/// one chunk plus the `n x n` accumulator is ever in play.
+fn cmd_stream(args: &Args) -> Result<(), String> {
+    let input = args.required("input")?;
+    let out = args.required("out")?;
+    let a: Matrix<f64> = io::load(input).map_err(|e| e.to_string())?;
+    let (m, n) = a.shape();
+    let chunk = args
+        .nonzero("chunk", NonZeroUsize::new(256).expect("256 > 0"))?
+        .get();
+    let decay = match args.kv.get("decay") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<f64>()
+                .map_err(|_| format!("--decay expects a number, got '{v}'"))?,
+        ),
+    };
+    let ctx = context(args, "ata")?;
+    let t0 = std::time::Instant::now();
+    let mut acc: GramAccumulator<f64> = ctx.gram_accumulator(n);
+    let mut r0 = 0usize;
+    while r0 < m {
+        let r1 = (r0 + chunk).min(m);
+        if let Some(beta) = decay {
+            acc.decay(beta);
+        }
+        acc.push(a.as_ref().block(r0, r1, 0, n));
+        r0 = r1;
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    println!(
+        "streamed {m}x{n} in {} chunks of <= {chunk} rows ({} syrk-direct, {} strassen) in {dt:.3}s",
+        acc.pushes(),
+        acc.thin_pushes(),
+        acc.tall_pushes()
+    );
+    let g = acc.finish().into_dense();
+    io::save(&g, out).map_err(|e| e.to_string())?;
+    println!("C = A^T A ({n}x{n}) -> {out}");
+    Ok(())
+}
+
+/// Execute many independent gram problems as one batched dispatch
+/// across the context's worker pool (one problem per worker).
+fn cmd_batch(args: &Args) -> Result<(), String> {
+    let inputs_arg = args.required("inputs")?;
+    let out_dir = args.required("out-dir")?;
+    let paths: Vec<&str> = inputs_arg.split(',').filter(|s| !s.is_empty()).collect();
+    if paths.is_empty() {
+        return Err("--inputs needs at least one file".to_string());
+    }
+    let mats: Vec<Matrix<f64>> = paths
+        .iter()
+        .map(|p| io::load(p).map_err(|e| format!("{p}: {e}")))
+        .collect::<Result<_, _>>()?;
+    let ctx = context(args, "ata")?;
+    let shapes: Vec<(usize, usize)> = mats.iter().map(|a| a.shape()).collect();
+    let t0 = std::time::Instant::now();
+    let batch = ctx.batch_plan::<f64>(&shapes, Output::Gram);
+    let refs: Vec<_> = mats.iter().map(|a| a.as_ref()).collect();
+    let outs = batch.execute_batch(&refs);
+    let dt = t0.elapsed().as_secs_f64();
+    std::fs::create_dir_all(out_dir).map_err(|e| e.to_string())?;
+    for (i, (path, out)) in paths.iter().zip(outs).enumerate() {
+        let stem = std::path::Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("input");
+        let dest = format!("{out_dir}/{stem}_gram_{i}.csv");
+        io::save(&out.into_dense(), &dest).map_err(|e| e.to_string())?;
+    }
+    println!(
+        "batched {} grams in {dt:.3}s ({:.1} problems/s, plan cache: {} hits / {} misses) -> {out_dir}",
+        paths.len(),
+        paths.len() as f64 / dt.max(1e-12),
+        ctx.plan_cache_hits(),
+        ctx.plan_cache_misses()
+    );
+    Ok(())
+}
+
 /// Run the kernel calibration sweeps and print the measured table in
 /// the shape of `ata_kernels::calibrate`'s baked records, so new
 /// hardware can be re-tuned by pasting the output over the constants
@@ -253,12 +343,15 @@ fn cmd_info(args: &Args) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: ata <gen|gram|verify|info> [--key value ...]\n\
+    "usage: ata <gen|gram|stream|batch|verify|info> [--key value ...]\n\
      \n  ata gen    --rows M --cols N [--seed S] --out FILE\
      \n  ata gram   --input FILE --out FILE [--threads T] [--repeat K]\
      \n             [--algo ata|ata-s|ata-d|syrk|naive] [--ranks R]\
      \n             [--wire packed|dense] [--cache-words W]\
      \n             [--strassen classic|winograd]\
+     \n  ata stream --input FILE --out FILE [--chunk R] [--decay B]\
+     \n             [--threads T] [--cache-words W]\
+     \n  ata batch  --inputs F1,F2,... --out-dir DIR [--threads T]\
      \n  ata verify --input FILE [--threads T]\
      \n  ata info   --input FILE\
      \n  ata calibrate [--quick 1]"
@@ -268,14 +361,17 @@ fn usage() -> String {
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let result = match argv.first().map(String::as_str) {
-        Some(cmd @ ("gen" | "gram" | "verify" | "info" | "calibrate")) => Args::parse(&argv[1..])
-            .and_then(|args| match cmd {
+        Some(cmd @ ("gen" | "gram" | "stream" | "batch" | "verify" | "info" | "calibrate")) => {
+            Args::parse(&argv[1..]).and_then(|args| match cmd {
                 "gen" => cmd_gen(&args),
                 "gram" => cmd_gram(&args),
+                "stream" => cmd_stream(&args),
+                "batch" => cmd_batch(&args),
                 "verify" => cmd_verify(&args),
                 "calibrate" => cmd_calibrate(&args),
                 _ => cmd_info(&args),
-            }),
+            })
+        }
         _ => Err(usage()),
     };
     match result {
@@ -487,6 +583,69 @@ mod tests {
             "x",
         ]));
         assert!(bad.is_err());
+    }
+
+    #[test]
+    fn stream_matches_one_shot_gram() {
+        let dir = std::env::temp_dir().join("ata_cli_stream");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let a_path = dir.join("a.csv").to_string_lossy().to_string();
+        let g1 = dir.join("g_oneshot.csv").to_string_lossy().to_string();
+        let g2 = dir.join("g_stream.csv").to_string_lossy().to_string();
+        cmd_gen(&args(&[
+            "--rows", "90", "--cols", "16", "--out", &a_path, "--seed", "9",
+        ]))
+        .expect("gen");
+        cmd_gram(&args(&["--input", &a_path, "--out", &g1])).expect("gram");
+        // Ragged tail on purpose: 90 rows in chunks of 32 -> 32+32+26.
+        cmd_stream(&args(&["--input", &a_path, "--out", &g2, "--chunk", "32"])).expect("stream");
+        let one: Matrix<f64> = io::load(&g1).expect("g1");
+        let st: Matrix<f64> = io::load(&g2).expect("g2");
+        assert!(one.max_abs_diff(&st) < 1e-10);
+        assert!(st.is_symmetric(0.0));
+        // Bad decay value is a clean error.
+        assert!(cmd_stream(&args(&["--input", &a_path, "--out", &g2, "--decay", "x",])).is_err());
+    }
+
+    #[test]
+    fn batch_writes_one_gram_per_input() {
+        let dir = std::env::temp_dir().join("ata_cli_batch");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let mut paths = Vec::new();
+        for i in 0..3 {
+            let p = dir.join(format!("in{i}.csv")).to_string_lossy().to_string();
+            cmd_gen(&args(&[
+                "--rows",
+                "24",
+                "--cols",
+                "12",
+                "--seed",
+                &i.to_string(),
+                "--out",
+                &p,
+            ]))
+            .expect("gen");
+            paths.push(p);
+        }
+        let out_dir = dir.join("out").to_string_lossy().to_string();
+        cmd_batch(&args(&[
+            "--inputs",
+            &paths.join(","),
+            "--out-dir",
+            &out_dir,
+            "--threads",
+            "2",
+        ]))
+        .expect("batch");
+        for (i, p) in paths.iter().enumerate() {
+            let a: Matrix<f64> = io::load(p).expect("in");
+            let g: Matrix<f64> =
+                io::load(format!("{out_dir}/in{i}_gram_{i}.csv")).expect("gram out");
+            assert_eq!(g.shape(), (12, 12));
+            assert!(g.max_abs_diff(&reference::gram(a.as_ref())) < 1e-10);
+        }
+        // Empty input list is a clean error.
+        assert!(cmd_batch(&args(&["--inputs", "", "--out-dir", &out_dir])).is_err());
     }
 
     #[test]

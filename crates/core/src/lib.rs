@@ -49,7 +49,10 @@ pub use analysis::{ata_mults, effective_gflops};
 pub use blas_parity::{aat, aat_lower, ata_syrk, strassen_gemm};
 pub use naive::{ata_naive, recursive_gemm};
 pub use parallel::{ata_s, ata_s_kind, ata_s_planned, plan_workspace_elems, task_workspace_elems};
-pub use serial::{ata_into, ata_into_with, ata_into_with_kind, ata_workspace_elems, StrassenKind};
+pub use serial::{
+    ata_into, ata_into_with, ata_into_with_kind, ata_workspace_elems, chunk_rows_for_budget,
+    StrassenKind,
+};
 
 use ata_kernels::CacheConfig;
 use ata_mat::{MatRef, Matrix, Scalar, SymPacked};

@@ -150,6 +150,22 @@ pub fn ata_workspace_elems(m: usize, n: usize, cfg: &CacheConfig, kind: Strassen
     .unwrap_or(0)
 }
 
+/// Tallest row-chunk height that still hits the `syrk` base case for an
+/// `n`-column input under `cfg` — the thin/tall threshold of streaming
+/// Gram accumulation.
+///
+/// A chunk of at most this many rows satisfies `cfg.ata_base(rows, n)`,
+/// so `C += Aᵢᵀ Aᵢ` runs as one direct β = 1 `syrk_ln` rank update with
+/// no recursion and no Strassen workspace; taller chunks are worth the
+/// full AtA recursion. Always at least 1 (a single row is a rank-1
+/// update no matter how wide), and saturates to `usize::MAX` for `n = 0`.
+pub fn chunk_rows_for_budget(n: usize, cfg: &CacheConfig) -> usize {
+    if n == 0 {
+        return usize::MAX;
+    }
+    (cfg.words / n).max(1)
+}
+
 fn rec<T: Scalar>(
     alpha: T,
     a: MatRef<'_, T>,
@@ -333,6 +349,52 @@ mod tests {
                     need,
                     "({m},{n},{words},{kind:?}): presized arena regrew"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_threshold_matches_base_case_predicate() {
+        for words in [4usize, 64, 1024, 131_072] {
+            let cfg = CacheConfig::with_words(words);
+            for n in [1usize, 7, 32, 100] {
+                let rows = chunk_rows_for_budget(n, &cfg);
+                assert!(rows >= 1);
+                if rows < usize::MAX && rows * n <= words {
+                    assert!(cfg.ata_base(rows, n), "({words},{n}): {rows} not base");
+                }
+                if rows.saturating_mul(n) > words {
+                    // Only possible through the >= 1 floor.
+                    assert_eq!(rows, 1, "({words},{n})");
+                }
+                // One more row must overflow the budget (or be the floor).
+                if rows < usize::MAX && rows > 1 {
+                    assert!(!cfg.ata_base(rows + 1, n), "({words},{n}) not maximal");
+                }
+            }
+        }
+        assert_eq!(
+            chunk_rows_for_budget(0, &CacheConfig::with_words(16)),
+            usize::MAX
+        );
+    }
+
+    #[test]
+    fn workspace_requirement_is_monotone_in_rows() {
+        // Streaming accumulators warm one arena for their tallest chunk
+        // and reuse it for every shorter one; that is sound because the
+        // requirement never shrinks as rows grow.
+        for kind in [StrassenKind::Classic, StrassenKind::Winograd] {
+            for words in [4usize, 16, 64] {
+                let cfg = CacheConfig::with_words(words);
+                for n in [5usize, 16, 33] {
+                    let mut prev = 0usize;
+                    for m in 1..=64usize {
+                        let need = ata_workspace_elems(m, n, &cfg, kind);
+                        assert!(need >= prev, "({m},{n},{words},{kind:?}): {need} < {prev}");
+                        prev = need;
+                    }
+                }
             }
         }
     }

@@ -36,7 +36,7 @@ pub mod syrk;
 
 pub use gemm::gemm_tn;
 pub use micro::{KernelConfig, KernelPath};
-pub use syrk::syrk_ln;
+pub use syrk::{syrk_ln, syrk_ln_beta};
 
 /// Cache-size model driving the base-case tests of the recursive
 /// algorithms (Algorithm 1 line 2; Algorithm 2 line 2).

@@ -34,3 +34,47 @@ pub use lstsq::solve_normal_equations;
 pub use ortho::{mgs_orthonormalize, orthogonality_defect};
 pub use ridge::RidgeSolver;
 pub use svd::singular_values;
+
+use ata_core::{parallel::ata_s_kind, serial::ata_into_with_kind, AtaOptions};
+use ata_mat::{MatRef, Matrix, Scalar};
+use ata_strassen::StrassenWorkspace;
+
+/// Internal Gram plumbing: the lower triangle of `A^T A` honoring the
+/// legacy [`AtaOptions`] knobs, through the non-deprecated core entry
+/// points. The serial case runs inline on the calling thread (no pool
+/// spawn-up, and thread-local scalar state like `Tracked` counters
+/// stays observable); `threads > 1` goes through AtA-S. This keeps the
+/// crate's stable `AtaOptions` signatures off the deprecated `_with`
+/// wrappers.
+pub(crate) fn gram_lower_opts<T: Scalar>(a: MatRef<'_, T>, opts: &AtaOptions) -> Matrix<T> {
+    let n = a.cols();
+    let mut c = Matrix::zeros(n, n);
+    if opts.threads <= 1 {
+        let mut ws = StrassenWorkspace::empty();
+        ata_into_with_kind(
+            T::ONE,
+            a,
+            &mut c.as_mut(),
+            &opts.cache,
+            opts.strassen,
+            &mut ws,
+        );
+    } else {
+        ata_s_kind(
+            T::ONE,
+            a,
+            &mut c.as_mut(),
+            opts.threads,
+            &opts.cache,
+            opts.strassen,
+        );
+    }
+    c
+}
+
+/// [`gram_lower_opts`] with both triangles filled.
+pub(crate) fn gram_full_opts<T: Scalar>(a: MatRef<'_, T>, opts: &AtaOptions) -> Matrix<T> {
+    let mut c = gram_lower_opts(a, opts);
+    c.mirror_lower_to_upper();
+    c
+}

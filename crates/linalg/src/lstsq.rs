@@ -11,10 +11,8 @@
 //! fastest dense method.
 
 use crate::cholesky::{cholesky_factor, cholesky_solve, CholeskyError};
-// The linalg layer keeps the stable `AtaOptions`-based signature and
-// intentionally rides the legacy one-shot path underneath.
-#[allow(deprecated)]
-use ata_core::{lower_with, AtaOptions};
+use crate::gram_lower_opts;
+use ata_core::AtaOptions;
 use ata_kernels::gemm_tn;
 use ata_mat::{MatRef, Matrix, Scalar};
 
@@ -42,8 +40,7 @@ pub fn solve_normal_equations<T: Scalar>(
     assert_eq!(b.len(), m, "rhs length must equal A's row count");
 
     // G = A^T A via AtA (lower triangle is all Cholesky needs).
-    #[allow(deprecated)]
-    let mut g = lower_with(a, opts);
+    let mut g = gram_lower_opts(a, opts);
 
     // rhs = A^T b via the transposed-left kernel (b as an m x 1 block).
     let b_mat = Matrix::from_vec(b.to_vec(), m, 1);

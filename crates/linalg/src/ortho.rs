@@ -2,9 +2,8 @@
 //! straightforward, yet effective, method to check for orthogonality
 //! [...] repeatedly computed in the Gram-Schmidt algorithm".
 
-// Intentionally rides the legacy one-shot path (see `lstsq`).
-#[allow(deprecated)]
-use ata_core::{gram_with, AtaOptions};
+use crate::gram_full_opts;
+use ata_core::AtaOptions;
 use ata_kernels::level1::{axpy, dot, nrm2, scal};
 use ata_mat::{MatRef, Matrix, Scalar};
 
@@ -47,8 +46,7 @@ pub fn mgs_orthonormalize<T: Scalar>(a: MatRef<'_, T>) -> Matrix<T> {
 /// Orthogonality defect `max_ij |Q^T Q - I|`, computed with a single
 /// AtA product — the paper's one-product orthogonality check.
 pub fn orthogonality_defect<T: Scalar>(q: MatRef<'_, T>, opts: &AtaOptions) -> f64 {
-    #[allow(deprecated)]
-    let g = gram_with(q, opts);
+    let g = gram_full_opts(q, opts);
     let n = q.cols();
     let mut worst = 0.0f64;
     for i in 0..n {

@@ -10,9 +10,8 @@
 //! factorizations.
 
 use crate::cholesky::{cholesky_factor, cholesky_solve, CholeskyError};
-// Intentionally rides the legacy one-shot path (see `lstsq`).
-#[allow(deprecated)]
-use ata_core::{lower_with, AtaOptions};
+use crate::gram_lower_opts;
+use ata_core::AtaOptions;
 use ata_kernels::gemm_tn;
 use ata_mat::{MatRef, Matrix, Scalar};
 
@@ -37,8 +36,7 @@ impl<T: Scalar> RidgeSolver<T> {
             "ridge regression needs a tall (overdetermined) system"
         );
         assert_eq!(b.len(), m, "rhs length must equal A's row count");
-        #[allow(deprecated)]
-        let gram_lower = lower_with(a, opts);
+        let gram_lower = gram_lower_opts(a, opts);
         let b_mat = Matrix::from_vec(b.to_vec(), m, 1);
         let mut rhs = Matrix::<T>::zeros(n, 1);
         gemm_tn(T::ONE, a, b_mat.as_ref(), &mut rhs.as_mut());

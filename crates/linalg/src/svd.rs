@@ -11,16 +11,14 @@
 //! applications use it.)
 
 use crate::eigen::jacobi_eigen;
-// Intentionally rides the legacy one-shot path (see `lstsq`).
-#[allow(deprecated)]
-use ata_core::{lower_with, AtaOptions};
+use crate::gram_lower_opts;
+use ata_core::AtaOptions;
 use ata_mat::{MatRef, Matrix, Scalar};
 
 /// Singular values of `A` (descending). Negative Gram eigenvalues
 /// produced by roundoff are clamped to zero.
 pub fn singular_values<T: Scalar>(a: MatRef<'_, T>, opts: &AtaOptions) -> Vec<f64> {
-    #[allow(deprecated)]
-    let g = lower_with(a, opts);
+    let g = gram_lower_opts(a, opts);
     let (w, _) = jacobi_eigen(&g, 1e-12);
     w.into_iter().map(|x| x.max(0.0).sqrt()).collect()
 }
@@ -30,8 +28,7 @@ pub fn singular_values<T: Scalar>(a: MatRef<'_, T>, opts: &AtaOptions) -> Vec<f6
 /// (`A = U diag(sigma) V^T`; `U`'s columns are `A v_i / sigma_i` for
 /// nonzero `sigma_i`).
 pub fn gram_svd<T: Scalar>(a: MatRef<'_, T>, opts: &AtaOptions) -> (Vec<f64>, Matrix<f64>) {
-    #[allow(deprecated)]
-    let g = lower_with(a, opts);
+    let g = gram_lower_opts(a, opts);
     let (w, v) = jacobi_eigen(&g, 1e-12);
     (w.into_iter().map(|x| x.max(0.0).sqrt()).collect(), v)
 }

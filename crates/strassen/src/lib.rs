@@ -29,6 +29,6 @@ pub mod winograd;
 pub mod workspace;
 
 pub use fast::{fast_strassen, fast_strassen_with, strassen_mults};
-pub use pool::ArenaPool;
+pub use pool::{ArenaPool, ArenaStats};
 pub use winograd::{required_elems_winograd, winograd_strassen, winograd_strassen_with};
 pub use workspace::{required_elems, StrassenWorkspace};

@@ -15,10 +15,28 @@
 //! `give_back` returns it; concurrent workers each check out their own
 //! arena, so the executing recursions never share a buffer.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use crate::workspace::StrassenWorkspace;
 use ata_mat::Scalar;
+
+/// Allocation-behavior counters of an [`ArenaPool`] — the observability
+/// hook behind "steady-state executions allocate nothing" claims.
+///
+/// A warm pool serving a fixed working set has `misses` and `grows`
+/// constant while `checkouts` keeps climbing: every checkout was served
+/// from cache at sufficient capacity. Streaming callers (the facade's
+/// `GramAccumulator`) assert exactly that across pushes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ArenaStats {
+    /// Total arenas handed out.
+    pub checkouts: usize,
+    /// Checkouts that found no cached arena and had to allocate fresh.
+    pub misses: usize,
+    /// Checkouts whose cached arena was under-sized and had to regrow.
+    pub grows: usize,
+}
 
 /// A synchronized free list of [`StrassenWorkspace`] arenas.
 ///
@@ -28,14 +46,15 @@ use ata_mat::Scalar;
 #[derive(Debug, Default)]
 pub struct ArenaPool<T> {
     free: Mutex<Vec<StrassenWorkspace<T>>>,
+    checkouts: AtomicUsize,
+    misses: AtomicUsize,
+    grows: AtomicUsize,
 }
 
 impl<T: Scalar> ArenaPool<T> {
     /// Empty pool.
     pub fn new() -> Self {
-        Self {
-            free: Mutex::new(Vec::new()),
-        }
+        Self::default()
     }
 
     /// Check out an arena with at least `min_elems` capacity, reusing a
@@ -52,9 +71,24 @@ impl<T: Scalar> ArenaPool<T> {
                 .map(|(i, _)| i);
             best.map(|i| free.swap_remove(i))
         };
+        self.checkouts.fetch_add(1, Ordering::Relaxed);
+        if cached.is_none() {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else if cached.as_ref().is_some_and(|ws| ws.capacity() < min_elems) {
+            self.grows.fetch_add(1, Ordering::Relaxed);
+        }
         let mut ws = cached.unwrap_or_else(StrassenWorkspace::empty);
         ws.reserve_elems(min_elems);
         ws
+    }
+
+    /// Snapshot of the pool's allocation counters.
+    pub fn stats(&self) -> ArenaStats {
+        ArenaStats {
+            checkouts: self.checkouts.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            grows: self.grows.load(Ordering::Relaxed),
+        }
     }
 
     /// Return an arena to the free list for future checkouts.
@@ -152,6 +186,28 @@ mod tests {
             assert_eq!(pool.cached(), 2, "warm({elems}) accumulated arenas");
         }
         assert_eq!(pool.cached_elems(), 2 * 1000);
+    }
+
+    #[test]
+    fn stats_track_misses_and_grows() {
+        let pool = ArenaPool::<f64>::new();
+        assert_eq!(pool.stats(), ArenaStats::default());
+        // First checkout: a miss (fresh allocation).
+        let ws = pool.checkout(64);
+        assert_eq!(pool.stats().misses, 1);
+        pool.give_back(ws);
+        // Steady state: cached arena at sufficient capacity — no new
+        // misses, no grows, only checkouts.
+        for _ in 0..5 {
+            let ws = pool.checkout(64);
+            pool.give_back(ws);
+        }
+        let s = pool.stats();
+        assert_eq!((s.checkouts, s.misses, s.grows), (6, 1, 0));
+        // An oversized request regrows the cached arena.
+        let ws = pool.checkout(256);
+        pool.give_back(ws);
+        assert_eq!(pool.stats().grows, 1);
     }
 
     #[test]

@@ -54,6 +54,7 @@
 use std::any::{Any, TypeId};
 use std::collections::HashMap;
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use ata_core::serial::{ata_into_with_kind, ata_workspace_elems, StrassenKind};
@@ -92,7 +93,7 @@ pub enum Backend {
 
 /// Which representation of `C = A^T A` an execution produces — unifying
 /// the historical `gram` / `lower` / `packed` entry-point triple.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Output {
     /// Full symmetric matrix (both triangles filled).
     #[default]
@@ -168,6 +169,40 @@ impl ArenaCache {
 }
 
 // ---------------------------------------------------------------------
+// Plan flavor and the shape-keyed plan cache.
+// ---------------------------------------------------------------------
+
+/// How a plan decomposes its problem — the second half of a plan-cache
+/// key (alongside the shape and [`Output`] selector).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum PlanFlavor {
+    /// Follow the context's backend (the [`AtaContext::plan`] default).
+    Auto,
+    /// Always the serial recursion, regardless of backend: the batched
+    /// serving shape, where a whole problem is one worker's task and
+    /// parallelism comes from running many problems at once (see
+    /// [`crate::batch::BatchPlan`]).
+    SerialLeaf,
+}
+
+/// Key of one cached plan core: scalar type, shape, output selector and
+/// decomposition flavor. The context's configuration (backend, cache
+/// model, Strassen kind, wire format) is immutable, so it never needs to
+/// participate in the key.
+type PlanKey = (TypeId, usize, usize, Output, PlanFlavor);
+
+/// Shape-keyed cache of type-erased `Arc<PlanCore<T>>` values, plus
+/// hit/miss counters. Serving workloads (the batch and service
+/// front-ends, the one-shot conveniences) re-plan the same handful of
+/// shapes constantly; caching the cores makes re-planning a hash lookup.
+#[derive(Debug, Default)]
+struct PlanCache {
+    map: Mutex<HashMap<PlanKey, Box<dyn Any + Send + Sync>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+// ---------------------------------------------------------------------
 // Context.
 // ---------------------------------------------------------------------
 
@@ -175,7 +210,10 @@ impl ArenaCache {
 #[derive(Debug)]
 pub struct AtaContextBuilder {
     backend: Backend,
-    cache: CacheConfig,
+    /// `None` = resolve per scalar type at planning time
+    /// ([`CacheConfig::for_scalar`]), so an `f32` plan gets the
+    /// `f32`-calibrated cutoff instead of inheriting the `f64` default.
+    cache: Option<CacheConfig>,
     strassen: StrassenKind,
     wire: WireFormat,
     dedicated_pool: bool,
@@ -185,7 +223,7 @@ impl Default for AtaContextBuilder {
     fn default() -> Self {
         Self {
             backend: Backend::Serial,
-            cache: CacheConfig::default(),
+            cache: None,
             strassen: StrassenKind::Classic,
             wire: WireFormat::default(),
             dedicated_pool: true,
@@ -205,15 +243,17 @@ impl AtaContextBuilder {
         self.backend(Backend::Shared { threads })
     }
 
-    /// Override the cache model deciding recursion base cases.
+    /// Override the cache model deciding recursion base cases. Without
+    /// an override, each plan resolves the calibrated cutoff for its own
+    /// scalar type ([`CacheConfig::for_scalar`]).
     pub fn cache(mut self, cache: CacheConfig) -> Self {
-        self.cache = cache;
+        self.cache = Some(cache);
         self
     }
 
     /// Override the cache budget in elements.
     pub fn cache_words(mut self, words: usize) -> Self {
-        self.cache = CacheConfig::with_words(words);
+        self.cache = Some(CacheConfig::with_words(words));
         self
     }
 
@@ -263,6 +303,7 @@ impl AtaContextBuilder {
                 wire: self.wire,
                 pool,
                 arenas: ArenaCache::default(),
+                plans: PlanCache::default(),
             }),
         }
     }
@@ -272,11 +313,59 @@ impl AtaContextBuilder {
 #[derive(Debug)]
 struct ContextInner {
     backend: Backend,
-    cache: CacheConfig,
+    cache: Option<CacheConfig>,
     strassen: StrassenKind,
     wire: WireFormat,
     pool: Option<rayon::ThreadPool>,
     arenas: ArenaCache,
+    plans: PlanCache,
+}
+
+impl ContextInner {
+    /// The cache model plans of scalar type `T` use: the explicit
+    /// override when one was configured, otherwise the per-scalar
+    /// calibrated default.
+    fn cache_for<T: Scalar>(&self) -> CacheConfig {
+        self.cache.unwrap_or_else(CacheConfig::for_scalar::<T>)
+    }
+
+    /// Fetch or build the cached plan core for `(T, m, n, output,
+    /// flavor)`. On a hit the core's cheap warm-up still runs, so the
+    /// *calling* thread's packing buffers are grown even when another
+    /// thread built the plan.
+    fn plan_core<T: Scalar + 'static>(
+        self: &Arc<Self>,
+        m: usize,
+        n: usize,
+        output: Output,
+        flavor: PlanFlavor,
+    ) -> Arc<PlanCore<T>> {
+        let key = (TypeId::of::<T>(), m, n, output, flavor);
+        {
+            let map = self.plans.map.lock().expect("plan cache poisoned");
+            if let Some(entry) = map.get(&key) {
+                let core = entry
+                    .downcast_ref::<Arc<PlanCore<T>>>()
+                    .expect("plan cache entry has the keyed type")
+                    .clone();
+                drop(map);
+                self.plans.hits.fetch_add(1, Ordering::Relaxed);
+                core.warm(self);
+                return core;
+            }
+        }
+        // Build outside the lock (planning is the expensive phase); a
+        // concurrent builder of the same key wins via the entry API, so
+        // every caller ends up sharing one core.
+        let built = Arc::new(PlanCore::<T>::build(self, m, n, output, flavor));
+        self.plans.misses.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.plans.map.lock().expect("plan cache poisoned");
+        map.entry(key)
+            .or_insert_with(|| Box::new(built))
+            .downcast_ref::<Arc<PlanCore<T>>>()
+            .expect("plan cache entry has the keyed type")
+            .clone()
+    }
 }
 
 /// A reusable execution context: configuration plus the persistent
@@ -341,9 +430,12 @@ impl AtaContext {
         self.inner.backend
     }
 
-    /// The context's cache model.
+    /// The context's cache model. When no explicit override was
+    /// configured this reports the process default ([`CacheConfig::default`]);
+    /// the model a plan actually uses is resolved per scalar type at
+    /// planning time — see [`AtaPlan::cache`].
     pub fn cache(&self) -> CacheConfig {
-        self.inner.cache
+        self.inner.cache.unwrap_or_default()
     }
 
     /// The context's product scheme.
@@ -371,6 +463,14 @@ impl AtaContext {
     /// planning thread pre-grown (worker threads warm theirs on first
     /// execution and keep them for the life of the pool), so
     /// steady-state `execute` calls stay allocation-free.
+    ///
+    /// Plans are memoized in a shape-keyed cache on the context:
+    /// re-planning an already-planned `(T, m, n, output)` combination is
+    /// a hash lookup returning the same shared core (see
+    /// [`AtaContext::plan_cache_len`]). The serving front-ends —
+    /// [`crate::batch::BatchPlan`], [`crate::service::AtaService`], the
+    /// one-shot conveniences — lean on this to re-plan per call for
+    /// free.
     pub fn plan_with<T: Scalar + 'static>(
         &self,
         m: usize,
@@ -379,7 +479,7 @@ impl AtaContext {
     ) -> AtaPlan<'_, T> {
         AtaPlan {
             ctx: self,
-            core: PlanCore::build(&self.inner, m, n, output),
+            core: self.inner.plan_core(m, n, output, PlanFlavor::Auto),
         }
     }
 
@@ -393,8 +493,66 @@ impl AtaContext {
     ) -> OwnedPlan<T> {
         OwnedPlan {
             ctx: self.clone(),
-            core: PlanCore::build(&self.inner, m, n, output),
+            core: self.inner.plan_core(m, n, output, PlanFlavor::Auto),
         }
+    }
+
+    /// Build the cached serial-leaf plan core used by the batched
+    /// serving paths: the whole problem is one task, executed by a
+    /// single worker with the serial recursion.
+    pub(crate) fn serial_leaf_core<T: Scalar + 'static>(
+        &self,
+        m: usize,
+        n: usize,
+        output: Output,
+    ) -> Arc<PlanCore<T>> {
+        self.inner.plan_core(m, n, output, PlanFlavor::SerialLeaf)
+    }
+
+    /// Build (or fetch) the cached backend-following plan core — what
+    /// [`AtaContext::plan_with`] wraps. The streaming accumulator uses
+    /// this to run tall chunks through the context's configured engine.
+    pub(crate) fn auto_core<T: Scalar + 'static>(
+        &self,
+        m: usize,
+        n: usize,
+        output: Output,
+    ) -> Arc<PlanCore<T>> {
+        self.inner.plan_core(m, n, output, PlanFlavor::Auto)
+    }
+
+    /// Number of distinct plan cores currently memoized in the context's
+    /// shape-keyed plan cache (all scalar types and flavors).
+    pub fn plan_cache_len(&self) -> usize {
+        self.inner
+            .plans
+            .map
+            .lock()
+            .expect("plan cache poisoned")
+            .len()
+    }
+
+    /// How many plan requests were served from the shape-keyed cache.
+    pub fn plan_cache_hits(&self) -> usize {
+        self.inner.plans.hits.load(Ordering::Relaxed)
+    }
+
+    /// How many plan requests had to build a fresh core.
+    pub fn plan_cache_misses(&self) -> usize {
+        self.inner.plans.misses.load(Ordering::Relaxed)
+    }
+
+    /// Drop every memoized plan core. Long-lived services seeing an
+    /// unbounded diversity of shapes can call this to bound the cache's
+    /// footprint; plans already handed out keep working (they share the
+    /// cores by `Arc`).
+    pub fn clear_plan_cache(&self) {
+        self.inner
+            .plans
+            .map
+            .lock()
+            .expect("plan cache poisoned")
+            .clear();
     }
 
     /// One-shot full symmetric Gram matrix through this context.
@@ -422,9 +580,42 @@ impl AtaContext {
             .into_packed()
     }
 
-    #[cfg(test)]
-    fn arena_pool<T: Scalar + 'static>(&self) -> Arc<ArenaPool<T>> {
+    /// The cache model a plan of scalar type `T` would resolve under
+    /// this context (explicit override or per-scalar default).
+    pub(crate) fn cache_for<T: Scalar>(&self) -> CacheConfig {
+        self.inner.cache_for::<T>()
+    }
+
+    /// The context's arena pool for `T` — shared by every plan and the
+    /// streaming/batched front-ends.
+    pub(crate) fn arena_pool<T: Scalar + 'static>(&self) -> Arc<ArenaPool<T>> {
         self.inner.arenas.pool::<T>()
+    }
+
+    /// The context's dedicated worker pool, if the backend spawned one.
+    pub(crate) fn worker_pool(&self) -> Option<&rayon::ThreadPool> {
+        self.inner.pool.as_ref()
+    }
+
+    /// Execute a cached plan core through this context (fresh output).
+    pub(crate) fn execute_core<T: Scalar + 'static>(
+        &self,
+        core: &PlanCore<T>,
+        a: MatRef<'_, T>,
+    ) -> AtaOutput<T> {
+        core.execute(&self.inner, a)
+    }
+
+    /// Accumulate a cached plan core's product into `c`'s lower
+    /// triangle through this context: `C_low += alpha * A^T A`.
+    pub(crate) fn accumulate_core<T: Scalar + 'static>(
+        &self,
+        core: &PlanCore<T>,
+        alpha: T,
+        a: MatRef<'_, T>,
+        c: &mut MatMut<'_, T>,
+    ) {
+        core.accumulate_lower(&self.inner, alpha, a, c);
     }
 }
 
@@ -440,12 +631,18 @@ pub fn default_context() -> &'static AtaContext {
 // ---------------------------------------------------------------------
 
 /// The context-independent part of a plan: everything pre-computed at
-/// planning time, shared by [`AtaPlan`] and [`OwnedPlan`].
+/// planning time, shared by [`AtaPlan`] and [`OwnedPlan`] — and, through
+/// the context's shape-keyed cache, by every later plan of the same
+/// shape.
 #[derive(Debug)]
-struct PlanCore<T> {
+pub(crate) struct PlanCore<T> {
     m: usize,
     n: usize,
     output: Output,
+    /// Decomposition flavor this core was built (and cached) under.
+    flavor: PlanFlavor,
+    /// The cache model resolved for `T` at planning time.
+    cache: CacheConfig,
     /// Prebuilt AtA-S task tree ([`Backend::Shared`] only).
     shared: Option<SharedPlan>,
     /// Prebuilt AtA-D plan — task tree + distribution layout
@@ -461,24 +658,22 @@ struct PlanCore<T> {
 }
 
 impl<T: Scalar + 'static> PlanCore<T> {
-    fn build(inner: &ContextInner, m: usize, n: usize, output: Output) -> Self {
+    fn build(inner: &ContextInner, m: usize, n: usize, output: Output, flavor: PlanFlavor) -> Self {
+        let cache = inner.cache_for::<T>();
         let arenas = inner.arenas.pool::<T>();
         let mut dist = None;
-        let (shared, ws_elems) = match inner.backend {
-            Backend::Serial => {
-                let need = ata_workspace_elems(m, n, &inner.cache, inner.strassen);
-                arenas.warm(1, need);
-                (None, need)
+        let (shared, ws_elems) = match (flavor, inner.backend) {
+            (PlanFlavor::SerialLeaf, _) | (PlanFlavor::Auto, Backend::Serial) => {
+                (None, ata_workspace_elems(m, n, &cache, inner.strassen))
             }
-            Backend::Shared { threads } => {
+            (PlanFlavor::Auto, Backend::Shared { threads }) => {
                 let plan = SharedPlan::build(n, threads.get());
-                let need = plan_workspace_elems(&plan, m, &inner.cache, inner.strassen);
-                arenas.warm(threads.get(), need);
+                let need = plan_workspace_elems(&plan, m, &cache, inner.strassen);
                 (Some(plan), need)
             }
-            Backend::SimulatedDist { ranks, .. } => {
+            (PlanFlavor::Auto, Backend::SimulatedDist { ranks, .. }) => {
                 let cfg = AtaDConfig {
-                    cache: inner.cache,
+                    cache,
                     wire: inner.wire,
                     ..AtaDConfig::default()
                 };
@@ -489,35 +684,128 @@ impl<T: Scalar + 'static> PlanCore<T> {
         // Leaf-kernel packing workspace (BLIS-style engine): sized from
         // the measured per-scalar blocking, warmed per thread.
         let (pack_a, pack_b) = KernelConfig::for_scalar::<T>().pack_buffer_elems();
-        let pack_elems = match inner.backend {
-            Backend::SimulatedDist { .. } => 0,
-            _ => {
-                ata_kernels::pack::warm_thread::<T>(pack_a, pack_b);
-                pack_a + pack_b
-            }
-        };
-        PlanCore {
+        let pack_elems = if dist.is_some() { 0 } else { pack_a + pack_b };
+        let core = PlanCore {
             m,
             n,
             output,
+            flavor,
+            cache,
             shared,
             dist,
             ws_elems,
             pack_elems,
             arenas,
+        };
+        core.warm(inner);
+        core
+    }
+
+    /// Warm the shared resources this core relies on: the context's
+    /// arena pool (to the exact per-worker requirement) and the calling
+    /// thread's packing buffers. Idempotent and cheap once warm, so
+    /// plan-cache hits re-run it for the benefit of new calling threads.
+    fn warm(&self, inner: &ContextInner) {
+        let arena_count = match (self.flavor, inner.backend) {
+            (PlanFlavor::Auto, Backend::SimulatedDist { .. }) => 0,
+            (PlanFlavor::Auto, Backend::Serial) => 1,
+            (PlanFlavor::Auto, Backend::Shared { threads }) => threads.get(),
+            // Batched serving: any pool worker may pick up a whole
+            // problem, so each needs its own arena.
+            (PlanFlavor::SerialLeaf, _) => match &inner.pool {
+                Some(pool) => pool.current_num_threads(),
+                None => rayon::current_num_threads(),
+            },
+        };
+        if arena_count > 0 {
+            self.arenas.warm(arena_count, self.ws_elems);
+        }
+        if self.pack_elems > 0 {
+            let (pack_a, pack_b) = KernelConfig::for_scalar::<T>().pack_buffer_elems();
+            ata_kernels::pack::warm_thread::<T>(pack_a, pack_b);
         }
     }
 
-    /// Compute the lower triangle of `C = A^T A` into `c` (which must be
-    /// zeroed by the caller on the written triangle).
-    fn compute_lower(&self, inner: &ContextInner, a: MatRef<'_, T>, c: &mut MatMut<'_, T>) {
-        match inner.backend {
-            Backend::Serial => {
+    /// Planned input shape `(m, n)`.
+    pub(crate) fn planned_shape(&self) -> (usize, usize) {
+        (self.m, self.n)
+    }
+
+    /// Planned output selector.
+    pub(crate) fn planned_output(&self) -> Output {
+        self.output
+    }
+
+    /// Accumulate the lower triangle: `C_low += A^T A`, the β = 1 mode
+    /// behind [`AtaPlan::execute_accumulate`] and the streaming
+    /// [`crate::stream::GramAccumulator`]. Strictly-upper entries of `c`
+    /// are never touched.
+    fn accumulate_lower(
+        &self,
+        inner: &ContextInner,
+        alpha: T,
+        a: MatRef<'_, T>,
+        c: &mut MatMut<'_, T>,
+    ) {
+        assert_eq!(
+            a.shape(),
+            (self.m, self.n),
+            "plan built for {}x{}, input is {:?}",
+            self.m,
+            self.n,
+            a.shape()
+        );
+        assert_eq!(
+            c.shape(),
+            (self.n, self.n),
+            "output must be {0}x{0}, got {1:?}",
+            self.n,
+            c.shape()
+        );
+        match (self.flavor, inner.backend) {
+            (PlanFlavor::SerialLeaf, _) | (PlanFlavor::Auto, Backend::Serial) => {
                 let mut ws = self.arenas.checkout(self.ws_elems);
-                ata_into_with_kind(T::ONE, a, c, &inner.cache, inner.strassen, &mut ws);
+                ata_into_with_kind(alpha, a, c, &self.cache, inner.strassen, &mut ws);
                 self.arenas.give_back(ws);
             }
-            Backend::Shared { .. } => {
+            (PlanFlavor::Auto, Backend::Shared { .. }) => {
+                let plan = self.shared.as_ref().expect("shared backend has a plan");
+                let mut exec =
+                    || ata_s_planned(alpha, a, c, plan, &self.cache, inner.strassen, &self.arenas);
+                match &inner.pool {
+                    Some(pool) => pool.install(exec),
+                    None => exec(),
+                }
+            }
+            (PlanFlavor::Auto, Backend::SimulatedDist { .. }) => {
+                // The simulated cluster computes a fresh lower triangle;
+                // fold it into the accumulator element-wise.
+                let mut fresh = Matrix::zeros(self.n, self.n);
+                self.compute_lower(inner, a, &mut fresh.as_mut());
+                for i in 0..self.n {
+                    for j in 0..=i {
+                        c[(i, j)] += alpha * fresh[(i, j)];
+                    }
+                }
+            }
+        }
+    }
+
+    /// Compute the lower triangle into `c`. The serial, shared and
+    /// serial-leaf arms accumulate (`C_low += A^T A`, the kernels'
+    /// native contract); the simulated-dist arm overwrites the lower
+    /// triangle with the cluster's result. Callers wanting a pure
+    /// product zero the triangle first; callers wanting accumulation on
+    /// the dist backend go through [`PlanCore::accumulate_lower`], which
+    /// folds the cluster result in via a scratch buffer.
+    fn compute_lower(&self, inner: &ContextInner, a: MatRef<'_, T>, c: &mut MatMut<'_, T>) {
+        match (self.flavor, inner.backend) {
+            (PlanFlavor::SerialLeaf, _) | (PlanFlavor::Auto, Backend::Serial) => {
+                let mut ws = self.arenas.checkout(self.ws_elems);
+                ata_into_with_kind(T::ONE, a, c, &self.cache, inner.strassen, &mut ws);
+                self.arenas.give_back(ws);
+            }
+            (PlanFlavor::Auto, Backend::Shared { .. }) => {
                 let plan = self.shared.as_ref().expect("shared backend has a plan");
                 match &inner.pool {
                     Some(pool) => pool.install(|| {
@@ -526,7 +814,7 @@ impl<T: Scalar + 'static> PlanCore<T> {
                             a,
                             c,
                             plan,
-                            &inner.cache,
+                            &self.cache,
                             inner.strassen,
                             &self.arenas,
                         )
@@ -536,13 +824,13 @@ impl<T: Scalar + 'static> PlanCore<T> {
                         a,
                         c,
                         plan,
-                        &inner.cache,
+                        &self.cache,
                         inner.strassen,
                         &self.arenas,
                     ),
                 }
             }
-            Backend::SimulatedDist { ranks, loggp } => {
+            (PlanFlavor::Auto, Backend::SimulatedDist { ranks, loggp }) => {
                 let plan = self.dist.as_ref().expect("dist backend has a plan");
                 let owned = a.to_matrix();
                 let n = self.n;
@@ -626,7 +914,7 @@ impl<T: Scalar + 'static> PlanCore<T> {
 #[derive(Debug)]
 pub struct AtaPlan<'ctx, T> {
     ctx: &'ctx AtaContext,
-    core: PlanCore<T>,
+    core: Arc<PlanCore<T>>,
 }
 
 /// An owned, `'static` execution plan for long-lived services: holds a
@@ -639,7 +927,7 @@ pub struct AtaPlan<'ctx, T> {
 #[derive(Debug)]
 pub struct OwnedPlan<T> {
     ctx: AtaContext,
-    core: PlanCore<T>,
+    core: Arc<PlanCore<T>>,
 }
 
 macro_rules! plan_accessors {
@@ -676,6 +964,14 @@ macro_rules! plan_accessors {
         pub fn dist_plan(&self) -> Option<&DistPlan> {
             self.core.dist.as_deref()
         }
+
+        /// The cache model this plan's recursion actually uses: the
+        /// context's explicit override when one was configured,
+        /// otherwise the calibrated per-scalar default resolved at
+        /// planning time ([`CacheConfig::for_scalar`]).
+        pub fn cache(&self) -> CacheConfig {
+            self.core.cache
+        }
     };
 }
 
@@ -708,6 +1004,20 @@ impl<T: Scalar + 'static> AtaPlan<'_, T> {
         self.core.execute(&self.ctx.inner, a)
     }
 
+    /// Accumulate into a caller-held buffer: `C_low += A^T A`, the β = 1
+    /// mode of the rank-update structure `C += Aᵢᵀ Aᵢ`. Only the lower
+    /// triangle of `c` is read and written — strictly-upper entries are
+    /// untouched, and the plan's [`Output`] selector is irrelevant. This
+    /// is the primitive behind [`crate::stream::GramAccumulator`]: call
+    /// it once per row chunk and the chunks' Gram contributions sum in
+    /// place.
+    ///
+    /// # Panics
+    /// If `a` is not the planned shape or `c` is not `n x n`.
+    pub fn execute_accumulate(&self, a: MatRef<'_, T>, c: &mut MatMut<'_, T>) {
+        self.core.accumulate_lower(&self.ctx.inner, T::ONE, a, c);
+    }
+
     /// Convert into an [`OwnedPlan`] that holds its own (cheap, shared)
     /// context handle instead of a borrow — nothing is re-planned, and
     /// the worker pool and arena cache stay shared with the original
@@ -737,6 +1047,14 @@ impl<T: Scalar + 'static> OwnedPlan<T> {
     /// If `a` is not the planned shape.
     pub fn execute(&self, a: MatRef<'_, T>) -> AtaOutput<T> {
         self.core.execute(&self.ctx.inner, a)
+    }
+
+    /// See [`AtaPlan::execute_accumulate`].
+    ///
+    /// # Panics
+    /// If `a` is not the planned shape or `c` is not `n x n`.
+    pub fn execute_accumulate(&self, a: MatRef<'_, T>, c: &mut MatMut<'_, T>) {
+        self.core.accumulate_lower(&self.ctx.inner, T::ONE, a, c);
     }
 
     /// The context handle this plan executes through.
@@ -982,6 +1300,64 @@ mod tests {
         // The dist backend packs rank-side; the plan reports zero.
         let dist = AtaContext::simulated_dist(NonZeroUsize::new(2).unwrap(), CostModel::zero());
         assert_eq!(dist.plan::<f64>(16, 8).pack_workspace_elems(), 0);
+    }
+
+    #[test]
+    fn default_context_resolves_cache_per_scalar() {
+        // Satellite fix: without an explicit cache override, an f32
+        // plan must use the f32-calibrated cutoff, not inherit the f64
+        // default.
+        let ctx = AtaContext::serial();
+        let f32_plan = ctx.plan::<f32>(64, 48);
+        let f64_plan = ctx.plan::<f64>(64, 48);
+        assert_eq!(
+            f32_plan.cache().words,
+            CacheConfig::for_scalar::<f32>().words
+        );
+        assert_eq!(
+            f64_plan.cache().words,
+            CacheConfig::for_scalar::<f64>().words
+        );
+        // An explicit override pins both scalar types.
+        let pinned = AtaContext::builder().cache_words(64).build();
+        assert_eq!(pinned.plan::<f32>(16, 8).cache().words, 64);
+        assert_eq!(pinned.plan::<f64>(16, 8).cache().words, 64);
+        // The context-level accessor still reports the process default.
+        assert_eq!(ctx.cache().words, CacheConfig::default().words);
+    }
+
+    #[test]
+    fn plan_cache_memoizes_by_shape_output_and_scalar() {
+        let ctx = AtaContext::builder().cache_words(32).build();
+        assert_eq!(ctx.plan_cache_len(), 0);
+        let _p1 = ctx.plan_with::<f64>(24, 16, Output::Gram);
+        let misses = ctx.plan_cache_misses();
+        assert_eq!(ctx.plan_cache_len(), 1);
+        // Same key: a hit, no new core.
+        let _p2 = ctx.plan_with::<f64>(24, 16, Output::Gram);
+        assert_eq!(ctx.plan_cache_len(), 1);
+        assert_eq!(ctx.plan_cache_misses(), misses);
+        assert!(ctx.plan_cache_hits() >= 1);
+        // Different output, scalar or shape: distinct cores.
+        let _p3 = ctx.plan_with::<f64>(24, 16, Output::Lower);
+        let _p4 = ctx.plan_with::<f32>(24, 16, Output::Gram);
+        let _p5 = ctx.plan_with::<f64>(25, 16, Output::Gram);
+        assert_eq!(ctx.plan_cache_len(), 4);
+        // Clearing keeps handed-out plans working.
+        let a = gen::standard::<f64>(3, 24, 16);
+        ctx.clear_plan_cache();
+        assert_eq!(ctx.plan_cache_len(), 0);
+        let g = _p2.execute(a.as_ref()).into_dense();
+        assert!(g.max_abs_diff_lower(&oracle(&a)) < 1e-10);
+    }
+
+    #[test]
+    fn cached_plan_reuse_is_bit_identical() {
+        let ctx = AtaContext::builder().cache_words(16).build();
+        let a = gen::standard::<f64>(9, 30, 20);
+        let first = ctx.plan::<f64>(30, 20).execute(a.as_ref()).into_dense();
+        let second = ctx.plan::<f64>(30, 20).execute(a.as_ref()).into_dense();
+        assert_eq!(first.max_abs_diff(&second), 0.0);
     }
 
     #[test]

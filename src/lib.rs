@@ -60,6 +60,35 @@
 //! [`packed`] run through a lazily-initialized default (serial) context,
 //! so even they amortize arena allocation across calls.
 //!
+//! ## The serving layer
+//!
+//! Production Gram workloads rarely look like "one matrix, one call".
+//! Three front-ends cover the serving shapes, all sharing the context's
+//! pool, arenas and shape-keyed plan cache:
+//!
+//! * [`stream::GramAccumulator`] — `A` arrives as row chunks
+//!   (`C += Aᵢ^T Aᵢ`); a billion-row Gram never materializes `A`.
+//! * [`batch::BatchPlan`] — floods of small problems, executed whole,
+//!   one per pool worker ([`BatchPlan::execute_batch`]).
+//! * [`service::AtaService`] — a `Send + Sync` blocking job queue with
+//!   bounded-capacity backpressure, coalescing submissions into batched
+//!   dispatches — the component a server embeds.
+//!
+//! ```
+//! use ata::AtaContext;
+//! use ata::mat::gen;
+//!
+//! // Streaming: fold row chunks, never holding the full matrix.
+//! let ctx = AtaContext::serial();
+//! let mut acc = ctx.gram_accumulator::<f64>(16);
+//! for seed in 0..4 {
+//!     let chunk = gen::standard::<f64>(seed, 100, 16);
+//!     acc.push(chunk.as_ref());
+//! }
+//! assert_eq!(acc.rows(), 400);
+//! assert!(acc.finish().into_dense().is_symmetric(0.0));
+//! ```
+//!
 //! ## Crates
 //!
 //! * [`core`] (`ata-core`) — Algorithm 1, AtA-S, the task trees and the
@@ -75,11 +104,17 @@
 //!   code: normal-equations least squares, SVD via the Gram matrix,
 //!   Gram–Schmidt orthogonalization.
 
+pub mod batch;
 pub mod context;
+pub mod service;
+pub mod stream;
 
+pub use batch::BatchPlan;
 pub use context::{
     default_context, AtaContext, AtaContextBuilder, AtaOutput, AtaPlan, Backend, Output, OwnedPlan,
 };
+pub use service::{AtaService, AtaServiceBuilder, JobHandle, TrySubmitError};
+pub use stream::GramAccumulator;
 
 pub use ata_core::AtaOptions;
 pub use ata_dist::{DistPlan, WireFormat};

@@ -1,0 +1,416 @@
+//! A blocking job-queue front-end over the plan machinery:
+//! [`AtaService`].
+//!
+//! [`crate::batch::BatchPlan`] answers "I have these problems in hand";
+//! a server embedding this library has the harder shape: requests
+//! trickle in from many threads, and the throughput win comes from
+//! *coalescing* whatever is queued into one batched dispatch across the
+//! worker pool. [`AtaService`] packages that loop as a process-level
+//! component: a bounded job queue (backpressure via
+//! [`AtaService::try_submit`]), a dedicated worker draining the queue
+//! into batches of up to `max_batch` jobs, and per-job result handles
+//! ([`JobHandle`]) the submitting threads block on.
+//!
+//! Everything heavy is shared through the owning [`AtaContext`]: plan
+//! cores come from its shape-keyed plan cache, arenas from its pool,
+//! and execution runs on its persistent workers — the service itself
+//! owns only the queue and one coordinator thread.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use ata_mat::{Matrix, Scalar};
+use crossbeam::channel::{self, TrySendError};
+
+use crate::batch::BatchPlan;
+use crate::context::{AtaContext, AtaOutput, Output};
+
+/// One queued job: the operand and the channel its result goes back on.
+#[derive(Debug)]
+struct Job<T: Scalar> {
+    a: Matrix<T>,
+    resp: channel::Sender<AtaOutput<T>>,
+}
+
+/// Counters of a running service (all monotone).
+#[derive(Debug, Default)]
+struct Counters {
+    jobs: AtomicUsize,
+    batches: AtomicUsize,
+    largest_batch: AtomicUsize,
+}
+
+/// Snapshot of a service's serving statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceStats {
+    /// Jobs executed.
+    pub jobs: usize,
+    /// Batched dispatches (each executes 1..=`max_batch` jobs).
+    pub batches: usize,
+    /// Largest single dispatch observed.
+    pub largest_batch: usize,
+}
+
+/// Error returned by [`AtaService::try_submit`]; carries the operand
+/// back so the caller can retry, shed or reroute it.
+#[derive(Debug)]
+pub enum TrySubmitError<T: Scalar> {
+    /// The bounded queue is at capacity — the backpressure signal.
+    Full(Matrix<T>),
+    /// The service worker has shut down.
+    Closed(Matrix<T>),
+}
+
+/// The result side of a submitted job. [`JobHandle::wait`] blocks until
+/// the service's worker has executed the job.
+#[derive(Debug)]
+pub struct JobHandle<T: Scalar> {
+    recv: channel::Receiver<AtaOutput<T>>,
+}
+
+impl<T: Scalar> JobHandle<T> {
+    /// Block until the job's result is ready. Returns `None` only if
+    /// the service terminated (worker panic or shutdown) before the job
+    /// ran.
+    pub fn wait(self) -> Option<AtaOutput<T>> {
+        self.recv.recv().ok()
+    }
+}
+
+/// Builder for [`AtaService`] — see [`AtaService::builder`].
+#[derive(Debug)]
+pub struct AtaServiceBuilder {
+    ctx: AtaContext,
+    queue_capacity: usize,
+    max_batch: usize,
+    output: Output,
+}
+
+impl AtaServiceBuilder {
+    /// Start building a service over `ctx` (the context is shared, not
+    /// consumed: plans, arenas and workers stay common property).
+    /// Equivalent to [`AtaService::builder`], without needing the
+    /// scalar type spelled out until [`AtaServiceBuilder::build`].
+    pub fn new(ctx: &AtaContext) -> Self {
+        AtaServiceBuilder {
+            ctx: ctx.clone(),
+            queue_capacity: 64,
+            max_batch: 32,
+            output: Output::Gram,
+        }
+    }
+
+    /// Bound on queued (not yet dispatched) jobs; a full queue blocks
+    /// [`AtaService::submit`] and rejects [`AtaService::try_submit`].
+    /// Default 64.
+    pub fn queue_capacity(mut self, cap: usize) -> Self {
+        self.queue_capacity = cap;
+        self
+    }
+
+    /// Most jobs coalesced into one batched dispatch. Default 32.
+    ///
+    /// # Panics
+    /// If zero.
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        assert!(max_batch > 0, "max_batch must be positive");
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Output representation of every result. Default [`Output::Gram`].
+    pub fn output(mut self, output: Output) -> Self {
+        self.output = output;
+        self
+    }
+
+    /// Spawn the service worker and return the running service.
+    pub fn build<T: Scalar + 'static>(self) -> AtaService<T> {
+        let (sender, receiver) = channel::bounded::<Job<T>>(self.queue_capacity);
+        let counters = Arc::new(Counters::default());
+        let ctx = self.ctx;
+        let (max_batch, output) = (self.max_batch, self.output);
+        let worker_counters = counters.clone();
+        let worker = std::thread::Builder::new()
+            .name("ata-service".into())
+            .spawn(move || serve(ctx, receiver, max_batch, output, &worker_counters))
+            .expect("failed to spawn service worker");
+        AtaService {
+            sender: Some(sender),
+            worker: Some(worker),
+            counters,
+        }
+    }
+}
+
+/// The worker loop: block for one job, drain whatever else is queued
+/// (up to `max_batch`), execute the batch across the context's pool,
+/// answer each submitter.
+fn serve<T: Scalar + 'static>(
+    ctx: AtaContext,
+    receiver: channel::Receiver<Job<T>>,
+    max_batch: usize,
+    output: Output,
+    counters: &Counters,
+) {
+    while let Ok(first) = receiver.recv() {
+        let mut jobs = vec![first];
+        while jobs.len() < max_batch {
+            match receiver.try_recv() {
+                Ok(job) => jobs.push(job),
+                Err(_) => break,
+            }
+        }
+        let shapes: Vec<(usize, usize)> = jobs.iter().map(|j| j.a.shape()).collect();
+        // Re-planning is a cache hit for every previously-seen shape.
+        let batch: BatchPlan<T> = ctx.batch_plan(&shapes, output);
+        let refs: Vec<_> = jobs.iter().map(|j| j.a.as_ref()).collect();
+        let results = batch.execute_batch(&refs);
+        counters.jobs.fetch_add(jobs.len(), Ordering::Relaxed);
+        counters.batches.fetch_add(1, Ordering::Relaxed);
+        counters
+            .largest_batch
+            .fetch_max(jobs.len(), Ordering::Relaxed);
+        for (job, result) in jobs.into_iter().zip(results) {
+            // A submitter that dropped its handle just doesn't get an
+            // answer; the rest of the batch is unaffected.
+            let _ = job.resp.send(result);
+        }
+    }
+}
+
+/// A blocking Gram-serving component: bounded job queue in, batched
+/// plan execution out. [`Send`] and [`Sync`] — share it behind an `Arc`
+/// (or clone the submitting side of your own fan-in) and submit from
+/// any number of threads.
+///
+/// Dropping the service closes the queue and joins the worker after it
+/// drains the jobs already accepted.
+///
+/// # Example
+///
+/// ```
+/// use ata::AtaContext;
+/// use ata::service::{AtaService, AtaServiceBuilder};
+/// use ata::mat::gen;
+/// use std::num::NonZeroUsize;
+///
+/// let ctx = AtaContext::shared(NonZeroUsize::new(2).unwrap());
+/// let svc: AtaService<f64> = AtaServiceBuilder::new(&ctx).max_batch(8).build();
+/// // Submit a burst, then wait on the handles.
+/// let handles: Vec<_> = (0..6u64)
+///     .map(|seed| svc.submit(gen::standard::<f64>(seed, 32, 16)))
+///     .collect();
+/// for h in handles {
+///     let g = h.wait().expect("service alive").into_dense();
+///     assert_eq!(g.shape(), (16, 16));
+/// }
+/// ```
+#[derive(Debug)]
+pub struct AtaService<T: Scalar> {
+    /// `Some` until shutdown; dropped before joining the worker.
+    sender: Option<channel::Sender<Job<T>>>,
+    worker: Option<JoinHandle<()>>,
+    counters: Arc<Counters>,
+}
+
+impl<T: Scalar + 'static> AtaService<T> {
+    /// Start building a service over `ctx` — see
+    /// [`AtaServiceBuilder::new`] (which this forwards to; prefer it
+    /// when the scalar type is not yet pinned at the call site).
+    pub fn builder(ctx: &AtaContext) -> AtaServiceBuilder {
+        AtaServiceBuilder::new(ctx)
+    }
+
+    /// Submit a job, blocking while the queue is full (the simple
+    /// backpressure mode). Returns the handle to wait on.
+    ///
+    /// # Panics
+    /// If the service worker has terminated (it only does so on panic —
+    /// shutdown consumes the service).
+    pub fn submit(&self, a: Matrix<T>) -> JobHandle<T> {
+        let (resp, recv) = channel::unbounded();
+        self.sender
+            .as_ref()
+            .expect("service already shut down")
+            .send(Job { a, resp })
+            .expect("service worker terminated");
+        JobHandle { recv }
+    }
+
+    /// Submit without blocking: [`TrySubmitError::Full`] when the
+    /// bounded queue is at capacity, handing the operand back — the
+    /// load-shedding mode.
+    pub fn try_submit(&self, a: Matrix<T>) -> Result<JobHandle<T>, TrySubmitError<T>> {
+        let (resp, recv) = channel::unbounded();
+        match self
+            .sender
+            .as_ref()
+            .expect("service already shut down")
+            .try_send(Job { a, resp })
+        {
+            Ok(()) => Ok(JobHandle { recv }),
+            Err(TrySendError::Full(job)) => Err(TrySubmitError::Full(job.a)),
+            Err(TrySendError::Disconnected(job)) => Err(TrySubmitError::Closed(job.a)),
+        }
+    }
+
+    /// Snapshot of the serving counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            jobs: self.counters.jobs.load(Ordering::Relaxed),
+            batches: self.counters.batches.load(Ordering::Relaxed),
+            largest_batch: self.counters.largest_batch.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Close the queue, let the worker drain the accepted jobs, and
+    /// join it. Equivalent to dropping the service, but explicit and
+    /// returning the final statistics.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.close_and_join();
+        self.stats()
+    }
+
+    fn close_and_join(&mut self) {
+        // Dropping the sender disconnects the queue; the worker exits
+        // after serving everything already accepted.
+        drop(self.sender.take());
+        if let Some(worker) = self.worker.take() {
+            // A panicked worker already answered nobody; surface it.
+            if let Err(payload) = worker.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+impl<T: Scalar> Drop for AtaService<T> {
+    fn drop(&mut self) {
+        drop(self.sender.take());
+        if let Some(worker) = self.worker.take() {
+            // Drop must not panic; shutdown() is the loud path.
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ata_mat::{gen, reference};
+    use std::num::NonZeroUsize;
+
+    fn oracle(a: &Matrix<f64>) -> Matrix<f64> {
+        let n = a.cols();
+        let mut c = Matrix::zeros(n, n);
+        reference::syrk_ln(1.0, a.as_ref(), &mut c.as_mut());
+        c.mirror_lower_to_upper();
+        c
+    }
+
+    #[test]
+    fn serves_a_burst_correctly() {
+        let ctx = AtaContext::shared(NonZeroUsize::new(2).unwrap());
+        let svc: AtaService<f64> = AtaServiceBuilder::new(&ctx).max_batch(4).build();
+        let inputs: Vec<Matrix<f64>> = (0..10).map(|i| gen::standard::<f64>(i, 20, 12)).collect();
+        let handles: Vec<_> = inputs.iter().map(|a| svc.submit(a.clone())).collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            let g = h.wait().expect("alive").into_dense();
+            assert!(g.max_abs_diff(&oracle(&inputs[i])) < 1e-10, "job {i}");
+        }
+        let stats = svc.shutdown();
+        assert_eq!(stats.jobs, 10);
+        assert!(stats.batches >= 3, "10 jobs / max_batch 4 is >= 3 batches");
+        assert!(stats.largest_batch <= 4);
+    }
+
+    #[test]
+    fn heterogeneous_shapes_in_one_service() {
+        let ctx = AtaContext::serial();
+        let svc: AtaService<f64> = AtaServiceBuilder::new(&ctx).build();
+        let a = gen::standard::<f64>(1, 16, 8);
+        let b = gen::standard::<f64>(2, 40, 24);
+        let (ha, hb) = (svc.submit(a.clone()), svc.submit(b.clone()));
+        assert!(ha.wait().unwrap().into_dense().max_abs_diff(&oracle(&a)) < 1e-10);
+        assert!(hb.wait().unwrap().into_dense().max_abs_diff(&oracle(&b)) < 1e-10);
+    }
+
+    #[test]
+    fn submit_from_many_threads() {
+        let ctx = AtaContext::shared(NonZeroUsize::new(2).unwrap());
+        let svc: Arc<AtaService<f64>> =
+            Arc::new(AtaServiceBuilder::new(&ctx).queue_capacity(16).build());
+        let mut joins = Vec::new();
+        for t in 0..4u64 {
+            let svc = svc.clone();
+            joins.push(std::thread::spawn(move || {
+                for i in 0..5u64 {
+                    let a = gen::standard::<f64>(t * 100 + i, 24, 10);
+                    let g = svc.submit(a.clone()).wait().expect("alive").into_dense();
+                    assert!(g.max_abs_diff(&oracle(&a)) < 1e-10);
+                }
+            }));
+        }
+        for j in joins {
+            j.join().expect("submitter");
+        }
+        let svc = Arc::into_inner(svc).expect("all submitters done");
+        assert_eq!(svc.shutdown().jobs, 20);
+    }
+
+    #[test]
+    fn try_submit_backpressure_reports_full() {
+        // A rendezvous-ish queue (capacity 1) with a slow consumer: the
+        // first try_submit fills the slot, later ones see Full until
+        // the worker drains it.
+        let ctx = AtaContext::serial();
+        let svc: AtaService<f64> = AtaServiceBuilder::new(&ctx).queue_capacity(1).build();
+        let mut accepted = 0usize;
+        let mut shed = 0usize;
+        let mut handles = Vec::new();
+        for i in 0..200u64 {
+            match svc.try_submit(gen::standard::<f64>(i, 64, 32)) {
+                Ok(h) => {
+                    accepted += 1;
+                    handles.push(h);
+                }
+                Err(TrySubmitError::Full(a)) => {
+                    shed += 1;
+                    assert_eq!(a.shape(), (64, 32), "operand handed back intact");
+                }
+                Err(TrySubmitError::Closed(_)) => panic!("service must be alive"),
+            }
+        }
+        assert!(accepted > 0, "some jobs must get through");
+        for h in handles {
+            assert!(h.wait().is_some());
+        }
+        // Either the queue was momentarily full at least once, or the
+        // worker kept pace with all 200 — both are valid; the invariant
+        // is accounting: accepted + shed == 200.
+        assert_eq!(accepted + shed, 200);
+        assert_eq!(svc.shutdown().jobs, accepted);
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_jobs() {
+        let ctx = AtaContext::serial();
+        let svc: AtaService<f64> = AtaServiceBuilder::new(&ctx).queue_capacity(32).build();
+        let a = gen::standard::<f64>(7, 30, 15);
+        let handles: Vec<_> = (0..8).map(|_| svc.submit(a.clone())).collect();
+        let stats = svc.shutdown();
+        assert_eq!(stats.jobs, 8, "accepted jobs are served before exit");
+        for h in handles {
+            assert!(h.wait().is_some(), "handle answered even after shutdown");
+        }
+    }
+
+    #[test]
+    fn service_is_send_and_sync() {
+        fn assert_send_sync<X: Send + Sync>() {}
+        assert_send_sync::<AtaService<f64>>();
+        assert_send_sync::<AtaService<f32>>();
+    }
+}

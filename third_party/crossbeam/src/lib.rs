@@ -3,30 +3,59 @@
 //!
 //! Only `crossbeam::channel` is provided, as a thin façade over
 //! `std::sync::mpsc`: since Rust 1.67 the std channel *is* the crossbeam
-//! implementation, so semantics (unbounded MPSC, `recv_timeout`,
-//! disconnect detection) match what the simulator relies on.
+//! implementation, so semantics (unbounded MPSC, bounded/rendezvous
+//! capacity, `try_send` backpressure, `recv_timeout`, disconnect
+//! detection) match what the simulator and the serving front-end rely
+//! on. Like crossbeam (and unlike raw `std::sync::mpsc`), both flavors
+//! share one [`channel::Sender`] type, so queue capacity is a
+//! construction-time policy instead of a type-level split.
 
 /// Multi-producer single-consumer channels.
 pub mod channel {
     use std::sync::mpsc;
     use std::time::Duration;
 
-    pub use std::sync::mpsc::{RecvTimeoutError, SendError, TryRecvError};
+    pub use std::sync::mpsc::{RecvTimeoutError, SendError, TryRecvError, TrySendError};
 
-    /// Sending half (cloneable).
+    /// Sending half (cloneable); unified over the unbounded and bounded
+    /// flavors, as in crossbeam.
     #[derive(Debug)]
-    pub struct Sender<T>(mpsc::Sender<T>);
+    pub enum Sender<T> {
+        /// Sender of an [`unbounded`] channel.
+        Unbounded(mpsc::Sender<T>),
+        /// Sender of a [`bounded`] channel.
+        Bounded(mpsc::SyncSender<T>),
+    }
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            Sender(self.0.clone())
+            match self {
+                Sender::Unbounded(s) => Sender::Unbounded(s.clone()),
+                Sender::Bounded(s) => Sender::Bounded(s.clone()),
+            }
         }
     }
 
     impl<T> Sender<T> {
-        /// Enqueue a message; fails only if the receiver is gone.
+        /// Enqueue a message; on a full bounded channel this blocks until
+        /// space frees up. Fails only if the receiver is gone.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.0.send(value)
+            match self {
+                Sender::Unbounded(s) => s.send(value),
+                Sender::Bounded(s) => s.send(value),
+            }
+        }
+
+        /// Non-blocking enqueue: [`TrySendError::Full`] when a bounded
+        /// channel is at capacity (the backpressure signal), never `Full`
+        /// on an unbounded channel.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            match self {
+                Sender::Unbounded(s) => s
+                    .send(value)
+                    .map_err(|SendError(v)| TrySendError::Disconnected(v)),
+                Sender::Bounded(s) => s.try_send(value),
+            }
         }
     }
 
@@ -54,7 +83,16 @@ pub mod channel {
     /// Create an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (s, r) = mpsc::channel();
-        (Sender(s), Receiver(r))
+        (Sender::Unbounded(s), Receiver(r))
+    }
+
+    /// Create a bounded channel holding at most `cap` in-flight
+    /// messages (`cap = 0` is a rendezvous channel). A full channel
+    /// blocks [`Sender::send`] and rejects [`Sender::try_send`] — the
+    /// backpressure primitive of the serving front-end.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (s, r) = mpsc::sync_channel(cap);
+        (Sender::Bounded(s), Receiver(r))
     }
 }
 
@@ -100,5 +138,40 @@ mod tests {
             r.recv_timeout(Duration::from_millis(5)),
             Err(RecvTimeoutError::Disconnected)
         );
+    }
+
+    #[test]
+    fn bounded_try_send_reports_full() {
+        use super::channel::{bounded, TrySendError};
+        let (s, r) = bounded::<u8>(2);
+        s.try_send(1).expect("slot 1");
+        s.try_send(2).expect("slot 2");
+        assert!(matches!(s.try_send(3), Err(TrySendError::Full(3))));
+        // Draining one frees a slot.
+        assert_eq!(r.recv().unwrap(), 1);
+        s.try_send(3).expect("slot freed");
+        assert_eq!(r.recv().unwrap(), 2);
+        assert_eq!(r.recv().unwrap(), 3);
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_drained() {
+        use super::channel::bounded;
+        let (s, r) = bounded::<u8>(1);
+        s.send(1).expect("first fits");
+        let sender = s.clone();
+        let t = std::thread::spawn(move || sender.send(2).expect("unblocked by recv"));
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(r.recv().unwrap(), 1);
+        t.join().expect("sender thread");
+        assert_eq!(r.recv().unwrap(), 2);
+    }
+
+    #[test]
+    fn bounded_disconnect_via_try_send() {
+        use super::channel::{bounded, TrySendError};
+        let (s, r) = bounded::<u8>(4);
+        drop(r);
+        assert!(matches!(s.try_send(9), Err(TrySendError::Disconnected(9))));
     }
 }
