@@ -1,0 +1,177 @@
+//! Sharded-serving bench: the P × routing-threshold grid for
+//! `ata::shard::ShardedService`, written to `BENCH_shard.json`.
+//!
+//! Each grid point floods one sharded service with the same fixed job
+//! mix — word counts 2048, 8192 and 32768, chosen to straddle the swept
+//! thresholds — so the whole/split routing mix shifts with the
+//! threshold while the total work stays constant. The record captures,
+//! per `{P, threshold}`:
+//!
+//! * the routing outcome (`whole_jobs` / `split_jobs`) as identity, so
+//!   a routing change shows up as a new grid point rather than a silent
+//!   metric swap;
+//! * the split lane's traffic, predicted (`RoutePrice`, quoted before
+//!   dispatch) and simulated (`RankMetrics`, counted during dispatch).
+//!   The two are asserted bit-identical at every point — the quote is
+//!   derived from the same `DistPlan` the lane executes — and
+//!   `bench_gate` enforces the committed word counts even on smoke
+//!   runs;
+//! * wall-clock seconds per job, informational only (the container the
+//!   record ships from has one CPU; timings are noise).
+//!
+//! Set `ATA_BENCH_SMOKE=1` for CI (cheap criterion anchor, output under
+//! `target/`); `ATA_BENCH_OUT` overrides the output path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use ata::mat::{gen, Matrix};
+use ata::shard::ShardedServiceBuilder;
+use ata::AtaContext;
+
+fn smoke() -> bool {
+    std::env::var_os("ATA_BENCH_SMOKE").is_some_and(|v| v != "0")
+}
+
+/// Shard counts swept (the ISSUE grid: P in {2, 4, 8, 16}).
+const SHARDS: &[usize] = &[2, 4, 8, 16];
+
+/// Routing thresholds swept, in operand words `m * n`.
+const THRESHOLDS: &[usize] = &[2048, 8192, 32768];
+
+/// The fixed job mix: `(count, m, n)` with word counts 2048 / 8192 /
+/// 32768, one per threshold tier, so each threshold flips one tier from
+/// split to whole.
+const MIX: &[(usize, usize, usize)] = &[(4, 64, 32), (2, 128, 64), (2, 512, 64)];
+
+struct Rec {
+    p: usize,
+    threshold: usize,
+    jobs: usize,
+    whole_jobs: usize,
+    split_jobs: usize,
+    root_recv_words_pred: u64,
+    root_recv_words_sim: u64,
+    total_words: u64,
+    secs_per_call: f64,
+}
+
+fn measure(p: usize, threshold: usize, inputs: &[Matrix<f64>]) -> Rec {
+    let ctx = AtaContext::builder().cache_words(4096).build();
+    let svc = ShardedServiceBuilder::new(&ctx)
+        .shards(p)
+        .split_words(threshold)
+        .build::<f64>();
+    let t0 = std::time::Instant::now();
+    let handles: Vec<_> = inputs
+        .iter()
+        .map(|a| svc.submit(a.clone()).expect("healthy service accepts"))
+        .collect();
+    for h in handles {
+        h.wait().expect("every job completes");
+    }
+    let secs_per_call = t0.elapsed().as_secs_f64() / inputs.len() as f64;
+    let stats = svc.shutdown();
+    assert_eq!(
+        stats.completed_jobs(),
+        inputs.len(),
+        "P={p} threshold={threshold}: jobs lost"
+    );
+    assert_eq!(
+        stats.predicted_split_words, stats.simulated_split_words,
+        "P={p} threshold={threshold}: predictor out of sync with the simulator"
+    );
+    assert_eq!(
+        stats.predicted_root_recv_words, stats.simulated_root_recv_words,
+        "P={p} threshold={threshold}: root-recv prediction out of sync"
+    );
+    Rec {
+        p,
+        threshold,
+        jobs: inputs.len(),
+        whole_jobs: stats.whole_jobs,
+        split_jobs: stats.split_jobs,
+        root_recv_words_pred: stats.predicted_root_recv_words,
+        root_recv_words_sim: stats.simulated_root_recv_words,
+        total_words: stats.simulated_split_words,
+        secs_per_call,
+    }
+}
+
+fn bench_shard_record(c: &mut Criterion) {
+    let inputs: Vec<Matrix<f64>> = MIX
+        .iter()
+        .flat_map(|&(count, m, n)| (0..count).map(move |i| (i, m, n)))
+        .enumerate()
+        .map(|(seed, (_, m, n))| gen::standard::<f64>(seed as u64, m, n))
+        .collect();
+
+    let recs: Vec<Rec> = SHARDS
+        .iter()
+        .flat_map(|&p| THRESHOLDS.iter().map(move |&w| (p, w)))
+        .map(|(p, w)| measure(p, w, &inputs))
+        .collect();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"shard\",\n  \"schema\": 1,\n");
+    json.push_str(&format!("  \"smoke\": {},\n", smoke()));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in recs.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"p\": {}, \"threshold\": {}, \"jobs\": {}, \"whole_jobs\": {}, \
+             \"split_jobs\": {}, \"root_recv_words_pred\": {}, \"root_recv_words_sim\": {}, \
+             \"total_words\": {}, \"secs_per_call\": {:e}}}{}\n",
+            r.p,
+            r.threshold,
+            r.jobs,
+            r.whole_jobs,
+            r.split_jobs,
+            r.root_recv_words_pred,
+            r.root_recv_words_sim,
+            r.total_words,
+            r.secs_per_call,
+            if i + 1 == recs.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let out_path = std::env::var("ATA_BENCH_OUT").unwrap_or_else(|_| {
+        if smoke() {
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/BENCH_shard.json").into()
+        } else {
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_shard.json").into()
+        }
+    });
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("shard record: wrote {out_path}"),
+        Err(e) => eprintln!("shard record: could not write {out_path}: {e}"),
+    }
+    for r in &recs {
+        println!(
+            "shard: P={:<2} threshold={:<5}: {} whole / {} split, split traffic {:>6} words \
+             ({:>5} into the root, pred == sim), {:.3e} s/job",
+            r.p,
+            r.threshold,
+            r.whole_jobs,
+            r.split_jobs,
+            r.total_words,
+            r.root_recv_words_sim,
+            r.secs_per_call
+        );
+    }
+
+    let mut group = c.benchmark_group("shard record");
+    let budget = if smoke() {
+        Duration::from_millis(1)
+    } else {
+        Duration::from_millis(200)
+    };
+    group.sample_size(1).measurement_time(budget);
+    group.bench_function("noop anchor", |bch| bch.iter(|| black_box(1 + 1)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_shard_record);
+criterion_main!(benches);

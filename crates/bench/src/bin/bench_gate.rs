@@ -225,10 +225,13 @@ const METRICS: &[(&str, bool)] = &[
 /// Fields that identify an entry rather than measure it: every
 /// string-valued field plus the size/rank-count integers (including the
 /// serving record's batch geometry: problem count, worker count, chunk
-/// height and total streamed rows). Numeric fields outside this list
-/// are metrics (or derived values like `gflops`) and must never
-/// participate in matching — otherwise a regressed count would just
-/// fail to match and slip past the gate as "absent".
+/// height and total streamed rows, and the shard record's routing
+/// outcome: threshold, job count, whole/split lane counts — a routing
+/// change must surface as a new grid point, not a metric drift).
+/// Numeric fields outside this list are metrics (or derived values like
+/// `gflops`) and must never participate in matching — otherwise a
+/// regressed count would just fail to match and slip past the gate as
+/// "absent".
 const IDENTITY_INTS: &[&str] = &[
     "n",
     "m",
@@ -240,6 +243,10 @@ const IDENTITY_INTS: &[&str] = &[
     "workers",
     "chunk",
     "total_rows",
+    "threshold",
+    "jobs",
+    "whole_jobs",
+    "split_jobs",
 ];
 
 /// The identity of one result entry, rendered to a stable string.
@@ -558,6 +565,49 @@ mod tests {
         assert!(outcomes[0].id.contains("workers=4"));
         assert!(outcomes[1].id.contains("chunk=512"));
         assert!(outcomes[1].id.contains("total_rows=4096"));
+    }
+
+    #[test]
+    fn shard_record_routing_outcome_is_identity_and_words_stay_enforced() {
+        // The shard record keys each grid point on its routing outcome
+        // (threshold and whole/split lane counts). A routing change must
+        // therefore fail to match (reported as missing) rather than be
+        // compared metric-to-metric against a different route mix — and
+        // the predicted word counts remain enforced even on smoke runs.
+        let old = parse_json(
+            r#"{"bench": "shard", "schema": 1, "smoke": false,
+               "results": [{"p": 4, "threshold": 8192, "jobs": 8,
+                            "whole_jobs": 4, "split_jobs": 4,
+                            "root_recv_words_pred": 6208,
+                            "root_recv_words_sim": 6208,
+                            "total_words": 350528, "secs_per_call": 1.0e-3}]}"#,
+        )
+        .expect("old");
+        let outcomes = compare(&old, &old, true).expect("compare");
+        assert!(outcomes[0].id.contains("threshold=8192"));
+        assert!(outcomes[0].id.contains("whole_jobs=4"));
+        assert!(outcomes[0].id.contains("split_jobs=4"));
+        assert!(
+            outcomes
+                .iter()
+                .filter(|o| o.metric.contains("words"))
+                .all(|o| o.enforced),
+            "shard word counts are deterministic and stay enforced on smoke"
+        );
+        // Same grid point, shifted routing: nothing matches.
+        let rerouted = parse_json(
+            r#"{"bench": "shard", "schema": 1, "smoke": false,
+               "results": [{"p": 4, "threshold": 8192, "jobs": 8,
+                            "whole_jobs": 6, "split_jobs": 2,
+                            "root_recv_words_pred": 3104,
+                            "root_recv_words_sim": 3104,
+                            "total_words": 278560, "secs_per_call": 1.0e-3}]}"#,
+        )
+        .expect("rerouted");
+        assert!(
+            compare(&old, &rerouted, false).is_err(),
+            "a routing change must not be silently compared across lanes"
+        );
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! ata stream --input FILE --out FILE [--chunk R]            streaming Gram over row chunks
 //!            [--decay B] [--threads T] [--cache-words W]
 //! ata batch  --inputs F1,F2,... --out-dir DIR [--threads T] batched small-gram serving
+//! ata shard  [--shards P] [--jobs J] [--rows M] [--cols N]  sharded serving flood demo
+//!            [--split-words W] [--poison 1] [--seed S]
 //! ata verify --input FILE [--threads T]                     AtA vs naive oracle
 //! ata info   --input FILE                                   shape and norms
 //! ata calibrate [--quick 1]                                 measure kernel tuning table
@@ -29,6 +31,7 @@
 //! Files are CSV (`.csv`) or the compact binary `.atm` format, chosen by
 //! extension. All computation is `f64`.
 
+use ata::shard::{JobError, ShardedServiceBuilder};
 use ata::{AtaContext, Backend, GramAccumulator, Output, WireFormat};
 use ata_kernels::syrk_ln;
 use ata_mat::{gen, io, reference, Matrix};
@@ -301,6 +304,114 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Flood the sharded serving front door (`ata::shard`) with a mixed
+/// workload: problem heights cycle through 1x..4x `--rows`, so with a
+/// suitable `--split-words` threshold some problems run whole on one
+/// rank-shard and some split across all ranks via AtA-D. Every answer
+/// is verified against the naive oracle, and the summary reconciles the
+/// traffic predictor's quoted words against the simulator's counters
+/// (bit-exact by construction). `--poison 1` injects a shard failure
+/// mid-flood to demonstrate requeue: the flood must still verify.
+fn cmd_shard(args: &Args) -> Result<(), String> {
+    let shards = args
+        .nonzero("shards", NonZeroUsize::new(4).expect("4 > 0"))?
+        .get();
+    let jobs = args
+        .nonzero("jobs", NonZeroUsize::new(16).expect("16 > 0"))?
+        .get();
+    let rows = args
+        .nonzero("rows", NonZeroUsize::new(64).expect("64 > 0"))?
+        .get();
+    let cols = args
+        .nonzero("cols", NonZeroUsize::new(32).expect("32 > 0"))?
+        .get();
+    let split_words = args.usize("split-words", 8 * 1024)?;
+    let poison = args.usize("poison", 0)? != 0;
+    let seed = args.usize("seed", 42)? as u64;
+    if poison && shards < 3 {
+        return Err("--poison needs --shards >= 3 (a poison can kill two shards)".to_string());
+    }
+    let ctx = context(args, "ata")?;
+    let svc = ShardedServiceBuilder::new(&ctx)
+        .shards(shards)
+        .split_words(split_words)
+        .build::<f64>();
+    // Pre-flight the flood's largest shape, as an admission controller
+    // would: quote() prices the AtA-D dispatch without running it.
+    if let Some(q) = svc.quote(4 * rows, cols) {
+        println!(
+            "quote: {}x{cols} split over {shards} ranks moves {} words ({} into the root)",
+            4 * rows,
+            q.total_words,
+            q.root_recv_words
+        );
+    }
+    let inputs: Vec<Matrix<f64>> = (0..jobs)
+        .map(|i| gen::standard::<f64>(seed + i as u64, rows * (1 + i % 4), cols))
+        .collect();
+    let t0 = std::time::Instant::now();
+    let mut poison_handle = None;
+    let mut handles = Vec::with_capacity(jobs);
+    for (i, a) in inputs.iter().enumerate() {
+        if poison && i == jobs / 2 {
+            poison_handle = Some(svc.submit_poison());
+        }
+        handles.push(
+            svc.submit(a.clone())
+                .map_err(|e| format!("submit failed: {e:?}"))?,
+        );
+    }
+    for (h, a) in handles.into_iter().zip(&inputs) {
+        let (m, n) = a.shape();
+        let g = h
+            .wait()
+            .map_err(|e| format!("job lost to shard failure: {e:?}"))?
+            .into_dense();
+        let tol = ata_mat::ops::product_tol::<f64>(m.max(n), n, m as f64);
+        if g.max_abs_diff(&reference::gram(a.as_ref())) > tol {
+            return Err(format!("{m}x{n} result diverged from the oracle"));
+        }
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    if let Some(h) = poison_handle {
+        match h.wait() {
+            Err(JobError::Requeued { attempts }) => {
+                println!("poison convicted after {attempts} panicked dispatches");
+            }
+            other => return Err(format!("poison must be convicted, got {other:?}")),
+        }
+    }
+    let stats = svc.shutdown();
+    println!(
+        "served {jobs} problems in {dt:.3}s: {} whole-per-shard, {} split via AtA-D, all verified",
+        stats.whole_jobs, stats.split_jobs
+    );
+    for (i, s) in stats.per_shard.iter().enumerate() {
+        println!(
+            "  shard {i}: {} jobs in {} batches, {} requeued{}",
+            s.jobs,
+            s.batches,
+            s.requeues,
+            if s.dead { ", DEAD" } else { "" }
+        );
+    }
+    println!(
+        "split traffic: predicted {} words ({} root-recv), simulated {} ({}) — {}",
+        stats.predicted_split_words,
+        stats.predicted_root_recv_words,
+        stats.simulated_split_words,
+        stats.simulated_root_recv_words,
+        if stats.predicted_split_words == stats.simulated_split_words
+            && stats.predicted_root_recv_words == stats.simulated_root_recv_words
+        {
+            "bit-exact"
+        } else {
+            "MISMATCH"
+        }
+    );
+    Ok(())
+}
+
 /// Run the kernel calibration sweeps and print the measured table in
 /// the shape of `ata_kernels::calibrate`'s baked records, so new
 /// hardware can be re-tuned by pasting the output over the constants
@@ -352,6 +463,8 @@ fn usage() -> String {
      \n  ata stream --input FILE --out FILE [--chunk R] [--decay B]\
      \n             [--threads T] [--cache-words W]\
      \n  ata batch  --inputs F1,F2,... --out-dir DIR [--threads T]\
+     \n  ata shard  [--shards P] [--jobs J] [--rows M] [--cols N]\
+     \n             [--split-words W] [--poison 1] [--seed S]\
      \n  ata verify --input FILE [--threads T]\
      \n  ata info   --input FILE\
      \n  ata calibrate [--quick 1]"
@@ -361,17 +474,18 @@ fn usage() -> String {
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let result = match argv.first().map(String::as_str) {
-        Some(cmd @ ("gen" | "gram" | "stream" | "batch" | "verify" | "info" | "calibrate")) => {
-            Args::parse(&argv[1..]).and_then(|args| match cmd {
-                "gen" => cmd_gen(&args),
-                "gram" => cmd_gram(&args),
-                "stream" => cmd_stream(&args),
-                "batch" => cmd_batch(&args),
-                "verify" => cmd_verify(&args),
-                "calibrate" => cmd_calibrate(&args),
-                _ => cmd_info(&args),
-            })
-        }
+        Some(
+            cmd @ ("gen" | "gram" | "stream" | "batch" | "shard" | "verify" | "info" | "calibrate"),
+        ) => Args::parse(&argv[1..]).and_then(|args| match cmd {
+            "gen" => cmd_gen(&args),
+            "gram" => cmd_gram(&args),
+            "stream" => cmd_stream(&args),
+            "batch" => cmd_batch(&args),
+            "shard" => cmd_shard(&args),
+            "verify" => cmd_verify(&args),
+            "calibrate" => cmd_calibrate(&args),
+            _ => cmd_info(&args),
+        }),
         _ => Err(usage()),
     };
     match result {
@@ -646,6 +760,35 @@ mod tests {
         }
         // Empty input list is a clean error.
         assert!(cmd_batch(&args(&["--inputs", "", "--out-dir", &out_dir])).is_err());
+    }
+
+    #[test]
+    fn shard_flood_verifies_and_reconciles() {
+        // Mixed flood: heights 24..96 at cols 16, threshold 1024 words,
+        // so 24x16 = 384 runs whole and 96x16 = 1536 splits.
+        cmd_shard(&args(&[
+            "--shards",
+            "4",
+            "--jobs",
+            "8",
+            "--rows",
+            "24",
+            "--cols",
+            "16",
+            "--split-words",
+            "1024",
+        ]))
+        .expect("shard flood");
+    }
+
+    #[test]
+    fn shard_survives_an_injected_failure() {
+        cmd_shard(&args(&[
+            "--shards", "4", "--jobs", "6", "--rows", "16", "--cols", "8", "--poison", "1",
+        ]))
+        .expect("poisoned flood still verifies");
+        // Too few shards to contain a poison is a clean error.
+        assert!(cmd_shard(&args(&["--shards", "2", "--poison", "1"])).is_err());
     }
 
     #[test]

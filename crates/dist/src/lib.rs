@@ -57,4 +57,5 @@ pub mod wire;
 
 pub use algorithm::{ata_d, AtaDConfig, DistPlan};
 pub use carma::{carma_like, CarmaConfig};
+pub use traffic::{plan_traffic, RoutePrice, TrafficPlan};
 pub use wire::WireFormat;

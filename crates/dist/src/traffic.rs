@@ -48,7 +48,41 @@ pub struct TrafficPlan {
     pub wire: WireFormat,
 }
 
+/// The predicted communication bill of dispatching one problem through
+/// AtA-D — the quote a router compares against an admission budget
+/// *before* committing ranks to the split (see `ata::shard`).
+///
+/// Produced by [`TrafficPlan::price`]; every field is a deterministic
+/// replay of the schedule, so two quotes for the same `(m, n, P, wire)`
+/// are bit-identical and match the simulator's counters exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RoutePrice {
+    /// Words converging on the root during retrieval.
+    pub root_recv_words: u64,
+    /// Words the root scatters during distribution.
+    pub root_sent_words: u64,
+    /// The heaviest rank's sent + received words — the per-processor
+    /// bandwidth of Proposition 4.2, and the natural admission metric:
+    /// it bounds how long any one link is busy on this dispatch.
+    pub max_rank_words: u64,
+    /// Total words moved by the whole dispatch.
+    pub total_words: u64,
+    /// Total messages (latency term).
+    pub total_msgs: u64,
+}
+
 impl TrafficPlan {
+    /// Collapse the per-rank prediction into a [`RoutePrice`] quote.
+    pub fn price(&self) -> RoutePrice {
+        RoutePrice {
+            root_recv_words: self.root_recv_words(),
+            root_sent_words: self.root_sent_words(),
+            max_rank_words: self.max_rank_words(),
+            total_words: self.total_words(),
+            total_msgs: self.total_msgs(),
+        }
+    }
+
     /// Total words sent by all ranks.
     pub fn total_words(&self) -> u64 {
         self.per_rank.iter().map(|r| r.words).sum()
@@ -227,6 +261,24 @@ mod tests {
                     plan.max_rank_words()
                 );
             }
+        }
+    }
+
+    #[test]
+    fn price_is_a_faithful_summary() {
+        for p in [1usize, 2, 8, 16] {
+            let plan = ata_d_traffic(96, 80, p, &AtaDConfig::default());
+            let quote = plan.price();
+            assert_eq!(quote.root_recv_words, plan.root_recv_words());
+            assert_eq!(quote.root_sent_words, plan.root_sent_words());
+            assert_eq!(quote.max_rank_words, plan.max_rank_words());
+            assert_eq!(quote.total_words, plan.total_words());
+            assert_eq!(quote.total_msgs, plan.total_msgs());
+            // The quote is deterministic: pricing twice is bit-identical.
+            assert_eq!(
+                quote,
+                ata_d_traffic(96, 80, p, &AtaDConfig::default()).price()
+            );
         }
     }
 

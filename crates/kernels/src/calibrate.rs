@@ -11,8 +11,9 @@
 //!    applying the `ATA_KERNEL_PARAMS` environment override.
 //! 2. [`measure`] — the calibration run itself: sweeps the register-tile
 //!    menu and the `KC/MC/NC` grid with wall-clock timings, then locates
-//!    the Strassen base-case crossover (the problem size where one
-//!    7-product recursion level stops paying for its block sums).
+//!    the AtA base-case crossover (the problem size where one
+//!    Algorithm 1 recursion level — four half-size syrk leaves plus two
+//!    half-size products — stops beating a single syrk leaf).
 //!
 //! # Overriding
 //!
@@ -23,7 +24,7 @@
 //! type. `ATA_MICRO=0` disables the packed engine entirely (see
 //! [`crate::micro::selected_path`]).
 
-use crate::micro::{gemm_tn_micro_with, KernelConfig};
+use crate::micro::{gemm_tn_micro_with, syrk_ln_micro_with, KernelConfig};
 use crate::pack::PackBufs;
 use ata_mat::{MatMut, MatRef, Scalar};
 use std::sync::OnceLock;
@@ -206,39 +207,57 @@ pub fn measure_kernel<T: Scalar>(quick: bool) -> KernelConfig {
     best.1
 }
 
-/// Locate the Strassen base-case crossover for `T` under `kernel`.
-///
-/// One recursion level trades a size-`s` product for 7 half-size
-/// products plus ~22 half-size-squared element additions (the measured
-/// block-sum volume of the classic scheme). The crossover `s*` is the
-/// smallest size where the trade wins; recursion should *stop* below
-/// it, i.e. when the operands fit `words = 2 * s*^2` cache words (the
-/// `gemm_base` predicate `m*n + m*k <= words` on a square problem).
-pub fn measure_base_words<T: Scalar>(kernel: &KernelConfig, quick: bool) -> usize {
-    let sizes: &[usize] = if quick {
-        &[48, 96]
-    } else {
-        &[48, 64, 96, 128, 192, 256]
-    };
-    let mut bufs = PackBufs::new();
-    // Per-element cost of one block-sum addition, measured on an axpy.
-    let add_cost = {
-        let len = 1 << 16;
-        let mut x = vec![T::ZERO; len];
-        let mut y = vec![T::ZERO; len];
-        fill_pattern(&mut x, 3);
+/// Median-of-three wall-clock seconds of one syrk-leaf rank update
+/// `C_low += A^T A` at `m = n = size` under `cfg` — the base case the
+/// AtA recursion actually bottoms out in.
+fn time_syrk<T: Scalar>(size: usize, cfg: &KernelConfig, bufs: &mut PackBufs<T>) -> f64 {
+    let mut a = vec![T::ZERO; size * size];
+    let mut c = vec![T::ZERO; size * size];
+    fill_pattern(&mut a, 4);
+    let av = MatRef::from_slice(&a, size, size);
+    let mut samples = [0.0f64; 3];
+    for s in samples.iter_mut() {
+        let mut cv = MatMut::from_slice(&mut c, size, size);
         let t0 = Instant::now();
-        for _ in 0..8 {
-            crate::level1::axpy(T::ONE, &x, &mut y);
-        }
-        std::hint::black_box(&y);
-        t0.elapsed().as_secs_f64() / (8 * len) as f64
-    };
+        syrk_ln_micro_with(T::ONE, av, &mut cv, cfg, bufs);
+        *s = t0.elapsed().as_secs_f64();
+    }
+    samples.sort_by(f64::total_cmp);
+    std::hint::black_box(&c);
+    samples[1]
+}
+
+/// The sizes swept for the base-case crossover; the returned cutoff is
+/// always `2 s^2` for some swept `s`, so `[2*48^2, 2*256^2]` is the
+/// valid range of any measured (or baked) `base_words`.
+pub const BASE_SWEEP_SIZES: &[usize] = &[48, 64, 96, 128, 192, 256];
+
+/// Locate the AtA base-case crossover for `T` under `kernel`, by timing
+/// the two sides of one Algorithm 1 recursion level directly:
+///
+/// * staying at the base case costs one size-`s` syrk leaf;
+/// * recursing costs the level's actual kernel mix — four half-size
+///   syrk leaves (the recursive AtA calls, themselves base cases at the
+///   crossover) plus two half-size `A^T B` products (the off-diagonal
+///   FastStrassen calls, which degenerate to direct gemm when their
+///   children are base cases).
+///
+/// The previous model inferred both sides from square-gemm timings
+/// alone (`7 t(s/2)` plus an axpy-priced block-sum term) — Strassen's
+/// mix, not Algorithm 1's — and mispriced the syrk leaves, which skip
+/// the strictly-upper half of every diagonal tile. The crossover `s*`
+/// is the smallest swept size where recursing wins; recursion should
+/// *stop* below it, i.e. when the operands fit `words = 2 * s*^2` cache
+/// words (the `ata_base` predicate `m*n + n*n <= words` on a square
+/// problem).
+pub fn measure_base_words<T: Scalar>(kernel: &KernelConfig, quick: bool) -> usize {
+    let sizes: &[usize] = if quick { &[48, 96] } else { BASE_SWEEP_SIZES };
+    let mut bufs = PackBufs::new();
     for &s in sizes {
-        let t_full = time_gemm::<T>(s, kernel, &mut bufs);
-        let t_half = time_gemm::<T>(s.div_ceil(2), kernel, &mut bufs);
-        let half_sq = (s.div_ceil(2) * s.div_ceil(2)) as f64;
-        let t_level = 7.0 * t_half + 22.0 * half_sq * add_cost;
+        let t_full = time_syrk::<T>(s, kernel, &mut bufs);
+        let half = s.div_ceil(2);
+        let t_level = 4.0 * time_syrk::<T>(half, kernel, &mut bufs)
+            + 2.0 * time_gemm::<T>(half, kernel, &mut bufs);
         if t_level < 0.95 * t_full {
             return 2 * s * s;
         }
@@ -270,6 +289,19 @@ mod tests {
                 (t.kernel.mr, t.kernel.nr)
             );
             assert!(t.base_words >= 1024, "cutoff suspiciously small");
+        }
+    }
+
+    #[test]
+    fn baked_cutoffs_lie_in_the_measured_sweep_range() {
+        let lo = 2 * BASE_SWEEP_SIZES.first().unwrap().pow(2);
+        let hi = 2 * BASE_SWEEP_SIZES.last().unwrap().pow(2);
+        for t in [TUNED_F64, TUNED_F32] {
+            assert!(
+                (lo..=hi).contains(&t.base_words),
+                "baked cutoff {} outside the sweep's valid range [{lo}, {hi}]",
+                t.base_words
+            );
         }
     }
 

@@ -329,6 +329,18 @@ impl ContextInner {
         self.cache.unwrap_or_else(CacheConfig::for_scalar::<T>)
     }
 
+    /// The AtA-D configuration a plan of scalar type `T` resolves under
+    /// this context — shared by the dist-backend plan cores and the
+    /// sharded service's split lane, so both price and execute the same
+    /// schedule.
+    fn dist_config<T: Scalar>(&self) -> AtaDConfig {
+        AtaDConfig {
+            cache: self.cache_for::<T>(),
+            wire: self.wire,
+            ..AtaDConfig::default()
+        }
+    }
+
     /// Fetch or build the cached plan core for `(T, m, n, output,
     /// flavor)`. On a hit the core's cheap warm-up still runs, so the
     /// *calling* thread's packing buffers are grown even when another
@@ -586,6 +598,13 @@ impl AtaContext {
         self.inner.cache_for::<T>()
     }
 
+    /// The AtA-D configuration a plan of scalar type `T` resolves under
+    /// this context — what the dist-backend plan cores build with, and
+    /// what the sharded service's split lane plans and prices with.
+    pub(crate) fn dist_config<T: Scalar>(&self) -> AtaDConfig {
+        self.inner.dist_config::<T>()
+    }
+
     /// The context's arena pool for `T` — shared by every plan and the
     /// streaming/batched front-ends.
     pub(crate) fn arena_pool<T: Scalar + 'static>(&self) -> Arc<ArenaPool<T>> {
@@ -672,11 +691,7 @@ impl<T: Scalar + 'static> PlanCore<T> {
                 (Some(plan), need)
             }
             (PlanFlavor::Auto, Backend::SimulatedDist { ranks, .. }) => {
-                let cfg = AtaDConfig {
-                    cache,
-                    wire: inner.wire,
-                    ..AtaDConfig::default()
-                };
+                let cfg = inner.dist_config::<T>();
                 dist = Some(Arc::new(DistPlan::build(m, n, ranks.get(), &cfg)));
                 (None, 0)
             }

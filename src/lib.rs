@@ -107,6 +107,7 @@
 pub mod batch;
 pub mod context;
 pub mod service;
+pub mod shard;
 pub mod stream;
 
 pub use batch::BatchPlan;
@@ -114,6 +115,10 @@ pub use context::{
     default_context, AtaContext, AtaContextBuilder, AtaOutput, AtaPlan, Backend, Output, OwnedPlan,
 };
 pub use service::{AtaService, AtaServiceBuilder, JobHandle, TrySubmitError};
+pub use shard::{
+    JobError, ShardJobHandle, ShardStats, ShardSubmitError, ShardedService, ShardedServiceBuilder,
+    ShardedStats,
+};
 pub use stream::GramAccumulator;
 
 pub use ata_core::AtaOptions;

@@ -162,6 +162,15 @@ fn serve<T: Scalar + 'static>(
                 Err(_) => break,
             }
         }
+        // Dispatch largest-first: under a rayon pool the batch's critical
+        // path is its biggest job, so starting it first keeps the tail of
+        // the batch from serializing behind it. The sort is stable (ties
+        // keep arrival order) and each job answers through its own
+        // channel, so reordering cannot change any caller's result.
+        jobs.sort_by_key(|j| {
+            let (m, n) = j.a.shape();
+            std::cmp::Reverse(m as u128 * n as u128 * n as u128)
+        });
         let shapes: Vec<(usize, usize)> = jobs.iter().map(|j| j.a.shape()).collect();
         // Re-planning is a cache hit for every previously-seen shape.
         let batch: BatchPlan<T> = ctx.batch_plan(&shapes, output);
@@ -405,6 +414,44 @@ mod tests {
         for h in handles {
             assert!(h.wait().is_some(), "handle answered even after shutdown");
         }
+    }
+
+    #[test]
+    fn largest_first_dispatch_is_bitwise_answer_preserving() {
+        // Serve the same inputs twice: one at a time (each its own
+        // batch, no reordering possible) and as one coalesced burst the
+        // worker sorts largest-first. Every answer must come back on the
+        // right handle and be bit-identical — the sort only permutes
+        // dispatch order, never which plan a job runs through.
+        let ctx = AtaContext::serial();
+        let inputs: Vec<Matrix<f64>> = [(12usize, 6usize), (48, 24), (20, 10), (64, 32), (8, 4)]
+            .iter()
+            .enumerate()
+            .map(|(i, &(m, n))| gen::standard::<f64>(i as u64, m, n))
+            .collect();
+
+        let solo: AtaService<f64> = AtaServiceBuilder::new(&ctx).build();
+        let expected: Vec<Matrix<f64>> = inputs
+            .iter()
+            .map(|a| solo.submit(a.clone()).wait().expect("alive").into_dense())
+            .collect();
+        solo.shutdown();
+
+        let burst: AtaService<f64> = AtaServiceBuilder::new(&ctx)
+            .max_batch(inputs.len())
+            .queue_capacity(inputs.len())
+            .build();
+        let handles: Vec<_> = inputs.iter().map(|a| burst.submit(a.clone())).collect();
+        for (h, want) in handles.into_iter().zip(&expected) {
+            let got = h.wait().expect("alive").into_dense();
+            assert_eq!(got.shape(), want.shape(), "answers stay on their handles");
+            assert_eq!(
+                got.max_abs_diff(want),
+                0.0,
+                "reordered dispatch must be bit-identical"
+            );
+        }
+        burst.shutdown();
     }
 
     #[test]

@@ -1,0 +1,1132 @@
+//! Sharded distributed serving: [`ShardedService`].
+//!
+//! [`crate::service::AtaService`] batches a flood onto *one* node's
+//! pool; [`crate::dist::DistPlan`] splits *one* large problem across
+//! simulated ranks. A production front door needs both at once: route a
+//! heterogeneous flood so that small Gram problems run whole — one per
+//! rank-shard, coalesced into per-shard [`BatchPlan`] dispatches — while
+//! problems too large for a single shard split across all P ranks via
+//! AtA-D (Algorithm 4). [`ShardedService`] is that router.
+//!
+//! Three properties make it a serving component rather than a demo:
+//!
+//! * **Priced routing.** Every split dispatch is quoted *before* it is
+//!   accepted, by the bit-exact traffic predictor
+//!   (`ata_dist::traffic`): the quoted [`RoutePrice`] words match the
+//!   simulator's [`ata_mpisim::RankMetrics`] counters exactly, so
+//!   admission control ([`ShardedServiceBuilder::admission_words`])
+//!   rejects over-budget problems from *predicted* traffic, not from
+//!   observed congestion.
+//! * **Backpressure.** Each shard owns a bounded queue; a full preferred
+//!   queue spills to the next live shard, and when every live queue is
+//!   full [`ShardedService::try_submit`] reports
+//!   [`ShardSubmitError::Full`], handing the operand back.
+//! * **Failure containment.** A shard worker that panics stops
+//!   computing: its accepted-but-unanswered jobs are requeued to
+//!   surviving shards under a quarantine policy (requeued jobs run
+//!   *solo*, so a job whose solo dispatch panics again is the proven
+//!   culprit and is failed with [`JobError::Requeued`] instead of
+//!   hunting more shards), capped by a retry budget. The dead shard's
+//!   mailbox keeps being drained — a job routed to a dying shard is
+//!   forwarded, never stranded.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use ata_dist::{plan_traffic, DistPlan, RoutePrice};
+use ata_mat::{Matrix, Scalar, SymPacked};
+use ata_mpisim::{run, CostModel};
+use crossbeam::channel::{self, TrySendError};
+
+use crate::batch::BatchPlan;
+use crate::context::{AtaContext, AtaOutput, Output};
+
+/// Why a job handle carries no result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobError {
+    /// The job was caught on panicking shards until the requeue path
+    /// gave up: either its own solo dispatch panicked (proven culprit),
+    /// the retry budget ran out, or no live shard was left to take it.
+    /// `attempts` counts the dispatch attempts that ended in a panic.
+    Requeued {
+        /// Dispatch attempts that ended in a shard panic.
+        attempts: usize,
+    },
+    /// The service shut down before the job ran.
+    Closed,
+}
+
+/// The result side of a submitted job; [`ShardJobHandle::wait`] blocks
+/// until a shard has executed (or given up on) the job.
+#[derive(Debug)]
+pub struct ShardJobHandle<T: Scalar> {
+    recv: channel::Receiver<Result<AtaOutput<T>, JobError>>,
+}
+
+impl<T: Scalar> ShardJobHandle<T> {
+    /// Block until the job's outcome is known: the result, or the
+    /// [`JobError`] explaining why there is none.
+    pub fn wait(self) -> Result<AtaOutput<T>, JobError> {
+        match self.recv.recv() {
+            Ok(outcome) => outcome,
+            Err(_) => Err(JobError::Closed),
+        }
+    }
+}
+
+/// Error returned by [`ShardedService::submit`] and
+/// [`ShardedService::try_submit`]; variants carrying the operand hand it
+/// back so the caller can retry, shed or reroute.
+#[derive(Debug)]
+pub enum ShardSubmitError<T: Scalar> {
+    /// Every live shard's bounded queue is at capacity (`try_submit`
+    /// only) — the backpressure signal.
+    Full(Matrix<T>),
+    /// Admission control: the traffic predictor priced this problem's
+    /// AtA-D split above the configured word budget.
+    Rejected {
+        /// The operand, handed back.
+        a: Matrix<T>,
+        /// The quoted per-rank word bill ([`RoutePrice::max_rank_words`]).
+        predicted_words: u64,
+        /// The configured [`ShardedServiceBuilder::admission_words`] cap.
+        budget: u64,
+    },
+    /// The service has shut down, or every shard has failed.
+    Closed(Matrix<T>),
+}
+
+/// What a queued job carries: an operand, or an injected failure.
+#[derive(Debug)]
+enum Payload<T: Scalar> {
+    Compute(Matrix<T>),
+    /// Failure injection: panics the shard worker that dequeues it.
+    Poison,
+}
+
+/// One queued job, re-submittable across shards: the payload stays
+/// owned until the job is answered, so a panicked shard's jobs can move.
+#[derive(Debug)]
+struct ShardJob<T: Scalar> {
+    payload: Payload<T>,
+    resp: channel::Sender<Result<AtaOutput<T>, JobError>>,
+    /// Dispatch attempts that ended in a shard panic.
+    attempts: usize,
+    /// Quarantined after a requeue: runs alone, never coalesced, so a
+    /// second panic identifies it as the culprit.
+    solo: bool,
+}
+
+impl<T: Scalar> ShardJob<T> {
+    fn shape(&self) -> (usize, usize) {
+        match &self.payload {
+            Payload::Compute(a) => a.shape(),
+            Payload::Poison => (0, 0),
+        }
+    }
+
+    /// Descending-dispatch key: the `m n^2` multiply volume of the
+    /// classical product — the same largest-first policy as
+    /// [`crate::service::AtaService`]'s worker.
+    fn flop_estimate(&self) -> u128 {
+        let (m, n) = self.shape();
+        m as u128 * n as u128 * n as u128
+    }
+
+    fn into_matrix(self) -> Matrix<T> {
+        match self.payload {
+            Payload::Compute(a) => a,
+            Payload::Poison => unreachable!("poison jobs never hand an operand back"),
+        }
+    }
+}
+
+/// Per-shard slot: the queue's sending half plus this shard's counters.
+#[derive(Debug)]
+struct ShardSlot<T: Scalar> {
+    /// `Some` until shutdown; the router and requeuing workers clone it
+    /// briefly, so dropping the slot's copy disconnects the queue once
+    /// in-flight sends finish.
+    sender: Mutex<Option<channel::Sender<ShardJob<T>>>>,
+    /// Set (never cleared) when this shard's worker panics.
+    dead: AtomicBool,
+    jobs: AtomicUsize,
+    batches: AtomicUsize,
+    /// Jobs this shard handed away: panic requeues plus dead-mailbox
+    /// forwards.
+    requeues: AtomicUsize,
+}
+
+/// A shared AtA-D plan with the price quote derived from it, cached per
+/// distinct split shape.
+type PricedPlan = Arc<(DistPlan, RoutePrice)>;
+
+/// State shared by the router, the shard workers and the split worker.
+#[derive(Debug)]
+struct Shared<T: Scalar> {
+    ctx: AtaContext,
+    slots: Vec<ShardSlot<T>>,
+    max_batch: usize,
+    output: Output,
+    retry_budget: usize,
+    loggp: CostModel,
+    /// Shape-keyed cache of the shared AtA-D plan (and its price quote)
+    /// the split lane executes — built once per distinct large shape.
+    dist_plans: Mutex<HashMap<(usize, usize), PricedPlan>>,
+    split_jobs: AtomicUsize,
+    failed_jobs: AtomicUsize,
+    rejected_jobs: AtomicUsize,
+    dead_shards: AtomicUsize,
+    predicted_split_words: AtomicU64,
+    simulated_split_words: AtomicU64,
+    predicted_root_recv_words: AtomicU64,
+    simulated_root_recv_words: AtomicU64,
+}
+
+impl<T: Scalar + 'static> Shared<T> {
+    /// Fetch or build the shared `(DistPlan, RoutePrice)` for an
+    /// `(m, n)` split — the price is derived from the *same* plan the
+    /// split lane executes, which is what makes predicted and simulated
+    /// words bit-identical.
+    fn dist_plan_for(&self, m: usize, n: usize) -> PricedPlan {
+        let mut map = self.dist_plans.lock().expect("dist plan cache poisoned");
+        map.entry((m, n))
+            .or_insert_with(|| {
+                let cfg = self.ctx.dist_config::<T>();
+                let plan = DistPlan::build(m, n, self.slots.len(), &cfg);
+                let price = plan_traffic(&plan).price();
+                Arc::new((plan, price))
+            })
+            .clone()
+    }
+
+    /// Hand a job to a live shard, round-robin from `from + 1`. With
+    /// `panicked` the job came out of a panicked batch: its attempt
+    /// count grows and the quarantine policy applies; otherwise this is
+    /// a dead shard's mailbox forwarding a routing race, context intact.
+    fn reroute(&self, from: usize, job: ShardJob<T>, panicked: bool) {
+        let mut job = job;
+        if panicked {
+            job.attempts += 1;
+            if job.solo || job.attempts > self.retry_budget {
+                // A solo dispatch that panicked proves the job itself is
+                // the trigger — fail it instead of hunting more shards.
+                self.failed_jobs.fetch_add(1, Ordering::SeqCst);
+                let attempts = job.attempts;
+                let _ = job.resp.send(Err(JobError::Requeued { attempts }));
+                return;
+            }
+            job.solo = true;
+        }
+        self.slots[from].requeues.fetch_add(1, Ordering::SeqCst);
+        let p = self.slots.len();
+        for k in 1..p {
+            let i = (from + k) % p;
+            if self.slots[i].dead.load(Ordering::SeqCst) {
+                continue;
+            }
+            let Some(sender) = self.slots[i]
+                .sender
+                .lock()
+                .expect("shard sender poisoned")
+                .clone()
+            else {
+                continue;
+            };
+            // Blocking send is safe: every shard queue is drained by its
+            // worker or, after a panic, by the worker's ghost loop.
+            match sender.send(job) {
+                Ok(()) => return,
+                Err(channel::SendError(back)) => job = back,
+            }
+        }
+        // No surviving shard can take it.
+        self.failed_jobs.fetch_add(1, Ordering::SeqCst);
+        let attempts = job.attempts;
+        let _ = job.resp.send(Err(JobError::Requeued { attempts }));
+    }
+}
+
+/// One shard's worker loop: drain the queue into largest-first batches,
+/// execute through a per-shard [`BatchPlan`], answer the submitters.
+/// After a panic the loop degrades to a ghost that only forwards — the
+/// shard is dead for compute, but its mailbox never strands a job.
+fn shard_worker<T: Scalar + 'static>(
+    shared: Arc<Shared<T>>,
+    index: usize,
+    receiver: channel::Receiver<ShardJob<T>>,
+) {
+    let slot = &shared.slots[index];
+    let mut pending: Option<ShardJob<T>> = None;
+    loop {
+        let first = match pending.take() {
+            Some(job) => job,
+            None => match receiver.recv() {
+                Ok(job) => job,
+                Err(_) => break,
+            },
+        };
+        if slot.dead.load(Ordering::SeqCst) {
+            shared.reroute(index, first, false);
+            continue;
+        }
+        let mut batch = vec![first];
+        if !batch[0].solo {
+            while batch.len() < shared.max_batch {
+                match receiver.try_recv() {
+                    // Quarantined jobs must run alone: stop coalescing
+                    // and keep the solo job as the next dispatch.
+                    Ok(job) if job.solo => {
+                        pending = Some(job);
+                        break;
+                    }
+                    Ok(job) => batch.push(job),
+                    Err(_) => break,
+                }
+            }
+        }
+        batch.sort_by_key(|job| std::cmp::Reverse(job.flop_estimate()));
+        let poisoned = batch
+            .iter()
+            .any(|job| matches!(job.payload, Payload::Poison));
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if poisoned {
+                panic!("injected shard failure (poison job)");
+            }
+            let shapes: Vec<(usize, usize)> = batch.iter().map(|job| job.shape()).collect();
+            let plan: BatchPlan<T> = shared.ctx.batch_plan(&shapes, shared.output);
+            let refs: Vec<_> = batch
+                .iter()
+                .map(|job| match &job.payload {
+                    Payload::Compute(a) => a.as_ref(),
+                    Payload::Poison => unreachable!("poisoned batches panic before planning"),
+                })
+                .collect();
+            plan.execute_batch(&refs)
+        }));
+        match outcome {
+            Ok(results) => {
+                slot.jobs.fetch_add(batch.len(), Ordering::SeqCst);
+                slot.batches.fetch_add(1, Ordering::SeqCst);
+                for (job, result) in batch.into_iter().zip(results) {
+                    let _ = job.resp.send(Ok(result));
+                }
+            }
+            Err(_) => {
+                slot.dead.store(true, Ordering::SeqCst);
+                shared.dead_shards.fetch_add(1, Ordering::SeqCst);
+                for job in batch {
+                    shared.reroute(index, job, true);
+                }
+            }
+        }
+    }
+}
+
+/// The split lane's worker: executes each large job through the shared
+/// AtA-D plan on the simulated P-rank cluster and reconciles the quoted
+/// price against the simulator's exact counters.
+fn split_worker<T: Scalar + 'static>(
+    shared: Arc<Shared<T>>,
+    receiver: channel::Receiver<ShardJob<T>>,
+) {
+    while let Ok(job) = receiver.recv() {
+        let ShardJob { payload, resp, .. } = job;
+        let Payload::Compute(a) = payload else {
+            // Poison targets shard workers; the split lane ignores it.
+            continue;
+        };
+        let (m, n) = a.shape();
+        let entry = shared.dist_plan_for(m, n);
+        let (plan, price) = (&entry.0, entry.1);
+        let a_ref = &a;
+        let report = run(plan.procs(), shared.loggp, move |comm| {
+            let input = (comm.rank() == 0).then_some(a_ref);
+            plan.execute(input, comm)
+        });
+        let total_words = report.total_words();
+        let root_recv_words = report.metrics[0].words_recv;
+        let lower = report
+            .results
+            .into_iter()
+            .flatten()
+            .next()
+            .expect("rank 0 returns the result");
+        shared.split_jobs.fetch_add(1, Ordering::SeqCst);
+        shared
+            .predicted_split_words
+            .fetch_add(price.total_words, Ordering::SeqCst);
+        shared
+            .simulated_split_words
+            .fetch_add(total_words, Ordering::SeqCst);
+        shared
+            .predicted_root_recv_words
+            .fetch_add(price.root_recv_words, Ordering::SeqCst);
+        shared
+            .simulated_root_recv_words
+            .fetch_add(root_recv_words, Ordering::SeqCst);
+        let _ = resp.send(Ok(shape_output(lower, shared.output)));
+    }
+}
+
+/// Shape the cluster's lower triangle into the service's output
+/// representation.
+fn shape_output<T: Scalar>(mut lower: Matrix<T>, output: Output) -> AtaOutput<T> {
+    match output {
+        Output::Gram => {
+            lower.mirror_lower_to_upper();
+            AtaOutput::Dense(lower)
+        }
+        Output::Lower => AtaOutput::Dense(lower),
+        Output::Packed => AtaOutput::Packed(SymPacked::from_lower(&lower)),
+    }
+}
+
+/// One shard's statistics snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardStats {
+    /// Jobs this shard executed to completion.
+    pub jobs: usize,
+    /// Batched dispatches this shard ran.
+    pub batches: usize,
+    /// Jobs this shard handed away (panic requeues plus dead-mailbox
+    /// forwards).
+    pub requeues: usize,
+    /// Whether this shard's worker has panicked.
+    pub dead: bool,
+}
+
+/// Snapshot of a sharded service's counters.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShardedStats {
+    /// Per-shard counters, indexed by shard.
+    pub per_shard: Vec<ShardStats>,
+    /// Jobs routed whole-per-shard and completed.
+    pub whole_jobs: usize,
+    /// Jobs split across the ranks via AtA-D and completed.
+    pub split_jobs: usize,
+    /// Requeue events across all shards.
+    pub requeued_jobs: usize,
+    /// Jobs answered with [`JobError::Requeued`].
+    pub failed_jobs: usize,
+    /// Jobs refused by admission control.
+    pub rejected_jobs: usize,
+    /// Shards whose worker has panicked.
+    pub dead_shards: usize,
+    /// Predictor-quoted total words across all split dispatches.
+    pub predicted_split_words: u64,
+    /// Simulator-counted total words across all split dispatches
+    /// (bit-identical to the prediction — asserted in the bench record).
+    pub simulated_split_words: u64,
+    /// Predictor-quoted words converging on rank 0 during retrieval.
+    pub predicted_root_recv_words: u64,
+    /// Simulator-counted words received by rank 0.
+    pub simulated_root_recv_words: u64,
+}
+
+impl ShardedStats {
+    /// Total jobs that completed with a result.
+    pub fn completed_jobs(&self) -> usize {
+        self.whole_jobs + self.split_jobs
+    }
+}
+
+/// Builder for [`ShardedService`] — see [`ShardedService::builder`].
+#[derive(Debug)]
+pub struct ShardedServiceBuilder {
+    ctx: AtaContext,
+    shards: usize,
+    queue_capacity: usize,
+    max_batch: usize,
+    output: Output,
+    split_words: usize,
+    retry_budget: usize,
+    admission_words: Option<u64>,
+    loggp: CostModel,
+}
+
+impl ShardedServiceBuilder {
+    /// Start building a sharded service over `ctx` (shared, not
+    /// consumed: plan cores, arenas and the worker pool stay common
+    /// property of every front-end on the context).
+    pub fn new(ctx: &AtaContext) -> Self {
+        ShardedServiceBuilder {
+            ctx: ctx.clone(),
+            shards: 4,
+            queue_capacity: 16,
+            max_batch: 8,
+            output: Output::Gram,
+            split_words: 32 * 1024,
+            retry_budget: 2,
+            admission_words: None,
+            loggp: CostModel::zero(),
+        }
+    }
+
+    /// Number of rank-shards `P`. Small problems run whole on one of
+    /// them; large problems split across all of them via AtA-D.
+    /// Default 4.
+    ///
+    /// # Panics
+    /// If zero.
+    pub fn shards(mut self, shards: usize) -> Self {
+        assert!(shards > 0, "a sharded service needs at least one shard");
+        self.shards = shards;
+        self
+    }
+
+    /// Bound on each shard's queued (not yet dispatched) jobs; the split
+    /// lane uses the same bound. Default 16.
+    pub fn queue_capacity(mut self, cap: usize) -> Self {
+        self.queue_capacity = cap;
+        self
+    }
+
+    /// Most jobs one shard coalesces into one batched dispatch.
+    /// Default 8.
+    ///
+    /// # Panics
+    /// If zero.
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        assert!(max_batch > 0, "max_batch must be positive");
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Output representation of every result. Default [`Output::Gram`].
+    pub fn output(mut self, output: Output) -> Self {
+        self.output = output;
+        self
+    }
+
+    /// The routing threshold, in operand words `m * n`: problems at or
+    /// above it split across the ranks via AtA-D, smaller ones run whole
+    /// on one shard. Default 32768 (the f64 L2-ish budget the cache
+    /// model also defaults around); `usize::MAX` disables splitting.
+    pub fn split_words(mut self, words: usize) -> Self {
+        self.split_words = words;
+        self
+    }
+
+    /// How many times a job caught in a panicked batch may be requeued
+    /// before it is failed with [`JobError::Requeued`]. Requeued jobs
+    /// run solo (quarantine), so one poisonous job stops hunting shards
+    /// after its first solo panic regardless of this budget. Default 2.
+    pub fn retry_budget(mut self, budget: usize) -> Self {
+        self.retry_budget = budget;
+        self
+    }
+
+    /// Admission budget in predicted per-rank words
+    /// ([`RoutePrice::max_rank_words`]): a split dispatch quoted above
+    /// this is refused at submission with [`ShardSubmitError::Rejected`].
+    /// Default: no cap.
+    pub fn admission_words(mut self, words: u64) -> Self {
+        self.admission_words = Some(words);
+        self
+    }
+
+    /// LogGP cost model of the simulated cluster the split lane runs
+    /// on. Default [`CostModel::zero`] (pure counting).
+    pub fn loggp(mut self, model: CostModel) -> Self {
+        self.loggp = model;
+        self
+    }
+
+    /// Spawn the shard workers and the split lane; returns the running
+    /// service.
+    pub fn build<T: Scalar + 'static>(self) -> ShardedService<T> {
+        let mut slots = Vec::with_capacity(self.shards);
+        let mut receivers = Vec::with_capacity(self.shards);
+        for _ in 0..self.shards {
+            let (sender, receiver) = channel::bounded::<ShardJob<T>>(self.queue_capacity);
+            slots.push(ShardSlot {
+                sender: Mutex::new(Some(sender)),
+                dead: AtomicBool::new(false),
+                jobs: AtomicUsize::new(0),
+                batches: AtomicUsize::new(0),
+                requeues: AtomicUsize::new(0),
+            });
+            receivers.push(receiver);
+        }
+        let shared = Arc::new(Shared {
+            ctx: self.ctx,
+            slots,
+            max_batch: self.max_batch,
+            output: self.output,
+            retry_budget: self.retry_budget,
+            loggp: self.loggp,
+            dist_plans: Mutex::new(HashMap::new()),
+            split_jobs: AtomicUsize::new(0),
+            failed_jobs: AtomicUsize::new(0),
+            rejected_jobs: AtomicUsize::new(0),
+            dead_shards: AtomicUsize::new(0),
+            predicted_split_words: AtomicU64::new(0),
+            simulated_split_words: AtomicU64::new(0),
+            predicted_root_recv_words: AtomicU64::new(0),
+            simulated_root_recv_words: AtomicU64::new(0),
+        });
+        let workers = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(index, receiver)| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("ata-shard-{index}"))
+                    .spawn(move || shard_worker(shared, index, receiver))
+                    .expect("failed to spawn shard worker")
+            })
+            .collect();
+        let (split_sender, split_receiver) = channel::bounded::<ShardJob<T>>(self.queue_capacity);
+        let split_shared = shared.clone();
+        let split_worker = std::thread::Builder::new()
+            .name("ata-shard-split".into())
+            .spawn(move || split_worker(split_shared, split_receiver))
+            .expect("failed to spawn split worker");
+        ShardedService {
+            shared,
+            split_sender: Some(split_sender),
+            workers,
+            split_worker: Some(split_worker),
+            cursor: AtomicUsize::new(0),
+            split_words: self.split_words,
+            admission_words: self.admission_words,
+        }
+    }
+}
+
+/// The sharded serving front door: P rank-shards with bounded queues
+/// for whole small problems, one AtA-D split lane for large ones,
+/// traffic-priced routing, and requeue-on-shard-failure. [`Send`] and
+/// [`Sync`] — share it behind an `Arc` and submit from any number of
+/// threads.
+///
+/// Dropping the service closes every queue and joins the workers after
+/// they drain the jobs already accepted.
+///
+/// # Example
+///
+/// ```
+/// use ata::shard::ShardedServiceBuilder;
+/// use ata::AtaContext;
+/// use ata::mat::gen;
+///
+/// let ctx = AtaContext::serial();
+/// let svc = ShardedServiceBuilder::new(&ctx)
+///     .shards(4)
+///     .split_words(16 * 1024)
+///     .build::<f64>();
+/// // 96 x 40 = 3840 words: routed whole to one shard.
+/// let small = svc.submit(gen::standard::<f64>(1, 96, 40)).unwrap();
+/// // 512 x 64 = 32768 words: split across the 4 ranks via AtA-D.
+/// let large = svc.submit(gen::standard::<f64>(2, 512, 64)).unwrap();
+/// assert_eq!(small.wait().unwrap().order(), 40);
+/// assert_eq!(large.wait().unwrap().order(), 64);
+/// let stats = svc.shutdown();
+/// assert_eq!(stats.whole_jobs, 1);
+/// assert_eq!(stats.split_jobs, 1);
+/// assert_eq!(stats.predicted_split_words, stats.simulated_split_words);
+/// ```
+#[derive(Debug)]
+pub struct ShardedService<T: Scalar> {
+    shared: Arc<Shared<T>>,
+    /// `Some` until shutdown; dropped before joining the split worker.
+    split_sender: Option<channel::Sender<ShardJob<T>>>,
+    workers: Vec<JoinHandle<()>>,
+    split_worker: Option<JoinHandle<()>>,
+    /// Round-robin routing cursor over the shards.
+    cursor: AtomicUsize,
+    split_words: usize,
+    admission_words: Option<u64>,
+}
+
+impl<T: Scalar + 'static> ShardedService<T> {
+    /// Start building a sharded service over `ctx` — see
+    /// [`ShardedServiceBuilder::new`].
+    pub fn builder(ctx: &AtaContext) -> ShardedServiceBuilder {
+        ShardedServiceBuilder::new(ctx)
+    }
+
+    /// Number of rank-shards.
+    pub fn shards(&self) -> usize {
+        self.shared.slots.len()
+    }
+
+    /// The routing threshold in operand words.
+    pub fn split_words(&self) -> usize {
+        self.split_words
+    }
+
+    /// Whether an `(m, n)` problem would split across the ranks.
+    fn is_split(&self, m: usize, n: usize) -> bool {
+        self.shards() > 1 && m > 0 && n > 0 && m.saturating_mul(n) >= self.split_words
+    }
+
+    /// The routing decision and its price for an `(m, n)` problem:
+    /// `None` when it would run whole on one shard, the predictor's
+    /// quote when it would split via AtA-D — the same quote admission
+    /// control uses, exposed so callers can pre-flight a workload.
+    pub fn quote(&self, m: usize, n: usize) -> Option<RoutePrice> {
+        self.is_split(m, n)
+            .then(|| self.shared.dist_plan_for(m, n).1)
+    }
+
+    /// Submit a job, blocking while the routed queue is full. Admission
+    /// control still applies ([`ShardSubmitError::Rejected`]), and a
+    /// fully failed or shut-down service reports
+    /// [`ShardSubmitError::Closed`]; `Full` never occurs here.
+    pub fn submit(&self, a: Matrix<T>) -> Result<ShardJobHandle<T>, ShardSubmitError<T>> {
+        self.submit_inner(a, true)
+    }
+
+    /// Submit without blocking: [`ShardSubmitError::Full`] when every
+    /// live shard's queue (or, for a large problem, the split lane) is
+    /// at capacity — the backpressure signal, handing the operand back.
+    pub fn try_submit(&self, a: Matrix<T>) -> Result<ShardJobHandle<T>, ShardSubmitError<T>> {
+        self.submit_inner(a, false)
+    }
+
+    fn submit_inner(
+        &self,
+        a: Matrix<T>,
+        blocking: bool,
+    ) -> Result<ShardJobHandle<T>, ShardSubmitError<T>> {
+        let (m, n) = a.shape();
+        if self.is_split(m, n) {
+            // Price the split before dispatch; the same cached plan the
+            // split lane will execute backs the quote.
+            let price = self.shared.dist_plan_for(m, n).1;
+            if let Some(budget) = self.admission_words {
+                if price.max_rank_words > budget {
+                    self.shared.rejected_jobs.fetch_add(1, Ordering::SeqCst);
+                    return Err(ShardSubmitError::Rejected {
+                        a,
+                        predicted_words: price.max_rank_words,
+                        budget,
+                    });
+                }
+            }
+            let (resp, recv) = channel::unbounded();
+            let job = ShardJob {
+                payload: Payload::Compute(a),
+                resp,
+                attempts: 0,
+                solo: false,
+            };
+            let sender = self
+                .split_sender
+                .as_ref()
+                .expect("service already shut down");
+            return if blocking {
+                match sender.send(job) {
+                    Ok(()) => Ok(ShardJobHandle { recv }),
+                    Err(channel::SendError(job)) => {
+                        Err(ShardSubmitError::Closed(job.into_matrix()))
+                    }
+                }
+            } else {
+                match sender.try_send(job) {
+                    Ok(()) => Ok(ShardJobHandle { recv }),
+                    Err(TrySendError::Full(job)) => Err(ShardSubmitError::Full(job.into_matrix())),
+                    Err(TrySendError::Disconnected(job)) => {
+                        Err(ShardSubmitError::Closed(job.into_matrix()))
+                    }
+                }
+            };
+        }
+        let (resp, recv) = channel::unbounded();
+        let job = ShardJob {
+            payload: Payload::Compute(a),
+            resp,
+            attempts: 0,
+            solo: false,
+        };
+        match self.route_to_shard(job, blocking) {
+            Ok(()) => Ok(ShardJobHandle { recv }),
+            Err((job, full)) => {
+                let a = job.into_matrix();
+                Err(if full {
+                    ShardSubmitError::Full(a)
+                } else {
+                    ShardSubmitError::Closed(a)
+                })
+            }
+        }
+    }
+
+    /// Route a job round-robin over the live shards; non-blocking mode
+    /// spills to the next live shard when the preferred queue is full.
+    /// On failure returns the job and whether backpressure (rather than
+    /// a closed/failed service) was the cause.
+    fn route_to_shard(&self, job: ShardJob<T>, blocking: bool) -> Result<(), (ShardJob<T>, bool)> {
+        let p = self.shards();
+        let start = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let mut job = job;
+        let mut saw_full = false;
+        for k in 0..p {
+            let i = (start + k) % p;
+            if self.shared.slots[i].dead.load(Ordering::SeqCst) {
+                continue;
+            }
+            let Some(sender) = self.shared.slots[i]
+                .sender
+                .lock()
+                .expect("shard sender poisoned")
+                .clone()
+            else {
+                continue;
+            };
+            if blocking {
+                match sender.send(job) {
+                    Ok(()) => return Ok(()),
+                    Err(channel::SendError(back)) => job = back,
+                }
+            } else {
+                match sender.try_send(job) {
+                    Ok(()) => return Ok(()),
+                    Err(TrySendError::Full(back)) => {
+                        saw_full = true;
+                        job = back;
+                    }
+                    Err(TrySendError::Disconnected(back)) => job = back,
+                }
+            }
+        }
+        Err((job, saw_full))
+    }
+
+    /// Failure injection: enqueue a job that panics the shard worker
+    /// dequeuing it (together with whatever batch it was coalesced
+    /// into — those jobs exercise the requeue path). The handle reports
+    /// [`JobError::Requeued`] once the quarantine gives up on the
+    /// poison. For shard-failure tests and chaos drills.
+    pub fn submit_poison(&self) -> ShardJobHandle<T> {
+        let (resp, recv) = channel::unbounded();
+        let job = ShardJob {
+            payload: Payload::Poison,
+            resp,
+            attempts: 0,
+            solo: false,
+        };
+        if let Err((job, _)) = self.route_to_shard(job, true) {
+            let _ = job.resp.send(Err(JobError::Closed));
+        }
+        ShardJobHandle { recv }
+    }
+
+    /// Snapshot of the serving counters.
+    pub fn stats(&self) -> ShardedStats {
+        let per_shard: Vec<ShardStats> = self
+            .shared
+            .slots
+            .iter()
+            .map(|s| ShardStats {
+                jobs: s.jobs.load(Ordering::SeqCst),
+                batches: s.batches.load(Ordering::SeqCst),
+                requeues: s.requeues.load(Ordering::SeqCst),
+                dead: s.dead.load(Ordering::SeqCst),
+            })
+            .collect();
+        let whole_jobs = per_shard.iter().map(|s| s.jobs).sum();
+        let requeued_jobs = per_shard.iter().map(|s| s.requeues).sum();
+        ShardedStats {
+            per_shard,
+            whole_jobs,
+            split_jobs: self.shared.split_jobs.load(Ordering::SeqCst),
+            requeued_jobs,
+            failed_jobs: self.shared.failed_jobs.load(Ordering::SeqCst),
+            rejected_jobs: self.shared.rejected_jobs.load(Ordering::SeqCst),
+            dead_shards: self.shared.dead_shards.load(Ordering::SeqCst),
+            predicted_split_words: self.shared.predicted_split_words.load(Ordering::SeqCst),
+            simulated_split_words: self.shared.simulated_split_words.load(Ordering::SeqCst),
+            predicted_root_recv_words: self.shared.predicted_root_recv_words.load(Ordering::SeqCst),
+            simulated_root_recv_words: self.shared.simulated_root_recv_words.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Close every queue, let the workers drain the accepted jobs, and
+    /// join them. Equivalent to dropping the service, but explicit and
+    /// returning the final statistics.
+    pub fn shutdown(mut self) -> ShardedStats {
+        self.close_and_join(true);
+        self.stats()
+    }
+
+    fn close_and_join(&mut self, loud: bool) {
+        for slot in &self.shared.slots {
+            drop(slot.sender.lock().expect("shard sender poisoned").take());
+        }
+        drop(self.split_sender.take());
+        let mut payload = None;
+        for worker in self.workers.drain(..) {
+            if let Err(p) = worker.join() {
+                payload.get_or_insert(p);
+            }
+        }
+        if let Some(worker) = self.split_worker.take() {
+            if let Err(p) = worker.join() {
+                payload.get_or_insert(p);
+            }
+        }
+        // Shard panics were already contained (dead flag + requeue);
+        // only an unexpected escape reaches here.
+        if loud {
+            if let Some(p) = payload {
+                std::panic::resume_unwind(p);
+            }
+        }
+    }
+}
+
+impl<T: Scalar> Drop for ShardedService<T> {
+    fn drop(&mut self) {
+        for slot in &self.shared.slots {
+            if let Ok(mut sender) = slot.sender.lock() {
+                drop(sender.take());
+            }
+        }
+        drop(self.split_sender.take());
+        for worker in self.workers.drain(..) {
+            // Drop must not panic; shutdown() is the loud path.
+            let _ = worker.join();
+        }
+        if let Some(worker) = self.split_worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ata_mat::{gen, reference};
+
+    fn oracle(a: &Matrix<f64>) -> Matrix<f64> {
+        let n = a.cols();
+        let mut c = Matrix::zeros(n, n);
+        reference::syrk_ln(1.0, a.as_ref(), &mut c.as_mut());
+        c.mirror_lower_to_upper();
+        c
+    }
+
+    fn service(split_words: usize) -> ShardedService<f64> {
+        ShardedServiceBuilder::new(&AtaContext::serial())
+            .shards(4)
+            .split_words(split_words)
+            .build()
+    }
+
+    #[test]
+    fn routes_small_whole_and_large_split() {
+        let svc = service(2048);
+        // 48 x 16 = 768 words: whole-per-shard. 128 x 32 = 4096: split.
+        let smalls: Vec<Matrix<f64>> = (0..6).map(|i| gen::standard::<f64>(i, 48, 16)).collect();
+        let larges: Vec<Matrix<f64>> = (0..2)
+            .map(|i| gen::standard::<f64>(100 + i, 128, 32))
+            .collect();
+        let hs: Vec<_> = smalls
+            .iter()
+            .map(|a| svc.submit(a.clone()).unwrap())
+            .collect();
+        let hl: Vec<_> = larges
+            .iter()
+            .map(|a| svc.submit(a.clone()).unwrap())
+            .collect();
+        for (h, a) in hs.into_iter().zip(&smalls) {
+            let g = h.wait().expect("whole job completes").into_dense();
+            assert!(g.max_abs_diff(&oracle(a)) < 1e-10);
+        }
+        for (h, a) in hl.into_iter().zip(&larges) {
+            let g = h.wait().expect("split job completes").into_dense();
+            assert!(g.max_abs_diff(&oracle(a)) < 1e-10);
+        }
+        let stats = svc.shutdown();
+        assert_eq!(stats.whole_jobs, 6);
+        assert_eq!(stats.split_jobs, 2);
+        assert_eq!(stats.completed_jobs(), 8);
+        assert_eq!(stats.failed_jobs, 0);
+        assert_eq!(stats.dead_shards, 0);
+        assert!(stats.predicted_split_words > 0, "4-rank splits communicate");
+        // The routing quote and the simulator's counters agree bit-exactly.
+        assert_eq!(stats.predicted_split_words, stats.simulated_split_words);
+        assert_eq!(
+            stats.predicted_root_recv_words,
+            stats.simulated_root_recv_words
+        );
+    }
+
+    #[test]
+    fn packed_output_round_trips_through_both_routes() {
+        let svc: ShardedService<f64> = ShardedServiceBuilder::new(&AtaContext::serial())
+            .shards(2)
+            .split_words(2048)
+            .output(Output::Packed)
+            .build();
+        let small = gen::standard::<f64>(3, 40, 12);
+        let large = gen::standard::<f64>(4, 96, 48);
+        let hs = svc.submit(small.clone()).unwrap();
+        let hl = svc.submit(large.clone()).unwrap();
+        for (h, a) in [(hs, &small), (hl, &large)] {
+            let out = h.wait().expect("completes");
+            assert!(matches!(out, AtaOutput::Packed(_)));
+            assert!(out.into_dense().max_abs_diff(&oracle(a)) < 1e-10);
+        }
+    }
+
+    #[test]
+    fn quote_prices_only_the_split_route() {
+        let svc = service(2048);
+        assert!(svc.quote(48, 16).is_none(), "small problems are not priced");
+        let q = svc.quote(128, 32).expect("large problems are");
+        assert!(q.total_words > 0);
+        assert!(q.root_recv_words > 0);
+        // Deterministic: quoting twice is bit-identical.
+        assert_eq!(q, svc.quote(128, 32).unwrap());
+    }
+
+    #[test]
+    fn admission_control_rejects_overpriced_splits() {
+        let svc: ShardedService<f64> = ShardedServiceBuilder::new(&AtaContext::serial())
+            .shards(4)
+            .split_words(2048)
+            .admission_words(1)
+            .build();
+        let a = gen::standard::<f64>(9, 128, 32);
+        match svc.submit(a) {
+            Err(ShardSubmitError::Rejected {
+                a,
+                predicted_words,
+                budget,
+            }) => {
+                assert_eq!(a.shape(), (128, 32), "operand handed back intact");
+                assert!(predicted_words > budget);
+                assert_eq!(budget, 1);
+            }
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+        // Small problems bypass admission control entirely.
+        let h = svc.submit(gen::standard::<f64>(10, 48, 16)).unwrap();
+        assert_eq!(h.wait().unwrap().order(), 16);
+        let stats = svc.shutdown();
+        assert_eq!(stats.rejected_jobs, 1);
+        assert_eq!(stats.whole_jobs, 1);
+    }
+
+    #[test]
+    fn try_submit_accounting_under_backpressure() {
+        let svc: ShardedService<f64> = ShardedServiceBuilder::new(&AtaContext::serial())
+            .shards(2)
+            .queue_capacity(1)
+            .split_words(usize::MAX)
+            .build();
+        let (mut accepted, mut shed) = (0usize, 0usize);
+        let mut handles = Vec::new();
+        for i in 0..100u64 {
+            match svc.try_submit(gen::standard::<f64>(i, 64, 32)) {
+                Ok(h) => {
+                    accepted += 1;
+                    handles.push(h);
+                }
+                Err(ShardSubmitError::Full(a)) => {
+                    shed += 1;
+                    assert_eq!(a.shape(), (64, 32), "operand handed back intact");
+                }
+                other => panic!("service must be alive and nothing splits: {other:?}"),
+            }
+        }
+        assert!(accepted > 0, "some jobs must get through");
+        for h in handles {
+            assert!(h.wait().is_ok());
+        }
+        assert_eq!(accepted + shed, 100);
+        assert_eq!(svc.shutdown().whole_jobs, accepted);
+    }
+
+    #[test]
+    fn poison_is_quarantined_and_innocents_complete() {
+        let svc = service(usize::MAX);
+        let poison = svc.submit_poison();
+        // The poison panics its first shard, is requeued solo, panics a
+        // second, and the quarantine then convicts it: attempts == 2.
+        assert!(matches!(
+            poison.wait(),
+            Err(JobError::Requeued { attempts: 2 })
+        ));
+        // Two shards are gone; the service still serves on the rest.
+        let inputs: Vec<Matrix<f64>> = (0..8).map(|i| gen::standard::<f64>(i, 32, 16)).collect();
+        let handles: Vec<_> = inputs
+            .iter()
+            .map(|a| svc.submit(a.clone()).unwrap())
+            .collect();
+        for (h, a) in handles.into_iter().zip(&inputs) {
+            let g = h.wait().expect("innocent job completes").into_dense();
+            assert!(g.max_abs_diff(&oracle(a)) < 1e-10);
+        }
+        let stats = svc.shutdown();
+        assert_eq!(stats.dead_shards, 2);
+        assert_eq!(stats.failed_jobs, 1, "only the poison fails");
+        assert_eq!(stats.whole_jobs, 8);
+        assert!(stats.requeued_jobs >= 1, "the solo requeue is counted");
+        assert_eq!(
+            stats.per_shard.iter().filter(|s| s.dead).count(),
+            2,
+            "per-shard flags agree with the aggregate"
+        );
+    }
+
+    #[test]
+    fn zero_retry_budget_convicts_on_first_panic() {
+        let svc: ShardedService<f64> = ShardedServiceBuilder::new(&AtaContext::serial())
+            .shards(3)
+            .retry_budget(0)
+            .split_words(usize::MAX)
+            .build();
+        assert!(matches!(
+            svc.submit_poison().wait(),
+            Err(JobError::Requeued { attempts: 1 })
+        ));
+        let stats = svc.shutdown();
+        assert_eq!(stats.dead_shards, 1);
+        assert_eq!(stats.failed_jobs, 1);
+    }
+
+    #[test]
+    fn all_shards_dead_reports_closed() {
+        let svc: ShardedService<f64> = ShardedServiceBuilder::new(&AtaContext::serial())
+            .shards(1)
+            .retry_budget(0)
+            .split_words(usize::MAX)
+            .build();
+        assert!(matches!(
+            svc.submit_poison().wait(),
+            Err(JobError::Requeued { attempts: 1 })
+        ));
+        match svc.submit(gen::standard::<f64>(1, 16, 8)) {
+            Err(ShardSubmitError::Closed(a)) => assert_eq!(a.shape(), (16, 8)),
+            other => panic!("expected Closed, got {other:?}"),
+        }
+        assert_eq!(svc.shutdown().dead_shards, 1);
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_jobs() {
+        let svc = service(usize::MAX);
+        let a = gen::standard::<f64>(7, 30, 15);
+        let handles: Vec<_> = (0..8).map(|_| svc.submit(a.clone()).unwrap()).collect();
+        let stats = svc.shutdown();
+        assert_eq!(stats.whole_jobs, 8, "accepted jobs are served before exit");
+        for h in handles {
+            assert!(h.wait().is_ok(), "handle answered even after shutdown");
+        }
+    }
+
+    #[test]
+    fn sharded_service_is_send_and_sync() {
+        fn assert_send_sync<X: Send + Sync>() {}
+        assert_send_sync::<ShardedService<f64>>();
+        assert_send_sync::<ShardedService<f32>>();
+    }
+}

@@ -62,6 +62,12 @@ pub struct GramAccumulator<T: Scalar> {
     output: Output,
     /// Chunks of at most this many rows take the direct syrk path.
     thin_rows: usize,
+    /// Zero-padded staging buffer for tall pushes: irregular chunk
+    /// heights are rounded up to a power-of-two bucket before planning,
+    /// so the context's plan cache sees `O(log max_height)` distinct
+    /// shapes instead of one per height. Lazily sized to the current
+    /// bucket.
+    pad: Matrix<T>,
     /// The running lower triangle (strict upper stays zero).
     c: Matrix<T>,
     rows: usize,
@@ -89,6 +95,7 @@ impl AtaContext {
             n,
             output,
             thin_rows: chunk_rows_for_budget(n, &self.cache_for::<T>()),
+            pad: Matrix::zeros(0, 0),
             c: Matrix::zeros(n, n),
             rows: 0,
             pushes: 0,
@@ -105,7 +112,10 @@ impl<T: Scalar + 'static> GramAccumulator<T> {
     /// Thin chunks (up to [`GramAccumulator::thin_rows`] rows, the
     /// calibrated cache budget) run as one direct β = 1 syrk rank
     /// update; taller chunks run through the context's Strassen engine
-    /// in accumulate mode. Empty chunks are no-ops.
+    /// in accumulate mode, zero-padded to the next power-of-two height
+    /// bucket so the context's plan cache stays bounded no matter how
+    /// irregular the stream's chunk heights are. Empty chunks are
+    /// no-ops.
     ///
     /// # Panics
     /// If the chunk does not have exactly `n` columns.
@@ -136,9 +146,32 @@ impl<T: Scalar + 'static> GramAccumulator<T> {
             syrk_ln_beta(alpha, T::ONE, chunk, &mut self.c.as_mut());
         } else {
             self.tall_pushes += 1;
-            let core = self.ctx.auto_core::<T>(m, n, Output::Lower);
-            self.ctx
-                .accumulate_core(&core, alpha, chunk, &mut self.c.as_mut());
+            // Round the height up to its power-of-two bucket before
+            // planning: a stream of irregular chunk heights would
+            // otherwise insert one plan per distinct height and grow the
+            // context's plan cache without bound. The padding rows stay
+            // zero and contribute nothing to `chunk^T chunk`.
+            let bucket = m.next_power_of_two();
+            if bucket == m {
+                let core = self.ctx.auto_core::<T>(m, n, Output::Lower);
+                self.ctx
+                    .accumulate_core(&core, alpha, chunk, &mut self.c.as_mut());
+            } else {
+                if self.pad.shape() != (bucket, n) {
+                    self.pad = Matrix::zeros(bucket, n);
+                }
+                for i in 0..m {
+                    self.pad.row_mut(i).copy_from_slice(chunk.row(i));
+                }
+                // The buffer is reused across pushes; rows past this
+                // chunk may hold a previous (taller) chunk's data.
+                for i in m..bucket {
+                    self.pad.row_mut(i).fill(T::ZERO);
+                }
+                let core = self.ctx.auto_core::<T>(bucket, n, Output::Lower);
+                self.ctx
+                    .accumulate_core(&core, alpha, self.pad.as_ref(), &mut self.c.as_mut());
+            }
         }
     }
 
@@ -412,6 +445,45 @@ mod tests {
         assert_eq!(s.grows, warm_stats.grows, "no arena regrowth");
         assert_eq!(s.checkouts, warm_stats.checkouts + 5);
         assert_eq!(acc.pack_footprint_elems(), warm_pack);
+    }
+
+    #[test]
+    fn irregular_heights_keep_the_plan_cache_bounded() {
+        // 1000 pushes with pseudo-random heights in [1, 128]: without
+        // height bucketing every distinct tall height would miss the
+        // plan cache once, ~100+ entries; with power-of-two buckets the
+        // tall path can plan at most log2(128) = 7 shapes (plus
+        // whatever the accumulate path plans per shape internally).
+        let ctx = AtaContext::builder().cache_words(16).build();
+        let n = 8usize;
+        let mut acc = ctx.gram_accumulator::<f64>(n);
+        let mut want = Matrix::zeros(n, n);
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for _ in 0..1000 {
+            // xorshift64*; heights 1..=128.
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            let m = 1 + (x.wrapping_mul(0x2545f4914f6cdd1d) >> 57) as usize % 128;
+            let chunk = gen::standard::<f64>(x, m, n);
+            reference::syrk_ln(1.0, chunk.as_ref(), &mut want.as_mut());
+            acc.push(chunk.as_ref());
+        }
+        assert!(
+            acc.tall_pushes() > 100,
+            "the stream must exercise the tall path"
+        );
+        let misses = ctx.plan_cache_misses();
+        assert!(
+            misses <= 16,
+            "plan cache must stay bounded under irregular heights, got {misses} misses"
+        );
+        let got = acc.finish().into_dense();
+        let tol = ata_mat::ops::product_tol::<f64>(128, n, 1000.0 * 128.0);
+        assert!(
+            got.max_abs_diff_lower(&want) <= tol,
+            "padding must not change the sum"
+        );
     }
 
     #[test]
