@@ -21,6 +21,8 @@
 //! meant for big machines), `--reps <k>` for timing repetitions, and
 //! `--csv <dir>` to also dump machine-readable CSV.
 
+#![forbid(unsafe_code)]
+
 use std::collections::HashMap;
 use std::time::Instant;
 

@@ -37,6 +37,8 @@
 //! assert!(ata.misses < naive.misses, "cache-oblivious recursion wins");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod algs;
 pub mod lru;
 pub mod mem;

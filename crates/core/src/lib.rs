@@ -33,6 +33,8 @@
 //! assert_eq!(g[(0, 1)], dot01);
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod accuracy;
 pub mod analysis;
 pub mod blas_parity;

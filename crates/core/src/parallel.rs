@@ -47,8 +47,10 @@ fn carve_tasks<'c, T: Scalar>(
             // checks; the transmute-free way to keep all views alive at
             // once is to derive each from a fresh reborrow.
             let view = c.rb_mut().into_block(t.c.r0, t.c.r1, t.c.c0, t.c.c1);
-            // Extend lifetime from the reborrow to 'c: disjointness makes
-            // simultaneous unique views sound.
+            // SAFETY: the transmute only extends the view's lifetime from
+            // the reborrow to 'c; the element sets are pairwise disjoint
+            // (checked above), so the simultaneous unique views never
+            // alias and `c` itself is not used while they live.
             unsafe { std::mem::transmute::<MatMut<'_, T>, MatMut<'c, T>>(view) }
         })
         .collect()

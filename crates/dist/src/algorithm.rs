@@ -128,7 +128,7 @@ fn compute_leaf<T: Scalar>(
             charge(comm, flops, threads);
         }
         ComputeKind::AtB => {
-            let b_blk = b_blk.expect("AtB leaf carries a B block");
+            let b_blk = b_blk.expect("AtB leaf carries a B block"); // ata-lint: allow(no-unwrap-in-lib): SPMD invariant stated in the expect message
             let (mb, nb) = a_blk.shape();
             let kb = b_blk.cols();
             // No parallel FastStrassen exists: multi-threaded leaves run
@@ -255,7 +255,7 @@ impl DistPlan {
             comm.size()
         );
         if rank == 0 {
-            let a = input.expect("rank 0 must provide the input matrix");
+            let a = input.expect("rank 0 must provide the input matrix"); // ata-lint: allow(no-unwrap-in-lib): SPMD invariant stated in the expect message
             assert_eq!(a.shape(), (m, n), "input must be {m} x {n}");
         } else {
             assert!(input.is_none(), "non-root rank {rank} must pass None");
@@ -270,7 +270,7 @@ impl DistPlan {
         let mut received: HashMap<usize, (Matrix<T>, Option<Matrix<T>>)> = HashMap::new();
         if self.procs > 1 {
             let chunks = (rank == 0).then(|| {
-                let a = input.expect("checked above");
+                let a = input.expect("checked above"); // ata-lint: allow(no-unwrap-in-lib): SPMD invariant stated in the expect message
                 let mut chunks: Vec<Vec<T>> =
                     self.counts.iter().map(|&c| Vec::with_capacity(c)).collect();
                 for node in tree.leaves().filter(|nd| nd.owner != 0) {
@@ -315,13 +315,13 @@ impl DistPlan {
             }
             let block = if node.is_leaf() {
                 if rank == 0 {
-                    let a = input.expect("checked above");
+                    let a = input.expect("checked above"); // ata-lint: allow(no-unwrap-in-lib): SPMD invariant stated in the expect message
                     let a_blk = a.as_ref().block(node.a.r0, node.a.r1, node.a.c0, node.a.c1);
                     let b_blk = (node.kind == ComputeKind::AtB)
                         .then(|| a.as_ref().block(node.b.r0, node.b.r1, node.b.c0, node.b.c1));
                     compute_leaf(node, a_blk, b_blk, comm, cfg)
                 } else {
-                    let (a_blk, b_blk) = received.remove(&node.id).expect("operands distributed");
+                    let (a_blk, b_blk) = received.remove(&node.id).expect("operands distributed"); // ata-lint: allow(no-unwrap-in-lib): SPMD invariant stated in the expect message
                     let b_ref = b_blk.as_ref().map(|b| b.as_ref());
                     compute_leaf(node, a_blk.as_ref(), b_ref, comm, cfg)
                 }
@@ -331,6 +331,8 @@ impl DistPlan {
                 for &cid in &node.children {
                     let child = &tree.nodes[cid];
                     let contrib = if child.owner == rank {
+                        // ata-lint: allow(no-unwrap-in-lib): SPMD invariant
+                        // stated in the expect message.
                         pending.remove(&cid).expect("child result computed first")
                     } else {
                         wire::unpack_c(

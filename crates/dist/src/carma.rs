@@ -62,8 +62,8 @@ pub fn carma_like<T: Scalar>(
 ) -> Option<Matrix<T>> {
     let rank = comm.rank();
     if rank == 0 {
-        let a = input_a.expect("rank 0 must provide A");
-        let b = input_b.expect("rank 0 must provide B");
+        let a = input_a.expect("rank 0 must provide A"); // ata-lint: allow(no-unwrap-in-lib): SPMD invariant stated in the expect message
+        let b = input_b.expect("rank 0 must provide B"); // ata-lint: allow(no-unwrap-in-lib): SPMD invariant stated in the expect message
         assert_eq!(a.shape(), (m, n), "A must be {m} x {n}");
         assert_eq!(b.shape(), (m, k), "B must be {m} x {k}");
     } else {
@@ -72,7 +72,7 @@ pub fn carma_like<T: Scalar>(
             "non-root rank {rank} must pass None"
         );
     }
-    let task = input_a.map(|a| (a.clone(), input_b.expect("checked above").clone()));
+    let task = input_a.map(|a| (a.clone(), input_b.expect("checked above").clone())); // ata-lint: allow(no-unwrap-in-lib): SPMD invariant stated in the expect message
     carma_group(comm, 0, comm.size(), (m, n, k), task, cfg, 0)
 }
 
@@ -124,7 +124,7 @@ fn carma_group<T: Scalar>(
             left_dims = (m, d1, k);
             right_dims = (m, d2, k);
             if is_leader {
-                let (a, b) = task.expect("leader holds the task");
+                let (a, b) = task.expect("leader holds the task"); // ata-lint: allow(no-unwrap-in-lib): SPMD invariant stated in the expect message
                 comm.send(
                     peer,
                     TAG_A + tag_base,
@@ -146,7 +146,7 @@ fn carma_group<T: Scalar>(
             left_dims = (m, n, d1);
             right_dims = (m, n, d2);
             if is_leader {
-                let (a, b) = task.expect("leader holds the task");
+                let (a, b) = task.expect("leader holds the task"); // ata-lint: allow(no-unwrap-in-lib): SPMD invariant stated in the expect message
                 comm.send(
                     peer,
                     TAG_A + tag_base,
@@ -168,7 +168,7 @@ fn carma_group<T: Scalar>(
             left_dims = (d1, n, k);
             right_dims = (d2, n, k);
             if is_leader {
-                let (a, b) = task.expect("leader holds the task");
+                let (a, b) = task.expect("leader holds the task"); // ata-lint: allow(no-unwrap-in-lib): SPMD invariant stated in the expect message
                 comm.send(
                     peer,
                     TAG_A + tag_base,
@@ -198,7 +198,7 @@ fn carma_group<T: Scalar>(
     };
 
     if is_leader {
-        let mut left = sub.expect("leader computed the left part");
+        let mut left = sub.expect("leader computed the left part"); // ata-lint: allow(no-unwrap-in-lib): SPMD invariant stated in the expect message
         let (rn, rk) = match split {
             'n' => (d2, k),
             'k' => (n, d2),
@@ -225,7 +225,7 @@ fn carma_group<T: Scalar>(
         Some(c)
     } else {
         if rank == peer {
-            let mine = sub.expect("right leader computed its part");
+            let mine = sub.expect("right leader computed its part"); // ata-lint: allow(no-unwrap-in-lib): SPMD invariant stated in the expect message
             comm.send(lo, TAG_C + tag_base, mine.into_vec());
         }
         None

@@ -48,6 +48,8 @@
 //! assert!(c.max_abs_diff_lower(&oracle) < 1e-10);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod algorithm;
 pub mod baselines;
 mod carma;

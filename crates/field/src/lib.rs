@@ -40,6 +40,8 @@
 //! assert_eq!(c[(0, 0)], Q64::new(5, 4)); // 0 + 1/4 + 1
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod gf;
 pub mod rational;
 

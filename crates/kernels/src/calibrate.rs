@@ -263,7 +263,7 @@ pub fn measure_base_words<T: Scalar>(kernel: &KernelConfig, quick: bool) -> usiz
         }
     }
     // No crossover in range: keep recursion rare.
-    let s = *sizes.last().expect("size table is non-empty");
+    let s = *sizes.last().expect("size table is non-empty"); // ata-lint: allow(no-unwrap-in-lib): the size table is a non-empty constant
     2 * s * s
 }
 

@@ -26,6 +26,8 @@
 //! [`CacheConfig`] centralizes the "fits in cache" predicate that decides
 //! the recursion base cases of Algorithms 1 and 2.
 
+#![forbid(unsafe_code)]
+
 pub mod calibrate;
 pub mod gemm;
 pub mod level1;

@@ -54,7 +54,7 @@ pub fn par_gemm_tn<T: Scalar>(
     let mut offsets = Vec::with_capacity(tasks + 1);
     offsets.push(0usize);
     for s in &strips {
-        offsets.push(offsets.last().unwrap() + s.cols());
+        offsets.push(offsets.last().unwrap() + s.cols()); // ata-lint: allow(no-unwrap-in-lib): offsets starts non-empty (0 pushed above)
     }
 
     strips
@@ -113,7 +113,7 @@ pub fn pool_with_threads(threads: usize) -> rayon::ThreadPool {
     rayon::ThreadPoolBuilder::new()
         .num_threads(threads.max(1))
         .build()
-        .expect("failed to build rayon pool")
+        .expect("failed to build rayon pool") // ata-lint: allow(no-unwrap-in-lib): pool build only fails on OS thread-spawn failure, unrecoverable here
 }
 
 #[cfg(test)]

@@ -158,7 +158,7 @@ pub fn triangle_row_partition(n: usize, p: usize) -> Vec<usize> {
         // Solve r(r+1)/2 = (t/p) * total for r.
         let target = total * t as f64 / p as f64;
         let r = ((2.0 * target + 0.25).sqrt() - 0.5).round() as usize;
-        let r = r.clamp(*bounds.last().unwrap(), n);
+        let r = r.clamp(*bounds.last().unwrap(), n); // ata-lint: allow(no-unwrap-in-lib): bounds starts non-empty (0 pushed above)
         bounds.push(r);
     }
     bounds.push(n);

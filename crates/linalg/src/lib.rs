@@ -20,6 +20,8 @@
 //! appropriate (forming `A^T A` squares the condition number — the
 //! classical caveat, documented per function).
 
+#![forbid(unsafe_code)]
+
 pub mod cholesky;
 pub mod eigen;
 pub mod lstsq;

@@ -1,0 +1,96 @@
+//! Every lint is proven live: each known-bad fixture fires its lint at
+//! the expected file:line, and the clean fixtures stay silent under the
+//! strictest path scoping.
+
+use ata_lint::lint_file;
+
+/// `(line, lint)` pairs for linting `src` as if it lived at `path`.
+fn diags(path: &str, src: &str) -> Vec<(usize, &'static str)> {
+    lint_file(path, src)
+        .into_iter()
+        .map(|d| (d.line, d.lint))
+        .collect()
+}
+
+#[test]
+fn safety_comment_fires_at_expected_line() {
+    // An allowlisted path, so only the missing SAFETY comment fires.
+    let d = diags(
+        "crates/mat/src/view.rs",
+        include_str!("fixtures/bad_safety.rs"),
+    );
+    assert_eq!(d, vec![(5, "safety-comment")]);
+}
+
+#[test]
+fn unsafe_allowlist_fires_at_expected_line() {
+    let d = diags(
+        "crates/strassen/src/lib.rs",
+        include_str!("fixtures/bad_allowlist.rs"),
+    );
+    assert_eq!(d, vec![(4, "unsafe-allowlist")]);
+}
+
+#[test]
+fn no_raw_spawn_fires_at_expected_line() {
+    let d = diags(
+        "crates/core/src/tracked.rs",
+        include_str!("fixtures/bad_spawn.rs"),
+    );
+    assert_eq!(d, vec![(4, "no-raw-spawn")]);
+}
+
+#[test]
+fn lock_across_blocking_fires_at_expected_line() {
+    let d = diags("src/service.rs", include_str!("fixtures/bad_lock.rs"));
+    // The guard taken on line 6 is still live across the send on line 7
+    // (and the `.unwrap()` on the lock is itself a serving-path hit).
+    assert!(d.contains(&(7, "lock-across-blocking")), "got {d:?}");
+    assert!(d.contains(&(6, "no-unwrap-in-lib")), "got {d:?}");
+}
+
+#[test]
+fn no_unwrap_in_lib_fires_at_expected_lines() {
+    let d = diags("src/stream.rs", include_str!("fixtures/bad_unwrap.rs"));
+    assert_eq!(d, vec![(4, "no-unwrap-in-lib"), (8, "no-unwrap-in-lib")]);
+}
+
+#[test]
+fn bad_fixtures_are_path_scoped() {
+    // The same unwrap fixture is fine outside the serving paths...
+    let d = diags(
+        "crates/linalg/src/chol.rs",
+        include_str!("fixtures/bad_unwrap.rs"),
+    );
+    assert!(d.is_empty(), "got {d:?}");
+    // ...and the lock fixture's heuristic only applies to the three
+    // serving files (the unwrap hit remains, facade src/ is scoped).
+    let d = diags("src/context.rs", include_str!("fixtures/bad_lock.rs"));
+    assert!(!d.contains(&(7, "lock-across-blocking")), "got {d:?}");
+}
+
+#[test]
+fn clean_fixture_is_silent_under_strictest_scoping() {
+    let d = diags("src/service.rs", include_str!("fixtures/clean.rs"));
+    assert!(d.is_empty(), "clean fixture tripped: {d:?}");
+}
+
+#[test]
+fn documented_unsafe_fixture_is_silent() {
+    let d = diags(
+        "crates/core/src/parallel.rs",
+        include_str!("fixtures/clean_unsafe.rs"),
+    );
+    assert!(d.is_empty(), "clean unsafe fixture tripped: {d:?}");
+}
+
+#[test]
+fn allow_comment_silences_each_bad_fixture() {
+    // Appending a trailing allow on the diagnostic line silences it.
+    let silenced = include_str!("fixtures/bad_spawn.rs").replace(
+        "std::thread::spawn(|| {});",
+        "std::thread::spawn(|| {}); // ata-lint: allow(no-raw-spawn): fixture",
+    );
+    let d = diags("crates/core/src/tracked.rs", &silenced);
+    assert!(d.is_empty(), "allow did not silence: {d:?}");
+}

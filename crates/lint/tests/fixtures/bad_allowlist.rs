@@ -1,0 +1,4 @@
+//! Fixture: `unsafe` outside the allowlisted files (line 4).
+
+// SAFETY: documented, so only the allowlist lint fires.
+pub fn rogue(p: *const u8) -> u8 { unsafe { p.read() } }

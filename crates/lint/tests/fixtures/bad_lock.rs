@@ -1,0 +1,8 @@
+//! Fixture: a lock guard live across a blocking send (lines 6-7).
+
+use std::sync::Mutex;
+
+pub fn deadlock_bait(q: &Mutex<Vec<u8>>, tx: &Sender<u8>) {
+    let guard = q.lock().unwrap();
+    tx.send(guard[0]).ok();
+}

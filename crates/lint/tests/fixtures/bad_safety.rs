@@ -1,0 +1,5 @@
+//! Fixture: `unsafe` with no adjacent SAFETY comment (line 5).
+
+pub fn totally_fine() {}
+
+pub fn missing_safety(p: *const u8) -> u8 { unsafe { p.read() } }

@@ -1,0 +1,5 @@
+//! Fixture: raw `std::thread::spawn` outside the pool (line 4).
+
+pub fn leak_a_thread() {
+    std::thread::spawn(|| {});
+}

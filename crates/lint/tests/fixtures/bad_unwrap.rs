@@ -1,0 +1,9 @@
+//! Fixture: `.unwrap()` / `.expect(..)` on a serving path (lines 4, 8).
+
+pub fn brittle(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+
+pub fn also_brittle(x: Option<u8>) -> u8 {
+    x.expect("still brittle")
+}

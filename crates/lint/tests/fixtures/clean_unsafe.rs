@@ -1,0 +1,12 @@
+//! Fixture: properly documented `unsafe` in an allowlisted file.
+
+/// Reads one byte.
+///
+/// # Safety
+/// `p` must be valid for reads and properly aligned.
+#[inline]
+pub unsafe fn read_byte(p: *const u8) -> u8 {
+    // SAFETY: the caller upholds validity and alignment (doc contract
+    // above); the comment block may span multiple lines.
+    unsafe { p.read() }
+}

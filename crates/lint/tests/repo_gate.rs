@@ -1,0 +1,53 @@
+//! The gate itself, as tests: the workspace tree is lint-clean, and the
+//! committed `API/` snapshots match the sources. `cargo test` therefore
+//! enforces the same invariants CI runs via `ata-lint check` and
+//! `ata-lint api --verify`.
+
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_tree_is_lint_clean() {
+    let diags = ata_lint::check(&workspace_root()).expect("workspace sources readable");
+    for d in &diags {
+        eprintln!("{d}");
+    }
+    assert!(
+        diags.is_empty(),
+        "{} lint finding(s) — run `cargo run -p ata-lint -- check`",
+        diags.len()
+    );
+}
+
+#[test]
+fn api_snapshots_match_the_sources() {
+    let problems = ata_lint::verify_api(&workspace_root()).expect("workspace sources readable");
+    for p in &problems {
+        eprintln!("{p}");
+    }
+    assert!(
+        problems.is_empty(),
+        "{} API drift(s) — run `cargo run -p ata-lint -- api` and commit if intentional",
+        problems.len()
+    );
+}
+
+#[test]
+fn api_snapshots_are_stable_across_runs() {
+    let root = workspace_root();
+    let first = ata_lint::api_snapshots(&root).expect("workspace sources readable");
+    let second = ata_lint::api_snapshots(&root).expect("workspace sources readable");
+    assert_eq!(first, second, "snapshot extraction must be deterministic");
+    assert!(
+        first.keys().any(|k| k == "ata"),
+        "the facade crate must be snapshotted, got {:?}",
+        first.keys().collect::<Vec<_>>()
+    );
+}

@@ -23,6 +23,8 @@
 //! that makes the recursion of AtA allocation-free outside the Strassen
 //! arena.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod dense;
 pub mod gen;
 pub mod io;

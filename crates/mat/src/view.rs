@@ -32,8 +32,11 @@ pub struct MatRef<'a, T> {
     _marker: PhantomData<&'a T>,
 }
 
-// SAFETY: a MatRef is semantically a shared reference to its elements.
+// SAFETY: a MatRef is semantically a shared reference to its elements,
+// so it may move between threads whenever `&T` could (`T: Sync`).
 unsafe impl<T: Sync> Send for MatRef<'_, T> {}
+// SAFETY: sharing a MatRef across threads only ever hands out `&T`
+// reads, which `T: Sync` makes sound.
 unsafe impl<T: Sync> Sync for MatRef<'_, T> {}
 
 /// Mutable view of an `rows x cols` row-major block with row stride
@@ -46,8 +49,12 @@ pub struct MatMut<'a, T> {
     _marker: PhantomData<&'a mut T>,
 }
 
-// SAFETY: a MatMut is semantically a unique reference to its elements.
+// SAFETY: a MatMut is semantically a unique reference to its elements;
+// moving it to another thread moves exclusive access with it, exactly
+// as for `&mut T` (`T: Send`).
 unsafe impl<T: Send> Send for MatMut<'_, T> {}
+// SAFETY: a shared `&MatMut` only exposes read access to the elements
+// (all mutation requires `&mut self`), so `T: Sync` suffices.
 unsafe impl<T: Sync> Sync for MatMut<'_, T> {}
 
 #[inline]

@@ -25,6 +25,8 @@
 //! Traffic counters (messages and words sent per rank) are exact, and
 //! the `ata-dist` tests audit them against Proposition 4.2.
 
+#![forbid(unsafe_code)]
+
 pub mod collective;
 pub mod comm;
 pub mod cost;

@@ -107,6 +107,11 @@ where
         for (rank, (receiver, slot)) in receivers.into_iter().zip(outcome.iter_mut()).enumerate() {
             let senders = senders.clone();
             let abort = abort.clone();
+            // The simulated cluster's ranks ARE the parallelism under
+            // test here — they model MPI processes, not pool workers,
+            // and each rank's op counts are its own measurement.
+            // ata-lint: allow(no-raw-spawn): simulated MPI ranks are
+            // scoped threads by design.
             let handle = scope.spawn(move || {
                 let _guard = AbortOnPanic(abort.clone());
                 let start = Instant::now();

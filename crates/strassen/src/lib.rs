@@ -21,6 +21,8 @@
 //!   temporaries at every level — kept as the ablation baseline of
 //!   Figure 4, which shows the benefit of pre-allocation.
 
+#![forbid(unsafe_code)]
+
 pub mod alloc;
 pub mod fast;
 pub(crate) mod pad;

@@ -22,7 +22,7 @@ use std::sync::{Arc, Mutex};
 use ata_mat::{MatRef, Scalar};
 use rayon::prelude::*;
 
-use crate::context::{AtaContext, AtaOutput, Output, PlanCore};
+use crate::context::{lock_recover, AtaContext, AtaOutput, Output, PlanCore};
 
 /// A reusable plan for a *set* of Gram problems, executed as whole
 /// problems across the context's worker pool.
@@ -138,7 +138,7 @@ impl<T: Scalar + 'static> BatchPlan<T> {
                 .into_par_iter()
                 .for_each(|i| {
                     let out = self.ctx.execute_core(&self.cores[i], inputs[i]);
-                    *slots[i].lock().expect("batch slot poisoned") = Some(out);
+                    *lock_recover(&slots[i]) = Some(out);
                 });
         };
         match self.ctx.worker_pool() {
@@ -149,7 +149,10 @@ impl<T: Scalar + 'static> BatchPlan<T> {
             .into_iter()
             .map(|s| {
                 s.into_inner()
-                    .expect("batch slot poisoned")
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    // ata-lint: allow(no-unwrap-in-lib): the par_iter
+                    // above filled every slot, or it panicked and this
+                    // line was never reached.
                     .expect("every slot filled")
             })
             .collect()

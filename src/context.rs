@@ -150,6 +150,15 @@ impl<T: Scalar> AtaOutput<T> {
 // Arena cache (type-erased, shared by all plans of a context).
 // ---------------------------------------------------------------------
 
+/// Lock a mutex, recovering the guard even from a poisoned lock. The
+/// maps and slots guarded in the serving layer are updated atomically
+/// (insert/clone/clear), so the data is valid even if a panicking
+/// thread died while holding the guard — poisoning must not cascade a
+/// worker panic into every later request.
+pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// Per-scalar-type [`ArenaPool`]s, keyed by `TypeId` so one context can
 /// serve `f32`, `f64` and exact-arithmetic plans simultaneously.
 #[derive(Debug, Default)]
@@ -159,10 +168,12 @@ struct ArenaCache {
 
 impl ArenaCache {
     fn pool<T: Scalar + 'static>(&self) -> Arc<ArenaPool<T>> {
-        let mut map = self.pools.lock().expect("arena cache poisoned");
+        let mut map = lock_recover(&self.pools);
         map.entry(TypeId::of::<T>())
             .or_insert_with(|| Box::new(Arc::new(ArenaPool::<T>::new())))
             .downcast_ref::<Arc<ArenaPool<T>>>()
+            // ata-lint: allow(no-unwrap-in-lib): entries are inserted
+            // keyed by their own TypeId, so the downcast cannot fail.
             .expect("arena cache entry has the keyed type")
             .clone()
     }
@@ -354,10 +365,12 @@ impl ContextInner {
     ) -> Arc<PlanCore<T>> {
         let key = (TypeId::of::<T>(), m, n, output, flavor);
         {
-            let map = self.plans.map.lock().expect("plan cache poisoned");
+            let map = lock_recover(&self.plans.map);
             if let Some(entry) = map.get(&key) {
                 let core = entry
                     .downcast_ref::<Arc<PlanCore<T>>>()
+                    // ata-lint: allow(no-unwrap-in-lib): the cache key
+                    // embeds `TypeId::of::<T>()`, so the downcast holds.
                     .expect("plan cache entry has the keyed type")
                     .clone();
                 drop(map);
@@ -371,10 +384,12 @@ impl ContextInner {
         // every caller ends up sharing one core.
         let built = Arc::new(PlanCore::<T>::build(self, m, n, output, flavor));
         self.plans.misses.fetch_add(1, Ordering::Relaxed);
-        let mut map = self.plans.map.lock().expect("plan cache poisoned");
+        let mut map = lock_recover(&self.plans.map);
         map.entry(key)
             .or_insert_with(|| Box::new(built))
             .downcast_ref::<Arc<PlanCore<T>>>()
+            // ata-lint: allow(no-unwrap-in-lib): the cache key embeds
+            // `TypeId::of::<T>()`, so the downcast holds.
             .expect("plan cache entry has the keyed type")
             .clone()
     }
@@ -536,12 +551,7 @@ impl AtaContext {
     /// Number of distinct plan cores currently memoized in the context's
     /// shape-keyed plan cache (all scalar types and flavors).
     pub fn plan_cache_len(&self) -> usize {
-        self.inner
-            .plans
-            .map
-            .lock()
-            .expect("plan cache poisoned")
-            .len()
+        lock_recover(&self.inner.plans.map).len()
     }
 
     /// How many plan requests were served from the shape-keyed cache.
@@ -559,12 +569,7 @@ impl AtaContext {
     /// footprint; plans already handed out keep working (they share the
     /// cores by `Arc`).
     pub fn clear_plan_cache(&self) {
-        self.inner
-            .plans
-            .map
-            .lock()
-            .expect("plan cache poisoned")
-            .clear();
+        lock_recover(&self.inner.plans.map).clear();
     }
 
     /// One-shot full symmetric Gram matrix through this context.
@@ -784,6 +789,8 @@ impl<T: Scalar + 'static> PlanCore<T> {
                 self.arenas.give_back(ws);
             }
             (PlanFlavor::Auto, Backend::Shared { .. }) => {
+                // ata-lint: allow(no-unwrap-in-lib): `PlanCore::build`
+                // populates `shared` whenever the backend is Shared.
                 let plan = self.shared.as_ref().expect("shared backend has a plan");
                 let mut exec =
                     || ata_s_planned(alpha, a, c, plan, &self.cache, inner.strassen, &self.arenas);
@@ -821,6 +828,8 @@ impl<T: Scalar + 'static> PlanCore<T> {
                 self.arenas.give_back(ws);
             }
             (PlanFlavor::Auto, Backend::Shared { .. }) => {
+                // ata-lint: allow(no-unwrap-in-lib): `PlanCore::build`
+                // populates `shared` whenever the backend is Shared.
                 let plan = self.shared.as_ref().expect("shared backend has a plan");
                 match &inner.pool {
                     Some(pool) => pool.install(|| {
@@ -846,6 +855,8 @@ impl<T: Scalar + 'static> PlanCore<T> {
                 }
             }
             (PlanFlavor::Auto, Backend::SimulatedDist { ranks, loggp }) => {
+                // ata-lint: allow(no-unwrap-in-lib): `PlanCore::build`
+                // populates `dist` whenever the backend is SimulatedDist.
                 let plan = self.dist.as_ref().expect("dist backend has a plan");
                 let owned = a.to_matrix();
                 let n = self.n;
@@ -859,6 +870,8 @@ impl<T: Scalar + 'static> PlanCore<T> {
                     .into_iter()
                     .flatten()
                     .next()
+                    // ata-lint: allow(no-unwrap-in-lib): the closure
+                    // passed to `run` returns Some exactly on rank 0.
                     .expect("rank 0 returns the result");
                 for i in 0..n {
                     for j in 0..=i {

@@ -104,6 +104,8 @@
 //!   code: normal-equations least squares, SVD via the Gram matrix,
 //!   Gram–Schmidt orthogonalization.
 
+#![forbid(unsafe_code)]
+
 pub mod batch;
 pub mod context;
 pub mod service;

@@ -134,8 +134,11 @@ impl AtaServiceBuilder {
         let worker_counters = counters.clone();
         let worker = std::thread::Builder::new()
             .name("ata-service".into())
-            .spawn(move || serve(ctx, receiver, max_batch, output, &worker_counters))
-            .expect("failed to spawn service worker");
+            // The worker is the serving surface itself, not compute
+            // parallelism: all kernel work it dispatches still runs in
+            // the context's pool, observable to Tracked counting.
+            .spawn(move || serve(ctx, receiver, max_batch, output, &worker_counters)) // ata-lint: allow(no-raw-spawn): serving thread, compute stays in the pool
+            .expect("failed to spawn service worker"); // ata-lint: allow(no-unwrap-in-lib): OS spawn failure at build time is unrecoverable
         AtaService {
             sender: Some(sender),
             worker: Some(worker),
@@ -235,16 +238,17 @@ impl<T: Scalar + 'static> AtaService<T> {
     /// Submit a job, blocking while the queue is full (the simple
     /// backpressure mode). Returns the handle to wait on.
     ///
-    /// # Panics
-    /// If the service worker has terminated (it only does so on panic —
-    /// shutdown consumes the service).
+    /// If the worker has terminated (it only does so on panic —
+    /// shutdown consumes the service), the job is dropped and the
+    /// handle's [`JobHandle::wait`] returns `None` rather than
+    /// propagating a panic into the submitter.
     pub fn submit(&self, a: Matrix<T>) -> JobHandle<T> {
         let (resp, recv) = channel::unbounded();
-        self.sender
-            .as_ref()
-            .expect("service already shut down")
-            .send(Job { a, resp })
-            .expect("service worker terminated");
+        if let Some(sender) = self.sender.as_ref() {
+            // On a disconnected queue the job comes back in the error
+            // and is dropped here, closing `resp` — `wait` sees `None`.
+            let _ = sender.send(Job { a, resp });
+        }
         JobHandle { recv }
     }
 
@@ -252,13 +256,11 @@ impl<T: Scalar + 'static> AtaService<T> {
     /// bounded queue is at capacity, handing the operand back — the
     /// load-shedding mode.
     pub fn try_submit(&self, a: Matrix<T>) -> Result<JobHandle<T>, TrySubmitError<T>> {
+        let Some(sender) = self.sender.as_ref() else {
+            return Err(TrySubmitError::Closed(a));
+        };
         let (resp, recv) = channel::unbounded();
-        match self
-            .sender
-            .as_ref()
-            .expect("service already shut down")
-            .try_send(Job { a, resp })
-        {
+        match sender.try_send(Job { a, resp }) {
             Ok(()) => Ok(JobHandle { recv }),
             Err(TrySendError::Full(job)) => Err(TrySubmitError::Full(job.a)),
             Err(TrySendError::Disconnected(job)) => Err(TrySubmitError::Closed(job.a)),

@@ -42,7 +42,7 @@ use ata_mpisim::{run, CostModel};
 use crossbeam::channel::{self, TrySendError};
 
 use crate::batch::BatchPlan;
-use crate::context::{AtaContext, AtaOutput, Output};
+use crate::context::{lock_recover, AtaContext, AtaOutput, Output};
 
 /// Why a job handle carries no result.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,6 +57,10 @@ pub enum JobError {
     },
     /// The service shut down before the job ran.
     Closed,
+    /// An internal invariant failed while executing the job (e.g. the
+    /// simulated cluster produced no rank-0 result); the job is failed
+    /// instead of panicking the serving lane.
+    Internal,
 }
 
 /// The result side of a submitted job; [`ShardJobHandle::wait`] blocks
@@ -192,7 +196,7 @@ impl<T: Scalar + 'static> Shared<T> {
     /// split lane executes, which is what makes predicted and simulated
     /// words bit-identical.
     fn dist_plan_for(&self, m: usize, n: usize) -> PricedPlan {
-        let mut map = self.dist_plans.lock().expect("dist plan cache poisoned");
+        let mut map = lock_recover(&self.dist_plans);
         map.entry((m, n))
             .or_insert_with(|| {
                 let cfg = self.ctx.dist_config::<T>();
@@ -228,12 +232,7 @@ impl<T: Scalar + 'static> Shared<T> {
             if self.slots[i].dead.load(Ordering::SeqCst) {
                 continue;
             }
-            let Some(sender) = self.slots[i]
-                .sender
-                .lock()
-                .expect("shard sender poisoned")
-                .clone()
-            else {
+            let Some(sender) = lock_recover(&self.slots[i].sender).clone() else {
                 continue;
             };
             // Blocking send is safe: every shard queue is drained by its
@@ -349,12 +348,12 @@ fn split_worker<T: Scalar + 'static>(
         });
         let total_words = report.total_words();
         let root_recv_words = report.metrics[0].words_recv;
-        let lower = report
-            .results
-            .into_iter()
-            .flatten()
-            .next()
-            .expect("rank 0 returns the result");
+        // The closure passed to `run` returns Some exactly on rank 0;
+        // if the contract is ever broken, fail the job, not the lane.
+        let Some(lower) = report.results.into_iter().flatten().next() else {
+            let _ = resp.send(Err(JobError::Internal));
+            continue;
+        };
         shared.split_jobs.fetch_add(1, Ordering::SeqCst);
         shared
             .predicted_split_words
@@ -576,16 +575,16 @@ impl ShardedServiceBuilder {
                 let shared = shared.clone();
                 std::thread::Builder::new()
                     .name(format!("ata-shard-{index}"))
-                    .spawn(move || shard_worker(shared, index, receiver))
-                    .expect("failed to spawn shard worker")
+                    .spawn(move || shard_worker(shared, index, receiver)) // ata-lint: allow(no-raw-spawn): shard serving thread, compute stays in the pool
+                    .expect("failed to spawn shard worker") // ata-lint: allow(no-unwrap-in-lib): OS spawn failure at build time is unrecoverable
             })
             .collect();
         let (split_sender, split_receiver) = channel::bounded::<ShardJob<T>>(self.queue_capacity);
         let split_shared = shared.clone();
         let split_worker = std::thread::Builder::new()
             .name("ata-shard-split".into())
-            .spawn(move || split_worker(split_shared, split_receiver))
-            .expect("failed to spawn split worker");
+            .spawn(move || split_worker(split_shared, split_receiver)) // ata-lint: allow(no-raw-spawn): split-lane serving thread, compute stays in the simulator
+            .expect("failed to spawn split worker"); // ata-lint: allow(no-unwrap-in-lib): OS spawn failure at build time is unrecoverable
         ShardedService {
             shared,
             split_sender: Some(split_sender),
@@ -716,10 +715,9 @@ impl<T: Scalar + 'static> ShardedService<T> {
                 attempts: 0,
                 solo: false,
             };
-            let sender = self
-                .split_sender
-                .as_ref()
-                .expect("service already shut down");
+            let Some(sender) = self.split_sender.as_ref() else {
+                return Err(ShardSubmitError::Closed(job.into_matrix()));
+            };
             return if blocking {
                 match sender.send(job) {
                     Ok(()) => Ok(ShardJobHandle { recv }),
@@ -771,12 +769,7 @@ impl<T: Scalar + 'static> ShardedService<T> {
             if self.shared.slots[i].dead.load(Ordering::SeqCst) {
                 continue;
             }
-            let Some(sender) = self.shared.slots[i]
-                .sender
-                .lock()
-                .expect("shard sender poisoned")
-                .clone()
-            else {
+            let Some(sender) = lock_recover(&self.shared.slots[i].sender).clone() else {
                 continue;
             };
             if blocking {
@@ -857,7 +850,7 @@ impl<T: Scalar + 'static> ShardedService<T> {
 
     fn close_and_join(&mut self, loud: bool) {
         for slot in &self.shared.slots {
-            drop(slot.sender.lock().expect("shard sender poisoned").take());
+            drop(lock_recover(&slot.sender).take());
         }
         drop(self.split_sender.take());
         let mut payload = None;
