@@ -11,6 +11,8 @@
 //! ata batch  --inputs F1,F2,... --out-dir DIR [--threads T] batched small-gram serving
 //! ata shard  [--shards P] [--jobs J] [--rows M] [--cols N]  sharded serving flood demo
 //!            [--split-words W] [--poison 1] [--seed S]
+//! ata chaos  [--seeds N] [--jobs J] [--shards P]            chaos drill: seeded fault sweep
+//!            [--rows M] [--cols N] [--budget R] [--seed S0]
 //! ata verify --input FILE [--threads T]                     AtA vs naive oracle
 //! ata info   --input FILE                                   shape and norms
 //! ata calibrate [--quick 1]                                 measure kernel tuning table
@@ -33,8 +35,8 @@
 
 #![forbid(unsafe_code)]
 
-use ata::shard::{JobError, ShardedServiceBuilder};
-use ata::{AtaContext, Backend, GramAccumulator, Output, WireFormat};
+use ata::shard::{JobError, RetryPolicy, ShardedServiceBuilder, SplitChaos};
+use ata::{AtaContext, Backend, GramAccumulator, ManualClock, Output, WireFormat};
 use ata_kernels::syrk_ln;
 use ata_mat::{gen, io, reference, Matrix};
 use ata_mpisim::CostModel;
@@ -414,6 +416,116 @@ fn cmd_shard(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Chaos drill over the sharded serving tier: sweep deterministic
+/// seeded fault schedules (message drops, delays, rank crashes) through
+/// the AtA-D split lane and check the chaos contract on every one —
+/// every accepted job completes with a bit-correct result (split,
+/// degraded to shared memory, or whole on an unaffected shard) or a
+/// typed error; the service never hangs and never answers wrong.
+/// Retry backoff runs on a manual clock, so seconds of modeled backoff
+/// cost no wall time and the sweep replays identically. Exits nonzero
+/// on the first violated invariant.
+fn cmd_chaos(args: &Args) -> Result<(), String> {
+    let seeds = args
+        .nonzero("seeds", NonZeroUsize::new(8).expect("8 > 0"))?
+        .get();
+    let jobs = args
+        .nonzero("jobs", NonZeroUsize::new(8).expect("8 > 0"))?
+        .get();
+    let rows = args
+        .nonzero("rows", NonZeroUsize::new(128).expect("128 > 0"))?
+        .get();
+    let cols = args
+        .nonzero("cols", NonZeroUsize::new(32).expect("32 > 0"))?
+        .get();
+    let budget = args.usize("budget", 1)?;
+    let seed0 = args.usize("seed", 0)? as u64;
+    // Without --shards the sweep cycles P through {2, 4, 8}, the
+    // paper's distributed experiment sizes.
+    let fixed_shards = match args.kv.get("shards") {
+        None => None,
+        Some(_) => Some(args.nonzero("shards", NonZeroUsize::MIN)?.get()),
+    };
+    let ctx = context(args, "ata")?;
+    let (mut split, mut degraded, mut retries, mut whole) = (0usize, 0usize, 0usize, 0usize);
+    for s in 0..seeds {
+        let shards = fixed_shards.unwrap_or([2usize, 4, 8][s % 3]);
+        let seed = seed0 + s as u64;
+        let svc = ShardedServiceBuilder::new(&ctx)
+            .shards(shards)
+            .split_words(rows * cols)
+            .clock(std::sync::Arc::new(ManualClock::new()))
+            .split_retry(RetryPolicy {
+                budget,
+                ..RetryPolicy::default()
+            })
+            .split_chaos(SplitChaos::new(seed).recv_deadline(0.5))
+            .build::<f64>();
+        // Mixed flood: even jobs are large (split lane, the fault
+        // path), odd jobs small (whole lane, must stay unaffected).
+        let inputs: Vec<Matrix<f64>> = (0..jobs)
+            .map(|i| {
+                let m = if i % 2 == 0 { rows } else { rows / 2 };
+                gen::standard::<f64>(seed.wrapping_mul(1000) + i as u64, m.max(1), cols)
+            })
+            .collect();
+        let large = inputs.iter().filter(|a| a.rows() == rows).count();
+        let handles: Vec<_> = inputs
+            .iter()
+            .map(|a| {
+                svc.submit(a.clone())
+                    .map_err(|e| format!("seed {seed}: submit failed: {e:?}"))
+            })
+            .collect::<Result<_, _>>()?;
+        for (h, a) in handles.into_iter().zip(&inputs) {
+            let (m, n) = a.shape();
+            let g = h
+                .wait()
+                .map_err(|e| format!("seed {seed}: accepted job failed: {e}"))?
+                .into_dense();
+            let tol = ata_mat::ops::product_tol::<f64>(m.max(n), n, m as f64);
+            if g.max_abs_diff(&reference::gram(a.as_ref())) > tol {
+                return Err(format!(
+                    "seed {seed}: {m}x{n} result diverged from the oracle under faults"
+                ));
+            }
+        }
+        let stats = svc.shutdown();
+        if stats.completed_jobs() != jobs || stats.failed_jobs != 0 {
+            return Err(format!(
+                "seed {seed}: accounting broke: {} completed + {} failed of {jobs} accepted",
+                stats.completed_jobs(),
+                stats.failed_jobs
+            ));
+        }
+        if stats.split_jobs + stats.degraded_jobs != large {
+            return Err(format!(
+                "seed {seed}: split lane leaked jobs: {} split + {} degraded != {large}",
+                stats.split_jobs, stats.degraded_jobs
+            ));
+        }
+        if stats.predicted_split_words != stats.simulated_split_words {
+            return Err(format!(
+                "seed {seed}: clean-dispatch traffic not bit-exact: predicted {} simulated {}",
+                stats.predicted_split_words, stats.simulated_split_words
+            ));
+        }
+        println!(
+            "seed {seed} (P={shards}): {} split, {} degraded, {} faulted attempts, {} whole — verified",
+            stats.split_jobs, stats.degraded_jobs, stats.split_retries, stats.whole_jobs
+        );
+        split += stats.split_jobs;
+        degraded += stats.degraded_jobs;
+        retries += stats.split_retries;
+        whole += stats.whole_jobs;
+    }
+    println!(
+        "chaos: {seeds} seeded schedules x {jobs} jobs: {split} split, {degraded} degraded, \
+         {whole} whole, {retries} faulted attempts retried or degraded, 0 wrong answers, 0 hangs"
+    );
+    Ok(())
+}
+
 /// Run the kernel calibration sweeps and print the measured table in
 /// the shape of `ata_kernels::calibrate`'s baked records, so new
 /// hardware can be re-tuned by pasting the output over the constants
@@ -456,7 +568,7 @@ fn cmd_info(args: &Args) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: ata <gen|gram|stream|batch|shard|verify|info|calibrate|lint> [--key value ...]\n\
+    "usage: ata <gen|gram|stream|batch|shard|chaos|verify|info|calibrate|lint> [--key value ...]\n\
      \n  ata gen    --rows M --cols N [--seed S] --out FILE\
      \n  ata gram   --input FILE --out FILE [--threads T] [--repeat K]\
      \n             [--algo ata|ata-s|ata-d|syrk|naive] [--ranks R]\
@@ -467,6 +579,8 @@ fn usage() -> String {
      \n  ata batch  --inputs F1,F2,... --out-dir DIR [--threads T]\
      \n  ata shard  [--shards P] [--jobs J] [--rows M] [--cols N]\
      \n             [--split-words W] [--poison 1] [--seed S]\
+     \n  ata chaos  [--seeds N] [--jobs J] [--shards P] [--rows M]\
+     \n             [--cols N] [--budget R] [--seed S0]\
      \n  ata verify --input FILE [--threads T]\
      \n  ata info   --input FILE\
      \n  ata calibrate [--quick 1]\
@@ -551,13 +665,15 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let result = match argv.first().map(String::as_str) {
         Some(
-            cmd @ ("gen" | "gram" | "stream" | "batch" | "shard" | "verify" | "info" | "calibrate"),
+            cmd @ ("gen" | "gram" | "stream" | "batch" | "shard" | "chaos" | "verify" | "info"
+            | "calibrate"),
         ) => Args::parse(&argv[1..]).and_then(|args| match cmd {
             "gen" => cmd_gen(&args),
             "gram" => cmd_gram(&args),
             "stream" => cmd_stream(&args),
             "batch" => cmd_batch(&args),
             "shard" => cmd_shard(&args),
+            "chaos" => cmd_chaos(&args),
             "verify" => cmd_verify(&args),
             "calibrate" => cmd_calibrate(&args),
             _ => cmd_info(&args),

@@ -50,7 +50,9 @@ use ata_mat::{ops, MatRef, Matrix, Scalar};
 use ata_mpisim::Comm;
 use ata_strassen::{fast_strassen, strassen_mults, StrassenWorkspace};
 
+use crate::error::{DistError, DistPhase};
 use crate::wire::{self, WireFormat};
+use ata_mpisim::CommError;
 
 /// Tuning knobs of AtA-D.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -88,6 +90,18 @@ impl Default for AtaDConfig {
 fn charge<T: Send + 'static>(comm: &mut Comm<T>, flops: f64, threads: usize) {
     let secs = comm.model().compute_time(flops) / threads.max(1) as f64;
     comm.add_compute_seconds(secs);
+}
+
+/// Wrap a communication failure in its Algorithm 4 context and poison
+/// the peers so errors cascade instead of deadlocking (see
+/// [`Comm::abandon`]).
+fn fail<T: Send + 'static>(comm: &mut Comm<T>, phase: DistPhase, error: CommError) -> DistError {
+    comm.abandon();
+    DistError {
+        phase,
+        rank: comm.rank(),
+        error,
+    }
 }
 
 /// Execute one leaf task into a freshly allocated `C` block.
@@ -233,8 +247,19 @@ impl DistPlan {
     ///
     /// SPMD contract: every rank calls this on the same plan; rank 0
     /// passes `Some(&a)` (the full `m x n` input), everyone else `None`.
-    /// Rank 0 returns `Some(C)` — an `n x n` matrix whose strictly-upper
-    /// part is zero — and all other ranks return `None`.
+    /// Rank 0 returns `Ok(Some(C))` — an `n x n` matrix whose
+    /// strictly-upper part is zero — and all other ranks return
+    /// `Ok(None)`.
+    ///
+    /// # Errors
+    /// On a faulted universe (see [`ata_mpisim::FaultPlan`]), a rank
+    /// whose communication fails returns a [`DistError`] identifying
+    /// the phase, the observing rank, and the transport cause — after
+    /// poisoning its peers ([`Comm::abandon`]) so the whole universe
+    /// resolves in bounded simulated time instead of deadlocking. On a
+    /// fault-free universe this never returns `Err`, and the traffic
+    /// counters are bit-identical to what they were before fault
+    /// injection existed.
     ///
     /// # Panics
     /// If the universe size differs from the planned rank count, the
@@ -244,7 +269,7 @@ impl DistPlan {
         &self,
         input: Option<&Matrix<T>>,
         comm: &mut Comm<T>,
-    ) -> Option<Matrix<T>> {
+    ) -> Result<Option<Matrix<T>>, DistError> {
         let rank = comm.rank();
         let (m, n) = (self.m, self.n);
         assert_eq!(
@@ -288,7 +313,9 @@ impl DistPlan {
                 }
                 chunks
             });
-            let mine = comm.tree_scatterv(chunks, &self.counts);
+            let mine = comm
+                .tree_scatterv_checked(chunks, &self.counts)
+                .map_err(|e| fail(comm, DistPhase::Scatter, e))?;
             if rank != 0 {
                 // Disassemble the chunk in the same deterministic order
                 // the root packed it.
@@ -335,8 +362,11 @@ impl DistPlan {
                         // stated in the expect message.
                         pending.remove(&cid).expect("child result computed first")
                     } else {
+                        let payload = comm
+                            .recv_checked(child.owner, tag_c(cid))
+                            .map_err(|e| fail(comm, DistPhase::Gather, e))?;
                         wire::unpack_c(
-                            comm.recv(child.owner, tag_c(cid)),
+                            payload,
                             child.kind,
                             child.c.rows(),
                             child.c.cols(),
@@ -361,12 +391,13 @@ impl DistPlan {
                         pending.insert(node.id, block);
                     } else {
                         let payload = wire::pack_c(&block, node.kind, cfg.wire);
-                        comm.send(parent_owner, tag_c(node.id), payload);
+                        comm.send_checked(parent_owner, tag_c(node.id), payload)
+                            .map_err(|e| fail(comm, DistPhase::Gather, e))?;
                     }
                 }
             }
         }
-        result
+        Ok(result)
     }
 }
 
@@ -390,7 +421,12 @@ pub fn ata_d<T: Scalar>(
     comm: &mut Comm<T>,
     cfg: &AtaDConfig,
 ) -> Option<Matrix<T>> {
-    DistPlan::build(m, n, comm.size(), cfg).execute(input, comm)
+    // The one-shot entry point keeps the infallible signature: faults
+    // only exist on explicitly faulted universes, where callers should
+    // hold a plan and use `execute` to observe them as errors.
+    DistPlan::build(m, n, comm.size(), cfg)
+        .execute(input, comm)
+        .unwrap_or_else(|e| panic!("ata_d on a faulted universe: {e} (use DistPlan::execute)"))
 }
 
 #[cfg(test)]
@@ -521,7 +557,7 @@ mod tests {
             let (a_ref, plan_ref) = (&a, &plan);
             let report = run(procs, CostModel::zero(), move |comm| {
                 let input = (comm.rank() == 0).then_some(a_ref);
-                plan_ref.execute(input, comm)
+                plan_ref.execute(input, comm).expect("fault-free universe")
             });
             runs.push(report.results[0].clone().expect("root"));
         }
@@ -563,9 +599,9 @@ mod tests {
             let input = None;
             if comm.rank() == 0 {
                 let a = Matrix::<f64>::zeros(16, 16);
-                plan.execute(Some(&a), comm)
+                plan.execute(Some(&a), comm).expect("unreachable")
             } else {
-                plan.execute(input, comm)
+                plan.execute(input, comm).expect("unreachable")
             }
         });
     }
@@ -641,5 +677,112 @@ mod tests {
         let _ = run::<f64, _, _>(1, CostModel::zero(), |comm| {
             ata_d::<f64>(None, 4, 4, comm, &AtaDConfig::default());
         });
+    }
+
+    #[test]
+    fn faulted_execution_fails_typed_or_matches_reference() {
+        use ata_mpisim::{FaultPlan, FaultSpec, Universe};
+        let (m, n) = (40usize, 32usize);
+        let a = gen::standard::<f64>(11, m, n);
+        let c_ref = oracle(&a);
+        let tol = ata_mat::ops::product_tol::<f64>(m, n, m as f64);
+        for procs in [2usize, 4, 8] {
+            let cfg = AtaDConfig {
+                cache: CacheConfig::with_words(64),
+                ..AtaDConfig::default()
+            };
+            let plan = DistPlan::build(m, n, procs, &cfg);
+            let (mut oks, mut errs) = (0usize, 0usize);
+            for seed in 0..24u64 {
+                let faults = FaultPlan::seeded(seed, procs, &FaultSpec::default());
+                let (a_ref, plan_ref) = (&a, &plan);
+                let report = Universe::new(procs, CostModel::zero())
+                    .faults(faults)
+                    .recv_deadline(1.0)
+                    .run(move |comm| {
+                        let input = (comm.rank() == 0).then_some(a_ref);
+                        plan_ref.execute(input, comm)
+                    });
+                match &report.results[0] {
+                    Ok(Some(c)) => {
+                        oks += 1;
+                        let diff = c.max_abs_diff_lower(&c_ref);
+                        assert!(diff <= tol, "seed {seed} P={procs}: wrong answer ({diff})");
+                    }
+                    Ok(None) => panic!("root must hold the result on success"),
+                    Err(_) => errs += 1, // typed failure is the contract
+                }
+                // The simulated clocks stayed bounded: a hang would
+                // have tripped the universe's wall-clock guard instead.
+                assert!(report.critical_path().is_finite());
+            }
+            assert!(oks > 0, "P={procs}: every seed failed — sweep too hostile");
+            assert!(errs > 0, "P={procs}: no seed failed — sweep too tame");
+        }
+    }
+
+    #[test]
+    fn delay_only_faults_keep_results_bit_identical() {
+        use ata_mpisim::{FaultPlan, FaultSpec, Universe};
+        let (m, n, procs) = (36usize, 28usize, 4usize);
+        let a = gen::standard::<f64>(5, m, n);
+        let cfg = AtaDConfig {
+            cache: CacheConfig::with_words(64),
+            ..AtaDConfig::default()
+        };
+        let plan = DistPlan::build(m, n, procs, &cfg);
+        let run_with = |faults: FaultPlan| {
+            let (a_ref, plan_ref) = (&a, &plan);
+            Universe::new(procs, CostModel::zero())
+                .faults(faults)
+                .recv_deadline(1.0)
+                .run(move |comm| {
+                    let input = (comm.rank() == 0).then_some(a_ref);
+                    plan_ref.execute(input, comm)
+                })
+        };
+        let clean = run_with(FaultPlan::new());
+        let c_clean = clean.results[0]
+            .as_ref()
+            .expect("fault-free")
+            .as_ref()
+            .expect("root");
+        for seed in 0..8u64 {
+            let faults = FaultPlan::seeded(seed, procs, &FaultSpec::delays_only());
+            let delayed = run_with(faults);
+            let c = delayed.results[0]
+                .as_ref()
+                .expect("delays cannot fail an execution")
+                .as_ref()
+                .expect("root");
+            assert_eq!(
+                c.max_abs_diff(c_clean),
+                0.0,
+                "seed {seed}: not bit-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn crashed_root_fails_every_rank_typed() {
+        use ata_mpisim::{CommError, FaultPlan, Universe};
+        let (m, n, procs) = (32usize, 24usize, 4usize);
+        let a = gen::standard::<f64>(7, m, n);
+        let plan = DistPlan::build(m, n, procs, &AtaDConfig::default());
+        let (a_ref, plan_ref) = (&a, &plan);
+        let report = Universe::new(procs, CostModel::zero())
+            .faults(FaultPlan::new().crash_rank(0, 0))
+            .recv_deadline(1.0)
+            .run(move |comm| {
+                let input = (comm.rank() == 0).then_some(a_ref);
+                plan_ref.execute(input, comm)
+            });
+        for (rank, res) in report.results.iter().enumerate() {
+            let err = res.as_ref().expect_err("all ranks must fail");
+            assert_eq!(err.rank, rank, "error reports the observing rank");
+            if rank == 0 {
+                assert_eq!(err.error, CommError::Crashed { rank: 0, op: 0 });
+            }
+        }
     }
 }

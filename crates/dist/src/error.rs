@@ -1,0 +1,88 @@
+//! Typed failure propagation for the distributed algorithms.
+//!
+//! Under an injected [`ata_mpisim::FaultPlan`], a communication op
+//! inside [`crate::DistPlan::execute`] can fail with a typed
+//! [`CommError`]. Rather than panicking the whole universe, the failing
+//! rank wraps the error in a [`DistError`] identifying *where* in
+//! Algorithm 4 it happened, calls [`ata_mpisim::Comm::abandon`] so its
+//! peers fail fast instead of deadlocking, and returns. The serving
+//! tier's retry/degradation logic keys off this type.
+
+use ata_mpisim::CommError;
+use std::fmt;
+
+/// The phase of Algorithm 4 in which a [`DistError`] occurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistPhase {
+    /// Phase 1: binomial-tree scatter of the operand chunks.
+    Scatter,
+    /// Phases 2–3: leaf compute and upward gather-with-sums.
+    Gather,
+}
+
+impl fmt::Display for DistPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistPhase::Scatter => write!(f, "scatter"),
+            DistPhase::Gather => write!(f, "gather"),
+        }
+    }
+}
+
+/// A distributed execution failure: which rank failed, in which phase,
+/// and the underlying communication error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistError {
+    /// Algorithm 4 phase that was executing when the fault surfaced.
+    pub phase: DistPhase,
+    /// The rank that observed the failure (not necessarily the faulty
+    /// rank — a timeout is observed by the receiver).
+    pub rank: usize,
+    /// The underlying transport-level error.
+    pub error: CommError,
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "AtA-D {} phase failed at rank {}: {}",
+            self.phase, self.rank, self.error
+        )
+    }
+}
+
+impl std::error::Error for DistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_phase_rank_and_cause() {
+        let e = DistError {
+            phase: DistPhase::Gather,
+            rank: 3,
+            error: CommError::Timeout { from: 1, tag: 9 },
+        };
+        let s = e.to_string();
+        assert!(s.contains("gather"), "{s}");
+        assert!(s.contains("rank 3"), "{s}");
+        assert!(s.contains("src=1"), "{s}");
+    }
+
+    #[test]
+    fn source_chains_to_the_comm_error() {
+        let e = DistError {
+            phase: DistPhase::Scatter,
+            rank: 0,
+            error: CommError::PeerCrashed { from: 2 },
+        };
+        let src = std::error::Error::source(&e).expect("has a source");
+        assert!(src.to_string().contains("rank 2"));
+    }
+}

@@ -53,11 +53,13 @@
 mod algorithm;
 pub mod baselines;
 mod carma;
+mod error;
 pub mod grid;
 pub mod traffic;
 pub mod wire;
 
 pub use algorithm::{ata_d, AtaDConfig, DistPlan};
 pub use carma::{carma_like, CarmaConfig};
+pub use error::{DistError, DistPhase};
 pub use traffic::{plan_traffic, RoutePrice, TrafficPlan};
 pub use wire::WireFormat;

@@ -106,7 +106,7 @@ proptest! {
                 let (a_ref, plan_ref) = (&a, &plan);
                 let report = run(procs, CostModel::zero(), move |comm| {
                     let input = (comm.rank() == 0).then_some(a_ref);
-                    plan_ref.execute(input, comm)
+                    plan_ref.execute(input, comm).expect("fault-free universe")
                 });
                 outputs.push(report.results.into_iter().flatten().next().expect("root"));
             }

@@ -11,8 +11,12 @@
 //! Scope notes: entries are recorded for `pub` items wherever they sit
 //! (including inside private modules — the facade re-exports those via
 //! `pub use`, so they are part of the surface); `pub(crate)` and
-//! `pub(super)` are *not* public and are skipped; `#[cfg(test)]` items
-//! are skipped. This over-approximates strict reachability, which is
+//! `pub(super)` are *not* public and are skipped; `#[cfg(test)]` and
+//! `#[doc(hidden)]` items are skipped (`doc(hidden)` is the repo's
+//! marker for unsupported escape hatches — test hooks like failure
+//! injection stay out of the frozen surface, so using one in anger is
+//! a deliberate act, not an API commitment). This over-approximates
+//! strict reachability, which is
 //! exactly what a tripwire wants: renames and signature changes show up
 //! as diffs even when re-export wiring hides them from rustdoc.
 
@@ -55,11 +59,13 @@ impl Parser<'_> {
     /// Scan items in `t[i..end]` under module context `ctx`.
     fn items(&mut self, mut i: usize, end: usize, ctx: &str) {
         while i < end {
-            // Attributes: note #[cfg(test)], skip the group either way.
-            let mut cfg_test = false;
+            // Attributes: note #[cfg(test)] / #[doc(hidden)], skip the
+            // group either way.
+            let mut skip = false;
             while self.at_attr(i) {
+                skip |= self.attr_doc_hidden(i);
                 let (cfg, test, not, after) = crate::lints::attr_flags(self.t, i + 1);
-                cfg_test |= cfg && test && !not;
+                skip |= cfg && test && !not;
                 i = after;
                 // An inner attribute (`#![..]`) is not attached to an item.
                 if self.t.get(i).is_some_and(|x| x.is_punct("!")) {
@@ -69,7 +75,7 @@ impl Parser<'_> {
             if i >= end {
                 break;
             }
-            if cfg_test {
+            if skip {
                 i = self.skip_item(i, end);
                 continue;
             }
@@ -151,6 +157,22 @@ impl Parser<'_> {
             format!("[{ctx}] {sig}")
         };
         self.out.insert(entry);
+    }
+
+    /// Whether the attribute whose `#` sits at `i` is `#[doc(hidden)]`
+    /// (in any argument position, e.g. `#[doc(hidden, alias = "x")]`).
+    fn attr_doc_hidden(&self, i: usize) -> bool {
+        let mut j = i + 1;
+        if self.t.get(j).is_some_and(|x| x.is_punct("!")) {
+            j += 1;
+        }
+        if !self.t.get(j).is_some_and(|x| x.is_punct("[")) {
+            return false;
+        }
+        let after = self.skip_group(j, self.t.len(), "[", "]");
+        let inner = &self.t[j + 1..after.saturating_sub(1)];
+        inner.first().is_some_and(|x| x.is_ident("doc"))
+            && inner.iter().any(|x| x.is_ident("hidden"))
     }
 
     fn at_attr(&self, i: usize) -> bool {
@@ -270,17 +292,22 @@ impl Parser<'_> {
         body.1 + 1
     }
 
-    /// Methods inside an impl body: record `pub fn`/`pub const` items.
+    /// Methods inside an impl body: record `pub fn`/`pub const` items
+    /// unless marked `#[doc(hidden)]`.
     fn impl_body(&mut self, mut i: usize, end: usize, ctx: &str) {
         while i < end {
+            let mut hidden = false;
             while self.at_attr(i) {
+                hidden |= self.attr_doc_hidden(i);
                 let (_, _, _, after) = crate::lints::attr_flags(self.t, i + 1);
                 i = after;
             }
             if i >= end {
                 break;
             }
-            if self.t[i].is_ident("pub") {
+            if hidden {
+                i = self.skip_item(i, end);
+            } else if self.t[i].is_ident("pub") {
                 if self.t.get(i + 1).is_some_and(|x| x.is_punct("(")) {
                     i = self.skip_group(i + 1, end, "(", ")");
                     i = self.skip_item(i, end);
@@ -338,7 +365,9 @@ impl Parser<'_> {
             format!("{ctx}::{name}")
         };
         while j < b1 {
+            let mut hidden = false;
             while self.at_attr(j) {
+                hidden |= self.attr_doc_hidden(j);
                 let (_, _, _, after) = crate::lints::attr_flags(self.t, j + 1);
                 j = after;
             }
@@ -346,7 +375,7 @@ impl Parser<'_> {
                 break;
             }
             let (sig, next) = self.signature(j, b1);
-            if !sig.is_empty() {
+            if !sig.is_empty() && !hidden {
                 self.record(&sub, &sig);
             }
             if next == j {
@@ -378,14 +407,19 @@ impl Parser<'_> {
             format!("{ctx}::{name}")
         };
         while j < b1 {
+            let mut hidden = false;
             while self.at_attr(j) {
+                hidden |= self.attr_doc_hidden(j);
                 let (_, _, _, after) = crate::lints::attr_flags(self.t, j + 1);
                 j = after;
             }
             if j >= b1 {
                 break;
             }
-            if self.t[j].is_ident("pub") && !self.t.get(j + 1).is_some_and(|x| x.is_punct("(")) {
+            if !hidden
+                && self.t[j].is_ident("pub")
+                && !self.t.get(j + 1).is_some_and(|x| x.is_punct("("))
+            {
                 let f0 = j;
                 j = self.field_end(j, b1);
                 self.record(&sub, &render(&self.t[f0..j]));
@@ -413,7 +447,9 @@ impl Parser<'_> {
             format!("{ctx}::{name}")
         };
         while j < b1 {
+            let mut hidden = false;
             while self.at_attr(j) {
+                hidden |= self.attr_doc_hidden(j);
                 let (_, _, _, after) = crate::lints::attr_flags(self.t, j + 1);
                 j = after;
             }
@@ -423,7 +459,7 @@ impl Parser<'_> {
             let v0 = j;
             j = self.field_end(j, b1);
             let v = render(&self.t[v0..j]);
-            if !v.is_empty() {
+            if !v.is_empty() && !hidden {
                 self.record(&sub, &v);
             }
             if self.t.get(j).is_some_and(|x| x.is_punct(",")) {
@@ -585,6 +621,24 @@ mod tests {
         assert!(e.contains(&"[S] pub fn new() -> Self".to_string()));
         assert!(e.contains(&"impl Clone for S".to_string()));
         assert!(!e.iter().any(|s| s.contains("private")));
+    }
+
+    #[test]
+    fn doc_hidden_items_are_invisible() {
+        let src = "#[doc(hidden)]\npub fn escape_hatch() {}\npub struct S { #[doc(hidden)] pub raw: usize, pub n: usize }\nimpl S {\n    #[doc(hidden)]\n    pub fn poison(&self) {}\n    pub fn real(&self) {}\n}\npub enum E { A, #[doc(hidden)] Secret }\npub trait T {\n    #[doc(hidden)]\n    fn internal(&self);\n    fn stable(&self);\n}\n";
+        let e = entries(src);
+        assert!(!e.iter().any(|s| s.contains("escape_hatch")));
+        assert!(!e.iter().any(|s| s.contains("raw")));
+        assert!(e.contains(&"[S] pub n: usize".to_string()));
+        assert!(!e.iter().any(|s| s.contains("poison")));
+        assert!(e.contains(&"[S] pub fn real(&self)".to_string()));
+        assert!(!e.iter().any(|s| s.contains("Secret")));
+        assert!(e.contains(&"[E] A".to_string()));
+        assert!(!e.iter().any(|s| s.contains("internal")));
+        assert!(e.contains(&"[T] fn stable(&self)".to_string()));
+        // `#[doc(alias = "other")]` is not hidden.
+        let e = entries("#[doc(alias = \"g\")]\npub fn f() {}\n");
+        assert_eq!(e, vec!["pub fn f()"]);
     }
 
     #[test]

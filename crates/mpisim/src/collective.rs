@@ -23,6 +23,7 @@
 //! them deterministically from the task tree and the wire format.
 
 use crate::comm::{Comm, COLLECTIVE_TAG_BASE};
+use crate::fault::CommError;
 
 fn ceil_log2(x: usize) -> u32 {
     (usize::BITS - x.saturating_sub(1).leading_zeros()).min(usize::BITS - 1)
@@ -238,6 +239,55 @@ impl<T: Send + 'static> Comm<T> {
         held
     }
 
+    /// Fault-aware [`Comm::tree_scatterv`]: identical tree, tags and
+    /// LogGP charges, but injected faults surface as `Err(CommError)`
+    /// instead of panics. Shape errors (wrong chunk count, counts
+    /// mismatch) remain panics — they are programming errors, not
+    /// faults.
+    pub fn tree_scatterv_checked(
+        &mut self,
+        chunks: Option<Vec<Vec<T>>>,
+        counts: &[usize],
+    ) -> Result<Vec<T>, CommError> {
+        let rank = self.rank();
+        let size = self.size();
+        assert_eq!(counts.len(), size, "need one count per rank");
+        let mut held: Vec<T> = if rank == 0 {
+            let chunks = chunks.expect("root must provide scatter chunks");
+            assert_eq!(chunks.len(), size, "need exactly one chunk per rank");
+            for (r, c) in chunks.iter().enumerate() {
+                assert_eq!(c.len(), counts[r], "chunk {r} disagrees with counts");
+            }
+            chunks.into_iter().flatten().collect()
+        } else {
+            assert!(chunks.is_none(), "non-root rank {rank} must pass None");
+            Vec::new()
+        };
+        let (mut lo, mut hi) = (0usize, size);
+        let mut round = 0u32;
+        while hi - lo > 1 {
+            let span = hi - lo;
+            let mid = lo + (1usize << (ceil_log2(span) - 1));
+            let tag = self.coll_tag(u32::MAX - 200 - round);
+            if rank < mid {
+                if rank == lo {
+                    let keep: usize = counts[lo..mid].iter().sum();
+                    let tail = held.split_off(keep);
+                    self.send_impl_checked(mid, tag, tail)?;
+                }
+                hi = mid;
+            } else {
+                if rank == mid {
+                    held = self.recv_impl_checked(lo, tag)?;
+                }
+                lo = mid;
+            }
+            round += 1;
+        }
+        debug_assert_eq!(held.len(), counts[rank], "rank {rank} chunk size");
+        Ok(held)
+    }
+
     /// Tree-pipelined rooted gather (`MPI_Gatherv` on a binomial tree):
     /// every rank contributes `data` (of length `counts[rank]`, known on
     /// all ranks); the root returns `Some(vec indexed by rank)`,
@@ -296,6 +346,58 @@ impl<T: Send + 'static> Comm<T> {
             Some(out)
         } else {
             None
+        }
+    }
+
+    /// Fault-aware [`Comm::tree_gatherv`]: identical tree, tags and
+    /// LogGP charges, with injected faults surfacing as
+    /// `Err(CommError)` instead of panics.
+    pub fn tree_gatherv_checked(
+        &mut self,
+        data: Vec<T>,
+        counts: &[usize],
+    ) -> Result<Option<Vec<Vec<T>>>, CommError> {
+        let rank = self.rank();
+        let size = self.size();
+        assert_eq!(counts.len(), size, "need one count per rank");
+        assert_eq!(
+            data.len(),
+            counts[rank],
+            "rank {rank} payload disagrees with counts"
+        );
+        let mut splits: Vec<(usize, usize, u32)> = Vec::new();
+        let (mut lo, mut hi) = (0usize, size);
+        let mut round = 0u32;
+        while hi - lo > 1 {
+            let span = hi - lo;
+            let mid = lo + (1usize << (ceil_log2(span) - 1));
+            splits.push((lo, mid, round));
+            if rank < mid {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+            round += 1;
+        }
+        let mut held = data;
+        for &(lo, mid, round) in splits.iter().rev() {
+            let tag = self.coll_tag(u32::MAX - 300 - round);
+            if rank == mid {
+                self.send_impl_checked(lo, tag, std::mem::take(&mut held))?;
+            } else if rank == lo {
+                let tail = self.recv_impl_checked(mid, tag)?;
+                held.extend(tail);
+            }
+        }
+        if rank == 0 {
+            let mut out = Vec::with_capacity(size);
+            let mut iter = held.into_iter();
+            for &c in counts {
+                out.push(iter.by_ref().take(c).collect());
+            }
+            Ok(Some(out))
+        } else {
+            Ok(None)
         }
     }
 

@@ -2,6 +2,7 @@
 //! receive, plus the simulated clock.
 
 use crate::cost::CostModel;
+use crate::fault::{CommError, FaultPlan};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -24,6 +25,17 @@ pub struct Message<T> {
     pub arrival: f64,
 }
 
+/// What actually travels on the transport: a payload, a tombstone for a
+/// message the fault plan dropped (so deadline receives can time out
+/// deterministically instead of waiting out the wall-clock guard), or a
+/// crash marker poisoning the peers of a dead rank.
+#[derive(Debug)]
+pub(crate) enum Envelope<T> {
+    Msg(Message<T>),
+    Dropped { src: usize, tag: u64 },
+    Crashed { src: usize },
+}
+
 /// Per-rank communicator handle (the `MPI_Comm` + rank state analogue).
 ///
 /// Owned exclusively by the rank's thread; all methods take `&mut self`.
@@ -31,8 +43,8 @@ pub struct Comm<T> {
     rank: usize,
     size: usize,
     model: CostModel,
-    senders: Vec<Sender<Message<T>>>,
-    receiver: Receiver<Message<T>>,
+    senders: Vec<Sender<Envelope<T>>>,
+    receiver: Receiver<Envelope<T>>,
     /// Out-of-order buffer for selective receive.
     mailbox: VecDeque<Message<T>>,
     /// Simulated local time (seconds).
@@ -48,16 +60,38 @@ pub struct Comm<T> {
     /// Set by the universe when any rank panics: blocked receivers bail
     /// out promptly instead of waiting for the deadlock guard.
     abort: Arc<AtomicBool>,
+    /// Injected fault schedule (empty by default).
+    faults: Arc<FaultPlan>,
+    /// Simulated-clock patience of checked receives: how long a
+    /// `recv_checked` waits past its current clock before giving up
+    /// with [`CommError::Timeout`]. `None` waits forever (modulo the
+    /// wall-clock deadlock guard).
+    recv_deadline: Option<f64>,
+    /// Messages sent so far per destination rank — the `nth` counter
+    /// the fault plan's drop/delay schedule keys on.
+    edge_sends: Vec<u64>,
+    /// Communication ops performed (sends + receives) — the crash
+    /// schedule keys on this.
+    ops: u64,
+    /// Set once this rank's scheduled crash fires (records the op).
+    crashed: Option<u64>,
+    /// Tombstones received for dropped messages, as `(src, tag)`.
+    tombstones: VecDeque<(usize, u64)>,
+    /// Peers known to have crashed.
+    dead_peers: Vec<bool>,
 }
 
 impl<T: Send + 'static> Comm<T> {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         rank: usize,
         size: usize,
         model: CostModel,
-        senders: Vec<Sender<Message<T>>>,
-        receiver: Receiver<Message<T>>,
+        senders: Vec<Sender<Envelope<T>>>,
+        receiver: Receiver<Envelope<T>>,
         abort: Arc<AtomicBool>,
+        faults: Arc<FaultPlan>,
+        recv_deadline: Option<f64>,
     ) -> Self {
         Self {
             rank,
@@ -74,17 +108,24 @@ impl<T: Send + 'static> Comm<T> {
             words_recv: 0,
             timeout: Duration::from_secs(120),
             abort,
+            faults,
+            recv_deadline,
+            edge_sends: vec![0; size],
+            ops: 0,
+            crashed: None,
+            tombstones: VecDeque::new(),
+            dead_peers: vec![false; size],
         }
     }
 
     /// Blocking channel read with abort/deadlock guards. Polls in short
     /// slices so a peer's failure surfaces in milliseconds, not at the
     /// deadlock-guard horizon.
-    fn blocking_next(&mut self, what: &dyn Fn() -> String) -> Message<T> {
+    fn blocking_next(&mut self, what: &dyn Fn() -> String) -> Envelope<T> {
         let deadline = Instant::now() + self.timeout;
         loop {
             match self.receiver.recv_timeout(Duration::from_millis(20)) {
-                Ok(msg) => return msg,
+                Ok(env) => return env,
                 Err(RecvTimeoutError::Timeout) => {
                     assert!(
                         !self.abort.load(Ordering::Relaxed),
@@ -105,6 +146,62 @@ impl<T: Send + 'static> Comm<T> {
                     panic!("rank {}: transport disconnected {}", self.rank, what());
                 }
             }
+        }
+    }
+
+    /// File one envelope into the matching local buffer.
+    fn file(&mut self, env: Envelope<T>) {
+        match env {
+            Envelope::Msg(m) => self.mailbox.push_back(m),
+            Envelope::Dropped { src, tag } => self.tombstones.push_back((src, tag)),
+            Envelope::Crashed { src } => self.dead_peers[src] = true,
+        }
+    }
+
+    /// Block for one envelope and file it.
+    fn pump(&mut self, what: &dyn Fn() -> String) {
+        let env = self.blocking_next(what);
+        self.file(env);
+    }
+
+    /// Account one communication op against the crash schedule. Once
+    /// this rank's crash op is reached, the rank broadcasts a poison
+    /// marker (control traffic — not charged to the clock or counters)
+    /// and every op, this one included, fails with
+    /// [`CommError::Crashed`].
+    fn op_guard(&mut self) -> Result<(), CommError> {
+        let op = self.ops;
+        self.ops += 1;
+        if let Some(k) = self.crashed {
+            return Err(CommError::Crashed {
+                rank: self.rank,
+                op: k,
+            });
+        }
+        if self.faults.crash_op(self.rank) == Some(op) {
+            self.crashed = Some(op);
+            for to in 0..self.size {
+                if to != self.rank {
+                    let _ = self.senders[to].send(Envelope::Crashed { src: self.rank });
+                }
+            }
+            return Err(CommError::Crashed {
+                rank: self.rank,
+                op,
+            });
+        }
+        Ok(())
+    }
+
+    /// [`Self::op_guard`] for the infallible API: an injected crash has
+    /// no error channel there, so it surfaces as a panic.
+    fn op_guard_infallible(&mut self, what: &str) {
+        if let Err(e) = self.op_guard() {
+            panic!(
+                "rank {}: {e} while {what} (injected fault on the infallible API; \
+                 use the checked ops to observe faults as errors)",
+                self.rank
+            );
         }
     }
 
@@ -163,6 +260,18 @@ impl<T: Send + 'static> Comm<T> {
         &self.model
     }
 
+    /// The simulated-clock deadline of checked receives, if any.
+    #[inline]
+    pub fn recv_deadline(&self) -> Option<f64> {
+        self.recv_deadline
+    }
+
+    /// True once this rank's scheduled crash has fired.
+    #[inline]
+    pub fn is_crashed(&self) -> bool {
+        self.crashed.is_some()
+    }
+
     /// Advance the simulated clock by `flops` of local computation.
     ///
     /// The caller still performs the computation for real; this only
@@ -185,8 +294,9 @@ impl<T: Send + 'static> Comm<T> {
     /// `MPI_Isend` + eager buffering).
     ///
     /// # Panics
-    /// If `to` is out of range or the tag collides with the reserved
-    /// collective space.
+    /// If `to` is out of range, the tag collides with the reserved
+    /// collective space, or an injected crash fires on this op (use
+    /// [`Comm::send_checked`] to observe faults as errors).
     pub fn send(&mut self, to: usize, tag: u64, payload: Vec<T>) {
         assert!(
             tag < COLLECTIVE_TAG_BASE,
@@ -195,27 +305,102 @@ impl<T: Send + 'static> Comm<T> {
         self.send_impl(to, tag, payload);
     }
 
+    /// Fault-aware send: like [`Comm::send`], but an injected crash on
+    /// this rank surfaces as `Err(CommError::Crashed)` instead of a
+    /// panic. Drops and delays apply transparently on the wire either
+    /// way (the *receiver* observes them).
+    ///
+    /// # Panics
+    /// If `to` is out of range or the tag collides with the reserved
+    /// collective space.
+    pub fn send_checked(&mut self, to: usize, tag: u64, payload: Vec<T>) -> Result<(), CommError> {
+        assert!(
+            tag < COLLECTIVE_TAG_BASE,
+            "tag {tag} collides with reserved collective tags"
+        );
+        self.send_impl_checked(to, tag, payload)
+    }
+
     pub(crate) fn send_impl(&mut self, to: usize, tag: u64, payload: Vec<T>) {
+        self.op_guard_infallible("sending");
+        self.transmit(to, tag, payload);
+    }
+
+    pub(crate) fn send_impl_checked(
+        &mut self,
+        to: usize,
+        tag: u64,
+        payload: Vec<T>,
+    ) -> Result<(), CommError> {
+        self.op_guard()?;
+        self.transmit(to, tag, payload);
+        Ok(())
+    }
+
+    /// The common send body: charge the LogGP clock and traffic
+    /// counters (the send completes locally even if the network then
+    /// drops the message), apply the fault plan's drop/delay schedule,
+    /// and hand the envelope to the transport.
+    fn transmit(&mut self, to: usize, tag: u64, payload: Vec<T>) {
         assert!(
             to < self.size,
             "send to rank {to} out of range (size {})",
             self.size
         );
         let words = payload.len();
+        let nth = self.edge_sends[to];
+        self.edge_sends[to] += 1;
         // Sender occupied for the latency; payload lands after transfer.
-        let arrival = self.clock + self.model.transfer_time(words);
+        let mut arrival = self.clock + self.model.transfer_time(words);
         self.clock += self.model.alpha;
         self.msgs_sent += 1;
         self.words_sent += words as u64;
-        let msg = Message {
-            src: self.rank,
-            tag,
-            payload,
-            arrival,
+        let env = if self.faults.is_dropped(self.rank, to, nth) {
+            Envelope::Dropped {
+                src: self.rank,
+                tag,
+            }
+        } else {
+            if let Some(extra) = self.faults.delay(self.rank, to, nth) {
+                arrival += extra;
+            }
+            Envelope::Msg(Message {
+                src: self.rank,
+                tag,
+                payload,
+                arrival,
+            })
         };
-        self.senders[to]
-            .send(msg)
-            .unwrap_or_else(|_| panic!("rank {to} hung up (send from {})", self.rank));
+        if self.senders[to].send(env).is_err() {
+            // The peer's thread already terminated and its channel is
+            // gone. On a plain universe that is an SPMD protocol bug —
+            // fail fast with a clear culprit. Under fault machinery
+            // (a fault plan or a recv deadline) it is the expected
+            // wake of a rank that bailed out early on a typed error:
+            // the message is lost, exactly as if the network ate it.
+            assert!(
+                self.recv_deadline.is_some() || !self.faults.is_empty(),
+                "rank {to} hung up (send from {})",
+                self.rank
+            );
+        }
+    }
+
+    /// Declare this rank failed to every peer: each receives a crash
+    /// marker (as if this rank crashed), so checked receives matching
+    /// on this rank fail fast with [`CommError::PeerCrashed`] instead
+    /// of waiting out a deadline on messages that will never come.
+    ///
+    /// Call this before bailing out of an SPMD computation on error —
+    /// errors then cascade through the rank graph in bounded simulated
+    /// time. Local state is untouched: control traffic, no clock or
+    /// counter charges.
+    pub fn abandon(&mut self) {
+        for to in 0..self.size {
+            if to != self.rank {
+                let _ = self.senders[to].send(Envelope::Crashed { src: self.rank });
+            }
+        }
     }
 
     /// Blocking selective receive matching `(from, tag)`.
@@ -224,13 +409,39 @@ impl<T: Send + 'static> Comm<T> {
     /// receiver got there early.
     ///
     /// # Panics
-    /// If no matching message arrives within the deadlock-guard timeout.
+    /// If no matching message arrives within the deadlock-guard timeout,
+    /// or if an injected fault (drop, peer crash, own crash) surfaces on
+    /// this receive — use [`Comm::recv_checked`] to observe faults as
+    /// errors.
     pub fn recv(&mut self, from: usize, tag: u64) -> Vec<T> {
         assert!(
             tag < COLLECTIVE_TAG_BASE,
             "tag {tag} collides with reserved collective tags"
         );
         self.recv_impl(from, tag)
+    }
+
+    /// Fault-aware selective receive. Where [`Comm::recv`] panics on an
+    /// injected fault, this returns the typed [`CommError`]:
+    ///
+    /// * `Timeout` — the matching message was dropped (its tombstone is
+    ///   consumed), or is modeled to arrive later than the universe's
+    ///   `recv_deadline` past this rank's current clock (the message
+    ///   stays in flight for a later, retried receive). Either way the
+    ///   clock advances by the full deadline — waiting costs time.
+    /// * `PeerCrashed` — `from` crashed before satisfying the receive.
+    /// * `Crashed` — this rank itself crashed on an earlier (or this)
+    ///   op.
+    ///
+    /// # Panics
+    /// On a reserved tag, or if no deciding event (message, tombstone,
+    /// crash marker) arrives within the wall-clock deadlock guard.
+    pub fn recv_checked(&mut self, from: usize, tag: u64) -> Result<Vec<T>, CommError> {
+        assert!(
+            tag < COLLECTIVE_TAG_BASE,
+            "tag {tag} collides with reserved collective tags"
+        );
+        self.recv_impl_checked(from, tag)
     }
 
     /// Consume a matched message: advance the clock to its arrival and
@@ -243,28 +454,78 @@ impl<T: Send + 'static> Comm<T> {
     }
 
     pub(crate) fn recv_impl(&mut self, from: usize, tag: u64) -> Vec<T> {
-        // Check the out-of-order buffer first.
-        if let Some(pos) = self
-            .mailbox
-            .iter()
-            .position(|m| m.src == from && m.tag == tag)
-        {
-            let msg = self.mailbox.remove(pos).expect("position valid");
-            return self.consume(msg);
-        }
+        self.op_guard_infallible("receiving");
         loop {
-            let msg = self.blocking_next(&|| format!("waiting for (src={from}, tag={tag})"));
-            if msg.src == from && msg.tag == tag {
+            // Check the out-of-order buffer first.
+            if let Some(pos) = self
+                .mailbox
+                .iter()
+                .position(|m| m.src == from && m.tag == tag)
+            {
+                let msg = self.mailbox.remove(pos).expect("position valid");
                 return self.consume(msg);
             }
-            self.mailbox.push_back(msg);
+            if self.tombstones.iter().any(|&(s, t)| s == from && t == tag) {
+                panic!(
+                    "rank {}: message (src={from}, tag={tag}) was dropped by the \
+                     fault plan (use recv_checked under a recv_deadline)",
+                    self.rank
+                );
+            }
+            if self.dead_peers[from] {
+                panic!(
+                    "rank {}: peer rank {from} crashed (use recv_checked to \
+                     observe the failure as an error)",
+                    self.rank
+                );
+            }
+            self.pump(&|| format!("waiting for (src={from}, tag={tag})"));
         }
     }
 
-    /// Drain the channel into the mailbox without blocking.
+    pub(crate) fn recv_impl_checked(&mut self, from: usize, tag: u64) -> Result<Vec<T>, CommError> {
+        self.op_guard()?;
+        loop {
+            if let Some(pos) = self
+                .mailbox
+                .iter()
+                .position(|m| m.src == from && m.tag == tag)
+            {
+                if let Some(d) = self.recv_deadline {
+                    let limit = self.clock + d;
+                    if self.mailbox[pos].arrival > limit {
+                        // Modeled to arrive later than this receive was
+                        // willing to wait: give up at the deadline, but
+                        // leave the message in flight for a retry.
+                        self.clock = limit;
+                        return Err(CommError::Timeout { from, tag });
+                    }
+                }
+                let msg = self.mailbox.remove(pos).expect("position valid");
+                return Ok(self.consume(msg));
+            }
+            if let Some(pos) = self
+                .tombstones
+                .iter()
+                .position(|&(s, t)| s == from && t == tag)
+            {
+                self.tombstones.remove(pos);
+                // The receiver waits out its full patience before
+                // giving up on the dropped message.
+                self.clock += self.recv_deadline.unwrap_or(0.0);
+                return Err(CommError::Timeout { from, tag });
+            }
+            if self.dead_peers[from] {
+                return Err(CommError::PeerCrashed { from });
+            }
+            self.pump(&|| format!("waiting (checked) for (src={from}, tag={tag})"));
+        }
+    }
+
+    /// Drain the channel into the local buffers without blocking.
     fn drain_channel(&mut self) {
-        while let Ok(msg) = self.receiver.try_recv() {
-            self.mailbox.push_back(msg);
+        while let Ok(env) = self.receiver.try_recv() {
+            self.file(env);
         }
     }
 
@@ -309,24 +570,28 @@ impl<T: Send + 'static> Comm<T> {
     ///
     /// # Panics
     /// If no matching message arrives within the deadlock-guard timeout,
-    /// or on a reserved tag.
+    /// on a reserved tag, or if an injected fault surfaces on this
+    /// receive.
     pub fn recv_any(&mut self, tag: u64) -> (usize, Vec<T>) {
         assert!(
             tag < COLLECTIVE_TAG_BASE,
             "tag {tag} collides with reserved collective tags"
         );
-        if let Some(pos) = self.mailbox.iter().position(|m| m.tag == tag) {
-            let msg = self.mailbox.remove(pos).expect("position valid");
-            let src = msg.src;
-            return (src, self.consume(msg));
-        }
+        self.op_guard_infallible("receiving (any source)");
         loop {
-            let msg = self.blocking_next(&|| format!("waiting for (any src, tag={tag})"));
-            if msg.tag == tag {
+            if let Some(pos) = self.mailbox.iter().position(|m| m.tag == tag) {
+                let msg = self.mailbox.remove(pos).expect("position valid");
                 let src = msg.src;
                 return (src, self.consume(msg));
             }
-            self.mailbox.push_back(msg);
+            if let Some(&(s, _)) = self.tombstones.iter().find(|&&(_, t)| t == tag) {
+                panic!(
+                    "rank {}: message (src={s}, tag={tag}) was dropped by the \
+                     fault plan (recv_any has no checked variant)",
+                    self.rank
+                );
+            }
+            self.pump(&|| format!("waiting for (any src, tag={tag})"));
         }
     }
 
@@ -346,7 +611,7 @@ impl<T: Send + 'static> Comm<T> {
 
 #[cfg(test)]
 mod tests {
-    use crate::{run, CostModel};
+    use crate::{run, CommError, CostModel, FaultPlan, Universe};
 
     #[test]
     fn ping_pong_transfers_payload() {
@@ -565,5 +830,201 @@ mod tests {
             "clock {} < arrival",
             report.results[0]
         );
+    }
+
+    // ---- fault injection -------------------------------------------
+
+    #[test]
+    fn dropped_message_times_out_with_typed_error() {
+        let plan = FaultPlan::new().drop_message(0, 1, 0);
+        let report = Universe::new(2, CostModel::zero())
+            .faults(plan)
+            .recv_deadline(2.0)
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    comm.send_checked(1, 7, vec![1.0f64]).map(|_| vec![])
+                } else {
+                    comm.recv_checked(0, 7)
+                }
+            });
+        assert_eq!(
+            report.results[1],
+            Err(CommError::Timeout { from: 0, tag: 7 })
+        );
+        // The receiver paid its full patience on the simulated clock.
+        assert!(report.metrics[1].sim_time >= 2.0);
+    }
+
+    #[test]
+    fn delayed_message_arrives_late_but_intact() {
+        let plan = FaultPlan::new().delay_message(0, 1, 0, 5.0);
+        let report = Universe::new(2, CostModel::zero())
+            .faults(plan)
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    comm.send(1, 7, vec![4.0f64]);
+                    vec![]
+                } else {
+                    comm.recv(0, 7)
+                }
+            });
+        assert_eq!(report.results[1], vec![4.0]);
+        assert!(
+            report.metrics[1].sim_time >= 5.0,
+            "delay not charged: {}",
+            report.metrics[1].sim_time
+        );
+    }
+
+    #[test]
+    fn deadline_rejects_late_arrival_then_retry_succeeds() {
+        // Delay beyond the deadline: first checked recv times out (the
+        // message stays in flight), the retry consumes it.
+        let plan = FaultPlan::new().delay_message(0, 1, 0, 3.0);
+        let report = Universe::new(2, CostModel::zero())
+            .faults(plan)
+            .recv_deadline(2.0)
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    comm.send(1, 7, vec![4.0f64]);
+                    (Ok(vec![]), Ok(vec![]))
+                } else {
+                    // Ensure the message is buffered before judging it.
+                    while !comm.probe(0, 7) {
+                        std::thread::yield_now();
+                    }
+                    let first = comm.recv_checked(0, 7);
+                    let second = comm.recv_checked(0, 7);
+                    (first, second)
+                }
+            });
+        let (first, second) = &report.results[1];
+        // Arrival is modeled at t = 3; the first receive gives up at
+        // its deadline t = 2, the retry (limit t = 4) consumes it.
+        assert_eq!(*first, Err(CommError::Timeout { from: 0, tag: 7 }));
+        assert_eq!(*second, Ok(vec![4.0]));
+    }
+
+    #[test]
+    fn crashed_rank_fails_own_ops_and_poisons_peers() {
+        let plan = FaultPlan::new().crash_rank(1, 0);
+        let report = Universe::new(3, CostModel::zero())
+            .faults(plan)
+            .recv_deadline(1.0)
+            .run(|comm| match comm.rank() {
+                1 => {
+                    let first = comm.send_checked(0, 7, vec![1.0f64]);
+                    let later = comm.send_checked(2, 7, vec![1.0f64]);
+                    assert!(comm.is_crashed());
+                    (first.err(), later.err())
+                }
+                _ => {
+                    let got = comm.recv_checked(1, 7);
+                    (got.err(), None)
+                }
+            });
+        assert_eq!(
+            report.results[1].0,
+            Some(CommError::Crashed { rank: 1, op: 0 })
+        );
+        assert_eq!(
+            report.results[1].1,
+            Some(CommError::Crashed { rank: 1, op: 0 })
+        );
+        // Peers fail fast with the poisoned-mailbox error.
+        assert_eq!(
+            report.results[0].0,
+            Some(CommError::PeerCrashed { from: 1 })
+        );
+        assert_eq!(
+            report.results[2].0,
+            Some(CommError::PeerCrashed { from: 1 })
+        );
+    }
+
+    #[test]
+    fn fault_outcomes_are_deterministic_across_runs() {
+        let run_once = || {
+            let plan = FaultPlan::new()
+                .drop_message(0, 2, 0)
+                .delay_message(0, 1, 0, 3.0)
+                .crash_rank(3, 2);
+            Universe::new(4, CostModel::zero())
+                .faults(plan)
+                .recv_deadline(2.0)
+                .run(|comm| match comm.rank() {
+                    0 => {
+                        comm.recv_checked(3, 9)?;
+                        comm.send_checked(1, 1, vec![1.0f64])?;
+                        comm.send_checked(2, 1, vec![2.0f64])?;
+                        Ok(comm.clock())
+                    }
+                    1 => {
+                        comm.recv_checked(3, 9)?;
+                        comm.recv_checked(0, 1).map(|_| comm.clock())
+                    }
+                    2 => {
+                        // Rank 3 crashes on its third op — the send to
+                        // us never happens.
+                        let first = comm.recv_checked(3, 9);
+                        assert!(first.is_err(), "rank 2 must see the crash");
+                        comm.recv_checked(0, 1).map(|_| comm.clock())
+                    }
+                    3 => {
+                        comm.send_checked(0, 9, vec![0.0f64])?;
+                        comm.send_checked(1, 9, vec![0.0f64])?;
+                        comm.send_checked(2, 9, vec![0.0f64]).map(|_| comm.clock())
+                    }
+                    _ => unreachable!(),
+                })
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a.results, b.results);
+        for (ma, mb) in a.metrics.iter().zip(b.metrics.iter()) {
+            assert_eq!(ma.sim_time, mb.sim_time, "rank {} clock", ma.rank);
+            assert_eq!(ma.words_sent, mb.words_sent);
+            assert_eq!(ma.words_recv, mb.words_recv);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dropped by the fault plan")]
+    fn infallible_recv_panics_on_dropped_message() {
+        let plan = FaultPlan::new().drop_message(0, 1, 0);
+        let _ = Universe::new(2, CostModel::zero())
+            .faults(plan)
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    comm.send(1, 7, vec![1.0f64]);
+                    vec![]
+                } else {
+                    comm.recv(0, 7)
+                }
+            });
+    }
+
+    #[test]
+    fn fault_free_universe_matches_plain_run_bit_for_bit() {
+        let body = |comm: &mut crate::Comm<f64>| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, vec![1.5f64, 2.5]);
+                comm.recv(1, 8)
+            } else {
+                let v = comm.recv(0, 7);
+                comm.send(0, 8, v.clone());
+                v
+            }
+        };
+        let plain = run(2, CostModel::new(1e-6, 1e-9, 0.0), body);
+        let faulted = Universe::new(2, CostModel::new(1e-6, 1e-9, 0.0))
+            .faults(FaultPlan::new())
+            .recv_deadline(10.0)
+            .run(body);
+        assert_eq!(plain.results, faulted.results);
+        for (a, b) in plain.metrics.iter().zip(faulted.metrics.iter()) {
+            assert_eq!(a.sim_time, b.sim_time);
+            assert_eq!(a.words_sent, b.words_sent);
+        }
     }
 }

@@ -25,13 +25,26 @@
 //! Traffic counters (messages and words sent per rank) are exact, and
 //! the `ata-dist` tests audit them against Proposition 4.2.
 
+//! ## Fault injection
+//!
+//! A [`Universe`] can carry a deterministic, seeded [`FaultPlan`]:
+//! dropped messages, extra-latency deliveries, and rank crashes, all
+//! keyed on per-edge/per-op counters so the same plan replays the same
+//! faults on every run. The checked communication API
+//! ([`Comm::send_checked`] / [`Comm::recv_checked`]) surfaces them as
+//! typed [`CommError`]s — a dropped message becomes a
+//! `Timeout` after the universe's `recv_deadline` simulated seconds,
+//! and a crashed rank poisons its peers' mailboxes so they fail fast.
+
 #![forbid(unsafe_code)]
 
 pub mod collective;
 pub mod comm;
 pub mod cost;
+pub mod fault;
 pub mod universe;
 
 pub use comm::{Comm, Message};
 pub use cost::CostModel;
-pub use universe::{run, RankMetrics, RunReport};
+pub use fault::{CommError, FaultPlan, FaultSpec};
+pub use universe::{run, RankMetrics, RunReport, Universe};

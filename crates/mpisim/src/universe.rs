@@ -1,7 +1,8 @@
 //! Spawning and harvesting a universe of ranks.
 
-use crate::comm::{Comm, Message};
+use crate::comm::{Comm, Envelope};
 use crate::cost::CostModel;
+use crate::fault::FaultPlan;
 use crossbeam::channel::unbounded;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -73,8 +74,169 @@ impl<R> RunReport<R> {
     }
 }
 
+/// A configured universe: rank count, cost model, and (optionally) an
+/// injected [`FaultPlan`] plus the simulated-clock patience of checked
+/// receives.
+///
+/// [`run`] is the faultless shorthand; build a `Universe` explicitly to
+/// install faults:
+///
+/// ```
+/// use ata_mpisim::{CostModel, FaultPlan, Universe};
+///
+/// let plan = FaultPlan::new().drop_message(0, 1, 0);
+/// let report = Universe::new(2, CostModel::zero())
+///     .faults(plan)
+///     .recv_deadline(1.0)
+///     .run(|comm| {
+///         if comm.rank() == 0 {
+///             comm.send_checked(1, 7, vec![1.0f64]).map(|_| vec![])
+///         } else {
+///             comm.recv_checked(0, 7) // Err(Timeout): message dropped
+///         }
+///     });
+/// assert!(report.results[1].is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Universe {
+    size: usize,
+    model: CostModel,
+    faults: Arc<FaultPlan>,
+    recv_deadline: Option<f64>,
+}
+
+impl Universe {
+    /// A faultless universe of `size` ranks under `model`.
+    ///
+    /// # Panics
+    /// If `size == 0`.
+    pub fn new(size: usize, model: CostModel) -> Self {
+        assert!(size > 0, "universe needs at least one rank");
+        Self {
+            size,
+            model,
+            faults: Arc::new(FaultPlan::new()),
+            recv_deadline: None,
+        }
+    }
+
+    /// Install a fault schedule (replacing any previous one).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Arc::new(plan);
+        self
+    }
+
+    /// How many simulated seconds a `recv_checked` waits past its
+    /// current clock before giving up with `CommError::Timeout`.
+    ///
+    /// # Panics
+    /// If `secs` is not positive.
+    pub fn recv_deadline(mut self, secs: f64) -> Self {
+        assert!(secs > 0.0, "recv_deadline must be positive");
+        self.recv_deadline = Some(secs);
+        self
+    }
+
+    /// Run every rank through `f` and collect results and metrics.
+    /// Blocks until every rank finishes. See [`run`] for the contract;
+    /// additionally, under a fault plan a rank's injected crash is *not*
+    /// a panic when observed through the checked ops — the rank simply
+    /// returns whatever `f` maps the error to.
+    ///
+    /// # Panics
+    /// If any rank panics (including faults surfaced through the
+    /// infallible communication API).
+    pub fn run<T, R, F>(&self, f: F) -> RunReport<R>
+    where
+        T: Send + 'static,
+        R: Send,
+        F: Fn(&mut Comm<T>) -> R + Sync,
+    {
+        let size = self.size;
+        let mut senders = Vec::with_capacity(size);
+        let mut receivers = Vec::with_capacity(size);
+        for _ in 0..size {
+            let (s, r) = unbounded::<Envelope<T>>();
+            senders.push(s);
+            receivers.push(r);
+        }
+
+        let mut outcome: Vec<Option<(R, RankMetrics)>> = (0..size).map(|_| None).collect();
+        let f_ref = &f;
+        let abort = Arc::new(AtomicBool::new(false));
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(size);
+            for (rank, (receiver, slot)) in
+                receivers.into_iter().zip(outcome.iter_mut()).enumerate()
+            {
+                let senders = senders.clone();
+                let abort = abort.clone();
+                let faults = self.faults.clone();
+                let recv_deadline = self.recv_deadline;
+                let model = self.model;
+                // The simulated cluster's ranks ARE the parallelism under
+                // test here — they model MPI processes, not pool workers,
+                // and each rank's op counts are its own measurement.
+                // ata-lint: allow(no-raw-spawn): simulated MPI ranks are
+                // scoped threads by design.
+                let handle = scope.spawn(move || {
+                    let _guard = AbortOnPanic(abort.clone());
+                    let start = Instant::now();
+                    let mut comm = Comm::new(
+                        rank,
+                        size,
+                        model,
+                        senders,
+                        receiver,
+                        abort,
+                        faults,
+                        recv_deadline,
+                    );
+                    let result = f_ref(&mut comm);
+                    let mut metrics = comm.metrics();
+                    metrics.wall_time = start.elapsed().as_secs_f64();
+                    *slot = Some((result, metrics));
+                });
+                handles.push((rank, handle));
+            }
+            // Join everything first, then report the *original* failure:
+            // ranks that merely echoed the abort flag would otherwise mask
+            // the culprit (joins happen in rank order).
+            let mut failures: Vec<(usize, String)> = Vec::new();
+            for (rank, handle) in handles {
+                if let Err(payload) = handle.join() {
+                    let msg = payload
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                        .unwrap_or_else(|| "<non-string panic>".into());
+                    failures.push((rank, msg));
+                }
+            }
+            if !failures.is_empty() {
+                let (rank, msg) = failures
+                    .iter()
+                    .find(|(_, m)| !m.contains("another rank panicked"))
+                    .unwrap_or(&failures[0]);
+                panic!("rank {rank} panicked: {msg}");
+            }
+        });
+
+        let mut results = Vec::with_capacity(size);
+        let mut metrics = Vec::with_capacity(size);
+        for slot in outcome {
+            let (r, m) = slot.expect("every rank either finished or panicked");
+            results.push(r);
+            metrics.push(m);
+        }
+        RunReport { results, metrics }
+    }
+}
+
 /// Run `size` ranks, each executing `f(&mut comm)`, and collect results
-/// and metrics. Blocks until every rank finishes.
+/// and metrics. Blocks until every rank finishes. Shorthand for a
+/// faultless [`Universe`].
 ///
 /// The closure runs on `size` OS threads; payload type `T` and result
 /// type `R` must be `Send`. If any rank panics, the panic is propagated
@@ -88,72 +250,7 @@ where
     R: Send,
     F: Fn(&mut Comm<T>) -> R + Sync,
 {
-    assert!(size > 0, "universe needs at least one rank");
-
-    let mut senders = Vec::with_capacity(size);
-    let mut receivers = Vec::with_capacity(size);
-    for _ in 0..size {
-        let (s, r) = unbounded::<Message<T>>();
-        senders.push(s);
-        receivers.push(r);
-    }
-
-    let mut outcome: Vec<Option<(R, RankMetrics)>> = (0..size).map(|_| None).collect();
-    let f_ref = &f;
-    let abort = Arc::new(AtomicBool::new(false));
-
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(size);
-        for (rank, (receiver, slot)) in receivers.into_iter().zip(outcome.iter_mut()).enumerate() {
-            let senders = senders.clone();
-            let abort = abort.clone();
-            // The simulated cluster's ranks ARE the parallelism under
-            // test here — they model MPI processes, not pool workers,
-            // and each rank's op counts are its own measurement.
-            // ata-lint: allow(no-raw-spawn): simulated MPI ranks are
-            // scoped threads by design.
-            let handle = scope.spawn(move || {
-                let _guard = AbortOnPanic(abort.clone());
-                let start = Instant::now();
-                let mut comm = Comm::new(rank, size, model, senders, receiver, abort);
-                let result = f_ref(&mut comm);
-                let mut metrics = comm.metrics();
-                metrics.wall_time = start.elapsed().as_secs_f64();
-                *slot = Some((result, metrics));
-            });
-            handles.push((rank, handle));
-        }
-        // Join everything first, then report the *original* failure:
-        // ranks that merely echoed the abort flag would otherwise mask
-        // the culprit (joins happen in rank order).
-        let mut failures: Vec<(usize, String)> = Vec::new();
-        for (rank, handle) in handles {
-            if let Err(payload) = handle.join() {
-                let msg = payload
-                    .downcast_ref::<String>()
-                    .cloned()
-                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
-                    .unwrap_or_else(|| "<non-string panic>".into());
-                failures.push((rank, msg));
-            }
-        }
-        if !failures.is_empty() {
-            let (rank, msg) = failures
-                .iter()
-                .find(|(_, m)| !m.contains("another rank panicked"))
-                .unwrap_or(&failures[0]);
-            panic!("rank {rank} panicked: {msg}");
-        }
-    });
-
-    let mut results = Vec::with_capacity(size);
-    let mut metrics = Vec::with_capacity(size);
-    for slot in outcome {
-        let (r, m) = slot.expect("every rank either finished or panicked");
-        results.push(r);
-        metrics.push(m);
-    }
-    RunReport { results, metrics }
+    Universe::new(size, model).run(f)
 }
 
 #[cfg(test)]

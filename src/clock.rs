@@ -1,0 +1,127 @@
+//! Injected time for the serving tier.
+//!
+//! Retry backoff and submission deadlines must be *testable* — a chaos
+//! test cannot wait out real exponential backoff, and deterministic
+//! replays cannot read the wall clock. Library code therefore never
+//! calls `Instant::now()` or `thread::sleep` directly; it goes through
+//! a [`Clock`] injected at service-build time. Production uses
+//! [`WallClock`] (the default); tests and the chaos harness use
+//! [`ManualClock`], where `sleep` *advances* the clock instantly — a
+//! retry loop with seconds of modeled backoff runs in microseconds and
+//! produces the same schedule every time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A monotonic time source plus a way to wait on it.
+///
+/// `now` is measured from an arbitrary per-clock epoch; only
+/// differences are meaningful. `sleep` blocks the calling thread on a
+/// wall clock, and merely advances time on a manual one.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Monotonic time since this clock's epoch.
+    fn now(&self) -> Duration;
+    /// Wait for `d` of this clock's time.
+    fn sleep(&self, d: Duration);
+}
+
+/// The production clock: monotonic wall time, real sleeps.
+#[derive(Debug)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    /// A wall clock with its epoch at construction time.
+    pub fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> Duration {
+        self.epoch.elapsed()
+    }
+
+    fn sleep(&self, d: Duration) {
+        std::thread::sleep(d);
+    }
+}
+
+/// A deterministic clock for tests and chaos runs: time only moves when
+/// something sleeps on it (or [`ManualClock::advance`] is called), and
+/// `sleep` returns immediately after advancing — modeled backoff costs
+/// no wall time.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    nanos: AtomicU64,
+}
+
+impl ManualClock {
+    /// A manual clock starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Move time forward by `d`.
+    pub fn advance(&self, d: Duration) {
+        self.nanos.fetch_add(
+            u64::try_from(d.as_nanos()).unwrap_or(u64::MAX),
+            Ordering::SeqCst,
+        );
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> Duration {
+        Duration::from_nanos(self.nanos.load(Ordering::SeqCst))
+    }
+
+    fn sleep(&self, d: Duration) {
+        self.advance(d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_sleep_advances_instantly() {
+        let clock = ManualClock::new();
+        assert_eq!(clock.now(), Duration::ZERO);
+        let wall = Instant::now();
+        clock.sleep(Duration::from_secs(3600));
+        assert!(wall.elapsed() < Duration::from_secs(1), "sleep blocked");
+        assert_eq!(clock.now(), Duration::from_secs(3600));
+        clock.advance(Duration::from_millis(1));
+        assert_eq!(clock.now(), Duration::from_millis(3_600_001));
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let clock = WallClock::new();
+        let a = clock.now();
+        let b = clock.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn clocks_are_object_safe() {
+        let clocks: Vec<std::sync::Arc<dyn Clock>> = vec![
+            std::sync::Arc::new(WallClock::new()),
+            std::sync::Arc::new(ManualClock::new()),
+        ];
+        for c in &clocks {
+            let _ = c.now();
+        }
+    }
+}

@@ -863,7 +863,10 @@ impl<T: Scalar + 'static> PlanCore<T> {
                 let (input, plan_ref) = (&owned, plan.as_ref());
                 let report = run(ranks.get(), loggp, move |comm| {
                     let input = (comm.rank() == 0).then_some(input);
-                    plan_ref.execute(input, comm)
+                    // Fault-free universe: execute cannot return Err.
+                    plan_ref
+                        .execute(input, comm)
+                        .unwrap_or_else(|e| panic!("fault-free AtA-D failed: {e}"))
                 });
                 let lower = report
                     .results

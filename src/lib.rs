@@ -107,19 +107,21 @@
 #![forbid(unsafe_code)]
 
 pub mod batch;
+pub mod clock;
 pub mod context;
 pub mod service;
 pub mod shard;
 pub mod stream;
 
 pub use batch::BatchPlan;
+pub use clock::{Clock, ManualClock, WallClock};
 pub use context::{
     default_context, AtaContext, AtaContextBuilder, AtaOutput, AtaPlan, Backend, Output, OwnedPlan,
 };
-pub use service::{AtaService, AtaServiceBuilder, JobHandle, TrySubmitError};
+pub use service::{AtaService, AtaServiceBuilder, JobError, JobHandle, TrySubmitError};
 pub use shard::{
-    JobError, ShardJobHandle, ShardStats, ShardSubmitError, ShardedService, ShardedServiceBuilder,
-    ShardedStats,
+    RetryPolicy, ShardJobHandle, ShardStats, ShardSubmitError, ShardedService,
+    ShardedServiceBuilder, ShardedStats, SplitChaos,
 };
 pub use stream::GramAccumulator;
 

@@ -11,6 +11,13 @@
 //! into batches of up to `max_batch` jobs, and per-job result handles
 //! ([`JobHandle`]) the submitting threads block on.
 //!
+//! Every outcome is typed: [`JobHandle::wait`] returns
+//! `Result<AtaOutput, JobError>`, so a job lost to shutdown or expired
+//! past its [`AtaService::submit_with_deadline`] deadline reports *why*
+//! instead of silently vanishing. Deadlines are measured on the
+//! service's injected [`Clock`] — tests drive them with
+//! [`crate::clock::ManualClock`] and never sleep on the wall.
+//!
 //! Everything heavy is shared through the owning [`AtaContext`]: plan
 //! cores come from its shape-keyed plan cache, arenas from its pool,
 //! and execution runs on its persistent workers — the service itself
@@ -19,18 +26,60 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use ata_mat::{Matrix, Scalar};
 use crossbeam::channel::{self, TrySendError};
 
 use crate::batch::BatchPlan;
+use crate::clock::{Clock, WallClock};
 use crate::context::{AtaContext, AtaOutput, Output};
 
-/// One queued job: the operand and the channel its result goes back on.
+/// Why a job handle carries no result. Shared by [`AtaService`] and
+/// [`crate::shard::ShardedService`] handles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobError {
+    /// The job was caught on panicking shards until the requeue path
+    /// gave up: either its own solo dispatch panicked (proven culprit),
+    /// the retry budget ran out, or no live shard was left to take it.
+    /// `attempts` counts the dispatch attempts that ended in a panic.
+    Requeued {
+        /// Dispatch attempts that ended in a shard panic.
+        attempts: usize,
+    },
+    /// The job's submission deadline passed before a worker could
+    /// execute it (see [`AtaService::submit_with_deadline`]).
+    DeadlineExceeded,
+    /// The service shut down before the job ran.
+    Closed,
+    /// An internal invariant failed while executing the job (e.g. the
+    /// simulated cluster produced no rank-0 result); the job is failed
+    /// instead of panicking the serving lane.
+    Internal,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Requeued { attempts } => {
+                write!(f, "job failed after {attempts} panicked dispatch attempts")
+            }
+            JobError::DeadlineExceeded => write!(f, "job deadline passed before execution"),
+            JobError::Closed => write!(f, "service shut down before the job ran"),
+            JobError::Internal => write!(f, "internal invariant failed while executing the job"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// One queued job: the operand, the channel its outcome goes back on,
+/// and an optional expiry instant on the service clock.
 #[derive(Debug)]
 struct Job<T: Scalar> {
     a: Matrix<T>,
-    resp: channel::Sender<AtaOutput<T>>,
+    resp: channel::Sender<Result<AtaOutput<T>, JobError>>,
+    deadline: Option<Duration>,
 }
 
 /// Counters of a running service (all monotone).
@@ -39,6 +88,7 @@ struct Counters {
     jobs: AtomicUsize,
     batches: AtomicUsize,
     largest_batch: AtomicUsize,
+    expired: AtomicUsize,
 }
 
 /// Snapshot of a service's serving statistics.
@@ -50,6 +100,9 @@ pub struct ServiceStats {
     pub batches: usize,
     /// Largest single dispatch observed.
     pub largest_batch: usize,
+    /// Jobs answered [`JobError::DeadlineExceeded`] because their
+    /// deadline passed while they were queued.
+    pub expired_jobs: usize,
 }
 
 /// Error returned by [`AtaService::try_submit`]; carries the operand
@@ -63,18 +116,33 @@ pub enum TrySubmitError<T: Scalar> {
 }
 
 /// The result side of a submitted job. [`JobHandle::wait`] blocks until
-/// the service's worker has executed the job.
+/// the service's worker has executed (or given up on) the job.
 #[derive(Debug)]
 pub struct JobHandle<T: Scalar> {
-    recv: channel::Receiver<AtaOutput<T>>,
+    recv: channel::Receiver<Result<AtaOutput<T>, JobError>>,
 }
 
 impl<T: Scalar> JobHandle<T> {
-    /// Block until the job's result is ready. Returns `None` only if
-    /// the service terminated (worker panic or shutdown) before the job
-    /// ran.
-    pub fn wait(self) -> Option<AtaOutput<T>> {
-        self.recv.recv().ok()
+    /// Block until the job's outcome is known: the result, or the
+    /// [`JobError`] explaining why there is none. A service that
+    /// terminated (worker panic or shutdown) before the job ran reports
+    /// [`JobError::Closed`].
+    pub fn wait(self) -> Result<AtaOutput<T>, JobError> {
+        match self.recv.recv() {
+            Ok(outcome) => outcome,
+            Err(_) => Err(JobError::Closed),
+        }
+    }
+
+    /// Wait at most `timeout` (wall time) for the outcome. `None` means
+    /// the job is still pending — the handle stays valid, so callers
+    /// can poll or fall back to a blocking [`JobHandle::wait`].
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<AtaOutput<T>, JobError>> {
+        match self.recv.recv_timeout(timeout) {
+            Ok(outcome) => Some(outcome),
+            Err(channel::RecvTimeoutError::Timeout) => None,
+            Err(channel::RecvTimeoutError::Disconnected) => Some(Err(JobError::Closed)),
+        }
     }
 }
 
@@ -85,6 +153,7 @@ pub struct AtaServiceBuilder {
     queue_capacity: usize,
     max_batch: usize,
     output: Output,
+    clock: Arc<dyn Clock>,
 }
 
 impl AtaServiceBuilder {
@@ -98,6 +167,7 @@ impl AtaServiceBuilder {
             queue_capacity: 64,
             max_batch: 32,
             output: Output::Gram,
+            clock: Arc::new(WallClock::new()),
         }
     }
 
@@ -125,6 +195,14 @@ impl AtaServiceBuilder {
         self
     }
 
+    /// The time source deadlines are measured on. Default
+    /// [`WallClock`]; tests inject [`crate::clock::ManualClock`] for
+    /// deterministic expiry.
+    pub fn clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
+    }
+
     /// Spawn the service worker and return the running service.
     pub fn build<T: Scalar + 'static>(self) -> AtaService<T> {
         let (sender, receiver) = channel::bounded::<Job<T>>(self.queue_capacity);
@@ -132,30 +210,33 @@ impl AtaServiceBuilder {
         let ctx = self.ctx;
         let (max_batch, output) = (self.max_batch, self.output);
         let worker_counters = counters.clone();
+        let clock = self.clock.clone();
         let worker = std::thread::Builder::new()
             .name("ata-service".into())
             // The worker is the serving surface itself, not compute
             // parallelism: all kernel work it dispatches still runs in
             // the context's pool, observable to Tracked counting.
-            .spawn(move || serve(ctx, receiver, max_batch, output, &worker_counters)) // ata-lint: allow(no-raw-spawn): serving thread, compute stays in the pool
+            .spawn(move || serve(ctx, receiver, max_batch, output, &worker_counters, &*clock)) // ata-lint: allow(no-raw-spawn): serving thread, compute stays in the pool
             .expect("failed to spawn service worker"); // ata-lint: allow(no-unwrap-in-lib): OS spawn failure at build time is unrecoverable
         AtaService {
             sender: Some(sender),
             worker: Some(worker),
             counters,
+            clock: self.clock,
         }
     }
 }
 
 /// The worker loop: block for one job, drain whatever else is queued
-/// (up to `max_batch`), execute the batch across the context's pool,
-/// answer each submitter.
+/// (up to `max_batch`), expire what is past its deadline, execute the
+/// rest across the context's pool, answer each submitter.
 fn serve<T: Scalar + 'static>(
     ctx: AtaContext,
     receiver: channel::Receiver<Job<T>>,
     max_batch: usize,
     output: Output,
     counters: &Counters,
+    clock: &dyn Clock,
 ) {
     while let Ok(first) = receiver.recv() {
         let mut jobs = vec![first];
@@ -164,6 +245,23 @@ fn serve<T: Scalar + 'static>(
                 Ok(job) => jobs.push(job),
                 Err(_) => break,
             }
+        }
+        // A job whose deadline passed while queued is answered with the
+        // typed expiry instead of burning pool time on a result nobody
+        // is waiting for any more.
+        let now = clock.now();
+        let mut live = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            if job.deadline.is_some_and(|d| now >= d) {
+                counters.expired.fetch_add(1, Ordering::Relaxed);
+                let _ = job.resp.send(Err(JobError::DeadlineExceeded));
+            } else {
+                live.push(job);
+            }
+        }
+        let mut jobs = live;
+        if jobs.is_empty() {
+            continue;
         }
         // Dispatch largest-first: under a rayon pool the batch's critical
         // path is its biggest job, so starting it first keeps the tail of
@@ -187,7 +285,7 @@ fn serve<T: Scalar + 'static>(
         for (job, result) in jobs.into_iter().zip(results) {
             // A submitter that dropped its handle just doesn't get an
             // answer; the rest of the batch is unaffected.
-            let _ = job.resp.send(result);
+            let _ = job.resp.send(Ok(result));
         }
     }
 }
@@ -225,6 +323,7 @@ pub struct AtaService<T: Scalar> {
     sender: Option<channel::Sender<Job<T>>>,
     worker: Option<JoinHandle<()>>,
     counters: Arc<Counters>,
+    clock: Arc<dyn Clock>,
 }
 
 impl<T: Scalar + 'static> AtaService<T> {
@@ -240,14 +339,28 @@ impl<T: Scalar + 'static> AtaService<T> {
     ///
     /// If the worker has terminated (it only does so on panic —
     /// shutdown consumes the service), the job is dropped and the
-    /// handle's [`JobHandle::wait`] returns `None` rather than
-    /// propagating a panic into the submitter.
+    /// handle's [`JobHandle::wait`] returns [`JobError::Closed`] rather
+    /// than propagating a panic into the submitter.
     pub fn submit(&self, a: Matrix<T>) -> JobHandle<T> {
+        self.submit_inner(a, None)
+    }
+
+    /// Submit with an expiry: if the job is still queued `deadline`
+    /// from now (on the service's injected clock), the worker answers
+    /// [`JobError::DeadlineExceeded`] instead of executing it. A job
+    /// whose dispatch has already started always runs to completion.
+    pub fn submit_with_deadline(&self, a: Matrix<T>, deadline: Duration) -> JobHandle<T> {
+        let expiry = self.clock.now().saturating_add(deadline);
+        self.submit_inner(a, Some(expiry))
+    }
+
+    fn submit_inner(&self, a: Matrix<T>, deadline: Option<Duration>) -> JobHandle<T> {
         let (resp, recv) = channel::unbounded();
         if let Some(sender) = self.sender.as_ref() {
             // On a disconnected queue the job comes back in the error
-            // and is dropped here, closing `resp` — `wait` sees `None`.
-            let _ = sender.send(Job { a, resp });
+            // and is dropped here, closing `resp` — `wait` sees
+            // `JobError::Closed`.
+            let _ = sender.send(Job { a, resp, deadline });
         }
         JobHandle { recv }
     }
@@ -260,7 +373,11 @@ impl<T: Scalar + 'static> AtaService<T> {
             return Err(TrySubmitError::Closed(a));
         };
         let (resp, recv) = channel::unbounded();
-        match sender.try_send(Job { a, resp }) {
+        match sender.try_send(Job {
+            a,
+            resp,
+            deadline: None,
+        }) {
             Ok(()) => Ok(JobHandle { recv }),
             Err(TrySendError::Full(job)) => Err(TrySubmitError::Full(job.a)),
             Err(TrySendError::Disconnected(job)) => Err(TrySubmitError::Closed(job.a)),
@@ -273,6 +390,7 @@ impl<T: Scalar + 'static> AtaService<T> {
             jobs: self.counters.jobs.load(Ordering::Relaxed),
             batches: self.counters.batches.load(Ordering::Relaxed),
             largest_batch: self.counters.largest_batch.load(Ordering::Relaxed),
+            expired_jobs: self.counters.expired.load(Ordering::Relaxed),
         }
     }
 
@@ -310,6 +428,7 @@ impl<T: Scalar> Drop for AtaService<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::clock::ManualClock;
     use ata_mat::{gen, reference};
     use std::num::NonZeroUsize;
 
@@ -335,6 +454,7 @@ mod tests {
         assert_eq!(stats.jobs, 10);
         assert!(stats.batches >= 3, "10 jobs / max_batch 4 is >= 3 batches");
         assert!(stats.largest_batch <= 4);
+        assert_eq!(stats.expired_jobs, 0);
     }
 
     #[test]
@@ -396,7 +516,7 @@ mod tests {
         }
         assert!(accepted > 0, "some jobs must get through");
         for h in handles {
-            assert!(h.wait().is_some());
+            assert!(h.wait().is_ok());
         }
         // Either the queue was momentarily full at least once, or the
         // worker kept pace with all 200 — both are valid; the invariant
@@ -414,8 +534,72 @@ mod tests {
         let stats = svc.shutdown();
         assert_eq!(stats.jobs, 8, "accepted jobs are served before exit");
         for h in handles {
-            assert!(h.wait().is_some(), "handle answered even after shutdown");
+            assert!(h.wait().is_ok(), "handle answered even after shutdown");
         }
+    }
+
+    #[test]
+    fn shutdown_under_full_queue_answers_every_accepted_job() {
+        // Fill the bounded queue with try_submit, then shut down:
+        // every accepted job must be answered — a result or a typed
+        // error, never a hang.
+        let ctx = AtaContext::serial();
+        let svc: AtaService<f64> = AtaServiceBuilder::new(&ctx).queue_capacity(4).build();
+        let mut handles = Vec::new();
+        for i in 0..64u64 {
+            match svc.try_submit(gen::standard::<f64>(i, 48, 24)) {
+                Ok(h) => handles.push(h),
+                Err(TrySubmitError::Full(_)) => {}
+                Err(TrySubmitError::Closed(_)) => panic!("service must be alive"),
+            }
+        }
+        let accepted = handles.len();
+        let stats = svc.shutdown();
+        assert_eq!(stats.jobs, accepted, "shutdown drains the full queue");
+        for h in handles {
+            // Waiting on a handle *after* shutdown is the regression
+            // under test: the buffered outcome must still be readable.
+            assert!(h.wait().is_ok());
+        }
+    }
+
+    #[test]
+    fn zero_deadline_expires_with_typed_error() {
+        let ctx = AtaContext::serial();
+        let clock = Arc::new(ManualClock::new());
+        let svc: AtaService<f64> = AtaServiceBuilder::new(&ctx).clock(clock).build();
+        // Deadline "now": already expired when the worker dequeues it.
+        let h = svc.submit_with_deadline(gen::standard::<f64>(1, 32, 16), Duration::ZERO);
+        assert!(matches!(h.wait(), Err(JobError::DeadlineExceeded)));
+        // A generous deadline on an un-advanced manual clock completes.
+        let h = svc.submit_with_deadline(gen::standard::<f64>(2, 32, 16), Duration::from_secs(60));
+        assert!(h.wait().is_ok());
+        let stats = svc.shutdown();
+        assert_eq!(stats.expired_jobs, 1);
+        assert_eq!(stats.jobs, 1, "the expired job never executed");
+    }
+
+    #[test]
+    fn wait_timeout_polls_then_delivers() {
+        let ctx = AtaContext::serial();
+        let svc: AtaService<f64> = AtaServiceBuilder::new(&ctx).build();
+        let a = gen::standard::<f64>(5, 64, 32);
+        let h = svc.submit(a.clone());
+        // Poll until ready (a short timeout may race the worker either
+        // way); the handle stays usable across None polls.
+        let out = loop {
+            match h.wait_timeout(Duration::from_millis(10)) {
+                Some(out) => break out,
+                None => continue,
+            }
+        };
+        assert!(
+            out.expect("completes")
+                .into_dense()
+                .max_abs_diff(&oracle(&a))
+                < 1e-10
+        );
+        svc.shutdown();
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! problems too large for a single shard split across all P ranks via
 //! AtA-D (Algorithm 4). [`ShardedService`] is that router.
 //!
-//! Three properties make it a serving component rather than a demo:
+//! Four properties make it a serving component rather than a demo:
 //!
 //! * **Priced routing.** Every split dispatch is quoted *before* it is
 //!   accepted, by the bit-exact traffic predictor
@@ -28,39 +28,126 @@
 //!   culprit and is failed with [`JobError::Requeued`] instead of
 //!   hunting more shards), capped by a retry budget. The dead shard's
 //!   mailbox keeps being drained — a job routed to a dying shard is
-//!   forwarded, never stranded.
+//!   forwarded, never stranded. With
+//!   [`ShardedServiceBuilder::revive_after`], dead shards return to
+//!   duty on probation after the survivors prove the fleet healthy.
+//! * **Graceful degradation.** The split lane survives communication
+//!   faults on the simulated cluster: a dispatch that fails with a
+//!   typed [`ata_dist::DistError`] is retried under a deterministic
+//!   exponential backoff ([`RetryPolicy`], slept on the injected
+//!   [`Clock`] — never the wall in tests), and when the budget runs out
+//!   the job is re-executed *bit-correct* on the shared-memory backend
+//!   instead of being failed ([`ShardedStats::degraded_jobs`]). Fault
+//!   schedules are injected deterministically with
+//!   [`ShardedServiceBuilder::split_chaos`] for drills and chaos tests.
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use ata_dist::{plan_traffic, DistPlan, RoutePrice};
 use ata_mat::{Matrix, Scalar, SymPacked};
-use ata_mpisim::{run, CostModel};
+use ata_mpisim::{CostModel, FaultPlan, FaultSpec, Universe};
 use crossbeam::channel::{self, TrySendError};
 
 use crate::batch::BatchPlan;
+use crate::clock::{Clock, WallClock};
 use crate::context::{lock_recover, AtaContext, AtaOutput, Output};
 
-/// Why a job handle carries no result.
+pub use crate::service::JobError;
+
+/// Deterministic exponential backoff for the split lane's fault
+/// retries: attempt `k` (0-based) failing sleeps
+/// `min(base * 2^k, cap)` on the service's injected [`Clock`] before
+/// the next attempt, and `budget` retries follow the first attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum JobError {
-    /// The job was caught on panicking shards until the requeue path
-    /// gave up: either its own solo dispatch panicked (proven culprit),
-    /// the retry budget ran out, or no live shard was left to take it.
-    /// `attempts` counts the dispatch attempts that ended in a panic.
-    Requeued {
-        /// Dispatch attempts that ended in a shard panic.
-        attempts: usize,
-    },
-    /// The service shut down before the job ran.
-    Closed,
-    /// An internal invariant failed while executing the job (e.g. the
-    /// simulated cluster produced no rank-0 result); the job is failed
-    /// instead of panicking the serving lane.
-    Internal,
+pub struct RetryPolicy {
+    /// Retries after the first attempt (so `budget + 1` attempts run
+    /// before the job degrades to the shared-memory backend).
+    pub budget: usize,
+    /// Backoff before the first retry.
+    pub base: Duration,
+    /// Upper bound on any single backoff.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// Two retries, 10 ms doubling to a 1 s cap.
+    fn default() -> Self {
+        RetryPolicy {
+            budget: 2,
+            base: Duration::from_millis(10),
+            cap: Duration::from_secs(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: the first faulted attempt degrades immediately.
+    pub fn none() -> Self {
+        RetryPolicy {
+            budget: 0,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The backoff slept after failed attempt `attempt` (0-based):
+    /// `min(base * 2^attempt, cap)`.
+    pub fn backoff(&self, attempt: usize) -> Duration {
+        let factor = 1u32 << attempt.min(20);
+        self.base.saturating_mul(factor).min(self.cap)
+    }
+}
+
+/// Deterministic fault injection for the split lane: each AtA-D
+/// dispatch attempt runs on a [`Universe`] with a fresh seeded
+/// [`FaultPlan`] (derived from `seed`, the dispatch number and the
+/// attempt number) and the given receive deadline, so dropped messages
+/// surface as typed timeouts instead of hangs. The same `SplitChaos`
+/// always produces the same fault schedule — chaos runs replay.
+#[derive(Debug, Clone)]
+pub struct SplitChaos {
+    /// Base seed every per-attempt fault plan derives from.
+    pub seed: u64,
+    /// Shape of the fault schedules to draw.
+    pub spec: FaultSpec,
+    /// Simulated-clock receive deadline (seconds) installed on every
+    /// rank; bounds how long a rank waits on a lost message.
+    pub recv_deadline: f64,
+}
+
+impl SplitChaos {
+    /// Chaos with the default [`FaultSpec`] and a 1-second simulated
+    /// receive deadline.
+    ///
+    /// # Panics
+    /// Never; see [`SplitChaos::recv_deadline`] for the deadline knob.
+    pub fn new(seed: u64) -> Self {
+        SplitChaos {
+            seed,
+            spec: FaultSpec::default(),
+            recv_deadline: 1.0,
+        }
+    }
+
+    /// Replace the fault-schedule shape.
+    pub fn spec(mut self, spec: FaultSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Replace the simulated receive deadline.
+    ///
+    /// # Panics
+    /// If `secs` is not strictly positive.
+    pub fn recv_deadline(mut self, secs: f64) -> Self {
+        assert!(secs > 0.0, "recv_deadline must be positive");
+        self.recv_deadline = secs;
+        self
+    }
 }
 
 /// The result side of a submitted job; [`ShardJobHandle::wait`] blocks
@@ -77,6 +164,17 @@ impl<T: Scalar> ShardJobHandle<T> {
         match self.recv.recv() {
             Ok(outcome) => outcome,
             Err(_) => Err(JobError::Closed),
+        }
+    }
+
+    /// Wait at most `timeout` (wall time) for the outcome. `None` means
+    /// the job is still pending — the handle stays valid, so callers
+    /// can poll or fall back to a blocking [`ShardJobHandle::wait`].
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<AtaOutput<T>, JobError>> {
+        match self.recv.recv_timeout(timeout) {
+            Ok(outcome) => Some(outcome),
+            Err(channel::RecvTimeoutError::Timeout) => None,
+            Err(channel::RecvTimeoutError::Disconnected) => Some(Err(JobError::Closed)),
         }
     }
 }
@@ -122,6 +220,8 @@ struct ShardJob<T: Scalar> {
     /// Quarantined after a requeue: runs alone, never coalesced, so a
     /// second panic identifies it as the culprit.
     solo: bool,
+    /// Absolute expiry on the service clock; `None` = no deadline.
+    deadline: Option<Duration>,
 }
 
 impl<T: Scalar> ShardJob<T> {
@@ -155,7 +255,8 @@ struct ShardSlot<T: Scalar> {
     /// briefly, so dropping the slot's copy disconnects the queue once
     /// in-flight sends finish.
     sender: Mutex<Option<channel::Sender<ShardJob<T>>>>,
-    /// Set (never cleared) when this shard's worker panics.
+    /// Set when this shard's worker panics; cleared only by probation
+    /// revival ([`ShardedServiceBuilder::revive_after`]).
     dead: AtomicBool,
     jobs: AtomicUsize,
     batches: AtomicUsize,
@@ -177,6 +278,12 @@ struct Shared<T: Scalar> {
     output: Output,
     retry_budget: usize,
     loggp: CostModel,
+    clock: Arc<dyn Clock>,
+    retry: RetryPolicy,
+    chaos: Option<SplitChaos>,
+    /// Clean survivor batches required before one dead shard is revived
+    /// on probation; `None` = dead shards stay dead.
+    revive_after: Option<usize>,
     /// Shape-keyed cache of the shared AtA-D plan (and its price quote)
     /// the split lane executes — built once per distinct large shape.
     dist_plans: Mutex<HashMap<(usize, usize), PricedPlan>>,
@@ -184,6 +291,13 @@ struct Shared<T: Scalar> {
     failed_jobs: AtomicUsize,
     rejected_jobs: AtomicUsize,
     dead_shards: AtomicUsize,
+    degraded_jobs: AtomicUsize,
+    expired_jobs: AtomicUsize,
+    revived_shards: AtomicUsize,
+    split_retries: AtomicUsize,
+    /// Successful whole-lane batches since the last death or revival —
+    /// the probation meter [`ShardedServiceBuilder::revive_after`] reads.
+    clean_batches: AtomicUsize,
     predicted_split_words: AtomicU64,
     simulated_split_words: AtomicU64,
     predicted_root_recv_words: AtomicU64,
@@ -247,12 +361,60 @@ impl<T: Scalar + 'static> Shared<T> {
         let attempts = job.attempts;
         let _ = job.resp.send(Err(JobError::Requeued { attempts }));
     }
+
+    /// Probation bookkeeping after a successful whole-lane batch: once
+    /// `revive_after` clean batches accumulate while a shard is dead,
+    /// one dead shard is returned to duty (its ghost worker resumes
+    /// computing on the next dequeue) and the meter resets. A revived
+    /// shard that panics again is simply marked dead again — probation
+    /// is the ordinary containment machinery, re-armed.
+    fn note_clean_batch(&self) {
+        let Some(threshold) = self.revive_after else {
+            return;
+        };
+        if self.dead_shards.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let clean = self.clean_batches.fetch_add(1, Ordering::SeqCst) + 1;
+        if clean < threshold {
+            return;
+        }
+        for slot in &self.slots {
+            if slot
+                .dead
+                .compare_exchange(true, false, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                self.clean_batches.store(0, Ordering::SeqCst);
+                self.dead_shards.fetch_sub(1, Ordering::SeqCst);
+                self.revived_shards.fetch_add(1, Ordering::SeqCst);
+                return;
+            }
+        }
+    }
+
+    /// Answer every job in `batch` whose deadline has passed with the
+    /// typed expiry; return the still-live remainder.
+    fn expire_batch(&self, batch: Vec<ShardJob<T>>) -> Vec<ShardJob<T>> {
+        let now = self.clock.now();
+        let mut live = Vec::with_capacity(batch.len());
+        for job in batch {
+            if job.deadline.is_some_and(|d| now >= d) {
+                self.expired_jobs.fetch_add(1, Ordering::SeqCst);
+                let _ = job.resp.send(Err(JobError::DeadlineExceeded));
+            } else {
+                live.push(job);
+            }
+        }
+        live
+    }
 }
 
 /// One shard's worker loop: drain the queue into largest-first batches,
 /// execute through a per-shard [`BatchPlan`], answer the submitters.
 /// After a panic the loop degrades to a ghost that only forwards — the
-/// shard is dead for compute, but its mailbox never strands a job.
+/// shard is dead for compute, but its mailbox never strands a job —
+/// until probation revival (if enabled) puts it back on duty.
 fn shard_worker<T: Scalar + 'static>(
     shared: Arc<Shared<T>>,
     index: usize,
@@ -287,6 +449,11 @@ fn shard_worker<T: Scalar + 'static>(
                 }
             }
         }
+        let batch = shared.expire_batch(batch);
+        if batch.is_empty() {
+            continue;
+        }
+        let mut batch = batch;
         batch.sort_by_key(|job| std::cmp::Reverse(job.flop_estimate()));
         let poisoned = batch
             .iter()
@@ -313,10 +480,13 @@ fn shard_worker<T: Scalar + 'static>(
                 for (job, result) in batch.into_iter().zip(results) {
                     let _ = job.resp.send(Ok(result));
                 }
+                shared.note_clean_batch();
             }
             Err(_) => {
                 slot.dead.store(true, Ordering::SeqCst);
                 shared.dead_shards.fetch_add(1, Ordering::SeqCst);
+                // A fresh death invalidates progress toward revival.
+                shared.clean_batches.store(0, Ordering::SeqCst);
                 for job in batch {
                     shared.reroute(index, job, true);
                 }
@@ -325,49 +495,139 @@ fn shard_worker<T: Scalar + 'static>(
     }
 }
 
+/// The per-attempt fault schedule: deterministic in the chaos seed, the
+/// dispatch number and the attempt number, so retries see *different*
+/// faults (a transient drop clears on retry) while replays of the same
+/// service run see identical ones.
+fn attempt_universe<T: Scalar>(
+    shared: &Shared<T>,
+    procs: usize,
+    dispatch: u64,
+    attempt: u64,
+) -> Universe {
+    let mut universe = Universe::new(procs, shared.loggp);
+    if let Some(chaos) = &shared.chaos {
+        let seed = chaos.seed
+            ^ dispatch.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ attempt.wrapping_mul(0xD1B5_4A32_D192_ED03);
+        universe = universe
+            .faults(FaultPlan::seeded(seed, procs, &chaos.spec))
+            .recv_deadline(chaos.recv_deadline);
+    }
+    universe
+}
+
+/// Execute `a` bit-correct on the shared-memory backend — the split
+/// lane's graceful-degradation path once the retry budget is spent.
+fn degrade<T: Scalar + 'static>(
+    shared: &Shared<T>,
+    a: &Matrix<T>,
+    resp: &channel::Sender<Result<AtaOutput<T>, JobError>>,
+) {
+    let plan: BatchPlan<T> = shared.ctx.batch_plan(&[a.shape()], shared.output);
+    let mut results = plan.execute_batch(&[a.as_ref()]);
+    match results.pop() {
+        Some(out) => {
+            shared.degraded_jobs.fetch_add(1, Ordering::SeqCst);
+            let _ = resp.send(Ok(out));
+        }
+        None => {
+            let _ = resp.send(Err(JobError::Internal));
+        }
+    }
+}
+
 /// The split lane's worker: executes each large job through the shared
-/// AtA-D plan on the simulated P-rank cluster and reconciles the quoted
-/// price against the simulator's exact counters.
+/// AtA-D plan on the simulated P-rank cluster, retrying faulted
+/// dispatches under the [`RetryPolicy`] backoff and degrading to the
+/// shared-memory backend when the budget runs out. Price counters are
+/// reconciled only on clean dispatches, where the simulator's words are
+/// bit-identical to the predictor's quote.
 fn split_worker<T: Scalar + 'static>(
     shared: Arc<Shared<T>>,
     receiver: channel::Receiver<ShardJob<T>>,
 ) {
+    let mut dispatch: u64 = 0;
     while let Ok(job) = receiver.recv() {
-        let ShardJob { payload, resp, .. } = job;
+        let ShardJob {
+            payload,
+            resp,
+            deadline,
+            ..
+        } = job;
         let Payload::Compute(a) = payload else {
             // Poison targets shard workers; the split lane ignores it.
             continue;
         };
+        if deadline.is_some_and(|d| shared.clock.now() >= d) {
+            shared.expired_jobs.fetch_add(1, Ordering::SeqCst);
+            let _ = resp.send(Err(JobError::DeadlineExceeded));
+            continue;
+        }
         let (m, n) = a.shape();
         let entry = shared.dist_plan_for(m, n);
         let (plan, price) = (&entry.0, entry.1);
-        let a_ref = &a;
-        let report = run(plan.procs(), shared.loggp, move |comm| {
-            let input = (comm.rank() == 0).then_some(a_ref);
-            plan.execute(input, comm)
-        });
-        let total_words = report.total_words();
-        let root_recv_words = report.metrics[0].words_recv;
-        // The closure passed to `run` returns Some exactly on rank 0;
-        // if the contract is ever broken, fail the job, not the lane.
-        let Some(lower) = report.results.into_iter().flatten().next() else {
-            let _ = resp.send(Err(JobError::Internal));
-            continue;
-        };
-        shared.split_jobs.fetch_add(1, Ordering::SeqCst);
-        shared
-            .predicted_split_words
-            .fetch_add(price.total_words, Ordering::SeqCst);
-        shared
-            .simulated_split_words
-            .fetch_add(total_words, Ordering::SeqCst);
-        shared
-            .predicted_root_recv_words
-            .fetch_add(price.root_recv_words, Ordering::SeqCst);
-        shared
-            .simulated_root_recv_words
-            .fetch_add(root_recv_words, Ordering::SeqCst);
-        let _ = resp.send(Ok(shape_output(lower, shared.output)));
+        dispatch += 1;
+        let mut answered = false;
+        for attempt in 0..=shared.retry.budget {
+            let universe = attempt_universe(&shared, plan.procs(), dispatch, attempt as u64);
+            let a_ref = &a;
+            let report = universe.run(move |comm| {
+                let input = (comm.rank() == 0).then_some(a_ref);
+                plan.execute(input, comm)
+            });
+            let total_words = report.total_words();
+            let root_recv_words = report.metrics[0].words_recv;
+            let mut lower = None;
+            let mut faulted = false;
+            for rank_result in report.results {
+                match rank_result {
+                    Ok(Some(c)) => lower = Some(c),
+                    Ok(None) => {}
+                    Err(_) => faulted = true,
+                }
+            }
+            if faulted {
+                shared.split_retries.fetch_add(1, Ordering::SeqCst);
+                if attempt < shared.retry.budget {
+                    shared.clock.sleep(shared.retry.backoff(attempt));
+                    if deadline.is_some_and(|d| shared.clock.now() >= d) {
+                        shared.expired_jobs.fetch_add(1, Ordering::SeqCst);
+                        let _ = resp.send(Err(JobError::DeadlineExceeded));
+                        answered = true;
+                        break;
+                    }
+                }
+                continue;
+            }
+            // The closure passed to `run` returns Some exactly on rank
+            // 0; if the contract is ever broken, fail the job, not the
+            // lane — a broken contract will not heal on retry.
+            let Some(lower) = lower else {
+                let _ = resp.send(Err(JobError::Internal));
+                answered = true;
+                break;
+            };
+            shared.split_jobs.fetch_add(1, Ordering::SeqCst);
+            shared
+                .predicted_split_words
+                .fetch_add(price.total_words, Ordering::SeqCst);
+            shared
+                .simulated_split_words
+                .fetch_add(total_words, Ordering::SeqCst);
+            shared
+                .predicted_root_recv_words
+                .fetch_add(price.root_recv_words, Ordering::SeqCst);
+            shared
+                .simulated_root_recv_words
+                .fetch_add(root_recv_words, Ordering::SeqCst);
+            let _ = resp.send(Ok(shape_output(lower, shared.output)));
+            answered = true;
+            break;
+        }
+        if !answered {
+            degrade(&shared, &a, &resp);
+        }
     }
 }
 
@@ -394,7 +654,8 @@ pub struct ShardStats {
     /// Jobs this shard handed away (panic requeues plus dead-mailbox
     /// forwards).
     pub requeues: usize,
-    /// Whether this shard's worker has panicked.
+    /// Whether this shard's worker is currently dead (panicked and not
+    /// revived).
     pub dead: bool,
 }
 
@@ -413,8 +674,19 @@ pub struct ShardedStats {
     pub failed_jobs: usize,
     /// Jobs refused by admission control.
     pub rejected_jobs: usize,
-    /// Shards whose worker has panicked.
+    /// Shards currently dead (panicked and not revived).
     pub dead_shards: usize,
+    /// Split jobs that exhausted the fault-retry budget and completed
+    /// on the shared-memory backend instead.
+    pub degraded_jobs: usize,
+    /// Jobs answered [`JobError::DeadlineExceeded`].
+    pub expired_jobs: usize,
+    /// Dead shards returned to duty on probation
+    /// ([`ShardedServiceBuilder::revive_after`]).
+    pub revived_shards: usize,
+    /// Split-lane dispatch attempts that failed with a communication
+    /// fault (each is retried or, past the budget, degraded).
+    pub split_retries: usize,
     /// Predictor-quoted total words across all split dispatches.
     pub predicted_split_words: u64,
     /// Simulator-counted total words across all split dispatches
@@ -427,9 +699,10 @@ pub struct ShardedStats {
 }
 
 impl ShardedStats {
-    /// Total jobs that completed with a result.
+    /// Total jobs that completed with a result: whole-lane, split-lane
+    /// and degraded split jobs.
     pub fn completed_jobs(&self) -> usize {
-        self.whole_jobs + self.split_jobs
+        self.whole_jobs + self.split_jobs + self.degraded_jobs
     }
 }
 
@@ -445,6 +718,10 @@ pub struct ShardedServiceBuilder {
     retry_budget: usize,
     admission_words: Option<u64>,
     loggp: CostModel,
+    clock: Arc<dyn Clock>,
+    retry: RetryPolicy,
+    chaos: Option<SplitChaos>,
+    revive_after: Option<usize>,
 }
 
 impl ShardedServiceBuilder {
@@ -462,6 +739,10 @@ impl ShardedServiceBuilder {
             retry_budget: 2,
             admission_words: None,
             loggp: CostModel::zero(),
+            clock: Arc::new(WallClock::new()),
+            retry: RetryPolicy::default(),
+            chaos: None,
+            revive_after: None,
         }
     }
 
@@ -535,6 +816,45 @@ impl ShardedServiceBuilder {
         self
     }
 
+    /// The time source deadlines and retry backoff are measured on.
+    /// Default [`WallClock`]; tests and chaos drills inject
+    /// [`crate::clock::ManualClock`] so modeled backoff costs no wall
+    /// time.
+    pub fn clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Retry policy for split dispatches that fail with a communication
+    /// fault. Default [`RetryPolicy::default`] (2 retries, 10 ms
+    /// doubling backoff capped at 1 s).
+    pub fn split_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Deterministic fault injection on the split lane's simulated
+    /// cluster — every dispatch attempt draws a seeded [`FaultPlan`].
+    /// Default: no injected faults.
+    pub fn split_chaos(mut self, chaos: SplitChaos) -> Self {
+        self.chaos = Some(chaos);
+        self
+    }
+
+    /// Enable probation revival: after `batches` consecutive clean
+    /// whole-lane batches while at least one shard is dead, one dead
+    /// shard returns to duty (elastic shard counts). A revived shard
+    /// that panics again is contained exactly like the first time.
+    /// Default: off — dead shards stay dead.
+    ///
+    /// # Panics
+    /// If `batches` is zero.
+    pub fn revive_after(mut self, batches: usize) -> Self {
+        assert!(batches > 0, "revive_after needs at least one clean batch");
+        self.revive_after = Some(batches);
+        self
+    }
+
     /// Spawn the shard workers and the split lane; returns the running
     /// service.
     pub fn build<T: Scalar + 'static>(self) -> ShardedService<T> {
@@ -558,11 +878,20 @@ impl ShardedServiceBuilder {
             output: self.output,
             retry_budget: self.retry_budget,
             loggp: self.loggp,
+            clock: self.clock,
+            retry: self.retry,
+            chaos: self.chaos,
+            revive_after: self.revive_after,
             dist_plans: Mutex::new(HashMap::new()),
             split_jobs: AtomicUsize::new(0),
             failed_jobs: AtomicUsize::new(0),
             rejected_jobs: AtomicUsize::new(0),
             dead_shards: AtomicUsize::new(0),
+            degraded_jobs: AtomicUsize::new(0),
+            expired_jobs: AtomicUsize::new(0),
+            revived_shards: AtomicUsize::new(0),
+            split_retries: AtomicUsize::new(0),
+            clean_batches: AtomicUsize::new(0),
             predicted_split_words: AtomicU64::new(0),
             simulated_split_words: AtomicU64::new(0),
             predicted_root_recv_words: AtomicU64::new(0),
@@ -599,7 +928,8 @@ impl ShardedServiceBuilder {
 
 /// The sharded serving front door: P rank-shards with bounded queues
 /// for whole small problems, one AtA-D split lane for large ones,
-/// traffic-priced routing, and requeue-on-shard-failure. [`Send`] and
+/// traffic-priced routing, requeue-on-shard-failure, and
+/// retry-then-degrade on injected communication faults. [`Send`] and
 /// [`Sync`] — share it behind an `Arc` and submit from any number of
 /// threads.
 ///
@@ -678,20 +1008,34 @@ impl<T: Scalar + 'static> ShardedService<T> {
     /// fully failed or shut-down service reports
     /// [`ShardSubmitError::Closed`]; `Full` never occurs here.
     pub fn submit(&self, a: Matrix<T>) -> Result<ShardJobHandle<T>, ShardSubmitError<T>> {
-        self.submit_inner(a, true)
+        self.submit_inner(a, true, None)
     }
 
     /// Submit without blocking: [`ShardSubmitError::Full`] when every
     /// live shard's queue (or, for a large problem, the split lane) is
     /// at capacity — the backpressure signal, handing the operand back.
     pub fn try_submit(&self, a: Matrix<T>) -> Result<ShardJobHandle<T>, ShardSubmitError<T>> {
-        self.submit_inner(a, false)
+        self.submit_inner(a, false, None)
+    }
+
+    /// Submit with an expiry: if the job is still queued `deadline`
+    /// from now (on the service's injected clock) when a worker reaches
+    /// it — including after split-lane retry backoff — it is answered
+    /// [`JobError::DeadlineExceeded`] instead of executed.
+    pub fn submit_with_deadline(
+        &self,
+        a: Matrix<T>,
+        deadline: Duration,
+    ) -> Result<ShardJobHandle<T>, ShardSubmitError<T>> {
+        let expiry = self.shared.clock.now().saturating_add(deadline);
+        self.submit_inner(a, true, Some(expiry))
     }
 
     fn submit_inner(
         &self,
         a: Matrix<T>,
         blocking: bool,
+        deadline: Option<Duration>,
     ) -> Result<ShardJobHandle<T>, ShardSubmitError<T>> {
         let (m, n) = a.shape();
         if self.is_split(m, n) {
@@ -714,6 +1058,7 @@ impl<T: Scalar + 'static> ShardedService<T> {
                 resp,
                 attempts: 0,
                 solo: false,
+                deadline,
             };
             let Some(sender) = self.split_sender.as_ref() else {
                 return Err(ShardSubmitError::Closed(job.into_matrix()));
@@ -741,6 +1086,7 @@ impl<T: Scalar + 'static> ShardedService<T> {
             resp,
             attempts: 0,
             solo: false,
+            deadline,
         };
         match self.route_to_shard(job, blocking) {
             Ok(()) => Ok(ShardJobHandle { recv }),
@@ -795,7 +1141,9 @@ impl<T: Scalar + 'static> ShardedService<T> {
     /// dequeuing it (together with whatever batch it was coalesced
     /// into — those jobs exercise the requeue path). The handle reports
     /// [`JobError::Requeued`] once the quarantine gives up on the
-    /// poison. For shard-failure tests and chaos drills.
+    /// poison. For shard-failure tests and chaos drills — not part of
+    /// the supported serving API.
+    #[doc(hidden)]
     pub fn submit_poison(&self) -> ShardJobHandle<T> {
         let (resp, recv) = channel::unbounded();
         let job = ShardJob {
@@ -803,6 +1151,7 @@ impl<T: Scalar + 'static> ShardedService<T> {
             resp,
             attempts: 0,
             solo: false,
+            deadline: None,
         };
         if let Err((job, _)) = self.route_to_shard(job, true) {
             let _ = job.resp.send(Err(JobError::Closed));
@@ -833,6 +1182,10 @@ impl<T: Scalar + 'static> ShardedService<T> {
             failed_jobs: self.shared.failed_jobs.load(Ordering::SeqCst),
             rejected_jobs: self.shared.rejected_jobs.load(Ordering::SeqCst),
             dead_shards: self.shared.dead_shards.load(Ordering::SeqCst),
+            degraded_jobs: self.shared.degraded_jobs.load(Ordering::SeqCst),
+            expired_jobs: self.shared.expired_jobs.load(Ordering::SeqCst),
+            revived_shards: self.shared.revived_shards.load(Ordering::SeqCst),
+            split_retries: self.shared.split_retries.load(Ordering::SeqCst),
             predicted_split_words: self.shared.predicted_split_words.load(Ordering::SeqCst),
             simulated_split_words: self.shared.simulated_split_words.load(Ordering::SeqCst),
             predicted_root_recv_words: self.shared.predicted_root_recv_words.load(Ordering::SeqCst),
@@ -895,6 +1248,7 @@ impl<T: Scalar> Drop for ShardedService<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::clock::ManualClock;
     use ata_mat::{gen, reference};
 
     fn oracle(a: &Matrix<f64>) -> Matrix<f64> {
@@ -942,6 +1296,8 @@ mod tests {
         assert_eq!(stats.completed_jobs(), 8);
         assert_eq!(stats.failed_jobs, 0);
         assert_eq!(stats.dead_shards, 0);
+        assert_eq!(stats.degraded_jobs, 0);
+        assert_eq!(stats.split_retries, 0, "no chaos, no faulted attempts");
         assert!(stats.predicted_split_words > 0, "4-rank splits communicate");
         // The routing quote and the simulator's counters agree bit-exactly.
         assert_eq!(stats.predicted_split_words, stats.simulated_split_words);
@@ -1062,6 +1418,7 @@ mod tests {
         assert_eq!(stats.dead_shards, 2);
         assert_eq!(stats.failed_jobs, 1, "only the poison fails");
         assert_eq!(stats.whole_jobs, 8);
+        assert_eq!(stats.revived_shards, 0, "revival is opt-in");
         assert!(stats.requeued_jobs >= 1, "the solo requeue is counted");
         assert_eq!(
             stats.per_shard.iter().filter(|s| s.dead).count(),
@@ -1114,6 +1471,214 @@ mod tests {
         for h in handles {
             assert!(h.wait().is_ok(), "handle answered even after shutdown");
         }
+    }
+
+    #[test]
+    fn shutdown_under_full_queues_answers_every_accepted_job() {
+        // Saturate every bounded queue with try_submit, then shut down:
+        // each accepted job must be answered with a result or a typed
+        // error — never left hanging, even waited on after shutdown.
+        let svc: ShardedService<f64> = ShardedServiceBuilder::new(&AtaContext::serial())
+            .shards(2)
+            .queue_capacity(2)
+            .split_words(usize::MAX)
+            .build();
+        let mut handles = Vec::new();
+        for i in 0..64u64 {
+            match svc.try_submit(gen::standard::<f64>(i, 40, 20)) {
+                Ok(h) => handles.push(h),
+                Err(ShardSubmitError::Full(_)) => {}
+                other => panic!("service must be alive: {other:?}"),
+            }
+        }
+        let accepted = handles.len();
+        let stats = svc.shutdown();
+        assert_eq!(stats.whole_jobs, accepted, "every accepted job executed");
+        for h in handles {
+            assert!(h.wait().is_ok(), "waiting after shutdown still answers");
+        }
+    }
+
+    #[test]
+    fn zero_deadline_expires_on_both_lanes() {
+        let clock = Arc::new(ManualClock::new());
+        let svc: ShardedService<f64> = ShardedServiceBuilder::new(&AtaContext::serial())
+            .shards(2)
+            .split_words(2048)
+            .clock(clock)
+            .build();
+        // Whole lane (40 x 20 = 800 words) and split lane (96 x 48 =
+        // 4608 words), both with an already-passed deadline.
+        let whole = svc
+            .submit_with_deadline(gen::standard::<f64>(1, 40, 20), Duration::ZERO)
+            .unwrap();
+        let split = svc
+            .submit_with_deadline(gen::standard::<f64>(2, 96, 48), Duration::ZERO)
+            .unwrap();
+        assert!(matches!(whole.wait(), Err(JobError::DeadlineExceeded)));
+        assert!(matches!(split.wait(), Err(JobError::DeadlineExceeded)));
+        // Generous deadlines complete on both lanes.
+        let whole = svc
+            .submit_with_deadline(gen::standard::<f64>(3, 40, 20), Duration::from_secs(60))
+            .unwrap();
+        let split = svc
+            .submit_with_deadline(gen::standard::<f64>(4, 96, 48), Duration::from_secs(60))
+            .unwrap();
+        assert!(whole.wait().is_ok());
+        assert!(split.wait().is_ok());
+        let stats = svc.shutdown();
+        assert_eq!(stats.expired_jobs, 2);
+        assert_eq!(stats.whole_jobs, 1);
+        assert_eq!(stats.split_jobs, 1);
+    }
+
+    #[test]
+    fn wait_timeout_polls_then_delivers() {
+        let svc = service(usize::MAX);
+        let a = gen::standard::<f64>(11, 48, 24);
+        let h = svc.submit(a.clone()).unwrap();
+        let out = loop {
+            match h.wait_timeout(Duration::from_millis(10)) {
+                Some(out) => break out,
+                None => continue,
+            }
+        };
+        assert!(
+            out.expect("completes")
+                .into_dense()
+                .max_abs_diff(&oracle(&a))
+                < 1e-10
+        );
+        svc.shutdown();
+    }
+
+    #[test]
+    fn delay_only_chaos_completes_bit_identical() {
+        // Delay-only fault schedules under a generous receive deadline
+        // never lose a message: every split dispatch succeeds (possibly
+        // late on the simulated clock) with bit-identical results and
+        // exact counter reconciliation.
+        let larges: Vec<Matrix<f64>> = (0..4)
+            .map(|i| gen::standard::<f64>(300 + i, 128, 32))
+            .collect();
+        let clean: ShardedService<f64> = ShardedServiceBuilder::new(&AtaContext::serial())
+            .shards(4)
+            .split_words(2048)
+            .build();
+        let expected: Vec<Matrix<f64>> = larges
+            .iter()
+            .map(|a| {
+                clean
+                    .submit(a.clone())
+                    .unwrap()
+                    .wait()
+                    .unwrap()
+                    .into_dense()
+            })
+            .collect();
+        clean.shutdown();
+
+        let chaotic: ShardedService<f64> = ShardedServiceBuilder::new(&AtaContext::serial())
+            .shards(4)
+            .split_words(2048)
+            .clock(Arc::new(ManualClock::new()))
+            .split_chaos(
+                SplitChaos::new(42)
+                    .spec(FaultSpec::delays_only())
+                    .recv_deadline(10.0),
+            )
+            .build();
+        let handles: Vec<_> = larges
+            .iter()
+            .map(|a| chaotic.submit(a.clone()).unwrap())
+            .collect();
+        for (h, want) in handles.into_iter().zip(&expected) {
+            let got = h.wait().expect("delayed but delivered").into_dense();
+            assert_eq!(got.max_abs_diff(want), 0.0, "delays never change bits");
+        }
+        let stats = chaotic.shutdown();
+        assert_eq!(stats.split_jobs, 4);
+        assert_eq!(stats.degraded_jobs, 0);
+        assert_eq!(stats.split_retries, 0, "nothing times out under delays");
+        assert_eq!(stats.predicted_split_words, stats.simulated_split_words);
+    }
+
+    #[test]
+    fn chaos_sweep_degrades_but_never_corrupts() {
+        // Full chaos (drops + delays + crashes) with no retries: every
+        // job still completes — split or degraded — and every result is
+        // correct. Backoff runs on the manual clock, so the sweep costs
+        // no wall time. The accounting identity is the chaos contract:
+        // split + degraded == accepted, and degraded > 0 across this
+        // seed sweep (drops/crashes do fire).
+        let clock = Arc::new(ManualClock::new());
+        let svc: ShardedService<f64> = ShardedServiceBuilder::new(&AtaContext::serial())
+            .shards(4)
+            .split_words(2048)
+            .clock(clock)
+            .split_retry(RetryPolicy {
+                budget: 1,
+                ..RetryPolicy::default()
+            })
+            .split_chaos(SplitChaos::new(7).recv_deadline(0.5))
+            .build();
+        let inputs: Vec<Matrix<f64>> = (0..24)
+            .map(|i| gen::standard::<f64>(500 + i, 128, 32))
+            .collect();
+        let handles: Vec<_> = inputs
+            .iter()
+            .map(|a| svc.submit(a.clone()).unwrap())
+            .collect();
+        for (h, a) in handles.into_iter().zip(&inputs) {
+            let g = h.wait().expect("split or degraded, never failed");
+            assert!(g.into_dense().max_abs_diff(&oracle(a)) < 1e-10);
+        }
+        let stats = svc.shutdown();
+        assert_eq!(stats.split_jobs + stats.degraded_jobs, 24);
+        assert_eq!(stats.completed_jobs(), 24);
+        assert!(
+            stats.split_retries > 0,
+            "the default FaultSpec fires across 24 dispatches"
+        );
+        assert!(
+            stats.degraded_jobs > 0,
+            "budget 1 with recurring faults must degrade at least once"
+        );
+        // Counters reconcile exactly: only clean dispatches are billed.
+        assert_eq!(stats.predicted_split_words, stats.simulated_split_words);
+        assert_eq!(
+            stats.predicted_root_recv_words,
+            stats.simulated_root_recv_words
+        );
+    }
+
+    #[test]
+    fn revive_after_returns_dead_shards_to_duty() {
+        let svc: ShardedService<f64> = ShardedServiceBuilder::new(&AtaContext::serial())
+            .shards(4)
+            .split_words(usize::MAX)
+            .revive_after(2)
+            .build();
+        // The poison kills two shards (first batch + solo retry).
+        assert!(svc.submit_poison().wait().is_err());
+        // Sequential submissions: each is its own clean batch on a
+        // survivor, feeding the probation meter until both shards are
+        // back. (2 clean batches per revival, 2 revivals.)
+        for i in 0..12u64 {
+            let a = gen::standard::<f64>(i, 32, 16);
+            let g = svc.submit(a.clone()).unwrap().wait().expect("completes");
+            assert!(g.into_dense().max_abs_diff(&oracle(&a)) < 1e-10);
+        }
+        let stats = svc.shutdown();
+        assert_eq!(stats.revived_shards, 2, "both dead shards return");
+        assert_eq!(stats.dead_shards, 0);
+        assert_eq!(
+            stats.per_shard.iter().filter(|s| s.dead).count(),
+            0,
+            "per-shard flags cleared on revival"
+        );
+        assert_eq!(stats.whole_jobs, 12);
+        assert_eq!(stats.failed_jobs, 1, "only the poison failed");
     }
 
     #[test]
