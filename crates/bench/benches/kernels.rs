@@ -6,12 +6,14 @@
 //! 1. Criterion groups — the blocking ablation for `gemm_tn` (packed
 //!    microkernel vs blocked rank-1 vs unblocked vs textbook oracle) and
 //!    the `syrk` triangle savings, for interactive runs.
-//! 2. A `perf record` pass that times every `(kernel, engine, dtype, n)`
-//!    combination directly and writes `BENCH_kernels.json` at the
-//!    workspace root — the first point of the regression-tracking
-//!    trajectory the ROADMAP asks for. The record includes the geomean
-//!    micro-vs-blocked speedup on f64, the headline number of the packed
-//!    engine.
+//! 2. A `perf record` pass (schema 2) that times every
+//!    `(kernel, engine, dtype, n, isa, path)` combination directly and
+//!    writes `BENCH_kernels.json` at the workspace root — the
+//!    regression-tracking trajectory the ROADMAP asks for. The record
+//!    carries the detected ISA and, for the micro engine, one entry per
+//!    tile path (resolved dispatch plus forced portable/scalar
+//!    ablations), and includes the geomean micro-vs-blocked speedup on
+//!    f64, the headline number of the packed engine.
 //!
 //! Smoke mode for CI: set `ATA_BENCH_SMOKE=1` to run one timed iteration
 //! per measurement (guards against rot; the JSON is still written, with
@@ -23,8 +25,13 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
+use ata_kernels::calibrate::tuned_for_path;
 use ata_kernels::gemm::{gemm_tn_blocked, gemm_tn_unblocked, BlockSizes};
-use ata_kernels::micro::{gemm_tn_micro, syrk_ln_micro, KernelConfig};
+use ata_kernels::micro::{
+    gemm_tn_micro, gemm_tn_micro_path, micro_path_for, syrk_ln_micro, syrk_ln_micro_path,
+    KernelConfig, MicroPath,
+};
+use ata_kernels::simd;
 use ata_kernels::syrk::syrk_ln_blocked;
 use ata_mat::{gen, reference, Matrix, Scalar};
 
@@ -119,11 +126,21 @@ fn bench_syrk_vs_gemm(c: &mut Criterion) {
 // ---------------------------------------------------------------------
 
 /// One measured data point of the record.
+///
+/// `isa` is the host's detected instruction set and `path` the tile
+/// implementation a micro-engine entry ran on (`none` for the blocked
+/// and unblocked engines). Both are string fields, so `bench_gate`
+/// automatically folds them into each entry's identity: a record taken
+/// on a different ISA, or a dispatch change that silently moves a point
+/// to another tile path, surfaces as a new grid point instead of being
+/// compared metric-to-metric against a different kernel.
 struct Rec {
     kernel: &'static str,
     engine: &'static str,
     dtype: &'static str,
     n: usize,
+    isa: &'static str,
+    path: &'static str,
     secs_per_call: f64,
     gflops: f64,
 }
@@ -147,7 +164,16 @@ fn time_call(mut f: impl FnMut()) -> f64 {
 }
 
 /// Measure all engines of `gemm_tn` and `syrk_ln` for one scalar type.
+///
+/// The default `micro` entries run whatever tile path the dispatcher
+/// resolves on this host (intrinsic where FMA kernels exist). On top of
+/// those, every *other* tile path is measured explicitly through the
+/// forced `*_micro_path` entry points with its own per-path tuned
+/// config, so the record keeps a trajectory for each implementation —
+/// the ablation the ISA-dispatch work is judged against.
 fn record_dtype<T: Scalar>(sizes: &[usize], recs: &mut Vec<Rec>) {
+    let isa = simd::detected().name();
+    let resolved = micro_path_for::<T>();
     let cfg = KernelConfig::for_scalar::<T>();
     for &n in sizes {
         let a = gen::standard::<T>(1, n, n);
@@ -156,12 +182,14 @@ fn record_dtype<T: Scalar>(sizes: &[usize], recs: &mut Vec<Rec>) {
         let gemm_flops = 2.0 * (n as f64).powi(3);
         let syrk_flops = (n as f64) * (n as f64) * (n as f64 + 1.0);
 
-        let push = |recs: &mut Vec<Rec>, kernel, engine, secs: f64, flops: f64| {
+        let push = |recs: &mut Vec<Rec>, kernel, engine, path, secs: f64, flops: f64| {
             recs.push(Rec {
                 kernel,
                 engine,
                 dtype: T::NAME,
                 n,
+                isa,
+                path,
                 secs_per_call: secs,
                 gflops: flops / secs / 1e9,
             });
@@ -169,7 +197,7 @@ fn record_dtype<T: Scalar>(sizes: &[usize], recs: &mut Vec<Rec>) {
 
         let secs =
             time_call(|| gemm_tn_micro(T::ONE, a.as_ref(), b.as_ref(), &mut out.as_mut(), &cfg));
-        push(recs, "gemm_tn", "micro", secs, gemm_flops);
+        push(recs, "gemm_tn", "micro", resolved.name(), secs, gemm_flops);
         let secs = time_call(|| {
             gemm_tn_blocked(
                 T::ONE,
@@ -179,17 +207,41 @@ fn record_dtype<T: Scalar>(sizes: &[usize], recs: &mut Vec<Rec>) {
                 BlockSizes::default(),
             )
         });
-        push(recs, "gemm_tn", "blocked", secs, gemm_flops);
+        push(recs, "gemm_tn", "blocked", "none", secs, gemm_flops);
         let secs =
             time_call(|| gemm_tn_unblocked(T::ONE, a.as_ref(), b.as_ref(), &mut out.as_mut()));
-        push(recs, "gemm_tn", "unblocked", secs, gemm_flops);
+        push(recs, "gemm_tn", "unblocked", "none", secs, gemm_flops);
 
         let secs = time_call(|| syrk_ln_micro(T::ONE, a.as_ref(), &mut out.as_mut(), &cfg));
-        push(recs, "syrk_ln", "micro", secs, syrk_flops);
+        push(recs, "syrk_ln", "micro", resolved.name(), secs, syrk_flops);
         let secs = time_call(|| {
             syrk_ln_blocked(T::ONE, a.as_ref(), &mut out.as_mut(), BlockSizes::default())
         });
-        push(recs, "syrk_ln", "blocked", secs, syrk_flops);
+        push(recs, "syrk_ln", "blocked", "none", secs, syrk_flops);
+
+        // Forced-path ablation entries (skipping the resolved path,
+        // which the default entries above already cover).
+        for path in [MicroPath::Portable, MicroPath::Scalar] {
+            if path == resolved {
+                continue;
+            }
+            let pcfg = tuned_for_path::<T>(path).kernel;
+            let secs = time_call(|| {
+                gemm_tn_micro_path(
+                    path,
+                    T::ONE,
+                    a.as_ref(),
+                    b.as_ref(),
+                    &mut out.as_mut(),
+                    &pcfg,
+                )
+            });
+            push(recs, "gemm_tn", "micro", path.name(), secs, gemm_flops);
+            let secs = time_call(|| {
+                syrk_ln_micro_path(path, T::ONE, a.as_ref(), &mut out.as_mut(), &pcfg)
+            });
+            push(recs, "syrk_ln", "micro", path.name(), secs, syrk_flops);
+        }
     }
 }
 
@@ -197,10 +249,11 @@ fn record_dtype<T: Scalar>(sizes: &[usize], recs: &mut Vec<Rec>) {
 /// at every measured size — the acceptance headline of the packed
 /// engine.
 fn geomean_speedup(recs: &[Rec]) -> f64 {
+    let resolved = micro_path_for::<f64>().name();
     let mut log_sum = 0.0;
     let mut count = 0usize;
     for r in recs.iter().filter(|r| r.dtype == "f64") {
-        if r.engine != "micro" {
+        if r.engine != "micro" || r.path != resolved {
             continue;
         }
         let blocked = recs
@@ -224,8 +277,9 @@ fn bench_perf_record(c: &mut Criterion) {
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"bench\": \"kernels\",\n  \"schema\": 1,\n");
+    json.push_str("  \"bench\": \"kernels\",\n  \"schema\": 2,\n");
     json.push_str(&format!("  \"smoke\": {},\n", smoke()));
+    json.push_str(&format!("  \"isa\": \"{}\",\n", simd::detected().name()));
     json.push_str(&format!(
         "  \"geomean_speedup_f64_micro_vs_blocked\": {geomean:.4},\n"
     ));
@@ -233,11 +287,14 @@ fn bench_perf_record(c: &mut Criterion) {
     for (i, r) in recs.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"kernel\": \"{}\", \"engine\": \"{}\", \"dtype\": \"{}\", \"n\": {}, \
+             \"isa\": \"{}\", \"path\": \"{}\", \
              \"secs_per_call\": {:.6e}, \"gflops\": {:.3}}}{}\n",
             r.kernel,
             r.engine,
             r.dtype,
             r.n,
+            r.isa,
+            r.path,
             r.secs_per_call,
             r.gflops,
             if i + 1 == recs.len() { "" } else { "," }
@@ -266,8 +323,8 @@ fn bench_perf_record(c: &mut Criterion) {
     println!("perf record: geomean f64 micro-vs-blocked speedup {geomean:.2}x");
     for r in &recs {
         println!(
-            "perf record: {}/{} {} n={} {:.3e}s/call ({:.2} GFLOP/s)",
-            r.kernel, r.engine, r.dtype, r.n, r.secs_per_call, r.gflops
+            "perf record: {}/{}/{} {} n={} {:.3e}s/call ({:.2} GFLOP/s)",
+            r.kernel, r.engine, r.path, r.dtype, r.n, r.secs_per_call, r.gflops
         );
     }
 

@@ -611,6 +611,44 @@ mod tests {
     }
 
     #[test]
+    fn kernel_isa_and_path_are_identity_not_metrics() {
+        // Schema-2 kernel records tag every entry with the detected ISA
+        // and the tile path it ran on. Both are string fields, so they
+        // must participate in identity: the same grid point measured on
+        // a different ISA, or on a different tile path, is a *different*
+        // entry — never compared metric-to-metric across paths.
+        let old = parse_json(
+            r#"{"bench": "kernels", "schema": 2, "smoke": false, "isa": "fma",
+               "results": [
+                 {"kernel": "gemm_tn", "engine": "micro", "dtype": "f64", "n": 128,
+                  "isa": "fma", "path": "intrinsic", "secs_per_call": 1.0e-4, "gflops": 40.0},
+                 {"kernel": "gemm_tn", "engine": "micro", "dtype": "f64", "n": 128,
+                  "isa": "fma", "path": "portable", "secs_per_call": 3.0e-4, "gflops": 13.0}
+               ]}"#,
+        )
+        .expect("old");
+        let outcomes = compare(&old, &old, false).expect("compare");
+        assert_eq!(outcomes.len(), 2, "both path entries match themselves");
+        assert!(outcomes[0].id.contains("isa=fma"));
+        assert!(outcomes[0].id.contains("path=intrinsic"));
+        assert!(outcomes[1].id.contains("path=portable"));
+        // A record taken on a different ISA shares no identities at all.
+        let other_isa = parse_json(
+            r#"{"bench": "kernels", "schema": 2, "smoke": false, "isa": "generic",
+               "results": [
+                 {"kernel": "gemm_tn", "engine": "micro", "dtype": "f64", "n": 128,
+                  "isa": "generic", "path": "portable", "secs_per_call": 3.0e-4,
+                  "gflops": 13.0}
+               ]}"#,
+        )
+        .expect("other");
+        assert!(
+            compare(&old, &other_isa, false).is_err(),
+            "cross-ISA records must not be silently compared"
+        );
+    }
+
+    #[test]
     fn missing_entries_are_reported_not_fatal() {
         let old = parse_json(OLD).expect("old");
         let new = parse_json(

@@ -536,23 +536,52 @@ fn cmd_calibrate(args: &Args) -> Result<(), String> {
         "calibrating packed-kernel parameters ({} sweep, single thread)...",
         if quick { "quick" } else { "full" }
     );
+    println!(
+        "detected isa: {} (force a path with ATA_MICRO=intrinsic|portable|scalar)",
+        ata_kernels::simd::detected().name()
+    );
+    let f64_path = ata_kernels::micro::micro_path_for::<f64>();
+    let f32_path = ata_kernels::micro::micro_path_for::<f32>();
     let f64_t = ata_kernels::calibrate::measure::<f64>(quick);
     let f32_t = ata_kernels::calibrate::measure::<f32>(quick);
-    for (name, t) in [("f64", f64_t), ("f32", f32_t)] {
+    for (name, path, menu, t) in [
+        (
+            "f64",
+            f64_path,
+            ata_kernels::calibrate::menu_for::<f64>(),
+            f64_t,
+        ),
+        (
+            "f32",
+            f32_path,
+            ata_kernels::calibrate::menu_for::<f32>(),
+            f32_t,
+        ),
+    ] {
         let k = t.kernel;
         println!(
-            "{name}: mr={} nr={} kc={} mc={} nc={} base_words={}",
-            k.mr, k.nr, k.kc, k.mc, k.nc, t.base_words
+            "{name} ({} path, {}-tile menu): mr={} nr={} kc={} mc={} nc={} base_words={} \
+             micro_min_volume={}",
+            path.name(),
+            menu.len(),
+            k.mr,
+            k.nr,
+            k.kc,
+            k.mc,
+            k.nc,
+            t.base_words,
+            t.micro_min_volume
         );
     }
     println!(
-        "override per run with ATA_KERNEL_PARAMS=\"mr={},nr={},kc={},mc={},nc={},words={}\"",
+        "override per run with ATA_KERNEL_PARAMS=\"mr={},nr={},kc={},mc={},nc={},words={},volume={}\"",
         f64_t.kernel.mr,
         f64_t.kernel.nr,
         f64_t.kernel.kc,
         f64_t.kernel.mc,
         f64_t.kernel.nc,
-        f64_t.base_words
+        f64_t.base_words,
+        f64_t.micro_min_volume
     );
     Ok(())
 }

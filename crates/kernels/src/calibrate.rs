@@ -15,16 +15,30 @@
 //!    Algorithm 1 recursion level — four half-size syrk leaves plus two
 //!    half-size products — stops beating a single syrk leaf).
 //!
+//! # Per-ISA tables
+//!
+//! The table is keyed on *(scalar type, resolved tile path)*: the fused
+//! AVX2/FMA kernels in [`crate::simd`] prefer different register tiles
+//! and cutoffs than the portable autovectorized kernels, so a machine
+//! with FMA resolves the `*_FMA` rows and everything else (including
+//! forced `ATA_MICRO=portable|scalar` runs) resolves the portable rows.
+//! `ata calibrate` prints both sets where the hardware supports them.
+//!
 //! # Overriding
 //!
 //! `ATA_KERNEL_PARAMS` accepts comma-separated `key=value` pairs with
-//! keys `mr`, `nr`, `kc`, `mc`, `nc`, `words`, e.g.
+//! keys `mr`, `nr`, `kc`, `mc`, `nc`, `words`, `volume`, e.g.
 //! `ATA_KERNEL_PARAMS="mr=8,nr=4,kc=128,words=16384"`. Unknown keys and
 //! malformed pairs are ignored; the override applies to every scalar
-//! type. `ATA_MICRO=0` disables the packed engine entirely (see
+//! type. `ATA_MICRO` selects the tile path (`intrinsic|portable|scalar`)
+//! or disables the packed engine entirely (`0`; see
 //! [`crate::micro::selected_path`]).
 
-use crate::micro::{gemm_tn_micro_with, syrk_ln_micro_with, KernelConfig};
+use crate::gemm::{gemm_tn_blocked, BlockSizes};
+use crate::micro::{
+    gemm_tn_micro_with, micro_path_for, syrk_ln_micro_with, KernelConfig, MicroPath,
+    MICRO_MIN_VOLUME,
+};
 use crate::pack::PackBufs;
 use ata_mat::{MatMut, MatRef, Scalar};
 use std::sync::OnceLock;
@@ -39,11 +53,16 @@ pub struct Tuned {
     /// splitting and call the packed kernel (the measured crossover,
     /// in elements; see [`crate::CacheConfig`]).
     pub base_words: usize,
+    /// Minimum flop volume (`m * n * k`) at which the packed engine
+    /// beats the blocked rank-1 loops for this scalar/path — below it
+    /// [`crate::micro::selected_path`] keeps the blocked loops.
+    pub micro_min_volume: usize,
 }
 
 /// Measured on the development container (Intel Xeon @ 2.10 GHz,
-/// baseline x86-64 SSE2 codegen, single thread) via `ata calibrate`.
-/// Re-run [`measure`] on new hardware and update these records.
+/// baseline x86-64 SSE2 codegen, single thread) via
+/// `ATA_MICRO=portable ata calibrate`. Re-run [`measure`] on new
+/// hardware and update these records.
 const TUNED_F64: Tuned = Tuned {
     kernel: KernelConfig {
         mr: 4,
@@ -57,6 +76,7 @@ const TUNED_F64: Tuned = Tuned {
     // blocks exceed ~256 x 256 (validated end to end at n = 1024, where
     // this cutoff beats both 32768 and no-recursion).
     base_words: 131_072,
+    micro_min_volume: MICRO_MIN_VOLUME,
 };
 
 /// See [`TUNED_F64`]; f32 packs twice the lanes per register, so the
@@ -70,21 +90,96 @@ const TUNED_F32: Tuned = Tuned {
         nc: 256,
     },
     base_words: 131_072,
+    // The portable f32 engine loses to the blocked loops up to n = 128
+    // (14.3 vs 18.9 GF/s gemm in BENCH_kernels.json) and only wins from
+    // n = 256 up, so its cutoff sits between those sizes: 128^3 < v <=
+    // 192^3 measured, baked as the first losing size cubed plus one.
+    micro_min_volume: 128 * 128 * 128 + 1,
 };
 
-/// The measured parameters for scalar type `T`, with any
-/// `ATA_KERNEL_PARAMS` override applied.
+/// Fused-kernel row for f64 under [`crate::simd::Isa::Fma`], measured
+/// on the same container with the cross-size sweep (`ata calibrate`
+/// plus 128/256/512 spot checks): the 4 x 8 tile (8 fused accumulator
+/// vectors, 2 B vectors, 1 broadcast) beat the deeper 6 x 8 / 8 x 8
+/// tiles at every size (33-38 GF/s gemm vs 13.5 portable), and the
+/// fused kernel beats the blocked loops from the smallest packed sizes,
+/// so the volume floor stays at the packing-overhead default.
+const TUNED_F64_FMA: Tuned = Tuned {
+    kernel: KernelConfig {
+        mr: 4,
+        nr: 8,
+        kc: 128,
+        mc: 64,
+        nc: 256,
+    },
+    // The single-level crossover model lands between 2*192^2 and
+    // 2*256^2 on repeated fused-path runs (timing noise at this
+    // machine's resolution); keep the end-to-end-validated portable
+    // value at the top of that band.
+    base_words: 131_072,
+    micro_min_volume: MICRO_MIN_VOLUME,
+};
+
+/// Fused-kernel row for f32 under [`crate::simd::Isa::Fma`] (see
+/// [`TUNED_F64_FMA`]): 8 lanes per vector, same 4-row accumulator
+/// block, twice the tile width (59-69 GF/s gemm, 34-51 syrk measured —
+/// above the blocked loops at every benched size, unlike the portable
+/// f32 engine).
+const TUNED_F32_FMA: Tuned = Tuned {
+    kernel: KernelConfig {
+        mr: 4,
+        nr: 16,
+        kc: 256,
+        mc: 64,
+        nc: 256,
+    },
+    base_words: 131_072,
+    // Measured crossover: the blocked loops still edge out the fused
+    // f32 engine below 24^3 (packing overhead on narrow panels).
+    micro_min_volume: 24 * 24 * 24 + 1,
+};
+
+/// The measured parameters for scalar type `T` on an explicit tile
+/// path, with any `ATA_KERNEL_PARAMS` override applied.
 ///
-/// Types without their own table row (e.g. the op-counting `Tracked`
-/// scalar or exact fields) inherit the `f64` row: their "speed" is
-/// irrelevant, but sharing the row keeps their blocking — and therefore
-/// their measured operation *counts* — identical to the f64 fast path.
-pub fn tuned_for<T: Scalar>() -> Tuned {
-    let base = match T::NAME {
-        "f32" => TUNED_F32,
+/// Only a genuinely-available `Intrinsic` path (see
+/// [`crate::simd::has_kernels`]) resolves the `*_FMA` rows; `Portable`
+/// and `Scalar` — and any scalar the SIMD module has no kernels for —
+/// resolve the portable rows, so the blocking a run uses always matches
+/// the kernels it executes.
+pub fn tuned_for_path<T: Scalar>(path: MicroPath) -> Tuned {
+    let fused = path == MicroPath::Intrinsic && crate::simd::has_kernels::<T>();
+    let base = match (T::NAME, fused) {
+        ("f32", true) => TUNED_F32_FMA,
+        ("f32", false) => TUNED_F32,
+        ("f64", true) => TUNED_F64_FMA,
+        // Types without their own row (the op-counting `Tracked` scalar,
+        // exact fields) inherit the portable f64 row: their "speed" is
+        // irrelevant, but sharing the row keeps their blocking — and
+        // therefore their measured operation *counts* — identical to the
+        // f64 reference path on every host ISA.
         _ => TUNED_F64,
     };
     apply_env(base)
+}
+
+/// The measured parameters for scalar type `T` on the tile path the
+/// engine resolves under the current `ATA_MICRO` setting and detected
+/// ISA, with any `ATA_KERNEL_PARAMS` override applied.
+pub fn tuned_for<T: Scalar>() -> Tuned {
+    tuned_for_path::<T>(micro_path_for::<T>())
+}
+
+/// The register-tile menu the calibration sweep walks for `T`: the
+/// intrinsic menu of the detected ISA when the resolved path runs fused
+/// kernels, the portable [`KernelConfig::MENU`] otherwise.
+pub fn menu_for<T: Scalar>() -> &'static [(usize, usize)] {
+    if micro_path_for::<T>() == MicroPath::Intrinsic {
+        if let Some(menu) = crate::simd::fma_menu::<T>() {
+            return menu;
+        }
+    }
+    KernelConfig::MENU
 }
 
 /// Parsed `ATA_KERNEL_PARAMS` override (read once per process).
@@ -96,6 +191,7 @@ struct EnvOverride {
     mc: Option<usize>,
     nc: Option<usize>,
     words: Option<usize>,
+    volume: Option<usize>,
 }
 
 fn env_override() -> &'static Option<EnvOverride> {
@@ -120,6 +216,7 @@ fn env_override() -> &'static Option<EnvOverride> {
                 "mc" => ov.mc = Some(v),
                 "nc" => ov.nc = Some(v),
                 "words" => ov.words = Some(v),
+                "volume" => ov.volume = Some(v),
                 _ => {}
             }
         }
@@ -136,6 +233,7 @@ fn apply_env(mut t: Tuned) -> Tuned {
         k.mc = ov.mc.unwrap_or(k.mc);
         k.nc = ov.nc.unwrap_or(k.nc);
         t.base_words = ov.words.unwrap_or(t.base_words);
+        t.micro_min_volume = ov.volume.unwrap_or(t.micro_min_volume);
     }
     t
 }
@@ -191,7 +289,7 @@ pub fn measure_kernel<T: Scalar>(quick: bool) -> KernelConfig {
     let ncs: &[usize] = if quick { &[256] } else { &[128, 256] };
     let mut bufs = PackBufs::new();
     let mut best = (f64::INFINITY, KernelConfig::for_scalar::<T>());
-    for &(mr, nr) in KernelConfig::MENU {
+    for &(mr, nr) in menu_for::<T>() {
         for &kc in kcs {
             for &mc in mcs {
                 for &nc in ncs {
@@ -267,13 +365,70 @@ pub fn measure_base_words<T: Scalar>(kernel: &KernelConfig, quick: bool) -> usiz
     2 * s * s
 }
 
-/// Full calibration for scalar type `T`: tile/blocking sweep plus the
-/// base-case crossover. `quick` keeps the run under a second for smoke
-/// use; the full run takes a few seconds per type.
+/// The sizes swept for the micro-vs-blocked crossover; any measured (or
+/// baked) `micro_min_volume` is `s^3 + 1` for a swept `s` (or the
+/// [`MICRO_MIN_VOLUME`] floor when the engine wins everywhere).
+pub const VOLUME_SWEEP_SIZES: &[usize] = &[16, 24, 32, 48, 64, 96, 128, 192];
+
+/// Median-of-three wall-clock seconds of one blocked rank-1
+/// `C += A^T B` run at `m = n = k = size` — the path the engine's
+/// volume cutoff competes against.
+fn time_blocked<T: Scalar>(size: usize) -> f64 {
+    let mut a = vec![T::ZERO; size * size];
+    let mut b = vec![T::ZERO; size * size];
+    let mut c = vec![T::ZERO; size * size];
+    fill_pattern(&mut a, 1);
+    fill_pattern(&mut b, 2);
+    let av = MatRef::from_slice(&a, size, size);
+    let bv = MatRef::from_slice(&b, size, size);
+    let mut samples = [0.0f64; 3];
+    for s in samples.iter_mut() {
+        let mut cv = MatMut::from_slice(&mut c, size, size);
+        let t0 = Instant::now();
+        gemm_tn_blocked(T::ONE, av, bv, &mut cv, BlockSizes::default());
+        *s = t0.elapsed().as_secs_f64();
+    }
+    samples.sort_by(f64::total_cmp);
+    std::hint::black_box(&c);
+    samples[1]
+}
+
+/// Locate the volume above which the packed engine under `kernel` beats
+/// the blocked rank-1 loops for `T`, by walking
+/// [`VOLUME_SWEEP_SIZES`] downward: the cutoff is the cube of the
+/// largest size where the blocked loops still win, plus one (or the
+/// [`MICRO_MIN_VOLUME`] packing-overhead floor when the engine wins at
+/// every swept size — the f64 situation; portable f32 is the case this
+/// sweep exists for).
+pub fn measure_min_volume<T: Scalar>(kernel: &KernelConfig, quick: bool) -> usize {
+    let sizes: &[usize] = if quick { &[32, 64] } else { VOLUME_SWEEP_SIZES };
+    let mut bufs = PackBufs::new();
+    for &s in sizes.iter().rev() {
+        if s * s * s < MICRO_MIN_VOLUME {
+            break;
+        }
+        let t_micro = time_gemm::<T>(s, kernel, &mut bufs);
+        let t_blocked = time_blocked::<T>(s);
+        if t_blocked < t_micro {
+            return s * s * s + 1;
+        }
+    }
+    MICRO_MIN_VOLUME
+}
+
+/// Full calibration for scalar type `T` on its resolved tile path:
+/// tile/blocking sweep, the micro-vs-blocked volume crossover, and the
+/// AtA base-case crossover. `quick` keeps the run under a second for
+/// smoke use; the full run takes a few seconds per type.
 pub fn measure<T: Scalar>(quick: bool) -> Tuned {
     let kernel = measure_kernel::<T>(quick);
+    let micro_min_volume = measure_min_volume::<T>(&kernel, quick);
     let base_words = measure_base_words::<T>(&kernel, quick);
-    Tuned { kernel, base_words }
+    Tuned {
+        kernel,
+        base_words,
+        micro_min_volume,
+    }
 }
 
 #[cfg(test)]
@@ -285,10 +440,24 @@ mod tests {
         for t in [TUNED_F64, TUNED_F32] {
             assert!(
                 KernelConfig::MENU.contains(&(t.kernel.mr, t.kernel.nr)),
-                "baked tile {:?} must have an unrolled kernel",
+                "baked portable tile {:?} must have an unrolled kernel",
                 (t.kernel.mr, t.kernel.nr)
             );
             assert!(t.base_words >= 1024, "cutoff suspiciously small");
+        }
+        for (t, menu) in [
+            (TUNED_F64_FMA, crate::simd::FMA_MENU_F64),
+            (TUNED_F32_FMA, crate::simd::FMA_MENU_F32),
+        ] {
+            let tile = (t.kernel.mr, t.kernel.nr);
+            assert!(
+                menu.contains(&tile),
+                "baked fused tile {tile:?} must have an intrinsic kernel"
+            );
+            assert!(
+                KernelConfig::MENU.contains(&tile),
+                "baked fused tile {tile:?} needs a portable fallback kernel"
+            );
         }
     }
 
@@ -296,25 +465,71 @@ mod tests {
     fn baked_cutoffs_lie_in_the_measured_sweep_range() {
         let lo = 2 * BASE_SWEEP_SIZES.first().unwrap().pow(2);
         let hi = 2 * BASE_SWEEP_SIZES.last().unwrap().pow(2);
-        for t in [TUNED_F64, TUNED_F32] {
+        for t in [TUNED_F64, TUNED_F32, TUNED_F64_FMA, TUNED_F32_FMA] {
             assert!(
                 (lo..=hi).contains(&t.base_words),
                 "baked cutoff {} outside the sweep's valid range [{lo}, {hi}]",
                 t.base_words
+            );
+            let vol_hi = VOLUME_SWEEP_SIZES.last().unwrap().pow(3) + 1;
+            assert!(
+                (MICRO_MIN_VOLUME..=vol_hi).contains(&t.micro_min_volume),
+                "baked volume cutoff {} outside [{MICRO_MIN_VOLUME}, {vol_hi}]",
+                t.micro_min_volume
             );
         }
     }
 
     #[test]
     fn tuned_for_covers_every_scalar() {
-        let f64_t = tuned_for::<f64>();
+        let f64_portable = tuned_for_path::<f64>(MicroPath::Portable);
         let f32_t = tuned_for::<f32>();
         let tracked = tuned_for::<ata_mat::tracked::Tracked>();
         assert_eq!(
-            tracked, f64_t,
-            "op-counting scalar must share the f64 blocking"
+            tracked, f64_portable,
+            "op-counting scalar must share the portable f64 blocking"
         );
         assert!(f32_t.kernel.mr > 0 && f32_t.kernel.nr > 0);
+    }
+
+    #[test]
+    fn fused_rows_only_resolve_where_kernels_exist() {
+        // Forcing Intrinsic for a scalar with no SIMD kernels must fall
+        // back to the portable row, never the fused one.
+        assert_eq!(
+            tuned_for_path::<ata_mat::tracked::Tracked>(MicroPath::Intrinsic),
+            tuned_for_path::<f64>(MicroPath::Portable),
+        );
+        if crate::simd::has_kernels::<f64>() {
+            assert_eq!(
+                tuned_for_path::<f64>(MicroPath::Intrinsic),
+                apply_env(TUNED_F64_FMA)
+            );
+            assert_eq!(
+                tuned_for_path::<f32>(MicroPath::Intrinsic),
+                apply_env(TUNED_F32_FMA)
+            );
+        }
+        assert_eq!(
+            tuned_for_path::<f64>(MicroPath::Scalar),
+            apply_env(TUNED_F64)
+        );
+    }
+
+    #[test]
+    fn menus_track_the_resolved_path() {
+        use crate::micro::micro_path_for;
+        if micro_path_for::<f64>() == MicroPath::Intrinsic {
+            assert_eq!(menu_for::<f64>(), crate::simd::FMA_MENU_F64);
+            assert_eq!(menu_for::<f32>(), crate::simd::FMA_MENU_F32);
+        } else {
+            assert_eq!(menu_for::<f64>(), KernelConfig::MENU);
+        }
+        assert_eq!(
+            menu_for::<ata_mat::tracked::Tracked>(),
+            KernelConfig::MENU,
+            "op counting sweeps the portable menu on any host"
+        );
     }
 
     #[test]
@@ -323,7 +538,8 @@ mod tests {
         // tile with positive blocking. (The actual numbers are
         // hardware-dependent and not asserted.)
         let t = measure::<f32>(true);
-        assert!(KernelConfig::MENU.contains(&(t.kernel.mr, t.kernel.nr)));
+        assert!(menu_for::<f32>().contains(&(t.kernel.mr, t.kernel.nr)));
         assert!(t.base_words >= 2 * 48 * 48);
+        assert!(t.micro_min_volume >= MICRO_MIN_VOLUME);
     }
 }

@@ -17,7 +17,10 @@
 //! * [`calibrate`] — the measured per-scalar blocking table and
 //!   base-case cutoff model behind the engine's defaults;
 //! * [`par`] — rayon-parallel versions standing in for multi-threaded MKL
-//!   in the Figure 5/6 comparisons.
+//!   in the Figure 5/6 comparisons;
+//! * [`simd`] — explicit AVX2/FMA register kernels behind one-time
+//!   runtime CPU-feature detection, with the portable kernels as the
+//!   bit-identical fallback on machines without them.
 //!
 //! Absolute GFLOPs are below MKL's hand-tuned assembly, but every
 //! algorithm in the workspace — AtA and all baselines — calls these same
@@ -26,7 +29,10 @@
 //! [`CacheConfig`] centralizes the "fits in cache" predicate that decides
 //! the recursion base cases of Algorithms 1 and 2.
 
-#![forbid(unsafe_code)]
+// Unsafe is confined to `simd` (pointer-based intrinsics behind runtime
+// feature detection); everything else stays safe and `ata-lint`'s
+// safety-comment + allowlist gates keep it that way.
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod calibrate;
 pub mod gemm;
@@ -34,10 +40,11 @@ pub mod level1;
 pub mod micro;
 pub mod pack;
 pub mod par;
+pub mod simd;
 pub mod syrk;
 
 pub use gemm::gemm_tn;
-pub use micro::{KernelConfig, KernelPath};
+pub use micro::{KernelConfig, KernelPath, MicroPath};
 pub use syrk::{syrk_ln, syrk_ln_beta};
 
 /// Cache-size model driving the base-case tests of the recursive

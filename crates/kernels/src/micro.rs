@@ -46,7 +46,9 @@
 //! which re-multiplies by `alpha` per tile, so negated products are not
 //! count-identical across the [`selected_path`] dispatch boundary.
 
-use crate::pack::{pack_panels, packed_elems, with_thread_bufs, PackBufs, PackScale};
+use crate::pack::{
+    pack_panels, pack_panels_par, packed_elems, with_thread_bufs, PackBufs, PackScale,
+};
 use ata_mat::{MatMut, MatRef, Scalar};
 use std::sync::OnceLock;
 
@@ -78,17 +80,25 @@ pub struct KernelConfig {
 }
 
 impl KernelConfig {
-    /// Register tiles with a dedicated unrolled microkernel. Other
-    /// `(mr, nr)` pairs run through the (slower) bounds-aware kernel.
+    /// Register tiles with a dedicated unrolled portable microkernel.
+    /// Other `(mr, nr)` pairs run through the (slower) bounds-aware
+    /// kernel. The intrinsic tiles ([`crate::simd::FMA_MENU_F64`] /
+    /// [`crate::simd::FMA_MENU_F32`]) are a subset, so a forced
+    /// `ATA_MICRO=portable` run keeps the unrolled kernel at any
+    /// ISA-calibrated tile.
     pub const MENU: &'static [(usize, usize)] = &[
         (4, 4),
         (4, 8),
+        (4, 12),
+        (4, 16),
+        (6, 4),
         (6, 8),
+        (6, 16),
         (8, 4),
         (8, 6),
         (8, 8),
+        (8, 16),
         (12, 4),
-        (4, 12),
     ];
 
     /// Validated constructor.
@@ -133,23 +143,103 @@ pub enum KernelPath {
     Blocked,
 }
 
+/// Which tile implementation the engine runs inside [`KernelPath::Micro`]
+/// — the inner dispatch level below the micro-vs-blocked choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MicroPath {
+    /// Explicit-SIMD fused kernels from [`crate::simd`] (full tiles
+    /// only; ragged edges always stay on the scalar kernel).
+    Intrinsic,
+    /// The safe const-generic kernels in this module (unfused
+    /// `mul_add`, autovectorizer-scheduled).
+    Portable,
+    /// The bounds-aware scalar kernel for every tile — bit-identical to
+    /// `Portable` (same per-element accumulation order); the ablation
+    /// baseline.
+    Scalar,
+}
+
+impl MicroPath {
+    /// Stable lowercase name, matching the `ATA_MICRO` values and the
+    /// bench-record `path` field.
+    pub fn name(self) -> &'static str {
+        match self {
+            MicroPath::Intrinsic => "intrinsic",
+            MicroPath::Portable => "portable",
+            MicroPath::Scalar => "scalar",
+        }
+    }
+}
+
 /// Problems below this flop volume (`m * n * k`) skip packing: the
 /// buffer setup costs more than it saves on sub-microtile products.
+/// This is the default floor; the effective per-scalar cutoff lives in
+/// [`crate::calibrate::Tuned::micro_min_volume`].
 pub const MICRO_MIN_VOLUME: usize = 4096;
+
+/// Parsed `ATA_MICRO` ablation switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MicroMode {
+    /// No override: engine on, best available tile path per scalar.
+    Auto,
+    /// `ATA_MICRO=0|off`: engine off, everything runs the blocked loops.
+    Off,
+    /// `ATA_MICRO=intrinsic|portable|scalar`: engine on, tile path pinned.
+    Force(MicroPath),
+}
+
+/// The process-wide `ATA_MICRO` setting (read once; unknown values fall
+/// back to `Auto` so stale scripts degrade to defaults, not to panics).
+fn micro_mode() -> MicroMode {
+    static MODE: OnceLock<MicroMode> = OnceLock::new();
+    *MODE.get_or_init(|| match std::env::var("ATA_MICRO").as_deref() {
+        Ok("0") | Ok("off") => MicroMode::Off,
+        Ok("intrinsic") => MicroMode::Force(MicroPath::Intrinsic),
+        Ok("portable") => MicroMode::Force(MicroPath::Portable),
+        Ok("scalar") => MicroMode::Force(MicroPath::Scalar),
+        _ => MicroMode::Auto,
+    })
+}
 
 /// True when `ATA_MICRO=0` disables the engine process-wide (the
 /// ablation/escape hatch; read once).
 fn micro_disabled() -> bool {
-    static DISABLED: OnceLock<bool> = OnceLock::new();
-    *DISABLED.get_or_init(|| std::env::var_os("ATA_MICRO").is_some_and(|v| v == "0"))
+    micro_mode() == MicroMode::Off
+}
+
+/// The tile path the engine resolves for scalar type `T` under the
+/// current `ATA_MICRO` setting and detected ISA.
+///
+/// A forced `intrinsic` (and plain `Auto`) degrades gracefully to
+/// `Portable` when [`crate::simd`] has no kernels for `T` on this CPU —
+/// notably `Tracked` and the exact fields never reach intrinsics, which
+/// is what keeps their op-count contract independent of the host ISA.
+pub fn micro_path_for<T: Scalar>() -> MicroPath {
+    match micro_mode() {
+        MicroMode::Force(MicroPath::Scalar) => MicroPath::Scalar,
+        MicroMode::Force(MicroPath::Portable) => MicroPath::Portable,
+        MicroMode::Force(MicroPath::Intrinsic) | MicroMode::Auto | MicroMode::Off => {
+            if crate::simd::has_kernels::<T>() {
+                MicroPath::Intrinsic
+            } else {
+                MicroPath::Portable
+            }
+        }
+    }
 }
 
 /// The implementation [`crate::gemm::gemm_tn`] / [`crate::syrk::syrk_ln`]
 /// will run for an `(m, n, k)` product of scalar type `T` (for `syrk`,
 /// `k == n`).
+///
+/// The volume cutoff is the *per-scalar, per-path* calibrated
+/// [`crate::calibrate::Tuned::micro_min_volume`], not the global
+/// [`MICRO_MIN_VOLUME`] floor — f32's portable engine, for instance,
+/// loses to the blocked loops up to much larger sizes than f64's and
+/// gets a correspondingly higher cutoff.
 pub fn selected_path<T: Scalar>(m: usize, n: usize, k: usize) -> KernelPath {
     let volume = m.saturating_mul(n).saturating_mul(k);
-    if micro_disabled() || volume < MICRO_MIN_VOLUME {
+    if micro_disabled() || volume < crate::calibrate::tuned_for::<T>().micro_min_volume {
         KernelPath::Blocked
     } else {
         KernelPath::Micro
@@ -162,7 +252,13 @@ pub fn selected_path<T: Scalar>(m: usize, n: usize, k: usize) -> KernelPath {
 
 /// The full-tile microkernel: `MR x NR` accumulators seeded from `C`,
 /// one `mul_add` per `(i, j, p)`, written back once.
-#[inline(always)]
+///
+/// Deliberately *not* inlined: each instantiation must stay a
+/// standalone function so LLVM vectorizes its accumulator loops in
+/// isolation. Inlining all menu instantiations into the tile sweep
+/// (the pre-dispatch layout) blows the optimizer's budget once the
+/// menu grows past a handful of tiles and costs the portable path ~4x.
+#[inline(never)]
 fn kernel<T: Scalar, const MR: usize, const NR: usize>(
     kc: usize,
     ap: &[T],
@@ -188,9 +284,17 @@ fn kernel<T: Scalar, const MR: usize, const NR: usize>(
     }
 }
 
-/// Dispatch a full `mr x nr` tile to its unrolled instantiation.
+/// Dispatch a full `mr x nr` tile along the resolved [`MicroPath`].
+///
+/// `Intrinsic` tries the fused SIMD kernel first and falls through to
+/// the portable instantiation when none takes the tile (unsupported
+/// scalar/ISA or off-menu shape) — the graceful, bit-identical
+/// fallback. `Scalar` runs the bounds-aware kernel even on full tiles,
+/// which is bit-identical to `Portable` (same per-element accumulation
+/// order) and serves as the ablation baseline.
 #[inline]
 fn full_tile<T: Scalar>(
+    path: MicroPath,
     mr: usize,
     nr: usize,
     kc: usize,
@@ -198,17 +302,74 @@ fn full_tile<T: Scalar>(
     bp: &[T],
     c: &mut MatMut<'_, T>,
 ) {
+    match path {
+        MicroPath::Intrinsic => {
+            if crate::simd::full_tile(mr, nr, kc, ap, bp, c) {
+                return;
+            }
+        }
+        MicroPath::Scalar => {
+            edge_tile(kc, mr, nr, mr, nr, ap, bp, c, None);
+            return;
+        }
+        MicroPath::Portable => {}
+    }
     match (mr, nr) {
         (4, 4) => kernel::<T, 4, 4>(kc, ap, bp, c),
         (4, 8) => kernel::<T, 4, 8>(kc, ap, bp, c),
+        (4, 16) => kernel::<T, 4, 16>(kc, ap, bp, c),
         (6, 8) => kernel::<T, 6, 8>(kc, ap, bp, c),
+        (6, 16) => kernel::<T, 6, 16>(kc, ap, bp, c),
         (8, 4) => kernel::<T, 8, 4>(kc, ap, bp, c),
         (8, 6) => kernel::<T, 8, 6>(kc, ap, bp, c),
         (8, 8) => kernel::<T, 8, 8>(kc, ap, bp, c),
+        (8, 16) => kernel::<T, 8, 16>(kc, ap, bp, c),
         (12, 4) => kernel::<T, 12, 4>(kc, ap, bp, c),
         (4, 12) => kernel::<T, 4, 12>(kc, ap, bp, c),
+        (6, 4) => kernel::<T, 6, 4>(kc, ap, bp, c),
         _ => edge_tile(kc, mr, nr, mr, nr, ap, bp, c, None),
     }
+}
+
+/// Full-size tile straddling the diagonal of a syrk block, on the
+/// intrinsic path: run the fused kernel on the whole tile into a zeroed
+/// scratch, then accumulate only the lower-triangle entries into `C`.
+///
+/// This keeps the expensive straddle band — a constant fraction of every
+/// diagonal block — at fused speed instead of scalar speed, at the cost
+/// of one extra add per stored element. Only the intrinsic path takes
+/// it: the portable/scalar paths keep the exact-op [`edge_tile`], so
+/// `Tracked` counts and portable bitwise behavior are unchanged. `false`
+/// means no fused kernel took the tile and the caller must fall back.
+#[allow(clippy::too_many_arguments)]
+fn straddle_tile_intrinsic<T: Scalar>(
+    mr: usize,
+    nr: usize,
+    kc: usize,
+    ap: &[T],
+    bp: &[T],
+    c: &mut MatMut<'_, T>,
+    ir: usize,
+    jr: usize,
+) -> bool {
+    const MAX_TILE: usize = 256;
+    if mr * nr > MAX_TILE {
+        return false;
+    }
+    let mut scratch = [T::ZERO; MAX_TILE];
+    let mut sv = MatMut::from_slice(&mut scratch[..mr * nr], mr, nr);
+    if !crate::simd::full_tile(mr, nr, kc, ap, bp, &mut sv) {
+        return false;
+    }
+    for ii in 0..mr {
+        let jj_max = (ir + ii + 1).saturating_sub(jr).min(nr);
+        let srow = &scratch[ii * nr..ii * nr + nr];
+        let crow = c.row_mut(ii);
+        for (cv, sv) in crow.iter_mut().zip(srow).take(jj_max) {
+            *cv += *sv;
+        }
+    }
+    true
 }
 
 /// Bounds-aware tile for ragged edges and diagonal straddles.
@@ -256,6 +417,7 @@ fn edge_tile<T: Scalar>(
 /// `(row0, col0)` of extent `mc_eff x nc_eff`.
 #[allow(clippy::too_many_arguments)]
 fn sweep_tiles<T: Scalar>(
+    path: MicroPath,
     cfg: &KernelConfig,
     kc_eff: usize,
     mc_eff: usize,
@@ -278,7 +440,7 @@ fn sweep_tiles<T: Scalar>(
             let mut ctile =
                 c.block_mut(row0 + ir, row0 + ir + mr_eff, col0 + jr, col0 + jr + nr_eff);
             if mr_eff == mr && nr_eff == nr {
-                full_tile(mr, nr, kc_eff, ap, bp, &mut ctile);
+                full_tile(path, mr, nr, kc_eff, ap, bp, &mut ctile);
             } else {
                 edge_tile(kc_eff, mr, nr, mr_eff, nr_eff, ap, bp, &mut ctile, None);
             }
@@ -288,14 +450,16 @@ fn sweep_tiles<T: Scalar>(
     }
 }
 
-/// `C += alpha * A^T B` through the packed engine, with caller-provided
-/// packing buffers.
+/// `C += alpha * A^T B` through the packed engine on an explicit tile
+/// path, with caller-provided packing buffers.
 ///
 /// Shapes: `A: m x n`, `B: m x k`, `C: n x k`.
 ///
 /// # Panics
 /// On inconsistent shapes.
-pub fn gemm_tn_micro_with<T: Scalar>(
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_tn_micro_path_with<T: Scalar>(
+    path: MicroPath,
     alpha: T,
     a: MatRef<'_, T>,
     b: MatRef<'_, T>,
@@ -327,18 +491,49 @@ pub fn gemm_tn_micro_with<T: Scalar>(
         while pc < m {
             let pe = (pc + cfg.kc).min(m);
             let kc_eff = pe - pc;
-            pack_panels(b.block(pc, pe, jc, jn), cfg.nr, scale, bpack);
+            pack_panels_par(b.block(pc, pe, jc, jn), cfg.nr, scale, bpack);
             let mut ic = 0;
             while ic < n {
                 let im = (ic + cfg.mc).min(n);
                 pack_panels(a.block(pc, pe, ic, im), cfg.mr, PackScale::One, apack);
-                sweep_tiles(cfg, kc_eff, im - ic, jn - jc, apack, bpack, c, ic, jc);
+                sweep_tiles(path, cfg, kc_eff, im - ic, jn - jc, apack, bpack, c, ic, jc);
                 ic = im;
             }
             pc = pe;
         }
         jc = jn;
     }
+}
+
+/// `C += alpha * A^T B` through the packed engine, with caller-provided
+/// packing buffers, on the tile path resolved by [`micro_path_for`].
+///
+/// Shapes: `A: m x n`, `B: m x k`, `C: n x k`.
+///
+/// # Panics
+/// On inconsistent shapes.
+pub fn gemm_tn_micro_with<T: Scalar>(
+    alpha: T,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    c: &mut MatMut<'_, T>,
+    cfg: &KernelConfig,
+    bufs: &mut PackBufs<T>,
+) {
+    gemm_tn_micro_path_with(micro_path_for::<T>(), alpha, a, b, c, cfg, bufs);
+}
+
+/// [`gemm_tn_micro_path_with`] using this thread's cached packing
+/// buffers.
+pub fn gemm_tn_micro_path<T: Scalar>(
+    path: MicroPath,
+    alpha: T,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    c: &mut MatMut<'_, T>,
+    cfg: &KernelConfig,
+) {
+    with_thread_bufs(|bufs| gemm_tn_micro_path_with(path, alpha, a, b, c, cfg, bufs));
 }
 
 /// [`gemm_tn_micro_with`] using this thread's cached packing buffers.
@@ -352,8 +547,8 @@ pub fn gemm_tn_micro<T: Scalar>(
     with_thread_bufs(|bufs| gemm_tn_micro_with(alpha, a, b, c, cfg, bufs));
 }
 
-/// Lower-triangular `C += alpha * A^T A` through the packed engine, with
-/// caller-provided packing buffers.
+/// Lower-triangular `C += alpha * A^T A` through the packed engine on an
+/// explicit tile path, with caller-provided packing buffers.
 ///
 /// Strictly-lower rectangular blocks reuse the gemm loop nest; diagonal
 /// blocks run micro-tiles below the diagonal at full speed and straddling
@@ -364,7 +559,8 @@ pub fn gemm_tn_micro<T: Scalar>(
 ///
 /// # Panics
 /// On inconsistent shapes.
-pub fn syrk_ln_micro_with<T: Scalar>(
+pub fn syrk_ln_micro_path_with<T: Scalar>(
+    path: MicroPath,
     alpha: T,
     a: MatRef<'_, T>,
     c: &mut MatMut<'_, T>,
@@ -393,7 +589,7 @@ pub fn syrk_ln_micro_with<T: Scalar>(
             let a_i = a.block(0, m, i0, i1);
             let a_j = a.block(0, m, 0, i0);
             let mut c_blk = c.block_mut(i0, i1, 0, i0);
-            gemm_tn_micro_with(alpha, a_i, a_j, &mut c_blk, cfg, bufs);
+            gemm_tn_micro_path_with(path, alpha, a_i, a_j, &mut c_blk, cfg, bufs);
         }
         // Diagonal block C[i0..i1, i0..i1], lower part only. Both packed
         // operands come from the same A columns; micro-tiles entirely
@@ -421,7 +617,13 @@ pub fn syrk_ln_micro_with<T: Scalar>(
                     let mut ctile =
                         c.block_mut(i0 + ir, i0 + ir + mr_eff, i0 + jr, i0 + jr + nr_eff);
                     if mr_eff == mr && nr_eff == nr && ir >= jr + nr - 1 {
-                        full_tile(mr, nr, kc_eff, ap, bp, &mut ctile);
+                        full_tile(path, mr, nr, kc_eff, ap, bp, &mut ctile);
+                    } else if mr_eff == mr
+                        && nr_eff == nr
+                        && path == MicroPath::Intrinsic
+                        && straddle_tile_intrinsic(mr, nr, kc_eff, ap, bp, &mut ctile, ir, jr)
+                    {
+                        // Fused straddle tile handled above.
                     } else {
                         edge_tile(
                             kc_eff,
@@ -443,6 +645,33 @@ pub fn syrk_ln_micro_with<T: Scalar>(
         }
         i0 = i1;
     }
+}
+
+/// Lower-triangular `C += alpha * A^T A` with caller-provided packing
+/// buffers, on the tile path resolved by [`micro_path_for`].
+///
+/// # Panics
+/// On inconsistent shapes.
+pub fn syrk_ln_micro_with<T: Scalar>(
+    alpha: T,
+    a: MatRef<'_, T>,
+    c: &mut MatMut<'_, T>,
+    cfg: &KernelConfig,
+    bufs: &mut PackBufs<T>,
+) {
+    syrk_ln_micro_path_with(micro_path_for::<T>(), alpha, a, c, cfg, bufs);
+}
+
+/// [`syrk_ln_micro_path_with`] using this thread's cached packing
+/// buffers.
+pub fn syrk_ln_micro_path<T: Scalar>(
+    path: MicroPath,
+    alpha: T,
+    a: MatRef<'_, T>,
+    c: &mut MatMut<'_, T>,
+    cfg: &KernelConfig,
+) {
+    with_thread_bufs(|bufs| syrk_ln_micro_path_with(path, alpha, a, c, cfg, bufs));
 }
 
 /// [`syrk_ln_micro_with`] using this thread's cached packing buffers.
@@ -648,12 +877,52 @@ mod tests {
     fn selection_guard_micro_is_default_for_f64() {
         // CI guard: the engine must actually be selected for real
         // problems at the default config — a silent fallback to the
-        // rank-1 loops would regress every backend at once.
+        // rank-1 loops would regress every backend at once. Sizes are
+        // above every per-scalar, per-path calibrated cutoff so the
+        // guard holds across the ATA_MICRO CI matrix.
         assert_eq!(selected_path::<f64>(256, 128, 128), KernelPath::Micro);
         assert_eq!(selected_path::<f64>(181, 181, 181), KernelPath::Micro);
-        assert_eq!(selected_path::<f32>(256, 128, 128), KernelPath::Micro);
+        assert_eq!(selected_path::<f32>(512, 256, 256), KernelPath::Micro);
         // Tiny products stay on the cheap path by design.
         assert_eq!(selected_path::<f64>(4, 4, 4), KernelPath::Blocked);
+    }
+
+    #[test]
+    fn dispatch_guard_resolves_the_detected_isa_path() {
+        // The resolved tile path must follow ATA_MICRO when forced and
+        // the detected ISA otherwise (this test runs under the CI
+        // ATA_MICRO matrix, so it checks whichever branch is live).
+        let expect_auto = |has: bool| {
+            if has {
+                MicroPath::Intrinsic
+            } else {
+                MicroPath::Portable
+            }
+        };
+        match std::env::var("ATA_MICRO").as_deref() {
+            Ok("portable") => {
+                assert_eq!(micro_path_for::<f64>(), MicroPath::Portable);
+                assert_eq!(micro_path_for::<f32>(), MicroPath::Portable);
+            }
+            Ok("scalar") => {
+                assert_eq!(micro_path_for::<f64>(), MicroPath::Scalar);
+                assert_eq!(micro_path_for::<f32>(), MicroPath::Scalar);
+            }
+            _ => {
+                // Auto or forced-intrinsic: the detected-ISA kernels must
+                // actually be selected where available.
+                assert_eq!(
+                    micro_path_for::<f64>(),
+                    expect_auto(crate::simd::has_kernels::<f64>())
+                );
+                assert_eq!(
+                    micro_path_for::<f32>(),
+                    expect_auto(crate::simd::has_kernels::<f32>())
+                );
+            }
+        }
+        // Op counting never reaches intrinsics, whatever the host ISA.
+        assert_ne!(micro_path_for::<Tracked>(), MicroPath::Intrinsic);
     }
 
     #[test]

@@ -1,0 +1,213 @@
+//! AVX2/FMA register microkernels for x86-64.
+//!
+//! Each kernel computes one full `MR x NR` tile of `C += Ap^T Bp` over
+//! the packed micro-panels from [`crate::pack`], exactly like the
+//! portable const-generic kernel in [`crate::micro`], but with explicit
+//! 256-bit vectors and one fused `vfmadd` per lane-column per k-step.
+//! `NR` is a multiple of the vector width (4 f64 / 8 f32 lanes), so a
+//! tile's accumulators are `MR x NRV` registers; the 15-register tiles
+//! (`6 x 8` f64, `6 x 16` f32: 12 accumulators + 2 B vectors + 1
+//! broadcast) are the expected sweep winners on 16-register AVX2.
+//!
+//! Only *full* tiles come through here — ragged edges and diagonal
+//! straddles stay on the scalar bounds-aware kernel, which is what
+//! preserves the engine's exact-op `Tracked` contract (these kernels are
+//! unreachable for non-`f32`/`f64` scalars; see [`super::full_tile`]).
+//!
+//! The fused accumulation rounds differently from the deliberately
+//! unfused [`ata_mat::Scalar::mul_add`] chain of the portable kernel:
+//! intrinsic results agree with the portable path to the usual product
+//! tolerance, not bit-for-bit (`crates/kernels/tests/simd_paths.rs`
+//! pins both properties).
+
+use ata_mat::MatMut;
+use core::arch::x86_64::{
+    __m256, __m256d, _mm256_fmadd_pd, _mm256_fmadd_ps, _mm256_loadu_pd, _mm256_loadu_ps,
+    _mm256_set1_pd, _mm256_set1_ps, _mm256_setzero_pd, _mm256_setzero_ps, _mm256_storeu_pd,
+    _mm256_storeu_ps,
+};
+
+/// f64 lanes per 256-bit vector.
+const LANES_F64: usize = 4;
+/// f32 lanes per 256-bit vector.
+const LANES_F32: usize = 8;
+
+/// Generate one fused `MR x (LANES * NRV)` tile kernel: seed the
+/// accumulators from `C`, run `kc` broadcast-FMA steps over the packed
+/// panels, write back once.
+macro_rules! fma_tile {
+    ($name:ident, $elem:ty, $vec:ty, $lanes:expr, $setzero:ident, $set1:ident,
+     $loadu:ident, $fmadd:ident, $storeu:ident, $mr:expr, $nrv:expr) => {
+        /// One full register tile of `C += Ap^T Bp`, fused.
+        ///
+        /// # Safety
+        /// The CPU must support AVX2 and FMA, `ap` must hold at least
+        /// `kc * MR` elements, `bp` at least `kc * NR`, and `c` must be
+        /// an `MR x NR` tile (`NR = LANES * NRV`). The dispatchers below
+        /// check all four before calling.
+        #[target_feature(enable = "avx2,fma")]
+        unsafe fn $name(kc: usize, ap: &[$elem], bp: &[$elem], c: &mut MatMut<'_, $elem>) {
+            const MR: usize = $mr;
+            const NRV: usize = $nrv;
+            const NR: usize = NRV * $lanes;
+            debug_assert_eq!(c.shape(), (MR, NR));
+            debug_assert!(ap.len() >= kc * MR && bp.len() >= kc * NR);
+            // SAFETY: the dispatcher verified the feature set via the
+            // cached runtime detection and checked `ap.len() >= kc * MR`,
+            // `bp.len() >= kc * NR`, and `c.shape() == (MR, NR)`, so
+            // every unaligned load/store below stays inside its slice or
+            // row (`p < kc`, lane offsets `< NR`, row indices `< MR`).
+            unsafe {
+                let mut acc: [[$vec; NRV]; MR] = [[$setzero(); NRV]; MR];
+                for (i, arow) in acc.iter_mut().enumerate() {
+                    let src = c.row(i).as_ptr();
+                    for (v, a) in arow.iter_mut().enumerate() {
+                        *a = $loadu(src.add(v * $lanes));
+                    }
+                }
+                let mut app = ap.as_ptr();
+                let mut bpp = bp.as_ptr();
+                for _ in 0..kc {
+                    let mut bvec: [$vec; NRV] = [$setzero(); NRV];
+                    for (v, b) in bvec.iter_mut().enumerate() {
+                        *b = $loadu(bpp.add(v * $lanes));
+                    }
+                    for (i, arow) in acc.iter_mut().enumerate() {
+                        let ai = $set1(*app.add(i));
+                        for (v, a) in arow.iter_mut().enumerate() {
+                            *a = $fmadd(ai, bvec[v], *a);
+                        }
+                    }
+                    app = app.add(MR);
+                    bpp = bpp.add(NR);
+                }
+                for (i, arow) in acc.iter().enumerate() {
+                    let dst = c.row_mut(i).as_mut_ptr();
+                    for (v, a) in arow.iter().enumerate() {
+                        $storeu(dst.add(v * $lanes), *a);
+                    }
+                }
+            }
+        }
+    };
+}
+
+macro_rules! fma_tile_f64 {
+    ($name:ident, $mr:expr, $nrv:expr) => {
+        fma_tile!(
+            $name,
+            f64,
+            __m256d,
+            LANES_F64,
+            _mm256_setzero_pd,
+            _mm256_set1_pd,
+            _mm256_loadu_pd,
+            _mm256_fmadd_pd,
+            _mm256_storeu_pd,
+            $mr,
+            $nrv
+        );
+    };
+}
+
+macro_rules! fma_tile_f32 {
+    ($name:ident, $mr:expr, $nrv:expr) => {
+        fma_tile!(
+            $name,
+            f32,
+            __m256,
+            LANES_F32,
+            _mm256_setzero_ps,
+            _mm256_set1_ps,
+            _mm256_loadu_ps,
+            _mm256_fmadd_ps,
+            _mm256_storeu_ps,
+            $mr,
+            $nrv
+        );
+    };
+}
+
+fma_tile_f64!(tile_f64_4x4, 4, 1);
+fma_tile_f64!(tile_f64_4x8, 4, 2);
+fma_tile_f64!(tile_f64_6x4, 6, 1);
+fma_tile_f64!(tile_f64_6x8, 6, 2);
+fma_tile_f64!(tile_f64_8x4, 8, 1);
+fma_tile_f64!(tile_f64_8x8, 8, 2);
+
+fma_tile_f32!(tile_f32_4x8, 4, 1);
+fma_tile_f32!(tile_f32_4x16, 4, 2);
+fma_tile_f32!(tile_f32_6x8, 6, 1);
+fma_tile_f32!(tile_f32_6x16, 6, 2);
+fma_tile_f32!(tile_f32_8x8, 8, 1);
+fma_tile_f32!(tile_f32_8x16, 8, 2);
+
+/// Run the fused f64 kernel for tile `(mr, nr)`. `false` means "no
+/// kernel took the tile" (unsupported ISA, off-menu tile, or operands
+/// that fail the bounds checks) and the caller must use the portable
+/// path.
+pub(super) fn tile_f64(
+    mr: usize,
+    nr: usize,
+    kc: usize,
+    ap: &[f64],
+    bp: &[f64],
+    c: &mut MatMut<'_, f64>,
+) -> bool {
+    if super::detected() != super::Isa::Fma
+        || ap.len() < kc * mr
+        || bp.len() < kc * nr
+        || c.shape() != (mr, nr)
+    {
+        return false;
+    }
+    // SAFETY: AVX2+FMA presence was just re-checked through the cached
+    // runtime detection, and the operand bounds above are exactly the
+    // kernels' preconditions (`ap` holds `kc * mr`, `bp` holds
+    // `kc * nr`, `c` is `mr x nr`).
+    unsafe {
+        match (mr, nr) {
+            (4, 4) => tile_f64_4x4(kc, ap, bp, c),
+            (4, 8) => tile_f64_4x8(kc, ap, bp, c),
+            (6, 4) => tile_f64_6x4(kc, ap, bp, c),
+            (6, 8) => tile_f64_6x8(kc, ap, bp, c),
+            (8, 4) => tile_f64_8x4(kc, ap, bp, c),
+            (8, 8) => tile_f64_8x8(kc, ap, bp, c),
+            _ => return false,
+        }
+    }
+    true
+}
+
+/// f32 twin of [`tile_f64`] (8-lane vectors, so `nr` is a multiple of 8).
+pub(super) fn tile_f32(
+    mr: usize,
+    nr: usize,
+    kc: usize,
+    ap: &[f32],
+    bp: &[f32],
+    c: &mut MatMut<'_, f32>,
+) -> bool {
+    if super::detected() != super::Isa::Fma
+        || ap.len() < kc * mr
+        || bp.len() < kc * nr
+        || c.shape() != (mr, nr)
+    {
+        return false;
+    }
+    // SAFETY: as in `tile_f64` — feature set re-checked via the cached
+    // detection, operand bounds checked against the kernel
+    // preconditions directly above.
+    unsafe {
+        match (mr, nr) {
+            (4, 8) => tile_f32_4x8(kc, ap, bp, c),
+            (4, 16) => tile_f32_4x16(kc, ap, bp, c),
+            (6, 8) => tile_f32_6x8(kc, ap, bp, c),
+            (6, 16) => tile_f32_6x16(kc, ap, bp, c),
+            (8, 8) => tile_f32_8x8(kc, ap, bp, c),
+            (8, 16) => tile_f32_8x16(kc, ap, bp, c),
+            _ => return false,
+        }
+    }
+    true
+}

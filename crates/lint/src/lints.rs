@@ -55,7 +55,12 @@ pub const LINT_NAMES: [&str; 5] = [
 
 /// Files in which `unsafe` is permitted (plus anything under
 /// `third_party/`, which the workspace walker skips entirely).
-pub const UNSAFE_ALLOWLIST: [&str; 2] = ["crates/mat/src/view.rs", "crates/core/src/parallel.rs"];
+pub const UNSAFE_ALLOWLIST: [&str; 4] = [
+    "crates/mat/src/view.rs",
+    "crates/core/src/parallel.rs",
+    "crates/kernels/src/simd/mod.rs",
+    "crates/kernels/src/simd/x86.rs",
+];
 
 /// Files the `lock-across-blocking` heuristic applies to.
 const LOCK_SCOPED: [&str; 3] = ["src/service.rs", "src/shard.rs", "src/stream.rs"];

@@ -23,6 +23,30 @@ fn safety_comment_fires_at_expected_line() {
 }
 
 #[test]
+fn simd_unsafe_without_safety_comment_still_fires() {
+    // The SIMD kernel files are unsafe-allowlisted, but the allowlist
+    // never waives the SAFETY-comment discipline: an undocumented
+    // intrinsics block inside them is still a diagnostic.
+    for path in [
+        "crates/kernels/src/simd/mod.rs",
+        "crates/kernels/src/simd/x86.rs",
+    ] {
+        let d = diags(path, include_str!("fixtures/bad_simd.rs"));
+        assert_eq!(d, vec![(13, "safety-comment")], "at {path}");
+    }
+}
+
+#[test]
+fn simd_fixture_outside_the_allowlist_also_trips_the_allowlist_lint() {
+    let d = diags(
+        "crates/kernels/src/micro.rs",
+        include_str!("fixtures/bad_simd.rs"),
+    );
+    assert!(d.contains(&(13, "safety-comment")), "got {d:?}");
+    assert!(d.iter().any(|&(_, l)| l == "unsafe-allowlist"), "got {d:?}");
+}
+
+#[test]
 fn unsafe_allowlist_fires_at_expected_line() {
     let d = diags(
         "crates/strassen/src/lib.rs",

@@ -1,0 +1,16 @@
+//! Fixture: an intrinsics-style kernel in an allowlisted SIMD file
+//! whose first `unsafe` block is missing the mandatory SAFETY comment
+//! (line 13).
+
+use core::arch::x86_64::*;
+
+/// One fused tile step.
+///
+/// # Safety
+/// `p` must be valid for four f64 reads.
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn undocumented_tile(p: *const f64) -> __m256d {
+    let v = unsafe { _mm256_loadu_pd(p) };
+    // SAFETY: same caller contract as the load above.
+    unsafe { _mm256_fmadd_pd(v, v, v) }
+}
