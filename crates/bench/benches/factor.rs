@@ -1,0 +1,261 @@
+//! Streaming-factorization benchmark + machine-readable perf record:
+//! `BENCH_factor.json`.
+//!
+//! Two measurements, each against the pre-subsystem comparator:
+//!
+//! * **cycle** — one push of a `k`-row chunk followed by one solve, the
+//!   steady state of an online-regression loop. `factored` runs it
+//!   through [`ata::FactoredGram`] (rank-k sweep, or the policy's lazy
+//!   refactor for tall chunks, then an allocation-free `O(n²)`
+//!   triangular solve); `refactor` is what a user had before this tier:
+//!   snapshot the accumulated Gram, Cholesky-factor the copy from
+//!   scratch (`O(n³/3)`), substitute. The acceptance headline: factored
+//!   beats refactor at every benched `(n, k)` — by avoiding the cubic
+//!   refactor entirely when `6k <= n`, and by factoring straight off
+//!   the live triangle (no snapshot copy, no allocation) when the chunk
+//!   is tall enough that refactoring *is* the policy.
+//! * **latency** — solve latency at a fixed `n` as the total streamed
+//!   row count grows 128x. Queries run against the factor, never the
+//!   row count, so the series must stay flat.
+//!
+//! Smoke mode for CI: set `ATA_BENCH_SMOKE=1` for one timed iteration
+//! per measurement (rot guard; the JSON goes to `target/` by default so
+//! smoke numbers never clobber the committed record; `ATA_BENCH_OUT`
+//! overrides). The beat-the-refactor and flat-latency assertions run on
+//! full measurements only — single-iteration smoke timings are
+//! statistically meaningless.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use ata::linalg::{cholesky_factor, cholesky_solve};
+use ata::mat::gen;
+use ata::AtaContext;
+
+fn smoke() -> bool {
+    std::env::var_os("ATA_BENCH_SMOKE").is_some_and(|v| v != "0")
+}
+
+/// Mean seconds/call of `f`, warmed once; smoke mode runs one timed
+/// iteration, otherwise enough to fill ~0.5 s (min 3).
+fn time_call(mut f: impl FnMut()) -> f64 {
+    f();
+    if smoke() {
+        let t0 = Instant::now();
+        f();
+        return t0.elapsed().as_secs_f64();
+    }
+    let mut reps = 0u32;
+    let t0 = Instant::now();
+    while reps < 3 || t0.elapsed() < Duration::from_millis(500) {
+        f();
+        reps += 1;
+    }
+    t0.elapsed().as_secs_f64() / reps as f64
+}
+
+/// One measured point. `k` is the pushed chunk height in cycle mode;
+/// `chunk`/`total_rows` carry the latency-series geometry.
+struct Rec {
+    mode: &'static str,
+    scheme: &'static str,
+    n: usize,
+    k: usize,
+    chunk: usize,
+    total_rows: usize,
+    secs_per_call: f64,
+}
+
+const CYCLE_NS: [usize; 3] = [64, 256, 512];
+const CYCLE_KS: [usize; 3] = [1, 8, 64];
+
+/// Push-then-solve cycles at every `(n, k)`; returns the minimum
+/// `refactor / factored` speedup over the grid.
+fn measure_cycles(recs: &mut Vec<Rec>) -> f64 {
+    let ctx = AtaContext::serial();
+    let mut min_speedup = f64::INFINITY;
+    for &n in &CYCLE_NS {
+        for &k in &CYCLE_KS {
+            let chunk = gen::standard::<f64>((n + k) as u64, k, n);
+            let rhs: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.37).sin() + 0.5).collect();
+
+            // Seed both paths with the same tall warm-up mass so the
+            // first timed cycle is steady state, not a cold start.
+            let warm = gen::standard::<f64>(n as u64, 2 * n, n);
+
+            let mut fg = ctx.factored_gram::<f64>(n);
+            fg.push(warm.as_ref());
+            let mut x = rhs.clone();
+            fg.solve_in_place(&mut x).expect("warm mass is SPD");
+            let mut buf = vec![0.0f64; n];
+            let secs_factored = time_call(|| {
+                fg.push(chunk.as_ref());
+                buf.copy_from_slice(&rhs);
+                fg.solve_in_place(&mut buf).expect("SPD");
+                black_box(buf[0]);
+            });
+
+            let mut acc = ctx.gram_accumulator::<f64>(n);
+            acc.push(warm.as_ref());
+            let secs_refactor = time_call(|| {
+                acc.push(chunk.as_ref());
+                let mut g = acc.snapshot().into_dense();
+                cholesky_factor(&mut g).expect("SPD");
+                let x = cholesky_solve(&g, &rhs).expect("shape");
+                black_box(x[0]);
+            });
+
+            recs.push(Rec {
+                mode: "cycle",
+                scheme: "factored",
+                n,
+                k,
+                chunk: 0,
+                total_rows: 0,
+                secs_per_call: secs_factored,
+            });
+            recs.push(Rec {
+                mode: "cycle",
+                scheme: "refactor",
+                n,
+                k,
+                chunk: 0,
+                total_rows: 0,
+                secs_per_call: secs_refactor,
+            });
+            min_speedup = min_speedup.min(secs_refactor / secs_factored);
+        }
+    }
+    min_speedup
+}
+
+const LAT_N: usize = 128;
+const LAT_PUSH: usize = 512;
+const LAT_ROWS: [usize; 3] = [512, 8192, 65536];
+
+/// Solve latency after streaming ever more rows at fixed `n`; returns
+/// `max / min` over the series (1.0 = perfectly flat).
+fn measure_latency(recs: &mut Vec<Rec>) -> f64 {
+    let ctx = AtaContext::serial();
+    let mut fg = ctx.factored_gram::<f64>(LAT_N);
+    let rhs: Vec<f64> = (0..LAT_N)
+        .map(|i| ((i as f64) * 0.37).sin() + 0.5)
+        .collect();
+    let mut buf = vec![0.0f64; LAT_N];
+    let mut series = Vec::new();
+    for (i, &target) in LAT_ROWS.iter().enumerate() {
+        while fg.rows() < target {
+            let seed = (i * 1000 + fg.rows()) as u64;
+            fg.push(gen::standard::<f64>(seed, LAT_PUSH, LAT_N).as_ref());
+        }
+        let secs = time_call(|| {
+            buf.copy_from_slice(&rhs);
+            fg.solve_in_place(&mut buf).expect("SPD");
+            black_box(buf[0]);
+        });
+        recs.push(Rec {
+            mode: "latency",
+            scheme: "factored",
+            n: LAT_N,
+            k: 0,
+            chunk: LAT_PUSH,
+            total_rows: target,
+            secs_per_call: secs,
+        });
+        series.push(secs);
+    }
+    let max = series.iter().cloned().fold(0.0f64, f64::max);
+    let min = series.iter().cloned().fold(f64::INFINITY, f64::min);
+    max / min
+}
+
+fn bench_factor_record(c: &mut Criterion) {
+    let mut recs = Vec::new();
+    let min_speedup = measure_cycles(&mut recs);
+    let latency_spread = measure_latency(&mut recs);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"factor\",\n  \"schema\": 1,\n");
+    json.push_str(&format!("  \"smoke\": {},\n", smoke()));
+    json.push_str(&format!(
+        "  \"min_speedup_factored_over_refactor\": {min_speedup:.4},\n"
+    ));
+    json.push_str(&format!(
+        "  \"solve_latency_max_over_min\": {latency_spread:.4},\n"
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in recs.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"scheme\": \"{}\", \"n\": {}, \"k\": {}, \
+             \"chunk\": {}, \"total_rows\": {}, \"secs_per_call\": {:.6e}}}{}\n",
+            r.mode,
+            r.scheme,
+            r.n,
+            r.k,
+            r.chunk,
+            r.total_rows,
+            r.secs_per_call,
+            if i + 1 == recs.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let out_path = std::env::var("ATA_BENCH_OUT").unwrap_or_else(|_| {
+        if smoke() {
+            concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/../../target/BENCH_factor.json"
+            )
+            .into()
+        } else {
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_factor.json").into()
+        }
+    });
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("factor record: wrote {out_path}"),
+        Err(e) => eprintln!("factor record: could not write {out_path}: {e}"),
+    }
+
+    for r in &recs {
+        println!(
+            "factor: {:>7}/{:<9} n={:<3} k={:<2} chunk={:<3} total_rows={:<5} {:.3e} s/call",
+            r.mode, r.scheme, r.n, r.k, r.chunk, r.total_rows, r.secs_per_call
+        );
+    }
+    println!(
+        "factor: factored push+solve is >= {min_speedup:.2}x the snapshot-and-refactor \
+         cycle at every (n, k) in {CYCLE_NS:?} x {CYCLE_KS:?}"
+    );
+    println!(
+        "factor: solve latency spread {latency_spread:.2}x (max/min) over \
+         {LAT_ROWS:?} streamed rows at n={LAT_N}"
+    );
+    if !smoke() {
+        assert!(
+            min_speedup > 1.0,
+            "acceptance: the factored cycle must beat snapshot-and-refactor at \
+             every benched (n, k); worst speedup was {min_speedup:.3}x"
+        );
+        assert!(
+            latency_spread <= 1.5,
+            "acceptance: solve latency must stay flat as streamed rows grow \
+             (O(n²) against the factor, independent of row count); \
+             got a {latency_spread:.2}x spread"
+        );
+    }
+
+    let mut group = c.benchmark_group("factor record");
+    let budget = if smoke() {
+        Duration::from_millis(1)
+    } else {
+        Duration::from_millis(200)
+    };
+    group.sample_size(1).measurement_time(budget);
+    group.bench_function("noop anchor", |bch| bch.iter(|| black_box(1 + 1)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_factor_record);
+criterion_main!(benches);

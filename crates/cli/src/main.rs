@@ -8,6 +8,8 @@
 //!            [--wire packed|dense]
 //! ata stream --input FILE --out FILE [--chunk R]            streaming Gram over row chunks
 //!            [--decay B] [--threads T] [--cache-words W]
+//! ata solve  --input FILE --out FILE [--rhs FILE]           online normal-equations solve
+//!            [--lambda L] [--chunk R] [--threads T]         (streamed rank-k factor updates)
 //! ata batch  --inputs F1,F2,... --out-dir DIR [--threads T] batched small-gram serving
 //! ata shard  [--shards P] [--jobs J] [--rows M] [--cols N]  sharded serving flood demo
 //!            [--split-words W] [--poison 1] [--seed S]
@@ -27,8 +29,10 @@
 //!
 //! `ata stream` replays a file as a row-chunk stream through a
 //! [`GramAccumulator`] (never holding more than one chunk plus the
-//! `n x n` accumulator); `ata batch` executes many independent gram
-//! problems as one [`ata::BatchPlan`] dispatch across the worker pool.
+//! `n x n` accumulator); `ata solve` streams the same way through a
+//! [`ata::FactoredGram`] and answers `(AᵀA + λI) x = Aᵀb` from the
+//! live factor; `ata batch` executes many independent gram problems as
+//! one [`ata::BatchPlan`] dispatch across the worker pool.
 //!
 //! Files are CSV (`.csv`) or the compact binary `.atm` format, chosen by
 //! extension. All computation is `f64`.
@@ -266,6 +270,91 @@ fn cmd_stream(args: &Args) -> Result<(), String> {
     let g = acc.finish().into_dense();
     io::save(&g, out).map_err(|e| e.to_string())?;
     println!("C = A^T A ({n}x{n}) -> {out}");
+    Ok(())
+}
+
+/// Stream `A` through the factored tier ([`ata::FactoredGram`]) and
+/// solve the normal equations `(AᵀA + λI) x = Aᵀ b` online: row chunks
+/// fold into the Gram mass *and* its live `L D Lᵀ` factor by rank-k
+/// sweeps, so the final solve is an `O(n²)` substitution, not a
+/// refactorization.
+fn cmd_solve(args: &Args) -> Result<(), String> {
+    let input = args.required("input")?;
+    let out = args.required("out")?;
+    let a: Matrix<f64> = io::load(input).map_err(|e| e.to_string())?;
+    let (m, n) = a.shape();
+    let chunk = args
+        .nonzero("chunk", NonZeroUsize::new(64).expect("64 > 0"))?
+        .get();
+    let lambda = match args.kv.get("lambda") {
+        None => 0.0,
+        Some(v) => {
+            let l: f64 = v
+                .parse()
+                .map_err(|_| format!("--lambda expects a number, got '{v}'"))?;
+            if l < 0.0 {
+                return Err(format!("--lambda must be non-negative, got {l}"));
+            }
+            l
+        }
+    };
+    let b: Vec<f64> = match args.kv.get("rhs") {
+        Some(path) => {
+            let rhs: Matrix<f64> = io::load(path).map_err(|e| e.to_string())?;
+            if rhs.rows() * rhs.cols() != m || rhs.rows().min(rhs.cols()) != 1 {
+                return Err(format!(
+                    "--rhs must be a length-{m} vector to match {input}, got {}x{}",
+                    rhs.rows(),
+                    rhs.cols()
+                ));
+            }
+            (0..m)
+                .map(|i| {
+                    if rhs.cols() == 1 {
+                        rhs[(i, 0)]
+                    } else {
+                        rhs[(0, i)]
+                    }
+                })
+                .collect()
+        }
+        None => vec![1.0; m],
+    };
+    let ctx = context(args, "ata")?;
+    let t0 = std::time::Instant::now();
+    let mut fg = ctx.factored_gram::<f64>(n);
+    let mut atb = vec![0.0f64; n];
+    let mut r0 = 0usize;
+    while r0 < m {
+        let r1 = (r0 + chunk).min(m);
+        let block = a.as_ref().block(r0, r1, 0, n);
+        fg.push(block);
+        for (r, &bv) in (r0..r1).zip(&b[r0..r1]) {
+            for (j, s) in atb.iter_mut().enumerate() {
+                *s += a[(r, j)] * bv;
+            }
+        }
+        r0 = r1;
+    }
+    let x = if lambda > 0.0 {
+        fg.ridge(lambda, &atb)
+    } else {
+        fg.solve(&atb)
+    }
+    .map_err(|e| e.to_string())?;
+    let dt = t0.elapsed().as_secs_f64();
+    println!(
+        "solved {m}x{n} normal equations (lambda={lambda}) in {dt:.3}s: \
+         {} rank-k factor sweeps, {} refactor(s)",
+        fg.factor_updates(),
+        fg.factor_refactors()
+    );
+    let mut xm = Matrix::<f64>::zeros(n, 1);
+    for (i, v) in x.iter().enumerate() {
+        xm[(i, 0)] = *v;
+    }
+    io::save(&xm, out).map_err(|e| e.to_string())?;
+    println!("x ({n}x1) -> {out}");
     Ok(())
 }
 
@@ -597,7 +686,7 @@ fn cmd_info(args: &Args) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: ata <gen|gram|stream|batch|shard|chaos|verify|info|calibrate|lint> [--key value ...]\n\
+    "usage: ata <gen|gram|stream|solve|batch|shard|chaos|verify|info|calibrate|lint> [--key value ...]\n\
      \n  ata gen    --rows M --cols N [--seed S] --out FILE\
      \n  ata gram   --input FILE --out FILE [--threads T] [--repeat K]\
      \n             [--algo ata|ata-s|ata-d|syrk|naive] [--ranks R]\
@@ -605,6 +694,8 @@ fn usage() -> String {
      \n             [--strassen classic|winograd]\
      \n  ata stream --input FILE --out FILE [--chunk R] [--decay B]\
      \n             [--threads T] [--cache-words W]\
+     \n  ata solve  --input FILE --out FILE [--rhs FILE] [--lambda L]\
+     \n             [--chunk R] [--threads T] [--cache-words W]\
      \n  ata batch  --inputs F1,F2,... --out-dir DIR [--threads T]\
      \n  ata shard  [--shards P] [--jobs J] [--rows M] [--cols N]\
      \n             [--split-words W] [--poison 1] [--seed S]\
@@ -694,12 +785,13 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let result = match argv.first().map(String::as_str) {
         Some(
-            cmd @ ("gen" | "gram" | "stream" | "batch" | "shard" | "chaos" | "verify" | "info"
-            | "calibrate"),
+            cmd @ ("gen" | "gram" | "stream" | "solve" | "batch" | "shard" | "chaos" | "verify"
+            | "info" | "calibrate"),
         ) => Args::parse(&argv[1..]).and_then(|args| match cmd {
             "gen" => cmd_gen(&args),
             "gram" => cmd_gram(&args),
             "stream" => cmd_stream(&args),
+            "solve" => cmd_solve(&args),
             "batch" => cmd_batch(&args),
             "shard" => cmd_shard(&args),
             "chaos" => cmd_chaos(&args),
@@ -787,6 +879,78 @@ mod tests {
         let g: Matrix<f64> = io::load(&g_path).expect("load gram");
         assert_eq!(g.shape(), (10, 10));
         assert!(g.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn solve_matches_direct_normal_equations() {
+        let dir = std::env::temp_dir().join("ata_cli_test_solve");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let a_path = dir.join("a.csv").to_string_lossy().to_string();
+        let b_path = dir.join("b.csv").to_string_lossy().to_string();
+        let x_path = dir.join("x.csv").to_string_lossy().to_string();
+        let (m, n) = (60usize, 12usize);
+        cmd_gen(&args(&[
+            "--rows",
+            &m.to_string(),
+            "--cols",
+            &n.to_string(),
+            "--out",
+            &a_path,
+            "--seed",
+            "11",
+        ]))
+        .expect("gen");
+        let a: Matrix<f64> = io::load(&a_path).expect("load a");
+        let b = gen::standard::<f64>(12, m, 1);
+        io::save(&b, &b_path).expect("save rhs");
+
+        // Thin chunks so the factored tier actually sweeps.
+        cmd_solve(&args(&[
+            "--input", &a_path, "--rhs", &b_path, "--out", &x_path, "--chunk", "2", "--lambda",
+            "0.5",
+        ]))
+        .expect("solve");
+        let x: Matrix<f64> = io::load(&x_path).expect("load x");
+        assert_eq!(x.shape(), (n, 1));
+
+        // Reference: dense normal equations with the same shift.
+        let mut g = reference::gram(a.as_ref());
+        for i in 0..n {
+            g[(i, i)] += 0.5;
+        }
+        let atb: Vec<f64> = (0..n)
+            .map(|j| (0..m).map(|r| a[(r, j)] * b[(r, 0)]).sum())
+            .collect();
+        ata::linalg::cholesky_factor(&mut g).expect("SPD");
+        let xr = ata::linalg::cholesky_solve(&g, &atb).expect("shape");
+        for i in 0..n {
+            assert!(
+                (x[(i, 0)] - xr[i]).abs() <= 1e-8 * (1.0 + xr[i].abs()),
+                "x[{i}] = {} vs reference {}",
+                x[(i, 0)],
+                xr[i]
+            );
+        }
+
+        // A negative lambda is a clean CLI error, not a panic.
+        assert!(cmd_solve(&args(&[
+            "--input", &a_path, "--out", &x_path, "--lambda", "-1",
+        ]))
+        .is_err());
+        // A wrong-length rhs is rejected with the shapes in the message.
+        let short = gen::standard::<f64>(1, m - 1, 1);
+        let short_path = dir.join("short.csv").to_string_lossy().to_string();
+        io::save(&short, &short_path).expect("save short");
+        let err = cmd_solve(&args(&[
+            "--input",
+            &a_path,
+            "--rhs",
+            &short_path,
+            "--out",
+            &x_path,
+        ]))
+        .expect_err("short rhs must be rejected");
+        assert!(err.contains("length-60"), "got: {err}");
     }
 
     #[test]

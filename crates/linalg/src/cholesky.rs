@@ -6,11 +6,16 @@
 //! lower triangle — the same storage discipline as AtA's output, so a
 //! `lower(A^T A)` result can be factored without touching the (unused)
 //! upper part.
+//!
+//! All `O(n³)` arithmetic runs in `T` (visible to the op-counting
+//! `Tracked` scalar); only the per-column square root and reciprocal go
+//! through `f64`, as uncounted bookkeeping — the same convention as the
+//! streaming kernels in [`crate::update`].
 
-use crate::triangular::{solve_lower, solve_lower_transposed};
-use ata_mat::{Matrix, Scalar};
+use crate::triangular::{solve_lower_in_place, solve_lower_transposed_in_place};
+use ata_mat::{MatRef, Matrix, Scalar};
 
-/// Failure modes of the factorization.
+/// Failure modes of the factorization and its solves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CholeskyError {
     /// A pivot was zero or negative: the matrix is not positive
@@ -18,6 +23,13 @@ pub enum CholeskyError {
     NotPositiveDefinite {
         /// Column at which the pivot failed.
         column: usize,
+    },
+    /// A right-hand side's length does not match the factor's order.
+    ShapeMismatch {
+        /// Expected dimension (the factor's order `n`).
+        expected: usize,
+        /// Offending dimension supplied by the caller.
+        got: usize,
     },
 }
 
@@ -28,6 +40,12 @@ impl std::fmt::Display for CholeskyError {
                 write!(
                     f,
                     "matrix is not positive definite (pivot at column {column})"
+                )
+            }
+            CholeskyError::ShapeMismatch { expected, got } => {
+                write!(
+                    f,
+                    "right-hand side shape mismatch: expected {expected}, got {got}"
                 )
             }
         }
@@ -49,23 +67,24 @@ pub fn cholesky_factor<T: Scalar>(g: &mut Matrix<T>) -> Result<(), CholeskyError
     let n = g.rows();
     assert_eq!(g.cols(), n, "cholesky needs a square matrix");
     for j in 0..n {
-        let mut d = g[(j, j)].to_f64();
+        let mut d = g[(j, j)];
         for k in 0..j {
-            let v = g[(j, k)].to_f64();
+            let v = g[(j, k)];
             d -= v * v;
         }
-        if d <= 0.0 || !d.is_finite() {
+        let df = d.to_f64();
+        if df <= 0.0 || !df.is_finite() {
             return Err(CholeskyError::NotPositiveDefinite { column: j });
         }
-        let d_sqrt = d.sqrt();
+        let d_sqrt = df.sqrt();
         g[(j, j)] = T::from_f64(d_sqrt);
-        let inv = 1.0 / d_sqrt;
+        let inv = T::from_f64(1.0 / d_sqrt);
         for i in (j + 1)..n {
-            let mut s = g[(i, j)].to_f64();
+            let mut s = g[(i, j)];
             for k in 0..j {
-                s -= g[(i, k)].to_f64() * g[(j, k)].to_f64();
+                s -= g[(i, k)] * g[(j, k)];
             }
-            g[(i, j)] = T::from_f64(s * inv);
+            g[(i, j)] = s * inv;
         }
     }
     Ok(())
@@ -74,11 +93,76 @@ pub fn cholesky_factor<T: Scalar>(g: &mut Matrix<T>) -> Result<(), CholeskyError
 /// Solve `G x = b` given the factor from [`cholesky_factor`]
 /// (`L L^T x = b`: one forward, one backward substitution).
 ///
+/// # Errors
+/// [`CholeskyError::ShapeMismatch`] if `b.len()` does not equal the
+/// factor's order.
+///
 /// # Panics
-/// On shape mismatch or a zero diagonal.
-pub fn cholesky_solve<T: Scalar>(l: &Matrix<T>, b: &[T]) -> Vec<T> {
-    let y = solve_lower(l.as_ref(), b);
-    solve_lower_transposed(l.as_ref(), &y)
+/// If `l` is not square or has a zero diagonal (a corrupt factor —
+/// [`cholesky_factor`] never returns one).
+pub fn cholesky_solve<T: Scalar>(l: &Matrix<T>, b: &[T]) -> Result<Vec<T>, CholeskyError> {
+    let mut x = b.to_vec();
+    cholesky_solve_in_place(l, &mut x)?;
+    Ok(x)
+}
+
+/// In-place, allocation-free variant of [`cholesky_solve`]: `rhs` is
+/// overwritten with the solution.
+///
+/// # Errors
+/// [`CholeskyError::ShapeMismatch`] if `rhs.len()` does not equal the
+/// factor's order (the rhs is untouched).
+///
+/// # Panics
+/// As [`cholesky_solve`].
+pub fn cholesky_solve_in_place<T: Scalar>(
+    l: &Matrix<T>,
+    rhs: &mut [T],
+) -> Result<(), CholeskyError> {
+    let n = l.rows();
+    if rhs.len() != n {
+        return Err(CholeskyError::ShapeMismatch {
+            expected: n,
+            got: rhs.len(),
+        });
+    }
+    solve_lower_in_place(l.as_ref(), rhs);
+    solve_lower_transposed_in_place(l.as_ref(), rhs);
+    Ok(())
+}
+
+/// Multi-rhs variant of [`cholesky_solve`]: solve `G X = B` for an
+/// `n × p` right-hand-side block, column by column.
+///
+/// # Errors
+/// [`CholeskyError::ShapeMismatch`] if `b` does not have `n` rows.
+///
+/// # Panics
+/// As [`cholesky_solve`].
+pub fn cholesky_solve_multi<T: Scalar>(
+    l: &Matrix<T>,
+    b: MatRef<'_, T>,
+) -> Result<Matrix<T>, CholeskyError> {
+    let n = l.rows();
+    if b.rows() != n {
+        return Err(CholeskyError::ShapeMismatch {
+            expected: n,
+            got: b.rows(),
+        });
+    }
+    let p = b.cols();
+    let mut out = Matrix::zeros(n, p);
+    let mut col = vec![T::ZERO; n];
+    for c in 0..p {
+        for (i, cv) in col.iter_mut().enumerate() {
+            *cv = *b.at(i, c);
+        }
+        cholesky_solve_in_place(l, &mut col)?;
+        for (i, cv) in col.iter().enumerate() {
+            out[(i, c)] = *cv;
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -150,10 +234,45 @@ mod tests {
         }
         let mut l = g.clone();
         cholesky_factor(&mut l).expect("SPD");
-        let x = cholesky_solve(&l, &b);
+        let x = cholesky_solve(&l, &b).expect("shape");
         for (xi, ti) in x.iter().zip(&x_true) {
             assert!((xi - ti).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn solve_rejects_bad_rhs_length() {
+        let mut l = spd(4, 7);
+        cholesky_factor(&mut l).expect("SPD");
+        assert_eq!(
+            cholesky_solve(&l, &[1.0; 3]).unwrap_err(),
+            CholeskyError::ShapeMismatch {
+                expected: 4,
+                got: 3
+            }
+        );
+        let mut short = [1.0; 3];
+        assert!(cholesky_solve_in_place(&l, &mut short).is_err());
+        assert_eq!(short, [1.0; 3], "rejected rhs must be untouched");
+    }
+
+    #[test]
+    fn multi_rhs_matches_column_solves() {
+        let n = 6;
+        let g = spd(n, 8);
+        let mut l = g.clone();
+        cholesky_factor(&mut l).expect("SPD");
+        let b = Matrix::from_fn(n, 3, |i, c| ((i * 3 + c) as f64 * 0.31).sin());
+        let xs = cholesky_solve_multi(&l, b.as_ref()).expect("shape");
+        for c in 0..3 {
+            let col: Vec<f64> = (0..n).map(|i| b[(i, c)]).collect();
+            let x = cholesky_solve(&l, &col).expect("shape");
+            for i in 0..n {
+                assert!((xs[(i, c)] - x[i]).abs() < 1e-12);
+            }
+        }
+        let wide = Matrix::<f64>::zeros(n + 1, 2);
+        assert!(cholesky_solve_multi(&l, wide.as_ref()).is_err());
     }
 
     #[test]

@@ -100,7 +100,9 @@ pub fn jacobi_eigen<T: Scalar>(s: &Matrix<T>, tol: f64) -> (Vec<f64>, Matrix<f64
     // Extract and sort descending.
     let mut order: Vec<usize> = (0..n).collect();
     let w: Vec<f64> = (0..n).map(|i| a[i * n + i]).collect();
-    order.sort_by(|&i, &j| w[j].partial_cmp(&w[i]).expect("finite eigenvalues"));
+    // total_cmp gives a total order even if an eigenvalue is NaN
+    // (possible only on non-finite input), so sorting cannot panic.
+    order.sort_by(|&i, &j| w[j].total_cmp(&w[i]));
     let eigenvalues: Vec<f64> = order.iter().map(|&i| w[i]).collect();
     let eigenvectors = Matrix::from_fn(n, n, |r, c| v[r * n + order[c]]);
     (eigenvalues, eigenvectors)

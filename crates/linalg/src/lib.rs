@@ -7,6 +7,9 @@
 //! turns those motivations into library code built on `ata-core`:
 //!
 //! * [`cholesky`] — `G = L L^T` factorization and SPD solves;
+//! * [`update`] — streaming factorization: rank-k Cholesky/LDLᵀ
+//!   updates and downdates in `O(n²k)`, plus the `O(n²)`-per-shift
+//!   [`update::ShiftedSolver`] behind ridge lambda paths;
 //! * [`triangular`] — forward/backward substitution;
 //! * [`lstsq`] — normal-equations least squares (`A^T A x = A^T b`);
 //! * [`eigen`] — cyclic Jacobi eigensolver for symmetric matrices;
@@ -29,13 +32,17 @@ pub mod ortho;
 pub mod ridge;
 pub mod svd;
 pub mod triangular;
+pub mod update;
 
-pub use cholesky::{cholesky_factor, cholesky_solve, CholeskyError};
+pub use cholesky::{
+    cholesky_factor, cholesky_solve, cholesky_solve_in_place, cholesky_solve_multi, CholeskyError,
+};
 pub use eigen::jacobi_eigen;
 pub use lstsq::solve_normal_equations;
 pub use ortho::{mgs_orthonormalize, orthogonality_defect};
 pub use ridge::RidgeSolver;
 pub use svd::singular_values;
+pub use update::{LdltFactor, ShiftedSolver, UpdateError};
 
 use ata_core::{parallel::ata_s_kind, serial::ata_into_with_kind, AtaOptions};
 use ata_mat::{MatRef, Matrix, Scalar};

@@ -49,7 +49,7 @@ pub fn solve_normal_equations<T: Scalar>(
 
     cholesky_factor(&mut g)?;
     let rhs_vec: Vec<T> = (0..n).map(|i| rhs[(i, 0)]).collect();
-    Ok(cholesky_solve(&g, &rhs_vec))
+    cholesky_solve(&g, &rhs_vec)
 }
 
 /// Residual 2-norm `||A x - b||_2` (an `f64` regardless of `T`, for

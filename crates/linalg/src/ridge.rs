@@ -11,9 +11,30 @@
 
 use crate::cholesky::{cholesky_factor, cholesky_solve, CholeskyError};
 use crate::gram_lower_opts;
+use crate::update::{ShiftedSolver, UpdateError};
 use ata_core::AtaOptions;
 use ata_kernels::gemm_tn;
 use ata_mat::{MatRef, Matrix, Scalar};
+
+/// Below this many lambdas (or features) the per-lambda refactor loop
+/// is cheaper than building the shared tridiagonal base, so
+/// [`RidgeSolver::solve_path`] falls back to it. The base costs
+/// `~2n³` once vs `n³/3` per refactor, so reuse pays off from roughly
+/// six lambdas; 4 plus the small-n guard keeps the crossover safely on
+/// the winning side without a runtime calibration.
+const PATH_REUSE_MIN_LAMBDAS: usize = 4;
+const PATH_REUSE_MIN_FEATURES: usize = 16;
+
+/// Map a shifted-solve failure onto this module's error type: an
+/// indefinite shifted system is exactly a failed Cholesky pivot.
+fn shift_err(e: UpdateError) -> CholeskyError {
+    match e {
+        UpdateError::Indefinite { column } => CholeskyError::NotPositiveDefinite { column },
+        UpdateError::ShapeMismatch { expected, got } => {
+            CholeskyError::ShapeMismatch { expected, got }
+        }
+    }
+}
 
 /// Precomputed normal-equation data for a fixed design matrix `A`:
 /// the Gram matrix `G = A^T A` (lower triangle) and `A^T b`.
@@ -71,16 +92,35 @@ impl<T: Scalar> RidgeSolver<T> {
             g[(i, i)] += lambda;
         }
         cholesky_factor(&mut g)?;
-        Ok(cholesky_solve(&g, &self.atb))
+        cholesky_solve(&g, &self.atb)
     }
 
-    /// Solve for a whole lambda sweep (ascending or not); one Gram
-    /// matrix, `lambdas.len()` factorizations.
+    /// Solve for a whole lambda sweep (ascending or not): one Gram
+    /// matrix, **one** base factorization. For paths worth the setup
+    /// (`>= 4` lambdas, `>= 16` features) the Gram matrix is
+    /// tridiagonalized once ([`ShiftedSolver`], `O(n³)`) and every
+    /// shifted system `(G + λI)x = Aᵀb` then solves in `O(n²)` —
+    /// instead of the `O(n³)` per-lambda refactor the fallback loop
+    /// (and every release before the streaming tier) performs. The
+    /// speedup is pinned by an op-count test.
     ///
     /// # Errors
     /// First factorization error, if any.
+    ///
+    /// # Panics
+    /// If any `lambda < 0`.
     pub fn solve_path(&self, lambdas: &[T]) -> Result<Vec<Vec<T>>, CholeskyError> {
-        lambdas.iter().map(|&l| self.solve(l)).collect()
+        if lambdas.len() < PATH_REUSE_MIN_LAMBDAS || self.features() < PATH_REUSE_MIN_FEATURES {
+            return lambdas.iter().map(|&l| self.solve(l)).collect();
+        }
+        let base = ShiftedSolver::new(self.gram_lower.as_ref());
+        lambdas
+            .iter()
+            .map(|&l| {
+                assert!(l >= T::ZERO, "lambda must be non-negative");
+                base.solve_shifted(l, &self.atb).map_err(shift_err)
+            })
+            .collect()
     }
 }
 
@@ -133,6 +173,68 @@ mod tests {
                 "residual shrank along the path: {res:?}"
             );
         }
+    }
+
+    #[test]
+    fn solve_path_agrees_with_per_lambda_solves() {
+        // Above the reuse thresholds the path goes through the shared
+        // tridiagonal base — it must match the direct refactor route.
+        let (a, b) = setup(90, 20, 7);
+        let solver = RidgeSolver::new(a.as_ref(), &b, &AtaOptions::serial());
+        let lambdas: Vec<f64> = (0..8).map(|i| 0.05 * (i as f64 + 1.0)).collect();
+        let path = solver.solve_path(&lambdas).expect("spd");
+        for (x, &l) in path.iter().zip(&lambdas) {
+            let direct = solver.solve(l).expect("spd");
+            for (u, v) in x.iter().zip(&direct) {
+                assert!((u - v).abs() < 1e-8, "lambda={l}");
+            }
+        }
+    }
+
+    #[test]
+    fn solve_path_reuses_one_base_factorization() {
+        use ata_mat::tracked::{measure, Tracked};
+        // Pin the satellite win: a lambda path shares one base
+        // factorization, so (a) the whole path costs fewer counted
+        // flops than per-lambda refactoring, and (b) each *additional*
+        // lambda costs O(n²), far below an O(n³/3) refactor.
+        let n = 48usize;
+        let m = 96usize;
+        let a = gen::tall_well_conditioned::<Tracked>(8, m, n);
+        let b: Vec<Tracked> = (0..m)
+            .map(|i| Tracked::from_f64(((i as f64) * 0.3).sin() * 2.0))
+            .collect();
+        let solver = RidgeSolver::new(a.as_ref(), &b, &AtaOptions::serial());
+        let lam = |i: usize| Tracked::from_f64(0.01 * (i as f64 + 1.0));
+        let l16: Vec<Tracked> = (0..16).map(lam).collect();
+        let l8: Vec<Tracked> = (0..8).map(lam).collect();
+
+        let (path, path_ops) = measure(|| solver.solve_path(&l16));
+        let path = path.expect("spd");
+        let (looped, loop_ops) = measure(|| {
+            l16.iter()
+                .map(|&l| solver.solve(l))
+                .collect::<Result<Vec<_>, _>>()
+        });
+        let looped = looped.expect("spd");
+        for (x1, x2) in path.iter().zip(&looped) {
+            for (u, v) in x1.iter().zip(x2) {
+                assert!((u.0 - v.0).abs() < 1e-8);
+            }
+        }
+        assert!(
+            path_ops.total() < loop_ops.total(),
+            "shared base must beat per-lambda refactors: {} vs {}",
+            path_ops.total(),
+            loop_ops.total()
+        );
+        let (_, ops8) = measure(|| solver.solve_path(&l8).expect("spd"));
+        let marginal = (path_ops.total() - ops8.total()) / 8;
+        assert!(
+            marginal <= (6 * n * n) as u64,
+            "marginal lambda must cost O(n²), got {marginal} flops (n²={})",
+            n * n
+        );
     }
 
     #[test]

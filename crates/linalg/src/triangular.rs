@@ -13,21 +13,29 @@ use ata_mat::{MatRef, Scalar};
 /// # Panics
 /// If shapes mismatch or a diagonal entry is zero.
 pub fn solve_lower<T: Scalar>(l: MatRef<'_, T>, b: &[T]) -> Vec<T> {
+    let mut y = b.to_vec();
+    solve_lower_in_place(l, &mut y);
+    y
+}
+
+/// Allocation-free [`solve_lower`]: `b` is overwritten with `y`.
+///
+/// # Panics
+/// If shapes mismatch or a diagonal entry is zero.
+pub fn solve_lower_in_place<T: Scalar>(l: MatRef<'_, T>, b: &mut [T]) {
     let n = l.rows();
     assert_eq!(l.cols(), n, "solve_lower needs a square matrix");
     assert_eq!(b.len(), n, "rhs length mismatch");
-    let mut y = b.to_vec();
     for i in 0..n {
         let row = l.row(i);
-        let mut s = y[i];
-        for (k, yk) in y[..i].iter().enumerate() {
+        let mut s = b[i];
+        for (k, yk) in b[..i].iter().enumerate() {
             s -= row[k] * *yk;
         }
         let d = row[i];
         assert!(d != T::ZERO, "zero diagonal at {i}");
-        y[i] = s * T::from_f64(1.0 / d.to_f64());
+        b[i] = s * T::from_f64(1.0 / d.to_f64());
     }
-    y
 }
 
 /// Solve `L^T x = y` (backward substitution with the transposed lower
@@ -36,21 +44,30 @@ pub fn solve_lower<T: Scalar>(l: MatRef<'_, T>, b: &[T]) -> Vec<T> {
 /// # Panics
 /// If shapes mismatch or a diagonal entry is zero.
 pub fn solve_lower_transposed<T: Scalar>(l: MatRef<'_, T>, y: &[T]) -> Vec<T> {
+    let mut x = y.to_vec();
+    solve_lower_transposed_in_place(l, &mut x);
+    x
+}
+
+/// Allocation-free [`solve_lower_transposed`]: `y` is overwritten with
+/// `x`.
+///
+/// # Panics
+/// If shapes mismatch or a diagonal entry is zero.
+pub fn solve_lower_transposed_in_place<T: Scalar>(l: MatRef<'_, T>, y: &mut [T]) {
     let n = l.rows();
     assert_eq!(l.cols(), n, "solve_lower_transposed needs a square matrix");
     assert_eq!(y.len(), n, "rhs length mismatch");
-    let mut x = y.to_vec();
     for i in (0..n).rev() {
-        let mut s = x[i];
+        let mut s = y[i];
         // L^T[i, k] = L[k, i] for k > i.
-        for (k, &xv) in x.iter().enumerate().skip(i + 1) {
+        for (k, &xv) in y.iter().enumerate().skip(i + 1) {
             s -= *l.at(k, i) * xv;
         }
         let d = *l.at(i, i);
         assert!(d != T::ZERO, "zero diagonal at {i}");
-        x[i] = s * T::from_f64(1.0 / d.to_f64());
+        y[i] = s * T::from_f64(1.0 / d.to_f64());
     }
-    x
 }
 
 #[cfg(test)]

@@ -1,0 +1,311 @@
+//! Property tests of the streaming factorization kernels: rank-k
+//! updates/downdates must agree with full refactorization across
+//! scalar types, chunk shapes and decay interleavings — and must cost
+//! `O(n²k)` per chunk (op-counted), not `O(n³)`.
+
+use ata_linalg::update::{llt_rank_update, LdltFactor, UpdateError};
+use ata_linalg::{cholesky_factor, cholesky_solve};
+use ata_mat::tracked::{measure, Tracked};
+use ata_mat::{gen, MatRef, Matrix, Scalar};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// A well-conditioned SPD base: `AᵀA + I` of a random tall matrix.
+fn spd_base<T: Scalar>(seed: u64, n: usize) -> Matrix<T> {
+    let a = gen::tall_well_conditioned::<T>(seed, 2 * n + 4, n);
+    let mut g = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut s = T::ZERO;
+            for r in 0..a.rows() {
+                s += a[(r, i)] * a[(r, j)];
+            }
+            g[(i, j)] = s;
+        }
+        g[(i, i)] += T::ONE;
+    }
+    g
+}
+
+/// Reference accumulation: `g += alpha * chunkᵀ chunk` on the lower
+/// triangle.
+fn fold_ref<T: Scalar>(g: &mut Matrix<T>, alpha: T, chunk: MatRef<'_, T>) {
+    let n = g.rows();
+    for i in 0..n {
+        for j in 0..=i {
+            let mut s = T::ZERO;
+            for r in 0..chunk.rows() {
+                s += *chunk.at(r, i) * *chunk.at(r, j);
+            }
+            g[(i, j)] += alpha * s;
+        }
+    }
+}
+
+fn scale_lower<T: Scalar>(g: &mut Matrix<T>, beta: T) {
+    let n = g.rows();
+    for i in 0..n {
+        for j in 0..=i {
+            g[(i, j)] = beta * g[(i, j)];
+        }
+    }
+}
+
+/// Max |LDLᵀ − G| over the lower triangle.
+fn reconstruction_err<T: Scalar>(f: &LdltFactor<T>, g: &Matrix<T>) -> f64 {
+    let n = f.order();
+    let l = f.unit_lower();
+    let mut worst = 0.0f64;
+    for i in 0..n {
+        for j in 0..=i {
+            let mut s = 0.0;
+            for k in 0..=j {
+                s += l[(i, k)].to_f64() * f.diag()[k].to_f64() * l[(j, k)].to_f64();
+            }
+            worst = worst.max((s - g[(i, j)].to_f64()).abs());
+        }
+    }
+    worst
+}
+
+fn max_abs_lower<T: Scalar>(g: &Matrix<T>) -> f64 {
+    let n = g.rows();
+    let mut m = 0.0f64;
+    for i in 0..n {
+        for j in 0..=i {
+            m = m.max(g[(i, j)].to_f64().abs());
+        }
+    }
+    m
+}
+
+/// Drive a random op sequence through both the streaming factor and a
+/// reference triangle, then compare reconstructions. Covers ragged /
+/// 1-row / tall chunks, scaled pushes, retraction of previously pushed
+/// chunks, and decay interleavings — for any `Scalar`.
+fn stream_equivalence<T: Scalar>(
+    seed: u64,
+    n: usize,
+    heights: &[usize],
+    weights: &[f64],
+    decay_every: usize,
+    tol_scale: f64,
+) {
+    let base = spd_base::<T>(seed, n);
+    let mut f = LdltFactor::from_lower(base.as_ref()).expect("base is SPD");
+    let mut g = base.clone();
+    let mut pushed: Vec<(T, Matrix<T>)> = Vec::new();
+    let mut ops = 0usize;
+    for (i, (&h, &wraw)) in heights.iter().zip(weights).enumerate() {
+        let alpha = T::from_f64(0.25 + wraw.abs());
+        let chunk = gen::standard::<T>(seed ^ (i as u64 + 1) << 8, h, n);
+        f.rank_update(alpha, chunk.as_ref()).expect("SPD update");
+        fold_ref(&mut g, alpha, chunk.as_ref());
+        pushed.push((alpha, chunk));
+        ops += h;
+        if decay_every != 0 && i % decay_every == decay_every - 1 {
+            let beta = T::from_f64(0.75);
+            f.decay(beta);
+            scale_lower(&mut g, beta);
+            for (a, _) in &mut pushed {
+                *a *= beta;
+            }
+        }
+        // Retract every other pushed chunk once two are in flight —
+        // with its decayed weight, so the mass stays exactly what the
+        // reference triangle says.
+        if i % 2 == 1 {
+            let (a, c) = pushed.remove(0);
+            f.rank_update(-a, c.as_ref()).expect("definite downdate");
+            fold_ref(&mut g, -a, c.as_ref());
+            ops += c.rows();
+        }
+    }
+    let tol = T::epsilon() * ((n + ops) as f64) * max_abs_lower(&g).max(1.0) * tol_scale;
+    let err = reconstruction_err(&f, &g);
+    assert!(
+        err <= tol,
+        "stream/{} n={n} drifted from refactor truth: err={err:e} tol={tol:e}",
+        T::NAME
+    );
+    // And the factor still matches a from-scratch refactorization of
+    // the reference triangle, through a solve.
+    let fr = LdltFactor::from_lower(g.as_ref()).expect("reference stays SPD");
+    let rhs: Vec<T> = (0..n)
+        .map(|i| T::from_f64(((i * 7 % 5) as f64) - 2.0))
+        .collect();
+    let x1 = f.solve(&rhs).expect("shape");
+    let x2 = fr.solve(&rhs).expect("shape");
+    for (u, v) in x1.iter().zip(&x2) {
+        assert!(
+            (u.to_f64() - v.to_f64()).abs() <= tol * 64.0,
+            "solve mismatch for {}",
+            T::NAME
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn rank_update_matches_refactor_f64(
+        seed in 0u64..1000,
+        n in 2usize..24,
+        heights in vec(1usize..40, 1..8),
+        weights in vec(0.0f64..4.0, 8usize..9),
+        decay_every in 0usize..4,
+    ) {
+        stream_equivalence::<f64>(seed, n, &heights, &weights, decay_every, 64.0);
+    }
+
+    #[test]
+    fn rank_update_matches_refactor_f32(
+        seed in 0u64..1000,
+        n in 2usize..16,
+        heights in vec(1usize..24, 1..6),
+        weights in vec(0.0f64..4.0, 6usize..7),
+        decay_every in 0usize..4,
+    ) {
+        stream_equivalence::<f32>(seed, n, &heights, &weights, decay_every, 256.0);
+    }
+
+    #[test]
+    fn llt_update_matches_refactor(
+        seed in 0u64..1000,
+        n in 2usize..16,
+        k in 1usize..12,
+    ) {
+        let base = spd_base::<f64>(seed, n);
+        let mut l = base.clone();
+        cholesky_factor(&mut l).expect("SPD");
+        let chunk = gen::standard::<f64>(seed + 7, k, n);
+        llt_rank_update(&mut l, 1.0, chunk.as_ref()).expect("update");
+        llt_rank_update(&mut l, -1.0, chunk.as_ref()).expect("downdate back");
+        let mut lr = base.clone();
+        cholesky_factor(&mut lr).expect("SPD");
+        let scale = max_abs_lower(&base).max(1.0);
+        let tol = f64::EPSILON * ((n + 2 * k) as f64) * scale * 256.0;
+        for i in 0..n {
+            for j in 0..=i {
+                prop_assert!(
+                    (l[(i, j)] - lr[(i, j)]).abs() <= tol,
+                    "({i},{j}): {} vs {}", l[(i, j)], lr[(i, j)]
+                );
+            }
+        }
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.9).cos()).collect();
+        let x1 = cholesky_solve(&l, &b).expect("shape");
+        let x2 = cholesky_solve(&lr, &b).expect("shape");
+        for (u, v) in x1.iter().zip(&x2) {
+            prop_assert!((u - v).abs() <= 1e-6);
+        }
+    }
+
+    #[test]
+    fn over_retraction_errors_typed_and_never_nan(
+        seed in 0u64..1000,
+        n in 2usize..16,
+        scale in 10.0f64..1e6,
+    ) {
+        let base = spd_base::<f64>(seed, n);
+        let mut f = LdltFactor::from_lower(base.as_ref()).expect("SPD");
+        // A retraction of mass far beyond anything accumulated.
+        let mut big = Matrix::<f64>::zeros(1, n);
+        for j in 0..n {
+            big[(0, j)] = scale * (1.0 + j as f64);
+        }
+        let err = f.rank_update(-1.0, big.as_ref());
+        prop_assert!(matches!(err, Err(UpdateError::Indefinite { .. })), "{err:?}");
+        for v in f.diag() {
+            prop_assert!(v.is_finite(), "pivot went non-finite");
+        }
+        let l = f.unit_lower();
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert!(l[(i, j)].is_finite(), "NaN leaked into the factor");
+            }
+        }
+        // The LLᵀ sweep keeps the same contract.
+        let mut lc = base.clone();
+        cholesky_factor(&mut lc).expect("SPD");
+        let res = llt_rank_update(&mut lc, -1.0, big.as_ref());
+        prop_assert!(matches!(res, Err(UpdateError::Indefinite { .. })));
+        for i in 0..n {
+            for j in 0..=i {
+                prop_assert!(lc[(i, j)].is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn update_cost_is_quadratic_per_chunk_row(
+        seed in 0u64..100,
+        np in 0usize..3,
+        k in 1usize..6,
+    ) {
+        // O(n²k) pinned by the op-counting scalar: the sweep must stay
+        // under 2kn² + 8kn counted flops (the method-C1 recurrence is
+        // 4 flops per updated entry plus 7 per pivot), at every n — a
+        // refactor is n³/3 and loses as soon as 6k < n.
+        let n = [8usize, 16, 32][np];
+        let base = spd_base::<Tracked>(seed, n);
+        let mut f = LdltFactor::from_lower(base.as_ref()).expect("SPD");
+        let chunk = gen::standard::<Tracked>(seed + 3, k, n);
+        let (res, ops) = measure(|| f.rank_update(Tracked::from_f64(1.0), chunk.as_ref()));
+        res.expect("SPD update");
+        let ceiling = (2 * k * n * n + 8 * k * n) as u64;
+        prop_assert!(
+            ops.total() <= ceiling,
+            "rank-{k} sweep at n={n} cost {} flops, ceiling {ceiling}",
+            ops.total()
+        );
+        // Refactorization is cubic — measure it and require the sweep
+        // to win whenever the policy says it should (6k <= n).
+        let (res, refac_ops) = measure(|| f.refactor_from_lower(base.as_ref()));
+        res.expect("SPD");
+        if 6 * k <= n {
+            prop_assert!(
+                ops.total() < refac_ops.total(),
+                "update ({}) must beat refactor ({}) at n={n}, k={k}",
+                ops.total(),
+                refac_ops.total()
+            );
+        }
+    }
+}
+
+/// Doubling `n` at fixed `k` must grow the sweep cost ~4x (quadratic),
+/// while refactor cost grows ~8x (cubic) — the acceptance criterion's
+/// O(n²k) vs O(n³) separation, measured rather than assumed.
+#[test]
+fn update_scaling_is_quadratic_not_cubic() {
+    let mut sweep = Vec::new();
+    let mut refac = Vec::new();
+    for n in [16usize, 32, 64] {
+        let base = spd_base::<Tracked>(42, n);
+        let mut f = LdltFactor::from_lower(base.as_ref()).expect("SPD");
+        let chunk = gen::standard::<Tracked>(7, 2, n);
+        let (res, ops) = measure(|| f.rank_update(Tracked::from_f64(1.0), chunk.as_ref()));
+        res.expect("SPD");
+        sweep.push(ops.total());
+        let (res, ops) = measure(|| f.refactor_from_lower(base.as_ref()));
+        res.expect("SPD");
+        refac.push(ops.total());
+    }
+    for w in sweep.windows(2) {
+        let ratio = w[1] as f64 / w[0] as f64;
+        assert!(
+            ratio < 5.0,
+            "sweep cost must scale quadratically, grew {ratio}x on doubling n"
+        );
+    }
+    for (s, r) in sweep.iter().zip(&refac) {
+        assert!(s < r, "rank-2 sweep must undercut the cubic refactor");
+    }
+    let refac_ratio = refac[2] as f64 / refac[1] as f64;
+    assert!(
+        refac_ratio > 6.0,
+        "refactor must scale cubically (got {refac_ratio}x per doubling)"
+    );
+}

@@ -17,7 +17,8 @@
 //! - `lock-across-blocking`: only `src/service.rs`, `src/shard.rs`,
 //!   `src/stream.rs` (the serving layer's lock-and-channel discipline).
 //! - `no-unwrap-in-lib`: the facade `src/`, `crates/dist/src/`,
-//!   `crates/kernels/src/`; `#[cfg(test)]` spans are exempt.
+//!   `crates/kernels/src/`, `crates/linalg/src/`; `#[cfg(test)]` spans
+//!   are exempt.
 
 use crate::lex::{lex, Lexed, Tok, TokKind};
 
@@ -349,7 +350,8 @@ impl<'a> FileCtx<'a> {
     fn no_unwrap_in_lib(&self, out: &mut Vec<Diagnostic>) {
         let scoped = self.path.starts_with("src/")
             || self.path.starts_with("crates/dist/src/")
-            || self.path.starts_with("crates/kernels/src/");
+            || self.path.starts_with("crates/kernels/src/")
+            || self.path.starts_with("crates/linalg/src/");
         if !scoped || self.test_tree() {
             return;
         }

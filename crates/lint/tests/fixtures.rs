@@ -81,12 +81,19 @@ fn no_unwrap_in_lib_fires_at_expected_lines() {
 
 #[test]
 fn bad_fixtures_are_path_scoped() {
-    // The same unwrap fixture is fine outside the serving paths...
+    // The same unwrap fixture is fine outside the scoped paths...
+    let d = diags(
+        "crates/mat/src/chol.rs",
+        include_str!("fixtures/bad_unwrap.rs"),
+    );
+    assert!(d.is_empty(), "got {d:?}");
+    // ...but crates/linalg/src/ is scoped (the factorization tier is a
+    // serving path).
     let d = diags(
         "crates/linalg/src/chol.rs",
         include_str!("fixtures/bad_unwrap.rs"),
     );
-    assert!(d.is_empty(), "got {d:?}");
+    assert_eq!(d, vec![(4, "no-unwrap-in-lib"), (8, "no-unwrap-in-lib")]);
     // ...and the lock fixture's heuristic only applies to the three
     // serving files (the unwrap hit remains, facade src/ is scoped).
     let d = diags("src/context.rs", include_str!("fixtures/bad_lock.rs"));

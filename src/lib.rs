@@ -68,6 +68,11 @@
 //!
 //! * [`stream::GramAccumulator`] — `A` arrives as row chunks
 //!   (`C += Aᵢ^T Aᵢ`); a billion-row Gram never materializes `A`.
+//! * [`factor::FactoredGram`] — the streaming factorization tier: a
+//!   live `L D Lᵀ` factor maintained alongside the accumulator by
+//!   `O(n²k)` rank-k sweeps, answering `solve`/`ridge`/`logdet`/
+//!   `pca_project` in `O(n²)` — submit rows, query solutions, never
+//!   refactor.
 //! * [`batch::BatchPlan`] — floods of small problems, executed whole,
 //!   one per pool worker ([`BatchPlan::execute_batch`]).
 //! * [`service::AtaService`] — a `Send + Sync` blocking job queue with
@@ -109,6 +114,7 @@
 pub mod batch;
 pub mod clock;
 pub mod context;
+pub mod factor;
 pub mod service;
 pub mod shard;
 pub mod stream;
@@ -118,6 +124,7 @@ pub use clock::{Clock, ManualClock, WallClock};
 pub use context::{
     default_context, AtaContext, AtaContextBuilder, AtaOutput, AtaPlan, Backend, Output, OwnedPlan,
 };
+pub use factor::FactoredGram;
 pub use service::{AtaService, AtaServiceBuilder, JobError, JobHandle, TrySubmitError};
 pub use shard::{
     RetryPolicy, ShardJobHandle, ShardStats, ShardSubmitError, ShardedService,

@@ -72,6 +72,7 @@ pub struct GramAccumulator<T: Scalar> {
     c: Matrix<T>,
     rows: usize,
     pushes: usize,
+    retracts: usize,
     thin_pushes: usize,
     tall_pushes: usize,
 }
@@ -99,6 +100,7 @@ impl AtaContext {
             c: Matrix::zeros(n, n),
             rows: 0,
             pushes: 0,
+            retracts: 0,
             thin_pushes: 0,
             tall_pushes: 0,
         }
@@ -130,17 +132,43 @@ impl<T: Scalar + 'static> GramAccumulator<T> {
     /// # Panics
     /// If the chunk does not have exactly `n` columns.
     pub fn push_scaled(&mut self, alpha: T, chunk: MatRef<'_, T>) {
+        if chunk.rows() == 0 {
+            return;
+        }
+        self.pushes += 1;
+        self.rows += chunk.rows();
+        self.fold(alpha, chunk);
+    }
+
+    /// Remove a row chunk from the accumulated mass:
+    /// `C_low -= chunk^T chunk` — the sliding-window complement of
+    /// [`GramAccumulator::push`]. The caller is responsible for only
+    /// retracting chunks that were previously pushed (the accumulator
+    /// keeps no history); over-retracting produces an indefinite `C`
+    /// which downstream factorizations report as a typed error.
+    /// Decrements [`GramAccumulator::rows`].
+    ///
+    /// # Panics
+    /// If the chunk does not have exactly `n` columns.
+    pub fn retract(&mut self, chunk: MatRef<'_, T>) {
+        if chunk.rows() == 0 {
+            return;
+        }
+        self.retracts += 1;
+        self.rows = self.rows.saturating_sub(chunk.rows());
+        self.fold(T::NEG_ONE, chunk);
+    }
+
+    /// Shared chunk routing of push/retract: fold
+    /// `alpha * chunk^T chunk` into the lower triangle, with no
+    /// row/push bookkeeping.
+    fn fold(&mut self, alpha: T, chunk: MatRef<'_, T>) {
         let (m, n) = chunk.shape();
         assert_eq!(
             n, self.n,
             "accumulator built for {} columns, chunk has {n}",
             self.n
         );
-        if m == 0 {
-            return;
-        }
-        self.pushes += 1;
-        self.rows += m;
         if m <= self.thin_rows {
             self.thin_pushes += 1;
             syrk_ln_beta(alpha, T::ONE, chunk, &mut self.c.as_mut());
@@ -208,6 +236,19 @@ impl<T: Scalar + 'static> GramAccumulator<T> {
     /// Total non-empty chunks ingested.
     pub fn pushes(&self) -> usize {
         self.pushes
+    }
+
+    /// Total non-empty chunks retracted via
+    /// [`GramAccumulator::retract`].
+    pub fn retracts(&self) -> usize {
+        self.retracts
+    }
+
+    /// Borrow the running lower triangle (the strictly-upper part is
+    /// zero) without copying — the hook the streaming factorization
+    /// tier uses to refactor in place.
+    pub fn as_lower(&self) -> MatRef<'_, T> {
+        self.c.as_ref()
     }
 
     /// Chunks that took the direct syrk rank-update path.
@@ -389,6 +430,26 @@ mod tests {
         reference::syrk_ln(0.5, c1.as_ref(), &mut want.as_mut());
         reference::syrk_ln(1.0, c2.as_ref(), &mut want.as_mut());
         assert!(got.max_abs_diff_lower(&want) < 1e-12);
+    }
+
+    #[test]
+    fn retract_is_the_inverse_of_push() {
+        let ctx = AtaContext::builder().cache_words(16).build();
+        let n = 10usize;
+        let keep = gen::standard::<f64>(1, 30, n); // tall: Strassen path
+        let window = gen::standard::<f64>(2, 4, n); // thin: syrk path
+        let mut acc = ctx.gram_accumulator::<f64>(n);
+        acc.push(keep.as_ref());
+        let before = acc.snapshot().into_dense();
+        acc.push(window.as_ref());
+        acc.retract(window.as_ref());
+        assert_eq!(acc.rows(), 30);
+        assert_eq!(acc.retracts(), 1);
+        let after = acc.snapshot().into_dense();
+        assert!(after.max_abs_diff_lower(&before) < 1e-12);
+        // The borrow accessor exposes the same triangle snapshot copies.
+        assert_eq!(acc.as_lower().rows(), n);
+        assert_eq!(*acc.as_lower().at(3, 2), after[(3, 2)]);
     }
 
     #[test]

@@ -1,0 +1,349 @@
+//! Integration tests of the streaming factorization tier
+//! ([`ata::FactoredGram`]): under any interleaving of pushes, scaled
+//! pushes, decays and retractions, the live factor must answer queries
+//! exactly like a from-scratch factorization of the accumulated Gram —
+//! while the policy counters prove it almost never refactors.
+
+use ata::linalg::cholesky_factor;
+use ata::linalg::update::UpdateError;
+use ata::mat::{gen, Matrix};
+use ata::AtaContext;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Reference solve: snapshot the accumulated Gram, add `lambda` to the
+/// diagonal, refactor from scratch, solve.
+fn reference_solve(g: &Matrix<f64>, lambda: f64, rhs: &[f64]) -> Vec<f64> {
+    let mut l = g.clone();
+    for i in 0..l.rows() {
+        l[(i, i)] += lambda;
+    }
+    cholesky_factor(&mut l).expect("reference mass is SPD");
+    ata::linalg::cholesky_solve(&l, rhs).expect("shape")
+}
+
+fn rhs_for(n: usize) -> Vec<f64> {
+    (0..n).map(|i| ((i as f64) * 0.37).sin() + 0.5).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random interleavings of push / push_scaled / decay / retract:
+    /// `solve`, `ridge`, `logdet` and `leverage` all agree with a
+    /// from-scratch factorization of the snapshot after every step.
+    #[test]
+    fn factored_gram_tracks_refactor_truth(
+        seed in 0u64..500,
+        n in 2usize..20,
+        steps in vec((0usize..4, 1usize..30, 0.0f64..3.0), 2..8),
+    ) {
+        let ctx = AtaContext::serial();
+        let mut fg = ctx.factored_gram::<f64>(n);
+        // Seed mass so decay/retract act on something definite.
+        let base = gen::standard::<f64>(seed, 3 * n + 2, n);
+        fg.push(base.as_ref());
+        let mut window: Vec<Matrix<f64>> = Vec::new();
+        for (i, &(op, k, w)) in steps.iter().enumerate() {
+            let chunk = gen::standard::<f64>(seed + 100 + i as u64, k, n);
+            match op {
+                0 => {
+                    window.push(chunk.clone());
+                    fg.push(chunk.as_ref());
+                }
+                1 => fg.push_scaled(0.25 + w, chunk.as_ref()),
+                2 => fg.decay(0.5 + w / 4.0),
+                _ => {
+                    // Push then immediately retract an unrelated
+                    // chunk: net mass unchanged, factor downdated.
+                    fg.push(chunk.as_ref());
+                    fg.retract(chunk.as_ref()).expect("mass stays definite");
+                }
+            }
+            let g = fg.snapshot().into_dense();
+            let rhs = rhs_for(n);
+            let x = fg.solve(&rhs).expect("definite");
+            let xr = reference_solve(&g, 0.0, &rhs);
+            let scale = x.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+            for (u, v) in x.iter().zip(&xr) {
+                prop_assert!((u - v).abs() <= 1e-7 * scale, "{u} vs {v}");
+            }
+        }
+        // Final cross-checks on the whole query surface.
+        let g = fg.snapshot().into_dense();
+        let rhs = rhs_for(n);
+        let lam = 0.75;
+        let xr = fg.ridge(lam, &rhs).expect("ridge");
+        let xr_ref = reference_solve(&g, lam, &rhs);
+        for (u, v) in xr.iter().zip(&xr_ref) {
+            prop_assert!((u - v).abs() <= 1e-7 * (1.0 + v.abs()));
+        }
+        let mut l = g.clone();
+        cholesky_factor(&mut l).expect("SPD");
+        let logdet_ref: f64 = (0..n).map(|i| 2.0 * l[(i, i)].ln()).sum();
+        let ld = fg.logdet().expect("definite");
+        prop_assert!((ld - logdet_ref).abs() <= 1e-7 * (1.0 + logdet_ref.abs()));
+        let lev = fg.leverage(&rhs).expect("definite");
+        let x = fg.solve(&rhs).expect("definite");
+        let lev_ref: f64 = rhs.iter().zip(&x).map(|(a, b)| a * b).sum();
+        prop_assert!((lev - lev_ref).abs() <= 1e-6 * (1.0 + lev_ref.abs()));
+    }
+
+    /// A sliding window — push at the head, retract at the tail —
+    /// matches a fresh accumulator holding only the live window.
+    #[test]
+    fn sliding_window_matches_fresh_accumulator(
+        seed in 0u64..500,
+        n in 2usize..16,
+        window in 2usize..5,
+        total in 6usize..14,
+        k in 1usize..3,
+    ) {
+        let ctx = AtaContext::serial();
+        let mut fg = ctx.factored_gram::<f64>(n);
+        // Ridge mass keeps the window SPD even when it holds fewer
+        // than n rows.
+        let mut eye = Matrix::<f64>::zeros(n, n);
+        for i in 0..n {
+            eye[(i, i)] = 2.0;
+        }
+        fg.push(eye.as_ref());
+        let chunks: Vec<Matrix<f64>> =
+            (0..total).map(|i| gen::standard::<f64>(seed + i as u64, k, n)).collect();
+        for (i, c) in chunks.iter().enumerate() {
+            fg.push(c.as_ref());
+            if i >= window {
+                fg.retract(chunks[i - window].as_ref()).expect("window stays SPD");
+            }
+        }
+        let mut fresh = ctx.gram_accumulator::<f64>(n);
+        fresh.push(eye.as_ref());
+        for c in &chunks[total - window..] {
+            fresh.push(c.as_ref());
+        }
+        prop_assert_eq!(fg.rows(), fresh.rows());
+        let rhs = rhs_for(n);
+        let x = fg.solve(&rhs).expect("definite");
+        let xr = reference_solve(&fresh.snapshot().into_dense(), 0.0, &rhs);
+        for (u, v) in x.iter().zip(&xr) {
+            prop_assert!((u - v).abs() <= 1e-6 * (1.0 + v.abs()), "{u} vs {v}");
+        }
+        prop_assert!(fg.factor_downdates() >= (total - window) as u64);
+    }
+}
+
+/// Thin pushes take the `O(n²k)` sweep path: after the first query the
+/// refactor count stays pinned while updates climb.
+#[test]
+fn thin_pushes_never_refactor() {
+    let ctx = AtaContext::serial();
+    let n = 24;
+    let mut fg = ctx.factored_gram::<f64>(n);
+    fg.push(gen::standard::<f64>(1, 2 * n, n).as_ref()); // tall: stale
+    let rhs = rhs_for(n);
+    fg.solve(&rhs).expect("definite"); // one lazy refactor
+    assert_eq!(fg.factor_refactors(), 1);
+    for seed in 0..50 {
+        assert!(fg.updates_in_place(4));
+        fg.push(gen::standard::<f64>(100 + seed, 4, n).as_ref());
+        fg.solve(&rhs).expect("definite");
+    }
+    assert_eq!(fg.factor_refactors(), 1, "thin pushes must not refactor");
+    assert_eq!(fg.factor_updates(), 50);
+}
+
+/// Consecutive tall pushes coalesce into a single lazy refactor at the
+/// next query.
+#[test]
+fn tall_pushes_coalesce_refactors() {
+    let ctx = AtaContext::serial();
+    let n = 12;
+    let mut fg = ctx.factored_gram::<f64>(n);
+    for seed in 0..6 {
+        assert!(!fg.updates_in_place(3 * n));
+        fg.push(gen::standard::<f64>(seed, 3 * n, n).as_ref());
+    }
+    assert_eq!(fg.factor_refactors(), 0, "no factor work before a query");
+    let rhs = rhs_for(n);
+    fg.solve(&rhs).expect("definite");
+    assert_eq!(fg.factor_refactors(), 1, "six tall pushes, one refactor");
+    fg.solve(&rhs).expect("definite");
+    assert_eq!(fg.factor_refactors(), 1);
+}
+
+/// A repeated λ hits the shifted-factor cache; only changing λ (or a
+/// tall push, or decay) pays a rebuild.
+#[test]
+fn ridge_cache_hits_on_repeated_lambda() {
+    let ctx = AtaContext::serial();
+    let n = 18;
+    let mut fg = ctx.factored_gram::<f64>(n);
+    fg.push(gen::standard::<f64>(9, 2 * n, n).as_ref());
+    let rhs = rhs_for(n);
+    fg.ridge(0.5, &rhs).expect("SPD");
+    let after_first = fg.factor_refactors();
+    for _ in 0..10 {
+        fg.ridge(0.5, &rhs).expect("SPD");
+    }
+    assert_eq!(
+        fg.factor_refactors(),
+        after_first,
+        "repeated λ must hit the cache"
+    );
+    // Thin pushes keep the shifted cache fresh by lockstep sweeps.
+    for seed in 0..5 {
+        fg.push(gen::standard::<f64>(200 + seed, 1, n).as_ref());
+        fg.ridge(0.5, &rhs).expect("SPD");
+    }
+    assert_eq!(
+        fg.factor_refactors(),
+        after_first,
+        "lockstep sweeps keep the λ-cache warm"
+    );
+    fg.ridge(0.25, &rhs).expect("SPD");
+    assert_eq!(
+        fg.factor_refactors(),
+        after_first + 1,
+        "new λ rebuilds once"
+    );
+    fg.decay(0.9);
+    fg.ridge(0.25, &rhs).expect("SPD");
+    assert_eq!(
+        fg.factor_refactors(),
+        after_first + 2,
+        "decay invalidates the λ-cache"
+    );
+}
+
+/// Over-retraction drives the mass indefinite: queries report the
+/// typed error — and keep reporting it — without a panic or a NaN.
+#[test]
+fn over_retraction_is_typed_at_query_time() {
+    let ctx = AtaContext::serial();
+    let n = 8;
+    let mut fg = ctx.factored_gram::<f64>(n);
+    fg.push(gen::standard::<f64>(3, 2 * n, n).as_ref());
+    let rhs = rhs_for(n);
+    fg.solve(&rhs).expect("definite");
+    let phantom = gen::standard::<f64>(77, 1, n);
+    let mut scaled = phantom.clone();
+    for j in 0..n {
+        scaled[(0, j)] *= 100.0;
+    }
+    // The in-place downdate sweep catches it immediately...
+    assert!(matches!(
+        fg.retract(scaled.as_ref()),
+        Err(UpdateError::Indefinite { .. })
+    ));
+    // ...and the lazy refactor keeps reporting it on every query.
+    for _ in 0..2 {
+        let mut buf = rhs.clone();
+        assert!(matches!(
+            fg.solve(&rhs),
+            Err(UpdateError::Indefinite { .. })
+        ));
+        assert!(matches!(
+            fg.solve_in_place(&mut buf),
+            Err(UpdateError::Indefinite { .. })
+        ));
+        assert!(buf.iter().all(|v| v.is_finite()), "no NaN leaks to callers");
+        assert!(matches!(fg.logdet(), Err(UpdateError::Indefinite { .. })));
+    }
+    // Pushing the mass back restores service.
+    let mut big = Matrix::<f64>::zeros(n, n);
+    for i in 0..n {
+        big[(i, i)] = 500.0;
+    }
+    fg.push(big.as_ref());
+    fg.solve(&rhs).expect("restored mass solves again");
+}
+
+/// `pca_project` / `principal_variances` agree with a direct
+/// eigendecomposition of the snapshot, and shape errors are typed.
+#[test]
+fn pca_projection_matches_direct_eigendecomposition() {
+    let ctx = AtaContext::serial();
+    let n = 10;
+    let mut fg = ctx.factored_gram::<f64>(21);
+    assert!(matches!(
+        fg.pca_project(&[0.0; 3], 1),
+        Err(UpdateError::ShapeMismatch {
+            expected: 21,
+            got: 3
+        })
+    ));
+    let mut fg = ctx.factored_gram::<f64>(n);
+    fg.push(gen::standard::<f64>(5, 4 * n, n).as_ref());
+    let g = fg.snapshot().into_dense();
+    let (w, v) = ata::linalg::eigen::jacobi_eigen(&g, 1e-12);
+    let row = rhs_for(n);
+    let proj = fg.pca_project(&row, 3).expect("shape ok");
+    for (c, p) in proj.iter().enumerate() {
+        let direct: f64 = (0..n).map(|i| v[(i, c)] * row[i]).sum();
+        assert!((p - direct).abs() <= 1e-9 * (1.0 + direct.abs()));
+    }
+    let vars = fg.principal_variances(4).expect("shape ok");
+    for (a, b) in vars.iter().zip(&w) {
+        assert!((a - b).abs() <= 1e-9 * (1.0 + b.abs()));
+    }
+    assert!(vars[0] >= vars[3], "descending order");
+    assert!(matches!(
+        fg.principal_variances(n + 1),
+        Err(UpdateError::ShapeMismatch { .. })
+    ));
+}
+
+/// `solve_multi` equals column-by-column solves; shape errors typed.
+#[test]
+fn solve_multi_matches_column_solves() {
+    let ctx = AtaContext::serial();
+    let n = 9;
+    let mut fg = ctx.factored_gram::<f64>(n);
+    fg.push(gen::standard::<f64>(11, 3 * n, n).as_ref());
+    let b = gen::standard::<f64>(12, n, 4);
+    let x = fg.solve_multi(b.as_ref()).expect("definite");
+    for c in 0..4 {
+        let col: Vec<f64> = (0..n).map(|i| b[(i, c)]).collect();
+        let xc = fg.solve(&col).expect("definite");
+        for i in 0..n {
+            assert!((x[(i, c)] - xc[i]).abs() <= 1e-12 * (1.0 + xc[i].abs()));
+        }
+    }
+    let bad = gen::standard::<f64>(13, n + 1, 2);
+    assert!(matches!(
+        fg.solve_multi(bad.as_ref()),
+        Err(UpdateError::ShapeMismatch { .. })
+    ));
+    assert!(matches!(
+        fg.solve(&vec![0.0; n + 2]),
+        Err(UpdateError::ShapeMismatch { .. })
+    ));
+}
+
+/// The upgrade path: an accumulator with prior mass becomes a
+/// `FactoredGram` whose first query factors that mass; `into_accumulator`
+/// hands the mass back unchanged.
+#[test]
+fn upgrade_and_downgrade_preserve_mass() {
+    let ctx = AtaContext::serial();
+    let n = 7;
+    let mut acc = ctx.gram_accumulator::<f64>(n);
+    let a = gen::standard::<f64>(21, 5 * n, n);
+    acc.push(a.as_ref());
+    let before = acc.snapshot().into_dense();
+    let mut fg = acc.into_factored();
+    let rhs = rhs_for(n);
+    let x = fg.solve(&rhs).expect("definite");
+    let xr = reference_solve(&before, 0.0, &rhs);
+    for (u, v) in x.iter().zip(&xr) {
+        assert!((u - v).abs() <= 1e-9 * (1.0 + v.abs()));
+    }
+    assert_eq!(fg.rows(), 5 * n);
+    let acc = fg.into_accumulator();
+    let after = acc.snapshot().into_dense();
+    for i in 0..n {
+        for j in 0..n {
+            assert_eq!(before[(i, j)], after[(i, j)], "mass must round-trip");
+        }
+    }
+}
